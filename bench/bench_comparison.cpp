@@ -1,0 +1,192 @@
+// E5: resilience matrix — the paper's protocol vs the two baseline
+// families, under (i) Byzantine servers only, (ii) transient corruption
+// only, (iii) both. Each cell: after the fault is injected and one
+// recovery write completes, what fraction of 20 reads return the last
+// written value?
+//
+// Predictions from the theory:
+//   * ABD (crash-only, n=3):     fails (i) and (iii); corruption of its
+//                                unbounded timestamps also sticks (ii);
+//   * BFT-unbounded (n=4, [14]): survives (i); saturated-timestamp
+//                                corruption is permanent in (ii)/(iii);
+//   * this paper (n=6):          survives all three (Theorem 2).
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "baselines/abd.hpp"
+#include "baselines/bft_unbounded.hpp"
+#include "bench_util.hpp"
+#include "core/deployment.hpp"
+
+using namespace sbft;
+using namespace sbft::bench;
+
+namespace {
+
+Value Val(const std::string& text) { return Value(text.begin(), text.end()); }
+
+constexpr int kReads = 20;
+
+// --- ABD arm -------------------------------------------------------------
+
+int RunAbd(bool byzantine, bool corruption, std::uint64_t seed) {
+  World world(World::Options{seed, nullptr});
+  std::vector<AbdServer*> servers;
+  std::vector<NodeId> ids;
+  for (int i = 0; i < 3; ++i) {
+    auto server = std::make_unique<AbdServer>();
+    if (byzantine && i == 0) {
+      // ABD has no Byzantine defence; model the attacker as a frozen
+      // max-timestamp liar.
+      server->SetState(UnboundedTs{~0ull, 9}, Val("evil"));
+    }
+    servers.push_back(server.get());
+    ids.push_back(world.AddNode(std::move(server)));
+  }
+  auto client_owner = std::make_unique<AbdClient>(ids, 50);
+  AbdClient* client = client_owner.get();
+  world.AddNode(std::move(client_owner));
+  world.RunUntil([] { return true; }, 0);
+
+  if (corruption) {
+    Rng rng(seed);
+    for (std::size_t i = byzantine ? 1 : 0; i < servers.size(); ++i) {
+      servers[i]->SetState(
+          UnboundedTs{std::numeric_limits<std::uint64_t>::max(),
+                      std::numeric_limits<std::uint32_t>::max()},
+          RandomBytes(rng, 4));
+    }
+  }
+
+  bool done = false;
+  client->StartWrite(Val("recover"), [&](bool) { done = true; });
+  if (!world.RunUntil([&] { return done; }, 200'000)) return 0;
+
+  int good = 0;
+  for (int i = 0; i < kReads; ++i) {
+    AbdReadOutcome outcome;
+    done = false;
+    client->StartRead([&](const AbdReadOutcome& o) {
+      outcome = o;
+      done = true;
+    });
+    if (!world.RunUntil([&] { return done; }, 200'000)) break;
+    if (outcome.ok && outcome.value == Val("recover")) ++good;
+  }
+  return good;
+}
+
+// --- BFT-unbounded arm ----------------------------------------------------
+
+int RunBu(bool byzantine, bool corruption, std::uint64_t seed) {
+  World world(World::Options{seed, nullptr});
+  std::vector<BuServer*> servers;
+  std::vector<NodeId> ids;
+  for (int i = 0; i < 4; ++i) {
+    if (byzantine && i == 0) {
+      servers.push_back(nullptr);
+      ids.push_back(world.AddNode(std::make_unique<BuByzantineServer>(seed)));
+    } else {
+      auto server = std::make_unique<BuServer>();
+      servers.push_back(server.get());
+      ids.push_back(world.AddNode(std::move(server)));
+    }
+  }
+  auto client_owner = std::make_unique<BuClient>(ids, 1, 50);
+  BuClient* client = client_owner.get();
+  world.AddNode(std::move(client_owner));
+  world.RunUntil([] { return true; }, 0);
+
+  if (corruption) {
+    Rng rng(seed);
+    for (BuServer* server : servers) {
+      if (server == nullptr) continue;
+      server->SetState(
+          UnboundedTs{std::numeric_limits<std::uint64_t>::max(),
+                      std::numeric_limits<std::uint32_t>::max()},
+          RandomBytes(rng, 4));
+    }
+  }
+
+  bool done = false;
+  client->StartWrite(Val("recover"), [&](bool) { done = true; });
+  if (!world.RunUntil([&] { return done; }, 200'000)) return 0;
+
+  int good = 0;
+  for (int i = 0; i < kReads; ++i) {
+    BuReadOutcome outcome;
+    done = false;
+    client->StartRead([&](const BuReadOutcome& o) {
+      outcome = o;
+      done = true;
+    });
+    if (!world.RunUntil([&] { return done; }, 200'000)) break;
+    if (outcome.ok && outcome.value == Val("recover")) ++good;
+  }
+  return good;
+}
+
+// --- This paper's protocol -------------------------------------------------
+
+int RunOurs(bool byzantine, bool corruption, std::uint64_t seed) {
+  Deployment::Options options;
+  options.config = ProtocolConfig::ForServers(6);
+  options.seed = seed;
+  if (byzantine) {
+    options.byzantine[0] = kAllByzantineStrategies[
+        seed % std::size(kAllByzantineStrategies)];
+  }
+  Deployment deployment(std::move(options));
+  if (corruption) {
+    deployment.CorruptAllCorrectServers();
+    deployment.CorruptAllChannels(2);
+  }
+
+  auto write = deployment.Write(0, Val("recover"), 500'000);
+  if (!write.completed || write.outcome.status != OpStatus::kOk) return 0;
+  int good = 0;
+  for (int i = 0; i < kReads; ++i) {
+    auto read = deployment.Read(0, 500'000);
+    if (read.completed && read.outcome.status == OpStatus::kOk &&
+        read.outcome.value == Val("recover")) {
+      ++good;
+    }
+  }
+  return good;
+}
+
+}  // namespace
+
+int main() {
+  Header("E5", "resilience comparison: correct reads out of 20 after fault "
+               "injection + one recovery write (mean over 10 seeds)");
+  Row("%-28s | %-12s | %-12s | %-12s", "protocol / fault", "(i) byz",
+      "(ii) corrupt", "(iii) both");
+
+  struct Arm {
+    const char* name;
+    int (*run)(bool, bool, std::uint64_t);
+  };
+  const Arm arms[] = {
+      {"ABD (n=3, crash-only)", RunAbd},
+      {"BFT-unbounded (n=4, [14])", RunBu},
+      {"this paper (n=6, 5f+1)", RunOurs},
+  };
+  for (const Arm& arm : arms) {
+    double cells[3] = {0, 0, 0};
+    const int kSeeds = 10;
+    for (int seed = 1; seed <= kSeeds; ++seed) {
+      cells[0] += arm.run(true, false, static_cast<std::uint64_t>(seed));
+      cells[1] += arm.run(false, true, static_cast<std::uint64_t>(seed));
+      cells[2] += arm.run(true, true, static_cast<std::uint64_t>(seed));
+    }
+    Row("%-28s | %6.1f/20    | %6.1f/20    | %6.1f/20", arm.name,
+        cells[0] / kSeeds, cells[1] / kSeeds, cells[2] / kSeeds);
+  }
+  Row("%s", "\nexpected shape: ABD fails whenever a Byzantine server is "
+            "present and stays poisoned after corruption; BFT-unbounded "
+            "masks Byzantine servers but never recovers from saturated "
+            "timestamps; this paper's protocol scores 20/20 everywhere.");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// E3: message and latency complexity versus system size. For n in
+// {6, 11, 16, 21, 26, 31} (f = (n-1)/5), measures frames per operation
+// and simulated round-trip latency for writes and reads. Prediction:
+// Theta(n) frames per op (write ~6n: flush + get_ts + write, each a
+// round trip to all servers; read ~5n) and constant round counts.
+#include "bench_util.hpp"
+#include "core/deployment.hpp"
+
+using namespace sbft;
+using namespace sbft::bench;
+
+int main() {
+  Header("E3", "message complexity and latency vs n (delay U[1,10], "
+               "20 ops each, all-correct servers)");
+  Row("%-4s %-4s | %-12s %-12s | %-12s %-12s | %-10s %-10s", "n", "f",
+      "write frames", "frames/n", "read frames", "frames/n", "write ticks",
+      "read ticks");
+
+  for (std::uint32_t n : {6u, 11u, 16u, 21u, 26u, 31u}) {
+    Deployment::Options options;
+    options.config = ProtocolConfig::ForServers(n);
+    options.seed = n;
+    Deployment deployment(std::move(options));
+
+    std::vector<double> write_frames, read_frames, write_ticks, read_ticks;
+    for (int i = 0; i < 20; ++i) {
+      auto write = deployment.Write(0, Value{static_cast<std::uint8_t>(i)});
+      if (write.completed) {
+        write_frames.push_back(static_cast<double>(write.frames_sent));
+        write_ticks.push_back(
+            static_cast<double>(write.returned_at - write.invoked_at));
+      }
+      auto read = deployment.Read(0);
+      if (read.completed) {
+        read_frames.push_back(static_cast<double>(read.frames_sent));
+        read_ticks.push_back(
+            static_cast<double>(read.returned_at - read.invoked_at));
+      }
+    }
+    const double wf = Mean(write_frames);
+    const double rf = Mean(read_frames);
+    Row("%-4u %-4u | %-12.1f %-12.2f | %-12.1f %-12.2f | %-10.1f %-10.1f",
+        n, deployment.config().f, wf, wf / n, rf, rf / n, Mean(write_ticks),
+        Mean(read_ticks));
+  }
+  Row("%s", "\nexpected shape: frames/op grow linearly in n (constant "
+            "frames/n per op type); latency stays ~constant (fixed number "
+            "of message rounds, independent of n).");
+  return 0;
+}

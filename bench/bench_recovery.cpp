@@ -1,0 +1,179 @@
+// E8: recovery micro-dynamics of the bounded-label machinery.
+//   E8a — find_read_label convergence: operations needed to regain a
+//         usable label after the client's label state is corrupted.
+//   E8b — stabilizing data-link: channel rounds until the delivered
+//         stream converges, vs channel capacity and preloaded garbage.
+//   E8c — ablation of the epoch-extended operation labels: stale reads
+//         per 1000 operations with the paper-pure label matching vs the
+//         hardened one, under an adversarial mix (gap #1 in DESIGN.md).
+#include <string>
+
+#include "bench_util.hpp"
+#include "net/datalink.hpp"
+#include "net/lossy_channel.hpp"
+#include "spec/regular_checker.hpp"
+#include "spec/workload.hpp"
+
+using namespace sbft;
+using namespace sbft::bench;
+
+namespace {
+
+void FindLabelRecovery() {
+  Header("E8a", "operations to recover after client label-state corruption "
+                "(n=6, mean over 50 corruptions)");
+  Row("%-14s %-22s %-18s", "label pool", "first op ok (frac)",
+      "mean extra ticks vs clean");
+  for (std::uint32_t pool : {2u, 4u, 8u}) {
+    int first_ok = 0;
+    std::vector<double> clean_ticks, corrupt_ticks;
+    for (int run = 0; run < 50; ++run) {
+      Deployment::Options options;
+      options.config = ProtocolConfig::ForServers(6);
+      options.config.read_label_count = pool;
+      options.config.write_label_count = pool;
+      options.seed = 500 + static_cast<std::uint64_t>(run);
+      Deployment deployment(std::move(options));
+      (void)deployment.Write(0, Value{1});
+      auto clean = deployment.Read(0);
+      clean_ticks.push_back(
+          static_cast<double>(clean.returned_at - clean.invoked_at));
+      deployment.CorruptClient(0);
+      auto read = deployment.Read(0, 500'000);
+      corrupt_ticks.push_back(
+          static_cast<double>(read.returned_at - read.invoked_at));
+      if (read.completed && read.outcome.status == OpStatus::kOk &&
+          read.outcome.value == Value{1}) {
+        ++first_ok;
+      }
+    }
+    Row("%-14u %2d/50                  %+.1f", pool, first_ok,
+        Mean(corrupt_ticks) - Mean(clean_ticks));
+  }
+}
+
+void DatalinkStabilization() {
+  Header("E8b", "stabilizing data-link: rounds until the suffix converges "
+                "(20 messages, 15% loss, mean over 20 seeds)");
+  Row("%-10s %-10s | %-14s %-16s", "capacity", "garbage", "rounds",
+      "spurious deliveries");
+  for (std::size_t capacity : {1u, 2u, 4u, 8u}) {
+    for (std::size_t garbage : {std::size_t{0}, capacity}) {
+      std::vector<double> rounds_used, spurious;
+      for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        LossyChannel forward({capacity, 0.15}, Rng(seed * 2 + 1));
+        LossyChannel backward({capacity, 0.15}, Rng(seed * 2 + 2));
+        std::vector<Bytes> delivered;
+        DataLinkSender sender(capacity);
+        DataLinkReceiver receiver(
+            capacity, [&](Bytes m) { delivered.push_back(std::move(m)); });
+        Rng corruption(seed * 7);
+        if (garbage > 0) {
+          sender.CorruptState(corruption);
+          receiver.CorruptState(corruption);
+          forward.PreloadGarbage(garbage);
+          backward.PreloadGarbage(garbage);
+        }
+        const int kMessages = 20;
+        std::vector<Bytes> sent;
+        for (int i = 0; i < kMessages; ++i) {
+          const std::string text = "m" + std::to_string(i);
+          sent.emplace_back(text.begin(), text.end());
+          sender.Submit(sent.back());
+        }
+        int rounds = 0;
+        while (!sender.idle() && rounds < 2'000'000) {
+          ++rounds;
+          if (auto frame = sender.Tick()) forward.Push(std::move(*frame));
+          if (auto frame = forward.Pop()) {
+            if (auto ack = receiver.OnFrame(*frame)) {
+              backward.Push(std::move(*ack));
+            }
+          }
+          if (auto frame = backward.Pop()) sender.OnFrame(*frame);
+        }
+        rounds_used.push_back(rounds);
+        // Spurious = delivered entries that are not genuine in-order
+        // suffix members.
+        int expect = kMessages - 1;
+        std::size_t genuine = 0;
+        for (auto it = delivered.rbegin(); it != delivered.rend(); ++it) {
+          if (expect >= 0 && *it == sent[static_cast<std::size_t>(expect)]) {
+            --expect;
+            ++genuine;
+          }
+        }
+        spurious.push_back(
+            static_cast<double>(delivered.size() - genuine));
+      }
+      Row("%-10zu %-10zu | %-14.0f %-16.2f", capacity, garbage,
+          Mean(rounds_used), Mean(spurious));
+    }
+  }
+}
+
+void EpochAblation() {
+  Header("E8c", "ablation: paper-pure op-label matching vs epoch-extended "
+                "(n=11, f=2 Byzantine, concurrent workload, 20 seeds)");
+  Row("%-18s | %-14s %-14s", "matching", "violations", "stalled runs");
+  for (bool epochs : {false, true}) {
+    std::uint64_t violations = 0;
+    int stalled = 0;
+    for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+      Deployment::Options options;
+      options.config = ProtocolConfig::ForServers(11);
+      options.config.epoch_extended_op_labels = epochs;
+      // Harshest legal setting for the aliasing hazard: minimum label
+      // pools (reuse every other operation) and high delay variance
+      // (stale traffic lingers across reuses).
+      options.config.read_label_count = 2;
+      options.config.write_label_count = 2;
+      options.delay = std::make_unique<UniformDelay>(1, 60);
+      options.seed = 3000 + seed;
+      options.n_clients = 3;
+      options.byzantine[0] = ByzantineStrategy::kStaleReplay;
+      options.byzantine[5] = ByzantineStrategy::kGarbage;
+      Deployment deployment(std::move(options));
+      // The hazard window needs a transient fault in the mix (corrupted
+      // label state makes stale traffic for the reused label plentiful).
+      deployment.CorruptAllCorrectServers();
+      deployment.CorruptAllChannels(2);
+      for (std::size_t c = 0; c < 3; ++c) deployment.CorruptClient(c);
+      WorkloadOptions workload;
+      workload.ops_per_client = 30;
+      workload.max_think_time = 4;  // dense traffic
+      workload.seed = seed * 17;
+      auto result = RunConcurrentWorkload(deployment, workload);
+      if (!result.all_completed) {
+        ++stalled;
+        continue;
+      }
+      CheckOptions check;
+      check.stabilized_from = result.first_write_done;
+      check.grandfathered_values = {Value{}};
+      violations += CheckRegular(result.history, check).violations.size();
+    }
+    Row("%-18s | %-14llu %-14d", epochs ? "epoch-extended" : "paper-pure",
+        static_cast<unsigned long long>(violations), stalled);
+  }
+  Row("%s", "\nexpected shape: recovery within a single operation (E8a); "
+            "data-link convergence cost grows with capacity and garbage "
+            "but spurious deliveries stay bounded by ~capacity (E8b). "
+            "E8c: during development the paper-pure matching DID produce "
+            "stale reads, but those executions also depended on the label "
+            "wrap-around weaknesses that the rotation/domain/padding fixes "
+            "closed (DESIGN.md gap #3); with those in place neither arm "
+            "violates at this scale. The aliasing hazard of gap #1 "
+            "remains real but needs a channel stalled across an entire "
+            "label-reuse cycle — the epoch extension closes it by "
+            "construction and is kept as the default.");
+}
+
+}  // namespace
+
+int main() {
+  FindLabelRecovery();
+  DatalinkStabilization();
+  EpochAblation();
+  return 0;
+}

@@ -1,0 +1,127 @@
+// E2: pseudo-stabilization (Theorem 2). From arbitrary initial
+// configurations (corrupted servers / channels / clients / all three,
+// with and without Byzantine servers), measure:
+//   * read outcomes BEFORE the first complete write (aborts and garbage
+//     are permitted there);
+//   * regularity violations AFTER the first complete write (the paper
+//     predicts exactly zero);
+//   * virtual-time cost of the stabilizing write.
+#include <cstring>
+
+#include "bench_util.hpp"
+#include "spec/regular_checker.hpp"
+#include "spec/workload.hpp"
+
+using namespace sbft;
+using namespace sbft::bench;
+
+namespace {
+
+struct Scenario {
+  const char* name;
+  bool corrupt_servers;
+  bool corrupt_channels;
+  bool corrupt_clients;
+  bool byzantine;
+};
+
+constexpr Scenario kScenarios[] = {
+    {"clean", false, false, false, false},
+    {"servers", true, false, false, false},
+    {"channels", false, true, false, false},
+    {"clients", false, false, true, false},
+    {"all", true, true, true, false},
+    {"all+byz", true, true, true, true},
+};
+
+}  // namespace
+
+int main() {
+  Header("E2 (Theorem 2)",
+         "pseudo-stabilization from arbitrary initial configurations "
+         "(n=6, f=1, 40 seeded runs each)");
+  Row("%-10s | %-28s | %-28s | %s", "corruption",
+      "pre-write reads (ok/abort/garb)", "post-write violations",
+      "stabilizing write ticks (mean)");
+
+  const int kRuns = 40;
+  for (const Scenario& scenario : kScenarios) {
+    std::uint64_t pre_ok = 0, pre_abort = 0, pre_garbage = 0;
+    std::uint64_t violations = 0, checked_runs = 0;
+    std::vector<double> write_ticks;
+
+    for (int run = 0; run < kRuns; ++run) {
+      Deployment::Options options;
+      options.config = ProtocolConfig::ForServers(6);
+      options.seed = 1000 + static_cast<std::uint64_t>(run);
+      options.n_clients = 2;
+      if (scenario.byzantine) {
+        options.byzantine[run % 6] =
+            kAllByzantineStrategies[run % std::size(kAllByzantineStrategies)];
+      }
+      Deployment deployment(std::move(options));
+      if (scenario.corrupt_servers) deployment.CorruptAllCorrectServers();
+      if (scenario.corrupt_channels) deployment.CorruptAllChannels(2);
+      if (scenario.corrupt_clients) {
+        deployment.CorruptClient(0);
+        deployment.CorruptClient(1);
+      }
+
+      // Pre-write probes: three reads before any write.
+      for (int i = 0; i < 3; ++i) {
+        auto read = deployment.Read(1, 200'000);
+        if (!read.completed) continue;
+        switch (read.outcome.status) {
+          case OpStatus::kOk:
+            if (read.outcome.value.empty()) {
+              pre_ok++;  // pristine initial value
+            } else {
+              pre_garbage++;
+            }
+            break;
+          case OpStatus::kAborted:
+            pre_abort++;
+            break;
+          default:
+            break;
+        }
+      }
+
+      // The stabilizing write, then a checked concurrent workload.
+      auto write = deployment.Write(0, Value{0xAA}, 500'000);
+      if (!write.completed || write.outcome.status != OpStatus::kOk) {
+        continue;
+      }
+      write_ticks.push_back(
+          static_cast<double>(write.returned_at - write.invoked_at));
+
+      WorkloadOptions workload;
+      workload.ops_per_client = 10;
+      workload.seed = 77 + static_cast<std::uint64_t>(run);
+      auto result = RunConcurrentWorkload(deployment, workload);
+      if (!result.all_completed) continue;
+      checked_runs++;
+      CheckOptions check;
+      check.stabilized_from = 0;  // already post-first-write
+      check.grandfathered_values = {Value{0xAA}, Value{}};
+      auto report = CheckRegular(result.history, check);
+      violations += report.violations.size();
+    }
+
+    char pre[64];
+    std::snprintf(pre, sizeof(pre), "%llu/%llu/%llu",
+                  static_cast<unsigned long long>(pre_ok),
+                  static_cast<unsigned long long>(pre_abort),
+                  static_cast<unsigned long long>(pre_garbage));
+    char post[64];
+    std::snprintf(post, sizeof(post), "%llu in %llu checked runs",
+                  static_cast<unsigned long long>(violations),
+                  static_cast<unsigned long long>(checked_runs));
+    Row("%-10s | %-28s | %-28s | %.0f", scenario.name, pre, post,
+        Mean(write_ticks));
+  }
+  Row("%s", "\nexpected shape: garbage/aborts appear only pre-write and "
+            "only under corruption; post-write violations are 0 everywhere "
+            "(pseudo-stabilization).");
+  return 0;
+}

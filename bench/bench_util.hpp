@@ -1,0 +1,39 @@
+// Shared helpers for the experiment binaries: fixed-width table
+// printing and percentile math. Each bench prints the table(s) recorded
+// in EXPERIMENTS.md.
+#pragma once
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace sbft::bench {
+
+inline void Header(const std::string& id, const std::string& title) {
+  std::printf("\n=== %s: %s ===\n", id.c_str(), title.c_str());
+}
+
+inline void Row(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  std::vfprintf(stdout, format, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+inline double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  return values[static_cast<std::size_t>(p * (values.size() - 1))];
+}
+
+inline double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+}  // namespace sbft::bench

@@ -1,0 +1,81 @@
+// Stabilizing data-link demo: the substrate the paper assumes away in
+// §II ("reliable FIFO channels … ensured by a stabilization preserving
+// data-link protocol [8]"). Sends a message sequence over a bounded,
+// lossy, reordering channel whose initial content is garbage, and shows
+// the delivered stream converging to exactly the sent sequence.
+//
+//   $ ./build/examples/datalink_demo
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "net/datalink.hpp"
+#include "net/lossy_channel.hpp"
+
+using namespace sbft;
+
+int main() {
+  const std::size_t kCapacity = 4;
+  LossyChannel forward({kCapacity, /*drop=*/0.25}, Rng(101));
+  LossyChannel backward({kCapacity, /*drop=*/0.25}, Rng(202));
+
+  std::vector<std::string> delivered;
+  DataLinkSender sender(kCapacity);
+  DataLinkReceiver receiver(kCapacity, [&](Bytes m) {
+    delivered.emplace_back(m.begin(), m.end());
+  });
+
+  // Arbitrary initial configuration: garbage everywhere.
+  Rng corruption(303);
+  sender.CorruptState(corruption);
+  receiver.CorruptState(corruption);
+  forward.PreloadGarbage(kCapacity);
+  backward.PreloadGarbage(kCapacity);
+  std::printf("initial state: corrupted sender+receiver, channels full of "
+              "garbage (capacity %zu, 25%% loss, reordering)\n",
+              kCapacity);
+
+  const int kMessages = 12;
+  for (int i = 0; i < kMessages; ++i) {
+    const std::string text = "msg-" + std::to_string(i);
+    sender.Submit(Bytes(text.begin(), text.end()));
+  }
+
+  // Note: the corrupted sender may believe a phantom "message" was in
+  // flight and count one extra completion, so run until it is idle (all
+  // genuinely submitted messages confirmed) rather than counting.
+  int rounds = 0;
+  while (!sender.idle() && rounds < 1'000'000) {
+    ++rounds;
+    if (auto frame = sender.Tick()) forward.Push(std::move(*frame));
+    if (auto frame = forward.Pop()) {
+      if (auto ack = receiver.OnFrame(*frame)) {
+        backward.Push(std::move(*ack));
+      }
+    }
+    if (auto frame = backward.Pop()) sender.OnFrame(*frame);
+  }
+
+  std::printf("completed %zu/%d messages in %d channel rounds\n",
+              sender.completed(), kMessages, rounds);
+  std::printf("delivered stream (garbage prefix allowed, correct suffix "
+              "required):\n");
+  for (const std::string& m : delivered) {
+    std::string clean = m;
+    for (char& c : clean) {
+      if (c < 0x20 || c > 0x7E) c = '?';
+    }
+    std::printf("  %s\n", clean.c_str());
+  }
+
+  // Verify the suffix property.
+  int expect = kMessages - 1;
+  for (auto it = delivered.rbegin(); it != delivered.rend() && expect >= 0;
+       ++it) {
+    if (*it == "msg-" + std::to_string(expect)) --expect;
+  }
+  const bool ok = expect < static_cast<int>(kCapacity) + 2;
+  std::printf("%s\n", ok ? "suffix converged to the sent sequence"
+                         : "SUFFIX CHECK FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,86 @@
+// A fault-tolerant key-value store in ~60 lines of application code:
+// many independent registers multiplexed over one 6-server deployment,
+// with a Byzantine replica and a corruption event in the middle.
+//
+//   $ ./build/examples/kv_store
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/mux.hpp"
+#include "sim/world.hpp"
+
+using namespace sbft;
+
+namespace {
+
+Value Val(const std::string& text) { return Value(text.begin(), text.end()); }
+std::string Show(const Value& value) {
+  return std::string(value.begin(), value.end());
+}
+
+}  // namespace
+
+int main() {
+  World world;
+  auto config = ProtocolConfig::ForServers(6);
+  std::vector<NodeId> server_ids;
+  for (std::size_t i = 0; i < 6; ++i) {
+    MuxServer::ServerFactory factory;
+    if (i == 4) {  // one Byzantine replica, hostile on EVERY register
+      factory = [config, i](RegisterId id) {
+        return MakeByzantineServer(ByzantineStrategy::kEquivocate, config,
+                                   i, id);
+      };
+    }
+    server_ids.push_back(world.AddNode(
+        std::make_unique<MuxServer>(config, i, 1024, std::move(factory))));
+  }
+  auto client_owner = std::make_unique<MuxClient>(config, server_ids, 100);
+  MuxClient* kv = client_owner.get();
+  world.AddNode(std::move(client_owner));
+  world.RunUntil([] { return true; }, 0);
+
+  auto put = [&](const std::string& key, const std::string& value) {
+    bool done = false;
+    kv->Put(key, Val(value), [&](const WriteOutcome& outcome) {
+      std::printf("  PUT %-14s = %-12s -> %s\n", key.c_str(), value.c_str(),
+                  outcome.status == OpStatus::kOk ? "ok" : "FAILED");
+      done = true;
+    });
+    world.RunUntil([&] { return done; }, 1'000'000);
+  };
+  auto get = [&](const std::string& key) {
+    bool done = false;
+    kv->Get(key, [&](const ReadOutcome& outcome) {
+      std::printf("  GET %-14s -> %s\n", key.c_str(),
+                  outcome.status == OpStatus::kOk
+                      ? Show(outcome.value).c_str()
+                      : "(aborted)");
+      done = true;
+    });
+    world.RunUntil([&] { return done; }, 1'000'000);
+  };
+
+  std::printf("== kv store over 6 replicas (replica 4 is Byzantine) ==\n");
+  put("users/alice", "admin");
+  put("users/bob", "viewer");
+  put("quota/alice", "100GB");
+  get("users/alice");
+  get("quota/alice");
+
+  std::printf("\n!! transient fault corrupts every replica's memory\n");
+  for (NodeId id : server_ids) world.CorruptNode(id);
+
+  std::printf("   (writes stabilize each register independently)\n");
+  put("users/alice", "admin");   // heal this register
+  put("users/carol", "ops");     // and create a fresh one
+  get("users/alice");
+  get("users/carol");
+  get("users/bob");  // never re-written since the fault: may abort
+  std::printf("\nnote: keys not re-written since the fault may abort until "
+              "their first post-fault write — that is pseudo-stabilization "
+              "per register.\n");
+  return 0;
+}

@@ -1,0 +1,142 @@
+#include "baselines/abd.hpp"
+
+#include <algorithm>
+
+namespace sbft {
+
+void AbdServer::OnFrame(NodeId from, BytesView frame, IEndpoint& endpoint) {
+  auto decoded = DecodeMessage(frame);
+  if (!decoded.ok()) return;
+  const Message& message = decoded.value();
+
+  if (const auto* m = std::get_if<AbdGetTsMsg>(&message)) {
+    endpoint.Send(from, EncodeMessage(Message(AbdTsReplyMsg{m->rid, ts_})));
+  } else if (const auto* m = std::get_if<AbdWriteMsg>(&message)) {
+    if (ts_ < m->ts) {
+      ts_ = m->ts;
+      value_ = m->value;
+    }
+    endpoint.Send(from, EncodeMessage(Message(AbdWriteAckMsg{m->rid})));
+  } else if (const auto* m = std::get_if<AbdReadMsg>(&message)) {
+    endpoint.Send(from,
+                  EncodeMessage(Message(AbdReadReplyMsg{m->rid, ts_, value_})));
+  }
+}
+
+void AbdServer::CorruptState(Rng& rng) {
+  // The signature failure of unbounded timestamps: corruption can plant
+  // a near-maximal sequence number that no legitimate write exceeds.
+  ts_.seq = rng();
+  if (rng.NextBool(0.5)) ts_.seq |= 0xF000000000000000ull;
+  ts_.writer_id = static_cast<std::uint32_t>(rng());
+  value_ = RandomBytes(rng, 1 + rng.NextBelow(8));
+}
+
+AbdClient::AbdClient(std::vector<NodeId> servers, std::uint32_t client_id)
+    : servers_(std::move(servers)), client_id_(client_id) {}
+
+void AbdClient::OnStart(IEndpoint& endpoint) { endpoint_ = &endpoint; }
+
+std::optional<std::size_t> AbdClient::ServerIndex(NodeId node) const {
+  auto it = std::find(servers_.begin(), servers_.end(), node);
+  if (it == servers_.end()) return std::nullopt;
+  return static_cast<std::size_t>(it - servers_.begin());
+}
+
+void AbdClient::StartWrite(Value value, std::function<void(bool)> callback) {
+  SBFT_ASSERT(endpoint_ != nullptr && idle());
+  write_value_ = std::move(value);
+  write_callback_ = std::move(callback);
+  collected_ts_.clear();
+  phase_ = Phase::kGetTs;
+  ++rid_;
+  const Bytes frame = EncodeMessage(Message(AbdGetTsMsg{rid_}));
+  for (NodeId server : servers_) endpoint_->Send(server, frame);
+}
+
+void AbdClient::StartRead(
+    std::function<void(const AbdReadOutcome&)> callback) {
+  SBFT_ASSERT(endpoint_ != nullptr && idle());
+  read_callback_ = std::move(callback);
+  read_replies_.clear();
+  phase_ = Phase::kRead;
+  ++rid_;
+  const Bytes frame = EncodeMessage(Message(AbdReadMsg{rid_}));
+  for (NodeId server : servers_) endpoint_->Send(server, frame);
+}
+
+void AbdClient::OnFrame(NodeId from, BytesView frame, IEndpoint&) {
+  const auto index = ServerIndex(from);
+  if (!index) return;
+  auto decoded = DecodeMessage(frame);
+  if (!decoded.ok()) return;
+  const Message& message = decoded.value();
+
+  if (const auto* m = std::get_if<AbdTsReplyMsg>(&message)) {
+    if (phase_ != Phase::kGetTs || m->rid != rid_) return;
+    collected_ts_.emplace(*index, m->ts);
+    if (collected_ts_.size() < Majority()) return;
+    UnboundedTs max_ts;
+    for (const auto& [idx, ts] : collected_ts_) max_ts = std::max(max_ts, ts);
+    // Saturating increment: documents that even an overflow guard cannot
+    // save the protocol once corruption plants a near-maximal seq.
+    UnboundedTs new_ts{max_ts.seq == std::numeric_limits<std::uint64_t>::max()
+                           ? max_ts.seq
+                           : max_ts.seq + 1,
+                       client_id_};
+    phase_ = Phase::kWrite;
+    write_acks_.clear();
+    const Bytes out =
+        EncodeMessage(Message(AbdWriteMsg{rid_, new_ts, write_value_}));
+    for (NodeId server : servers_) endpoint_->Send(server, out);
+  } else if (const auto* m = std::get_if<AbdWriteAckMsg>(&message)) {
+    if (phase_ != Phase::kWrite || m->rid != rid_) return;
+    write_acks_.insert(*index);
+    if (write_acks_.size() >= Majority()) {
+      phase_ = Phase::kIdle;
+      if (write_callback_) {
+        auto callback = std::move(write_callback_);
+        write_callback_ = nullptr;
+        callback(true);
+      }
+    }
+  } else if (const auto* m = std::get_if<AbdReadReplyMsg>(&message)) {
+    if (phase_ != Phase::kRead || m->rid != rid_) return;
+    read_replies_.emplace(*index, std::make_pair(m->ts, m->value));
+    if (read_replies_.size() >= Majority()) {
+      AbdReadOutcome outcome;
+      outcome.ok = true;
+      for (const auto& [idx, reply] : read_replies_) {
+        if (reply.first >= outcome.ts) {
+          outcome.ts = reply.first;
+          outcome.value = reply.second;
+        }
+      }
+      phase_ = Phase::kIdle;
+      if (read_callback_) {
+        auto callback = std::move(read_callback_);
+        read_callback_ = nullptr;
+        callback(outcome);
+      }
+    }
+  }
+}
+
+void AbdClient::CorruptState(Rng& rng) {
+  rid_ = rng();  // unbounded id: corruption may collide with stale replies
+  if (phase_ != Phase::kIdle) {
+    phase_ = Phase::kIdle;
+    if (write_callback_) {
+      auto callback = std::move(write_callback_);
+      write_callback_ = nullptr;
+      callback(false);
+    }
+    if (read_callback_) {
+      auto callback = std::move(read_callback_);
+      read_callback_ = nullptr;
+      callback(AbdReadOutcome{});
+    }
+  }
+}
+
+}  // namespace sbft

@@ -1,0 +1,85 @@
+// Baseline 1: ABD-style crash-tolerant MWMR regular register.
+//
+// Majority quorums (n >= 2f+1 for f *crash* faults), unbounded
+// sequence-number timestamps, single-phase reads (regular, no
+// write-back). This is the classical construction the paper's related
+// work contrasts with: correct under crash faults, but
+//   * a Byzantine server trivially poisons reads (it reports the highest
+//     timestamp with a garbage value and wins the max-ts rule), and
+//   * it is not self-stabilizing (corrupted server state with a huge
+//     timestamp is returned forever).
+// Experiment E5 measures exactly these failures.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "labels/unbounded_timestamp.hpp"
+#include "net/message.hpp"
+#include "sim/world.hpp"
+
+namespace sbft {
+
+class AbdServer : public Automaton {
+ public:
+  AbdServer() = default;
+
+  void OnFrame(NodeId from, BytesView frame, IEndpoint& endpoint) override;
+  void CorruptState(Rng& rng) override;
+
+  [[nodiscard]] const UnboundedTs& ts() const { return ts_; }
+  [[nodiscard]] const Value& value() const { return value_; }
+  void SetState(UnboundedTs ts, Value value) {
+    ts_ = ts;
+    value_ = std::move(value);
+  }
+
+ private:
+  UnboundedTs ts_;
+  Value value_;
+};
+
+struct AbdReadOutcome {
+  bool ok = false;
+  Value value;
+  UnboundedTs ts;
+};
+
+class AbdClient : public Automaton {
+ public:
+  AbdClient(std::vector<NodeId> servers, std::uint32_t client_id);
+
+  void OnStart(IEndpoint& endpoint) override;
+  void OnFrame(NodeId from, BytesView frame, IEndpoint& endpoint) override;
+  void CorruptState(Rng& rng) override;
+
+  void StartWrite(Value value, std::function<void(bool)> callback);
+  void StartRead(std::function<void(const AbdReadOutcome&)> callback);
+  [[nodiscard]] bool idle() const { return phase_ == Phase::kIdle; }
+
+ private:
+  enum class Phase : std::uint8_t { kIdle, kGetTs, kWrite, kRead };
+
+  [[nodiscard]] std::size_t Majority() const {
+    return servers_.size() / 2 + 1;
+  }
+  [[nodiscard]] std::optional<std::size_t> ServerIndex(NodeId node) const;
+
+  std::vector<NodeId> servers_;
+  std::uint32_t client_id_;
+  IEndpoint* endpoint_ = nullptr;
+
+  Phase phase_ = Phase::kIdle;
+  std::uint64_t rid_ = 0;  // unbounded operation identifier
+  Value write_value_;
+  std::function<void(bool)> write_callback_;
+  std::function<void(const AbdReadOutcome&)> read_callback_;
+  std::map<std::size_t, UnboundedTs> collected_ts_;
+  std::set<std::size_t> write_acks_;
+  std::map<std::size_t, std::pair<UnboundedTs, Value>> read_replies_;
+};
+
+}  // namespace sbft

@@ -1,0 +1,175 @@
+#include "baselines/bft_unbounded.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace sbft {
+
+void BuServer::OnFrame(NodeId from, BytesView frame, IEndpoint& endpoint) {
+  auto decoded = DecodeMessage(frame);
+  if (!decoded.ok()) return;
+  const Message& message = decoded.value();
+
+  if (const auto* m = std::get_if<BuGetTsMsg>(&message)) {
+    endpoint.Send(from, EncodeMessage(Message(BuTsReplyMsg{m->rid, ts_})));
+  } else if (const auto* m = std::get_if<BuWriteMsg>(&message)) {
+    if (ts_ < m->ts) {
+      ts_ = m->ts;
+      value_ = m->value;
+    }
+    endpoint.Send(from, EncodeMessage(Message(BuWriteAckMsg{m->rid})));
+  } else if (const auto* m = std::get_if<BuReadMsg>(&message)) {
+    endpoint.Send(from,
+                  EncodeMessage(Message(BuReadReplyMsg{m->rid, ts_, value_})));
+  }
+}
+
+void BuServer::CorruptState(Rng& rng) {
+  ts_.seq = rng();
+  if (rng.NextBool(0.5)) ts_.seq |= 0xF000000000000000ull;
+  ts_.writer_id = static_cast<std::uint32_t>(rng());
+  value_ = RandomBytes(rng, 1 + rng.NextBelow(8));
+}
+
+void BuByzantineServer::OnFrame(NodeId from, BytesView frame,
+                                IEndpoint& endpoint) {
+  auto decoded = DecodeMessage(frame);
+  if (!decoded.ok()) return;
+  const Message& message = decoded.value();
+  const UnboundedTs huge{std::numeric_limits<std::uint64_t>::max(),
+                         static_cast<std::uint32_t>(rng_())};
+  if (const auto* m = std::get_if<BuGetTsMsg>(&message)) {
+    endpoint.Send(from, EncodeMessage(Message(BuTsReplyMsg{m->rid, huge})));
+  } else if (const auto* m = std::get_if<BuWriteMsg>(&message)) {
+    endpoint.Send(from, EncodeMessage(Message(BuWriteAckMsg{m->rid})));
+  } else if (const auto* m = std::get_if<BuReadMsg>(&message)) {
+    endpoint.Send(from, EncodeMessage(Message(BuReadReplyMsg{
+                            m->rid, huge, RandomBytes(rng_, 4)})));
+  }
+}
+
+BuClient::BuClient(std::vector<NodeId> servers, std::uint32_t f,
+                   std::uint32_t client_id)
+    : servers_(std::move(servers)), f_(f), client_id_(client_id) {
+  SBFT_ASSERT(servers_.size() >= 3 * static_cast<std::size_t>(f) + 1);
+}
+
+void BuClient::OnStart(IEndpoint& endpoint) { endpoint_ = &endpoint; }
+
+std::optional<std::size_t> BuClient::ServerIndex(NodeId node) const {
+  auto it = std::find(servers_.begin(), servers_.end(), node);
+  if (it == servers_.end()) return std::nullopt;
+  return static_cast<std::size_t>(it - servers_.begin());
+}
+
+void BuClient::StartWrite(Value value, std::function<void(bool)> callback) {
+  SBFT_ASSERT(endpoint_ != nullptr && idle());
+  write_value_ = std::move(value);
+  write_callback_ = std::move(callback);
+  collected_ts_.clear();
+  phase_ = Phase::kGetTs;
+  ++rid_;
+  const Bytes frame = EncodeMessage(Message(BuGetTsMsg{rid_}));
+  for (NodeId server : servers_) endpoint_->Send(server, frame);
+}
+
+void BuClient::StartRead(std::function<void(const BuReadOutcome&)> callback) {
+  SBFT_ASSERT(endpoint_ != nullptr && idle());
+  read_callback_ = std::move(callback);
+  read_replies_.clear();
+  phase_ = Phase::kRead;
+  ++rid_;
+  const Bytes frame = EncodeMessage(Message(BuReadMsg{rid_}));
+  for (NodeId server : servers_) endpoint_->Send(server, frame);
+}
+
+void BuClient::OnFrame(NodeId from, BytesView frame, IEndpoint&) {
+  const auto index = ServerIndex(from);
+  if (!index) return;
+  auto decoded = DecodeMessage(frame);
+  if (!decoded.ok()) return;
+  const Message& message = decoded.value();
+
+  if (const auto* m = std::get_if<BuTsReplyMsg>(&message)) {
+    if (phase_ != Phase::kGetTs || m->rid != rid_) return;
+    collected_ts_.emplace(*index, m->ts);
+    if (collected_ts_.size() < Quorum()) return;
+    // Mask Byzantine inflation: up to f of the reported timestamps may
+    // be arbitrarily large lies, so advance from the (f+1)-th largest
+    // (standard in BFT storage; cf. non-skipping timestamps). This
+    // defends against lying servers but NOT against transient
+    // corruption of f+1 or more correct servers — the unbounded
+    // timestamp then saturates and the register never recovers, which
+    // is the failure mode experiment E5 contrasts with bounded labels.
+    std::vector<UnboundedTs> sorted;
+    sorted.reserve(collected_ts_.size());
+    for (const auto& [idx, ts] : collected_ts_) sorted.push_back(ts);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const UnboundedTs& a, const UnboundedTs& b) { return b < a; });
+    const UnboundedTs base = sorted[f_];
+    UnboundedTs new_ts{base.seq == std::numeric_limits<std::uint64_t>::max()
+                           ? base.seq
+                           : base.seq + 1,
+                       client_id_};
+    phase_ = Phase::kWrite;
+    write_acks_.clear();
+    const Bytes out =
+        EncodeMessage(Message(BuWriteMsg{rid_, new_ts, write_value_}));
+    for (NodeId server : servers_) endpoint_->Send(server, out);
+  } else if (const auto* m = std::get_if<BuWriteAckMsg>(&message)) {
+    if (phase_ != Phase::kWrite || m->rid != rid_) return;
+    write_acks_.insert(*index);
+    if (write_acks_.size() >= Quorum()) {
+      phase_ = Phase::kIdle;
+      if (write_callback_) {
+        auto callback = std::move(write_callback_);
+        write_callback_ = nullptr;
+        callback(true);
+      }
+    }
+  } else if (const auto* m = std::get_if<BuReadReplyMsg>(&message)) {
+    if (phase_ != Phase::kRead || m->rid != rid_) return;
+    read_replies_.emplace(*index, std::make_pair(m->ts, m->value));
+    if (read_replies_.size() >= Quorum()) {
+      // Certify: identical (ts, value) reported by >= f+1 servers; take
+      // the maximal certified pair.
+      BuReadOutcome outcome;
+      for (const auto& [idx, reply] : read_replies_) {
+        std::size_t witnesses = 0;
+        for (const auto& [idx2, reply2] : read_replies_) {
+          if (reply2 == reply) ++witnesses;
+        }
+        if (witnesses >= f_ + 1 && (!outcome.ok || outcome.ts < reply.first)) {
+          outcome.ok = true;
+          outcome.ts = reply.first;
+          outcome.value = reply.second;
+        }
+      }
+      phase_ = Phase::kIdle;
+      if (read_callback_) {
+        auto callback = std::move(read_callback_);
+        read_callback_ = nullptr;
+        callback(outcome);
+      }
+    }
+  }
+}
+
+void BuClient::CorruptState(Rng& rng) {
+  rid_ = rng();
+  if (phase_ != Phase::kIdle) {
+    phase_ = Phase::kIdle;
+    if (write_callback_) {
+      auto callback = std::move(write_callback_);
+      write_callback_ = nullptr;
+      callback(false);
+    }
+    if (read_callback_) {
+      auto callback = std::move(read_callback_);
+      read_callback_ = nullptr;
+      callback(BuReadOutcome{});
+    }
+  }
+}
+
+}  // namespace sbft

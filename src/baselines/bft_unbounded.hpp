@@ -1,0 +1,98 @@
+// Baseline 2: non-stabilizing BFT MWMR regular register with unbounded
+// timestamps, in the style of Kanjani, Lee, Maguffee, Welch [14]:
+// n >= 3f+1 servers, quorum n-f, reads accept a value only when the
+// identical (ts, value) pair is reported by at least f+1 servers
+// (masking the f Byzantine replies), and return the maximal such pair.
+//
+// Correct under f Byzantine servers from a clean start — but NOT
+// self-stabilizing: transient corruption that plants near-maximal
+// sequence numbers in correct servers leaves the register permanently
+// unable to certify values (reads abort forever, or return pre-fault
+// garbage), because unbounded timestamps cannot be dominated once
+// corrupted. Experiment E5 contrasts this with the paper's bounded
+// labels, which *can* always be dominated by next().
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "labels/unbounded_timestamp.hpp"
+#include "net/message.hpp"
+#include "sim/world.hpp"
+
+namespace sbft {
+
+class BuServer : public Automaton {
+ public:
+  BuServer() = default;
+
+  void OnFrame(NodeId from, BytesView frame, IEndpoint& endpoint) override;
+  void CorruptState(Rng& rng) override;
+
+  [[nodiscard]] const UnboundedTs& ts() const { return ts_; }
+  [[nodiscard]] const Value& value() const { return value_; }
+  void SetState(UnboundedTs ts, Value value) {
+    ts_ = ts;
+    value_ = std::move(value);
+  }
+
+ private:
+  UnboundedTs ts_;
+  Value value_;
+};
+
+/// Byzantine variant for E5: reports a maximal timestamp with garbage.
+class BuByzantineServer : public Automaton {
+ public:
+  explicit BuByzantineServer(std::uint64_t seed) : rng_(seed) {}
+  void OnFrame(NodeId from, BytesView frame, IEndpoint& endpoint) override;
+
+ private:
+  Rng rng_;
+};
+
+struct BuReadOutcome {
+  bool ok = false;      // false = aborted (no f+1-witnessed pair)
+  Value value;
+  UnboundedTs ts;
+};
+
+class BuClient : public Automaton {
+ public:
+  /// `f` is the Byzantine bound the deployment was sized for (n >= 3f+1).
+  BuClient(std::vector<NodeId> servers, std::uint32_t f,
+           std::uint32_t client_id);
+
+  void OnStart(IEndpoint& endpoint) override;
+  void OnFrame(NodeId from, BytesView frame, IEndpoint& endpoint) override;
+  void CorruptState(Rng& rng) override;
+
+  void StartWrite(Value value, std::function<void(bool)> callback);
+  void StartRead(std::function<void(const BuReadOutcome&)> callback);
+  [[nodiscard]] bool idle() const { return phase_ == Phase::kIdle; }
+
+ private:
+  enum class Phase : std::uint8_t { kIdle, kGetTs, kWrite, kRead };
+
+  [[nodiscard]] std::size_t Quorum() const { return servers_.size() - f_; }
+  [[nodiscard]] std::optional<std::size_t> ServerIndex(NodeId node) const;
+
+  std::vector<NodeId> servers_;
+  std::uint32_t f_;
+  std::uint32_t client_id_;
+  IEndpoint* endpoint_ = nullptr;
+
+  Phase phase_ = Phase::kIdle;
+  std::uint64_t rid_ = 0;
+  Value write_value_;
+  std::function<void(bool)> write_callback_;
+  std::function<void(const BuReadOutcome&)> read_callback_;
+  std::map<std::size_t, UnboundedTs> collected_ts_;
+  std::set<std::size_t> write_acks_;
+  std::map<std::size_t, std::pair<UnboundedTs, Value>> read_replies_;
+};
+
+}  // namespace sbft

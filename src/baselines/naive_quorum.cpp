@@ -1,0 +1,168 @@
+#include "baselines/naive_quorum.hpp"
+
+#include <algorithm>
+
+namespace sbft {
+
+void NqServer::OnFrame(NodeId from, BytesView frame, IEndpoint& endpoint) {
+  auto decoded = DecodeMessage(frame);
+  if (!decoded.ok()) return;
+  const Message& message = decoded.value();
+
+  if (const auto* m = std::get_if<NqGetTsMsg>(&message)) {
+    endpoint.Send(from, EncodeMessage(Message(NqTsReplyMsg{m->rid, ts_})));
+  } else if (const auto* m = std::get_if<NqWriteMsg>(&message)) {
+    // One-shot adopt-if-newer, as in the Theorem 1 protocol class.
+    Timestamp incoming{labels_.Sanitize(m->ts.label), m->ts.writer_id};
+    if (Precedes(ts_, incoming, labels_.params())) {
+      ts_ = incoming;
+      value_ = m->value;
+    }
+    endpoint.Send(from, EncodeMessage(Message(NqWriteAckMsg{m->rid})));
+  } else if (const auto* m = std::get_if<NqReadMsg>(&message)) {
+    endpoint.Send(from,
+                  EncodeMessage(Message(NqReadReplyMsg{m->rid, ts_, value_})));
+  }
+}
+
+void NqServer::CorruptState(Rng& rng) {
+  ts_ = Timestamp{RandomValidLabel(rng, labels_.params()),
+                  static_cast<ClientId>(rng.NextBelow(8))};
+  value_ = RandomBytes(rng, 1 + rng.NextBelow(8));
+}
+
+void NqScriptedServer::OnFrame(NodeId from, BytesView frame,
+                               IEndpoint& endpoint) {
+  auto decoded = DecodeMessage(frame);
+  if (!decoded.ok()) return;
+  const Message& message = decoded.value();
+
+  if (const auto* m = std::get_if<NqGetTsMsg>(&message)) {
+    endpoint.Send(from,
+                  EncodeMessage(Message(NqTsReplyMsg{m->rid, ts_for_get_ts})));
+  } else if (const auto* m = std::get_if<NqWriteMsg>(&message)) {
+    endpoint.Send(from, EncodeMessage(Message(NqWriteAckMsg{m->rid})));
+  } else if (const auto* m = std::get_if<NqReadMsg>(&message)) {
+    if (read_script.empty()) return;  // silent when out of script
+    auto [ts, value] = read_script.front();
+    if (read_script.size() > 1) read_script.pop_front();
+    endpoint.Send(from,
+                  EncodeMessage(Message(NqReadReplyMsg{m->rid, ts, value})));
+  }
+}
+
+NqClient::NqClient(std::vector<NodeId> servers, std::uint32_t f,
+                   std::uint32_t k, std::uint32_t client_id)
+    : servers_(std::move(servers)),
+      f_(f),
+      labels_(k),
+      client_id_(client_id) {
+  last_write_ts_ = Timestamp{labels_.Initial(), client_id_};
+}
+
+void NqClient::OnStart(IEndpoint& endpoint) { endpoint_ = &endpoint; }
+
+std::optional<std::size_t> NqClient::ServerIndex(NodeId node) const {
+  auto it = std::find(servers_.begin(), servers_.end(), node);
+  if (it == servers_.end()) return std::nullopt;
+  return static_cast<std::size_t>(it - servers_.begin());
+}
+
+void NqClient::StartWrite(Value value, std::function<void(bool)> callback) {
+  SBFT_ASSERT(endpoint_ != nullptr && idle());
+  write_value_ = std::move(value);
+  write_callback_ = std::move(callback);
+  collected_ts_.clear();
+  phase_ = Phase::kGetTs;
+  ++rid_;
+  const Bytes frame = EncodeMessage(Message(NqGetTsMsg{rid_}));
+  for (NodeId server : servers_) endpoint_->Send(server, frame);
+}
+
+void NqClient::StartRead(std::function<void(const NqReadOutcome&)> callback) {
+  SBFT_ASSERT(endpoint_ != nullptr && idle());
+  read_callback_ = std::move(callback);
+  read_replies_.clear();
+  phase_ = Phase::kRead;
+  ++rid_;
+  const Bytes frame = EncodeMessage(Message(NqReadMsg{rid_}));
+  for (NodeId server : servers_) endpoint_->Send(server, frame);
+}
+
+void NqClient::OnFrame(NodeId from, BytesView frame, IEndpoint&) {
+  const auto index = ServerIndex(from);
+  if (!index) return;
+  auto decoded = DecodeMessage(frame);
+  if (!decoded.ok()) return;
+  const Message& message = decoded.value();
+
+  if (const auto* m = std::get_if<NqTsReplyMsg>(&message)) {
+    if (phase_ != Phase::kGetTs || m->rid != rid_) return;
+    collected_ts_.emplace(*index,
+                          Timestamp{labels_.Sanitize(m->ts.label),
+                                    m->ts.writer_id});
+    if (collected_ts_.size() < Quorum()) return;
+    std::vector<Label> inputs;
+    for (const auto& [idx, ts] : collected_ts_) inputs.push_back(ts.label);
+    last_write_ts_ = Timestamp{labels_.Next(inputs), client_id_};
+    phase_ = Phase::kWrite;
+    write_replies_.clear();
+    const Bytes out = EncodeMessage(
+        Message(NqWriteMsg{rid_, last_write_ts_, write_value_}));
+    for (NodeId server : servers_) endpoint_->Send(server, out);
+  } else if (const auto* m = std::get_if<NqWriteAckMsg>(&message)) {
+    if (phase_ != Phase::kWrite || m->rid != rid_) return;
+    write_replies_.emplace(*index, true);
+    if (write_replies_.size() >= Quorum()) {
+      phase_ = Phase::kIdle;
+      if (write_callback_) {
+        auto callback = std::move(write_callback_);
+        write_callback_ = nullptr;
+        callback(true);
+      }
+    }
+  } else if (const auto* m = std::get_if<NqReadReplyMsg>(&message)) {
+    if (phase_ != Phase::kRead || m->rid != rid_) return;
+    read_replies_.emplace(
+        *index, std::make_pair(Timestamp{labels_.Sanitize(m->ts.label),
+                                         m->ts.writer_id},
+                               m->value));
+    if (read_replies_.size() >= Quorum()) DecideRead();
+  }
+}
+
+void NqClient::DecideRead() {
+  // The TM_1R decision: a deterministic function of the timestamp
+  // multiset — plurality vote, ties broken by canonical representation
+  // order. (Theorem 1 shows *no* such function can be correct with
+  // n <= 5f; this one is as good as any.)
+  std::map<std::size_t, std::size_t> count_by_index;
+  NqReadOutcome outcome;
+  std::size_t best_count = 0;
+  std::optional<Timestamp> best_ts;
+  for (const auto& [idx, reply] : read_replies_) {
+    std::size_t count = 0;
+    for (const auto& [idx2, reply2] : read_replies_) {
+      if (reply2.first == reply.first) ++count;
+    }
+    const bool better =
+        count > best_count ||
+        (count == best_count &&
+         (!best_ts || best_ts->CompareRepr(reply.first) < 0));
+    if (better) {
+      best_count = count;
+      best_ts = reply.first;
+      outcome.value = reply.second;
+      outcome.ts = reply.first;
+    }
+  }
+  outcome.ok = best_ts.has_value();
+  phase_ = Phase::kIdle;
+  if (read_callback_) {
+    auto callback = std::move(read_callback_);
+    read_callback_ = nullptr;
+    callback(outcome);
+  }
+}
+
+}  // namespace sbft

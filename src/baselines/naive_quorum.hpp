@@ -1,0 +1,103 @@
+// Baseline 3: a register in the class TM_1R of Theorem 1 — bounded
+// timestamps, one-phase reads (no write-back), decisions taken as a
+// deterministic function of the collected timestamp multiset.
+//
+// This protocol is the *subject* of the lower bound: Theorem 1 proves no
+// such protocol can implement a stabilizing BFT regular register with
+// n <= 5f servers. bench_lower_bound replays the exact adversarial
+// execution of the proof (w0, w1, r1, w2, r2 with scripted holds and a
+// replaying Byzantine server) and exhibits the regularity violation.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "labels/labeling_system.hpp"
+#include "net/message.hpp"
+#include "sim/world.hpp"
+
+namespace sbft {
+
+class NqServer : public Automaton {
+ public:
+  explicit NqServer(std::uint32_t k) : labels_(k) {
+    ts_ = Timestamp{labels_.Initial(), 0};
+  }
+
+  void OnFrame(NodeId from, BytesView frame, IEndpoint& endpoint) override;
+  void CorruptState(Rng& rng) override;
+
+  [[nodiscard]] const Timestamp& ts() const { return ts_; }
+  [[nodiscard]] const Value& value() const { return value_; }
+  void SetState(Timestamp ts, Value value) {
+    ts_ = std::move(ts);
+    value_ = std::move(value);
+  }
+
+ private:
+  LabelingSystem labels_;
+  Timestamp ts_;
+  Value value_;
+};
+
+/// Fully scripted Byzantine server for the Theorem 1 replay: replies to
+/// GET_TS with `ts_for_get_ts`, ACKs every write, and answers READs from
+/// a queue of scripted (ts, value) pairs (falling back to the last one).
+class NqScriptedServer : public Automaton {
+ public:
+  void OnFrame(NodeId from, BytesView frame, IEndpoint& endpoint) override;
+
+  Timestamp ts_for_get_ts;
+  std::deque<std::pair<Timestamp, Value>> read_script;
+};
+
+struct NqReadOutcome {
+  bool ok = false;
+  Value value;
+  Timestamp ts;
+};
+
+class NqClient : public Automaton {
+ public:
+  NqClient(std::vector<NodeId> servers, std::uint32_t f, std::uint32_t k,
+           std::uint32_t client_id);
+
+  void OnStart(IEndpoint& endpoint) override;
+  void OnFrame(NodeId from, BytesView frame, IEndpoint& endpoint) override;
+
+  void StartWrite(Value value, std::function<void(bool)> callback);
+  void StartRead(std::function<void(const NqReadOutcome&)> callback);
+  [[nodiscard]] bool idle() const { return phase_ == Phase::kIdle; }
+  /// Timestamp introduced by the most recent write (for replay setup).
+  [[nodiscard]] const Timestamp& last_write_ts() const {
+    return last_write_ts_;
+  }
+
+ private:
+  enum class Phase : std::uint8_t { kIdle, kGetTs, kWrite, kRead };
+
+  [[nodiscard]] std::size_t Quorum() const { return servers_.size() - f_; }
+  [[nodiscard]] std::optional<std::size_t> ServerIndex(NodeId node) const;
+  void DecideRead();
+
+  std::vector<NodeId> servers_;
+  std::uint32_t f_;
+  LabelingSystem labels_;
+  std::uint32_t client_id_;
+  IEndpoint* endpoint_ = nullptr;
+
+  Phase phase_ = Phase::kIdle;
+  std::uint64_t rid_ = 0;
+  Value write_value_;
+  Timestamp last_write_ts_;
+  std::function<void(bool)> write_callback_;
+  std::function<void(const NqReadOutcome&)> read_callback_;
+  std::map<std::size_t, Timestamp> collected_ts_;
+  std::map<std::size_t, bool> write_replies_;
+  std::map<std::size_t, std::pair<Timestamp, Value>> read_replies_;
+};
+
+}  // namespace sbft

@@ -1,0 +1,37 @@
+// Byte-buffer alias and small helpers used by the wire codec and the
+// fault injector (which overwrites buffers with garbage).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace sbft {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Produce `size` uniformly random bytes; the fault injector uses this to
+/// model arbitrary memory / channel corruption.
+inline Bytes RandomBytes(Rng& rng, std::size_t size) {
+  Bytes out(size);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.NextBelow(256));
+  return out;
+}
+
+/// Hex dump for diagnostics and golden-trace tests.
+inline std::string ToHex(BytesView data) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xF]);
+  }
+  return out;
+}
+
+}  // namespace sbft

@@ -1,0 +1,80 @@
+// Error handling primitives shared across sbftreg.
+//
+// The codebase uses exceptions only for programmer errors (assertion
+// failures); expected runtime failures (e.g. decoding a corrupted frame)
+// are reported through Result<T>.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace sbft {
+
+/// Thrown when an internal invariant is violated. Indicates a bug in
+/// sbftreg itself, never a recoverable protocol condition.
+class InvariantViolation : public std::logic_error {
+ public:
+  explicit InvariantViolation(const std::string& what)
+      : std::logic_error("sbftreg invariant violation: " + what) {}
+};
+
+[[noreturn]] inline void RaiseInvariant(const char* expr, const char* file,
+                                        int line) {
+  throw InvariantViolation(std::string(expr) + " at " + file + ":" +
+                           std::to_string(line));
+}
+
+/// Assert an internal invariant. Active in all build types: the protocol
+/// automata are cheap relative to message handling and silent state
+/// corruption is exactly what this project studies, so we never want
+/// checks compiled out.
+#define SBFT_ASSERT(expr)                                 \
+  do {                                                    \
+    if (!(expr)) {                                        \
+      ::sbft::RaiseInvariant(#expr, __FILE__, __LINE__);  \
+    }                                                     \
+  } while (false)
+
+/// Minimal expected-like result: either a value or an error message.
+/// Used at trust boundaries (wire decoding, user input) where failure is
+/// a normal outcome.
+template <typename T>
+class Result {
+ public:
+  static Result Ok(T value) { return Result(std::move(value)); }
+  static Result Err(std::string message) {
+    Result r;
+    r.error_ = std::move(message);
+    return r;
+  }
+
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    SBFT_ASSERT(value_.has_value());
+    return *value_;
+  }
+  T&& value() && {
+    SBFT_ASSERT(value_.has_value());
+    return std::move(*value_);
+  }
+
+  /// Precondition: !ok().
+  const std::string& error() const {
+    SBFT_ASSERT(!value_.has_value());
+    return error_;
+  }
+
+ private:
+  Result() = default;
+  explicit Result(T value) : value_(std::move(value)) {}
+
+  std::optional<T> value_;
+  std::string error_;
+};
+
+}  // namespace sbft

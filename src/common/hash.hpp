@@ -1,0 +1,46 @@
+// FNV-1a hashing, used for value fingerprints in the Weighted Timestamp
+// Graph and for deterministic tie-breaking. Not cryptographic — the
+// threat model of the paper has no message authentication either (the
+// algorithm tolerates Byzantine servers by counting witnesses, not by
+// verifying signatures).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace sbft {
+
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ull;
+
+constexpr std::uint64_t Fnv1a(std::span<const std::uint8_t> data,
+                              std::uint64_t seed = kFnvOffset) {
+  std::uint64_t h = seed;
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+constexpr std::uint64_t Fnv1a(std::string_view text,
+                              std::uint64_t seed = kFnvOffset) {
+  std::uint64_t h = seed;
+  for (char c : text) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Mix an integer into a running hash (order-sensitive).
+constexpr std::uint64_t HashCombine(std::uint64_t h, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    h ^= (v >> shift) & 0xFF;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace sbft

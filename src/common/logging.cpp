@@ -1,0 +1,50 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace sbft {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kNone)};
+std::mutex g_sink_mutex;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    default:
+      return "?????";
+  }
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void LogLine(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) > static_cast<int>(GetLogLevel())) return;
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  const auto elapsed_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                              Clock::now() - start)
+                              .count();
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  std::fprintf(stderr, "[%s %9lld.%03lldms] %s\n", LevelTag(level),
+               static_cast<long long>(elapsed_us / 1000),
+               static_cast<long long>(elapsed_us % 1000), message.c_str());
+}
+
+}  // namespace sbft

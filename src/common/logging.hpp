@@ -1,0 +1,46 @@
+// Tiny leveled logger. Off (kNone) by default so simulations stay quiet;
+// tests and examples raise the level to trace protocol decisions.
+// Thread-safe: the threaded runtime logs from multiple node threads.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sbft {
+
+enum class LogLevel : int { kNone = 0, kError = 1, kInfo = 2, kDebug = 3 };
+
+/// Global log threshold. Messages with a level above it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emit one line (with level tag and timestamp) to stderr.
+void LogLine(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { LogLine(level_, stream_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define SBFT_LOG(level)                                  \
+  if (static_cast<int>(level) > static_cast<int>(::sbft::GetLogLevel())) { \
+  } else                                                 \
+    ::sbft::detail::LogStream(level)
+
+#define SBFT_LOG_DEBUG SBFT_LOG(::sbft::LogLevel::kDebug)
+#define SBFT_LOG_INFO SBFT_LOG(::sbft::LogLevel::kInfo)
+#define SBFT_LOG_ERROR SBFT_LOG(::sbft::LogLevel::kError)
+
+}  // namespace sbft

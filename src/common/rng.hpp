@@ -1,0 +1,94 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in sbftreg (schedulers, fault injectors, workloads,
+// Byzantine strategies) flows through Rng so that every simulation run is
+// exactly reproducible from a single 64-bit seed. We implement
+// xoshiro256** seeded through SplitMix64 (the reference seeding
+// procedure) rather than using std::mt19937 so the stream is stable
+// across standard libraries.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace sbft {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+constexpr std::uint64_t SplitMix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** deterministic generator. Satisfies the subset of
+/// UniformRandomBitGenerator we need; intentionally not copy-hostile —
+/// copying an Rng forks the stream, which tests use on purpose.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0xC0FFEE0DDF00Dull) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = SplitMix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  std::uint64_t NextBelow(std::uint64_t bound) {
+    SBFT_ASSERT(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = max() - max() % bound;
+    std::uint64_t draw = (*this)();
+    while (draw >= limit) draw = (*this)();
+    return draw % bound;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi) {
+    SBFT_ASSERT(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(span == 0 ? (*this)()
+                                                    : NextBelow(span));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability p (clamped to [0,1]).
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Derive an independent child stream; used to give each simulated
+  /// component its own generator without coupling their consumption.
+  Rng Fork() { return Rng((*this)()); }
+
+ private:
+  static constexpr std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace sbft

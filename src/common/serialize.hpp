@@ -1,0 +1,153 @@
+// Bounds-checked binary serialization.
+//
+// Everything that crosses a channel in sbftreg goes through BufWriter /
+// BufReader. The reader is hardened: transient faults may replace channel
+// contents with arbitrary bytes (§II of the paper), so decoding garbage
+// must fail cleanly (sticky error flag) instead of crashing or reading
+// out of bounds. Integers are little-endian; containers are
+// length-prefixed with a sanity cap.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+
+namespace sbft {
+
+/// Maximum element count accepted for any length-prefixed container.
+/// Garbage frames routinely decode to absurd lengths; this cap bounds
+/// allocation before the frame is rejected by higher-level validation.
+constexpr std::uint32_t kMaxWireElements = 1u << 20;
+
+namespace detail {
+// Unsigned carrier type for an integral or enum T, computed lazily so
+// the non-enum branch never instantiates underlying_type.
+template <typename T, bool = std::is_enum_v<T>>
+struct WireCarrier {
+  using type = std::make_unsigned_t<T>;
+};
+template <typename T>
+struct WireCarrier<T, true> {
+  using type = std::make_unsigned_t<std::underlying_type_t<T>>;
+};
+template <typename T>
+using WireCarrierT = typename WireCarrier<T>::type;
+}  // namespace detail
+
+class BufWriter {
+ public:
+  BufWriter() = default;
+
+  template <typename T>
+    requires std::is_integral_v<T> || std::is_enum_v<T>
+  void Put(T value) {
+    using U = detail::WireCarrierT<T>;
+    auto u = static_cast<U>(value);
+    for (std::size_t i = 0; i < sizeof(U); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(u & 0xFF));
+      u = static_cast<U>(u >> 8);
+    }
+  }
+
+  void PutBytes(BytesView data) {
+    Put<std::uint32_t>(static_cast<std::uint32_t>(data.size()));
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  void PutString(const std::string& s) {
+    PutBytes(BytesView(reinterpret_cast<const std::uint8_t*>(s.data()),
+                       s.size()));
+  }
+
+  template <typename T, typename Fn>
+  void PutVector(const std::vector<T>& items, Fn&& encode_one) {
+    Put<std::uint32_t>(static_cast<std::uint32_t>(items.size()));
+    for (const T& item : items) encode_one(*this, item);
+  }
+
+  const Bytes& data() const { return buf_; }
+  Bytes Take() { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+class BufReader {
+ public:
+  explicit BufReader(BytesView data) : data_(data) {}
+
+  template <typename T>
+    requires std::is_integral_v<T> || std::is_enum_v<T>
+  T Get() {
+    using U = detail::WireCarrierT<T>;
+    if (!Need(sizeof(U))) return T{};
+    U u = 0;
+    for (std::size_t i = 0; i < sizeof(U); ++i) {
+      u |= static_cast<U>(static_cast<U>(data_[pos_ + i]) << (8 * i));
+    }
+    pos_ += sizeof(U);
+    return static_cast<T>(u);
+  }
+
+  Bytes GetBytes() {
+    const auto size = Get<std::uint32_t>();
+    if (failed_ || size > kMaxWireElements || !Need(size)) {
+      failed_ = true;
+      return {};
+    }
+    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + size));
+    pos_ += size;
+    return out;
+  }
+
+  std::string GetString() {
+    Bytes raw = GetBytes();
+    return std::string(raw.begin(), raw.end());
+  }
+
+  template <typename T, typename Fn>
+  std::vector<T> GetVector(Fn&& decode_one) {
+    const auto count = Get<std::uint32_t>();
+    if (failed_ || count > kMaxWireElements) {
+      failed_ = true;
+      return {};
+    }
+    std::vector<T> out;
+    out.reserve(count);
+    for (std::uint32_t i = 0; i < count && !failed_; ++i) {
+      out.push_back(decode_one(*this));
+    }
+    return out;
+  }
+
+  /// True once any read ran past the buffer or a length prefix was
+  /// implausible. Callers check this once after decoding a whole frame.
+  [[nodiscard]] bool failed() const { return failed_; }
+
+  /// True iff the whole buffer was consumed and nothing failed —
+  /// trailing garbage also marks a frame invalid.
+  [[nodiscard]] bool AtEndOk() const { return !failed_ && pos_ == data_.size(); }
+
+  std::size_t remaining() const { return failed_ ? 0 : data_.size() - pos_; }
+
+ private:
+  bool Need(std::size_t n) {
+    if (failed_ || data_.size() - pos_ < n) {
+      failed_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace sbft

@@ -1,0 +1,53 @@
+// Byzantine server strategies.
+//
+// A Byzantine server is an arbitrary automaton; these strategies cover
+// the attack families the proofs reason about, plus generic noise:
+//
+//   * kSilent      — simulates a crash (cases 2/4 of Lemma 2);
+//   * kGarbage     — answers every message with random bytes;
+//   * kStaleReplay — joins flush rounds honestly (to get into safe sets)
+//                    but forever reports its initial, possibly stale,
+//                    (value, ts) and never adopts writes, while ACKing
+//                    them (maximally plausible lie);
+//   * kEquivocate  — tracks the legitimate register state but attaches a
+//                    fabricated value to the legitimate newest timestamp
+//                    (attacks timestamp-keyed witness counting; defeated
+//                    by (ts,value) vertex keying, see wtsg.hpp);
+//   * kNack        — participates but NACKs every write and reports a
+//                    fixed private timestamp (tries to starve writers);
+//   * kMute        — drops client traffic but still answers FLUSH (gets
+//                    into safe sets, then withholds replies to slow the
+//                    client down to the n-f quorum path).
+#pragma once
+
+#include <memory>
+
+#include "core/server.hpp"
+
+namespace sbft {
+
+enum class ByzantineStrategy : std::uint8_t {
+  kSilent,
+  kGarbage,
+  kStaleReplay,
+  kEquivocate,
+  kNack,
+  kMute,
+};
+
+/// Factory: build a Byzantine server automaton with the given strategy.
+/// `seed` drives any randomness in the strategy.
+std::unique_ptr<RegisterServer> MakeByzantineServer(
+    ByzantineStrategy strategy, const ProtocolConfig& config,
+    std::size_t server_index, std::uint64_t seed);
+
+/// All strategies, for parameterized sweeps.
+inline constexpr ByzantineStrategy kAllByzantineStrategies[] = {
+    ByzantineStrategy::kSilent,      ByzantineStrategy::kGarbage,
+    ByzantineStrategy::kStaleReplay, ByzantineStrategy::kEquivocate,
+    ByzantineStrategy::kNack,        ByzantineStrategy::kMute,
+};
+
+const char* ByzantineStrategyName(ByzantineStrategy strategy);
+
+}  // namespace sbft

@@ -1,0 +1,77 @@
+#include "core/byzantine_client.hpp"
+
+namespace sbft {
+
+ByzantineClient::ByzantineClient(ByzantineClientStrategy strategy,
+                                 std::vector<NodeId> servers,
+                                 std::uint32_t k, std::uint64_t seed,
+                                 std::size_t rounds)
+    : strategy_(strategy),
+      servers_(std::move(servers)),
+      labels_(k),
+      noise_(seed),
+      rounds_left_(rounds) {}
+
+void ByzantineClient::OnStart(IEndpoint& endpoint) {
+  endpoint.SetTimer(1, /*timer_id=*/0);
+  FireRound(endpoint);
+}
+
+void ByzantineClient::OnFrame(NodeId, BytesView, IEndpoint& endpoint) {
+  // Every reply provokes another attack round (keeps the pressure up
+  // exactly while servers are responsive), until the budget runs out.
+  if (rounds_left_ > 0) {
+    --rounds_left_;
+    FireRound(endpoint);
+  }
+}
+
+void ByzantineClient::FireRound(IEndpoint& endpoint) {
+  for (NodeId server : servers_) {
+    switch (strategy_) {
+      case ByzantineClientStrategy::kReadFlooder: {
+        ReadMsg read;
+        read.label = static_cast<OpLabel>(noise_());
+        endpoint.Send(server, EncodeMessage(Message(read)));
+        FlushMsg flush;
+        flush.label = static_cast<OpLabel>(noise_());
+        flush.scope = noise_.NextBool(0.5) ? OpScope::kRead : OpScope::kWrite;
+        endpoint.Send(server, EncodeMessage(Message(flush)));
+        break;
+      }
+      case ByzantineClientStrategy::kGarbageSprayer: {
+        endpoint.Send(server, RandomBytes(noise_, 1 + noise_.NextBelow(64)));
+        break;
+      }
+      case ByzantineClientStrategy::kForgedWriter: {
+        WriteMsg write;
+        write.value = RandomBytes(noise_, 4);
+        write.ts = Timestamp{noise_.NextBool(0.5)
+                                 ? RandomValidLabel(noise_, labels_.params())
+                                 : RandomGarbageLabel(noise_,
+                                                      labels_.params()),
+                             static_cast<ClientId>(noise_())};
+        write.op_label = static_cast<OpLabel>(noise_());
+        endpoint.Send(server, EncodeMessage(Message(write)));
+        CompleteReadMsg complete;
+        complete.label = static_cast<OpLabel>(noise_());
+        endpoint.Send(server, EncodeMessage(Message(complete)));
+        break;
+      }
+    }
+  }
+}
+
+const char* ByzantineClientStrategyName(ByzantineClientStrategy strategy) {
+  switch (strategy) {
+    case ByzantineClientStrategy::kReadFlooder:
+      return "read-flooder";
+    case ByzantineClientStrategy::kGarbageSprayer:
+      return "garbage-sprayer";
+    case ByzantineClientStrategy::kForgedWriter:
+      return "forged-writer";
+  }
+  return "unknown";
+}
+
+}  // namespace sbft

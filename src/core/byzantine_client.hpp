@@ -1,0 +1,59 @@
+// Byzantine clients. The paper's closing remark (§VI): "when reader
+// clients are Byzantine our protocol still verifies the MWMR regular
+// register specification — the read protocol is performed in one phase
+// so Byzantine readers cannot modify the value and the timestamp
+// maintained by the correct servers."
+//
+// These automata attack the server-side surface a client can reach:
+// flooding READs/FLUSHes with every label, never completing reads (so
+// running_read tables would grow without the paper's boundedness), and
+// spraying garbage frames and forged WRITEs. Correct servers must keep
+// bounded state and honest clients must stay unaffected except for the
+// extra traffic (tested in tests/core/byzantine_client_test.cpp).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "labels/labeling_system.hpp"
+#include "net/message.hpp"
+#include "sim/world.hpp"
+
+namespace sbft {
+
+enum class ByzantineClientStrategy : std::uint8_t {
+  /// Registers endless reads (READ with every label, never a
+  /// COMPLETE_READ): tries to blow up running_read tables.
+  kReadFlooder,
+  /// Sprays undecodable garbage frames at every server.
+  kGarbageSprayer,
+  /// Issues forged WRITEs with random timestamps and values, plus
+  /// random FLUSH/COMPLETE_READ noise. A Byzantine *writer* is outside
+  /// the paper's model (writers may only crash), so this strategy is
+  /// used to measure what actually breaks — see the test comments.
+  kForgedWriter,
+};
+
+class ByzantineClient final : public Automaton {
+ public:
+  ByzantineClient(ByzantineClientStrategy strategy,
+                  std::vector<NodeId> servers, std::uint32_t k,
+                  std::uint64_t seed, std::size_t rounds = 32);
+
+  void OnStart(IEndpoint& endpoint) override;
+  void OnFrame(NodeId from, BytesView frame, IEndpoint& endpoint) override;
+
+ private:
+  void FireRound(IEndpoint& endpoint);
+
+  ByzantineClientStrategy strategy_;
+  std::vector<NodeId> servers_;
+  LabelingSystem labels_;
+  Rng noise_;
+  std::size_t rounds_left_;
+};
+
+const char* ByzantineClientStrategyName(ByzantineClientStrategy strategy);
+
+}  // namespace sbft

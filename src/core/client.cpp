@@ -1,0 +1,411 @@
+#include "core/client.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace sbft {
+
+RegisterClient::RegisterClient(ProtocolConfig config,
+                               std::vector<NodeId> servers,
+                               ClientId client_id)
+    : config_(config),
+      labels_(config.k),
+      servers_(std::move(servers)),
+      client_id_(client_id),
+      read_pool_(servers_.size(), config.read_label_count),
+      write_pool_(servers_.size(), config.write_label_count) {
+  config_.Validate();
+  SBFT_ASSERT(servers_.size() == config_.n);
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    server_index_[servers_[i]] = i;
+  }
+  last_write_ts_ = Timestamp{labels_.Initial(), client_id_};
+}
+
+void RegisterClient::OnStart(IEndpoint& endpoint) { endpoint_ = &endpoint; }
+
+std::optional<std::size_t> RegisterClient::ServerIndex(NodeId node) const {
+  auto it = server_index_.find(node);
+  if (it == server_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+void RegisterClient::OnFrame(NodeId from, BytesView frame, IEndpoint&) {
+  const auto index = ServerIndex(from);
+  if (!index) return;  // not a register server: ignore
+  auto decoded = DecodeMessage(frame);
+  if (!decoded.ok()) return;  // garbage frame
+  const Message& message = decoded.value();
+
+  if (const auto* m = std::get_if<FlushAckMsg>(&message)) {
+    OnFlushAck(*index, *m);
+  } else if (const auto* m = std::get_if<TsReplyMsg>(&message)) {
+    OnTsReply(*index, *m);
+  } else if (const auto* m = std::get_if<WriteReplyMsg>(&message)) {
+    OnWriteReply(*index, *m);
+  } else if (const auto* m = std::get_if<ReplyMsg>(&message)) {
+    OnReply(*index, *m);
+  }
+}
+
+// --- Operation entry points -------------------------------------------
+
+void RegisterClient::StartWrite(Value value, WriteCallback callback) {
+  SBFT_ASSERT(endpoint_ != nullptr);
+  SBFT_ASSERT(idle());
+  write_value_ = std::move(value);
+  write_callback_ = std::move(callback);
+  retries_ = 0;
+  BeginFlush(OpScope::kWrite);
+}
+
+void RegisterClient::StartRead(ReadCallback callback) {
+  SBFT_ASSERT(endpoint_ != nullptr);
+  SBFT_ASSERT(idle());
+  read_callback_ = std::move(callback);
+  BeginFlush(OpScope::kRead);
+}
+
+OpLabel RegisterClient::MakeOpLabel(OpScope scope, ReadLabel index) {
+  if (!config_.epoch_extended_op_labels) return index;
+  std::uint32_t& epoch =
+      scope == OpScope::kRead ? read_epoch_ : write_epoch_;
+  epoch = (epoch + 1) & 0x00FFFFFF;  // bounded: 24-bit wrap
+  return (epoch << 8) | index;
+}
+
+void RegisterClient::BeginFlush(OpScope scope) {
+  ReadLabelPool& pool = PoolFor(scope);
+  pool.SanitizeState();  // stabilizing discipline: clamp corrupted state
+  op_label_ = MakeOpLabel(scope, pool.PickCandidate());
+  safe_.clear();
+  phase_ = scope == OpScope::kRead ? Phase::kReadFlush : Phase::kWriteFlush;
+
+  FlushMsg flush;
+  flush.label = op_label_;
+  flush.scope = scope;
+  const Bytes frame = EncodeMessage(Message(flush));
+  for (NodeId server : servers_) endpoint_->Send(server, frame);
+}
+
+// --- FLUSH / FLUSH_ACK (Figure 3) --------------------------------------
+
+void RegisterClient::OnFlushAck(std::size_t server, const FlushAckMsg& msg) {
+  // The ack proves (by FIFO) that no message labelled msg.label from an
+  // earlier operation is still in flight from this server. Out-of-range
+  // (garbage) labels are ignored by ClearPending.
+  PoolFor(msg.scope).ClearPending(server, PoolIndexOf(msg.label));
+  MaybeAdvanceAfterFlush();
+
+  const OpScope active_scope =
+      IsWritePhase() ? OpScope::kWrite : OpScope::kRead;
+  if (phase_ == Phase::kIdle || msg.scope != active_scope ||
+      msg.label != op_label_) {
+    return;  // stale ack from a previous flush round
+  }
+  const bool newly_safe = safe_.insert(server).second;
+  if (!newly_safe) return;
+
+  switch (phase_) {
+    case Phase::kWriteFlush:
+    case Phase::kReadFlush:
+      MaybeAdvanceAfterFlush();
+      break;
+    case Phase::kRead: {
+      // Figure 3 lines 13-15: a server turning safe while the read runs
+      // is immediately queried.
+      ReadMsg read;
+      read.label = op_label_;
+      read_pool_.MarkPending(server, PoolIndexOf(op_label_));
+      endpoint_->Send(servers_[server], EncodeMessage(Message(read)));
+      break;
+    }
+    case Phase::kGetTs:
+    case Phase::kWrite:
+      // GET_TS / WRITE were broadcast to all servers already; turning
+      // safe only makes this server's replies count.
+      break;
+    case Phase::kIdle:
+      break;
+  }
+}
+
+void RegisterClient::MaybeAdvanceAfterFlush() {
+  if (phase_ != Phase::kWriteFlush && phase_ != Phase::kReadFlush) return;
+  if (safe_.size() < config_.Quorum()) return;
+  // Figure 3 line 06: every server still marked pending for this label
+  // may yet deliver a stale reply that would be indistinguishable from a
+  // fresh one. At most f such servers are tolerable — the WTsG witness
+  // threshold 2f+1 absorbs f Byzantine plus f stale-correct witnesses.
+  // (With f silent Byzantine servers their bits never clear, so the
+  // bound must be <= f, not < f as the paper's prose says — otherwise
+  // find_read_label would deadlock; see DESIGN.md.)
+  const OpScope scope =
+      phase_ == Phase::kWriteFlush ? OpScope::kWrite : OpScope::kRead;
+  if (PoolFor(scope).PendingCount(PoolIndexOf(op_label_)) > config_.f) {
+    return;
+  }
+  AdvanceAfterFlush();
+}
+
+void RegisterClient::AdvanceAfterFlush() {
+  if (phase_ == Phase::kWriteFlush) {
+    write_pool_.SetLast(PoolIndexOf(op_label_));
+    collected_ts_.clear();
+    phase_ = Phase::kGetTs;
+    GetTsMsg get_ts;
+    get_ts.op_label = op_label_;
+    const Bytes frame = EncodeMessage(Message(get_ts));
+    for (std::size_t i = 0; i < servers_.size(); ++i) {
+      write_pool_.MarkPending(i, PoolIndexOf(op_label_));
+      endpoint_->Send(servers_[i], frame);
+    }
+  } else {
+    read_pool_.SetLast(PoolIndexOf(op_label_));
+    replies_.clear();
+    recent_vals_.clear();
+    phase_ = Phase::kRead;
+    ReadMsg read;
+    read.label = op_label_;
+    const Bytes frame = EncodeMessage(Message(read));
+    for (std::size_t server : safe_) {
+      read_pool_.MarkPending(server, PoolIndexOf(op_label_));
+      endpoint_->Send(servers_[server], frame);
+    }
+  }
+}
+
+// --- Write phases (Figure 1) -------------------------------------------
+
+void RegisterClient::OnTsReply(std::size_t server, const TsReplyMsg& msg) {
+  write_pool_.ClearPending(server, PoolIndexOf(msg.op_label));
+  MaybeAdvanceAfterFlush();
+  if (phase_ != Phase::kGetTs || msg.op_label != op_label_ ||
+      safe_.count(server) == 0) {
+    stats_.stale_replies_ignored++;
+    return;
+  }
+  if (!collected_ts_.emplace(server, msg.ts).second) return;
+  if (collected_ts_.size() < config_.Quorum()) return;
+
+  // Enough timestamps: compute the write timestamp with next() over the
+  // collected labels (all sanitized inside Next()).
+  std::vector<Label> inputs;
+  inputs.reserve(collected_ts_.size());
+  for (const auto& [idx, ts] : collected_ts_) inputs.push_back(ts.label);
+  last_write_ts_ = Timestamp{labels_.Next(inputs, config_.f), client_id_};
+
+  phase_ = Phase::kWrite;
+  write_replied_.clear();
+  ack_count_ = 0;
+  WriteMsg write;
+  write.value = write_value_;
+  write.ts = last_write_ts_;
+  write.op_label = op_label_;
+  const Bytes frame = EncodeMessage(Message(write));
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    write_pool_.MarkPending(i, PoolIndexOf(op_label_));
+    endpoint_->Send(servers_[i], frame);
+  }
+}
+
+void RegisterClient::OnWriteReply(std::size_t server,
+                                  const WriteReplyMsg& msg) {
+  write_pool_.ClearPending(server, PoolIndexOf(msg.op_label));
+  MaybeAdvanceAfterFlush();
+  if (phase_ != Phase::kWrite || msg.op_label != op_label_ ||
+      safe_.count(server) == 0) {
+    stats_.stale_replies_ignored++;
+    return;
+  }
+  if (!write_replied_.insert(server).second) return;
+  if (msg.ack) ++ack_count_;
+
+  if (ack_count_ >= config_.WitnessThreshold() &&
+      write_replied_.size() >= config_.Quorum()) {
+    FinishWrite(OpStatus::kOk);
+    return;
+  }
+  // A quorum answered but the ACK threshold was missed: only possible
+  // under write concurrency or a pre-stabilization state (another
+  // writer bumped server timestamps between our GET_TS and WRITE).
+  // Retrying re-reads the timestamps and recomputes next(). Waiting for
+  // more replies instead would be unsound for liveness: a mute
+  // Byzantine server inside the safe set can withhold its reply forever
+  // (the paper's Lemma 1 covers only the single-writer case; see
+  // DESIGN.md).
+  if (write_replied_.size() >= config_.Quorum()) {
+    RetryWrite();
+  }
+}
+
+void RegisterClient::RetryWrite() {
+  if (retries_ >= config_.write_retry_limit) {
+    FinishWrite(OpStatus::kFailed);
+    return;
+  }
+  ++retries_;
+  stats_.write_retries++;
+  BeginFlush(OpScope::kWrite);
+}
+
+void RegisterClient::FinishWrite(OpStatus status) {
+  phase_ = Phase::kIdle;
+  if (status == OpStatus::kOk) {
+    stats_.writes_ok++;
+  } else {
+    stats_.writes_failed++;
+  }
+  WriteOutcome outcome;
+  outcome.status = status;
+  outcome.ts = last_write_ts_;
+  outcome.retries = retries_;
+  if (write_callback_) {
+    auto callback = std::move(write_callback_);
+    write_callback_ = nullptr;
+    callback(outcome);
+  }
+}
+
+// --- Read phase (Figure 2) ----------------------------------------------
+
+void RegisterClient::OnReply(std::size_t server, const ReplyMsg& msg) {
+  read_pool_.ClearPending(server, PoolIndexOf(msg.label));
+  MaybeAdvanceAfterFlush();
+  if (phase_ != Phase::kRead || msg.label != op_label_ ||
+      safe_.count(server) == 0) {
+    stats_.stale_replies_ignored++;
+    return;
+  }
+  // Keep the latest report per server (servers forward concurrent
+  // writes, superseding their earlier reply).
+  VersionedValue vv;
+  vv.value = msg.value;
+  vv.ts = Timestamp{labels_.Sanitize(msg.ts.label), msg.ts.writer_id};
+  replies_[server] = std::move(vv);
+
+  auto& history = recent_vals_[server];
+  history.clear();
+  for (const VersionedValue& old : msg.old_vals) {
+    if (history.size() >= config_.history_window) break;  // clamp garbage
+    history.push_back(VersionedValue{
+        old.value,
+        Timestamp{labels_.Sanitize(old.ts.label), old.ts.writer_id}});
+  }
+
+  if (replies_.size() >= config_.Quorum()) DecideRead();
+}
+
+void RegisterClient::DecideRead() {
+  // Local graph first (Figure 2 line 09). The local graph counts only
+  // *current* values, which makes it wrap-immune: after the last
+  // complete write, only that write can reach 2f+1 current witnesses
+  // (intersection argument of Lemma 7), no matter how bounded labels
+  // have wrapped or what precedence cycles exist among historical
+  // labels. At most one vertex can qualify (2*(2f+1) > n-f).
+  Wtsg local(labels_.params());
+  for (const auto& [server, vv] : replies_) local.AddWitness(server, vv);
+  const auto local_winner = local.FindWitnessed(config_.WitnessThreshold());
+
+  // Union graph (Figure 2 line 15): fold in the old_vals histories so
+  // values displaced by concurrent writes keep their witnesses.
+  Wtsg unioned(labels_.params());
+  for (const auto& [server, vv] : replies_) unioned.AddWitness(server, vv);
+  for (const auto& [server, history] : recent_vals_) {
+    for (const VersionedValue& vv : history) unioned.AddWitness(server, vv);
+  }
+
+  ReadOutcome outcome;
+  if (local_winner) {
+    // Because servers adopt *convergently* (see server.cpp: concurrent
+    // writes settle on the same winner at every server, ordered by
+    // Lemma 8's identifiers), the unique locally certified vertex is
+    // the same for every read that certifies one — no cross-read
+    // reconciliation is needed here.
+    SBFT_LOG_DEBUG << "t=" << endpoint_->Now() << " client " << client_id_
+                   << " read decide(local): " << local.ToString() << " -> "
+                   << local_winner->ts.ToString()
+                   << " val=" << ToHex(local_winner->value);
+    outcome.status = OpStatus::kOk;
+    outcome.value = local_winner->value;
+    outcome.ts = local_winner->ts;
+    outcome.used_union_graph = false;
+    FinishRead(outcome);
+    return;
+  }
+
+  if (auto witnessed = unioned.FindWitnessed(config_.WitnessThreshold())) {
+    SBFT_LOG_DEBUG << "t=" << endpoint_->Now() << " client " << client_id_ << " read decide(union): "
+                   << unioned.ToString() << " -> "
+                   << witnessed->ts.ToString() << " val="
+                   << ToHex(witnessed->value);
+    outcome.status = OpStatus::kOk;
+    outcome.value = witnessed->value;
+    outcome.ts = witnessed->ts;
+    outcome.used_union_graph = true;
+    FinishRead(outcome);
+    return;
+  }
+  SBFT_LOG_DEBUG << "client " << client_id_ << " read abort: "
+                 << unioned.ToString();
+
+  outcome.status = OpStatus::kAborted;
+  FinishRead(outcome);
+}
+
+void RegisterClient::FinishRead(const ReadOutcome& outcome) {
+  // COMPLETE_READ to every safe server (Figure 2 lines 12/19).
+  CompleteReadMsg complete;
+  complete.label = op_label_;
+  const Bytes frame = EncodeMessage(Message(complete));
+  for (std::size_t server : safe_) endpoint_->Send(servers_[server], frame);
+
+  phase_ = Phase::kIdle;
+  if (outcome.status == OpStatus::kOk) {
+    stats_.reads_ok++;
+    if (outcome.used_union_graph) stats_.reads_union_graph++;
+  } else {
+    stats_.reads_aborted++;
+  }
+  if (read_callback_) {
+    auto callback = std::move(read_callback_);
+    read_callback_ = nullptr;
+    callback(outcome);
+  }
+}
+
+// --- Transient faults ----------------------------------------------------
+
+void RegisterClient::CorruptState(Rng& rng) {
+  read_pool_.Corrupt(rng);
+  write_pool_.Corrupt(rng);
+  read_epoch_ = static_cast<std::uint32_t>(rng());
+  write_epoch_ = static_cast<std::uint32_t>(rng());
+  last_write_ts_ = Timestamp{RandomGarbageLabel(rng, labels_.params()),
+                             client_id_};
+  if (phase_ != Phase::kIdle) {
+    // The in-flight operation is destroyed; report failure so external
+    // drivers do not wait forever (see DESIGN.md).
+    const bool was_write = IsWritePhase();
+    phase_ = Phase::kIdle;
+    safe_.clear();
+    collected_ts_.clear();
+    write_replied_.clear();
+    replies_.clear();
+    recent_vals_.clear();
+    if (was_write && write_callback_) {
+      auto callback = std::move(write_callback_);
+      write_callback_ = nullptr;
+      callback(WriteOutcome{OpStatus::kFailed, last_write_ts_, retries_});
+      stats_.writes_failed++;
+    } else if (!was_write && read_callback_) {
+      auto callback = std::move(read_callback_);
+      read_callback_ = nullptr;
+      callback(ReadOutcome{OpStatus::kFailed, {}, {}, false});
+      stats_.reads_aborted++;
+    }
+  }
+}
+
+}  // namespace sbft

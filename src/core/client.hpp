@@ -1,0 +1,174 @@
+// The client automaton: writer (Figure 1) and reader (Figures 2-3)
+// state machines, plus the bounded-label FLUSH discipline applied to
+// both operation kinds (see DESIGN.md, "Writer stale-reply
+// disambiguation").
+//
+// One RegisterClient performs both reads and writes (MWMR, §IV-D): every
+// write timestamp carries this client's id. Operations are sequential
+// per client — StartRead/StartWrite require idle().
+//
+// Operation flow:
+//   write(v):  FLUSH round (acquire op label, build safe set)
+//              -> GET_TS to all, collect n-f timestamps from safe servers
+//              -> ts := (next(collected), my id)
+//              -> WRITE(v, ts) to all, wait n-f replies from safe with
+//                 >= 2f+1 ACKs.
+//   read():    FLUSH round (find_read_label, Figure 3)
+//              -> READ to safe servers (late FLUSH_ACKs extend the set,
+//                 Figure 3 lines 13-15)
+//              -> at n-f replies: local WTsG; if some vertex has weight
+//                 >= 2f+1 return it, else union WTsG with old_vals
+//                 histories, else abort (Figure 2 lines 09-22)
+//              -> COMPLETE_READ to safe servers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/wtsg.hpp"
+#include "labels/labeling_system.hpp"
+#include "labels/read_label_pool.hpp"
+#include "net/message.hpp"
+#include "sim/world.hpp"
+
+namespace sbft {
+
+enum class OpStatus : std::uint8_t {
+  kOk = 0,
+  /// Read could not certify any value (Figure 2 line 18) — legal only
+  /// while servers are in a transitory phase (Lemma 7).
+  kAborted = 1,
+  /// Write exhausted its retry budget, or the op was destroyed by a
+  /// transient fault on this client.
+  kFailed = 2,
+};
+
+struct ReadOutcome {
+  OpStatus status = OpStatus::kFailed;
+  Value value;
+  Timestamp ts;
+  /// True when the value came from the union graph (a write was in
+  /// flight); false when the local graph sufficed.
+  bool used_union_graph = false;
+};
+
+struct WriteOutcome {
+  OpStatus status = OpStatus::kFailed;
+  Timestamp ts;
+  std::uint32_t retries = 0;
+};
+
+using ReadCallback = std::function<void(const ReadOutcome&)>;
+using WriteCallback = std::function<void(const WriteOutcome&)>;
+
+class RegisterClient : public Automaton {
+ public:
+  /// `servers` lists the node ids of the n register servers, in server-
+  /// index order. `client_id` is this client's writer identity.
+  RegisterClient(ProtocolConfig config, std::vector<NodeId> servers,
+                 ClientId client_id);
+
+  void OnStart(IEndpoint& endpoint) override;
+  void OnFrame(NodeId from, BytesView frame, IEndpoint& endpoint) override;
+  void CorruptState(Rng& rng) override;
+
+  /// Begin a write. Precondition: idle() and the world has started this
+  /// node (OnStart ran).
+  void StartWrite(Value value, WriteCallback callback);
+  /// Begin a read. Same preconditions.
+  void StartRead(ReadCallback callback);
+
+  [[nodiscard]] bool idle() const { return phase_ == Phase::kIdle; }
+  [[nodiscard]] ClientId client_id() const { return client_id_; }
+
+  struct Stats {
+    std::uint64_t writes_ok = 0;
+    std::uint64_t writes_failed = 0;
+    std::uint64_t write_retries = 0;
+    std::uint64_t reads_ok = 0;
+    std::uint64_t reads_aborted = 0;
+    std::uint64_t reads_union_graph = 0;
+    std::uint64_t stale_replies_ignored = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  enum class Phase : std::uint8_t {
+    kIdle,
+    kWriteFlush,
+    kGetTs,
+    kWrite,
+    kReadFlush,
+    kRead,
+  };
+
+  [[nodiscard]] bool IsWritePhase() const {
+    return phase_ == Phase::kWriteFlush || phase_ == Phase::kGetTs ||
+           phase_ == Phase::kWrite;
+  }
+  [[nodiscard]] std::optional<std::size_t> ServerIndex(NodeId node) const;
+  ReadLabelPool& PoolFor(OpScope scope) {
+    return scope == OpScope::kRead ? read_pool_ : write_pool_;
+  }
+  /// Wire op labels are (epoch << 8) | pool_index when epoch extension
+  /// is on (config_.epoch_extended_op_labels); the pool tracks pending
+  /// state by index. Bounded: epochs wrap at 24 bits.
+  [[nodiscard]] ReadLabel PoolIndexOf(OpLabel label) const {
+    return label & 0xFF;
+  }
+  [[nodiscard]] OpLabel MakeOpLabel(OpScope scope, ReadLabel index);
+
+  void BeginFlush(OpScope scope);
+  void OnFlushAck(std::size_t server, const FlushAckMsg& msg);
+  /// Figure 3 line 06: leave the flush phase only when >= n-f servers
+  /// acknowledged AND at most f servers may still hold stale traffic
+  /// for the chosen label (the pending column). Re-evaluated whenever
+  /// either condition may have improved.
+  void MaybeAdvanceAfterFlush();
+  void AdvanceAfterFlush();
+  void OnTsReply(std::size_t server, const TsReplyMsg& msg);
+  void OnWriteReply(std::size_t server, const WriteReplyMsg& msg);
+  void OnReply(std::size_t server, const ReplyMsg& msg);
+  void DecideRead();
+  void FinishRead(const ReadOutcome& outcome);
+  void FinishWrite(OpStatus status);
+  void RetryWrite();
+
+  ProtocolConfig config_;
+  LabelingSystem labels_;
+  std::vector<NodeId> servers_;
+  std::map<NodeId, std::size_t> server_index_;
+  ClientId client_id_;
+  IEndpoint* endpoint_ = nullptr;
+
+  ReadLabelPool read_pool_;
+  ReadLabelPool write_pool_;
+  std::uint32_t read_epoch_ = 0;   // bounded: wraps at 2^24
+  std::uint32_t write_epoch_ = 0;
+  Timestamp last_write_ts_;
+
+  // Current operation.
+  Phase phase_ = Phase::kIdle;
+  OpLabel op_label_ = 0;
+  std::set<std::size_t> safe_;
+  // write
+  Value write_value_;
+  WriteCallback write_callback_;
+  std::map<std::size_t, Timestamp> collected_ts_;
+  std::set<std::size_t> write_replied_;
+  std::uint32_t ack_count_ = 0;
+  std::uint32_t retries_ = 0;
+  // read
+  ReadCallback read_callback_;
+  std::map<std::size_t, VersionedValue> replies_;
+  std::map<std::size_t, std::vector<VersionedValue>> recent_vals_;
+
+  Stats stats_;
+};
+
+}  // namespace sbft

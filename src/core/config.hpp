@@ -1,0 +1,93 @@
+// Deployment parameters of the register emulation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sim/types.hpp"
+
+namespace sbft {
+
+/// Static configuration shared by all protocol participants. The paper's
+/// resilience bound is n > 5f (Theorems 1-3); ForServers() picks the
+/// largest tolerated f and Validate() enforces the bound, except that
+/// benches may construct deliberately under-provisioned configs (e.g.
+/// n = 5f for the Theorem 1 replay) by setting `allow_unsafe`.
+struct ProtocolConfig {
+  std::uint32_t n = 6;  // number of servers
+  std::uint32_t f = 1;  // bound on Byzantine servers
+
+  /// Labeling parameter k of Definition 2. The writer feeds up to n
+  /// collected timestamps into next(), so k >= n.
+  std::uint32_t k = 8;
+
+  /// Length of each server's old_vals sliding window (paper: n entries,
+  /// "the last n written values"). E6 ablates this.
+  std::uint32_t history_window = 6;
+
+  /// Bounded per-client label pools (>= 2 suffices; see Figure 3).
+  std::uint32_t read_label_count = 4;
+  std::uint32_t write_label_count = 4;
+
+  /// Cap on the per-server running-reads table. The paper bounds it by
+  /// the (finite) number of clients; a corrupted table may hold garbage
+  /// entries, so we bound it explicitly and evict oldest.
+  std::uint32_t max_running_reads = 64;
+
+  /// Maximum automatic retries when a write observes a quorum of
+  /// replies yet fewer than 2f+1 ACKs (possible only under write
+  /// concurrency or pre-stabilization; see DESIGN.md reconstruction
+  /// notes). 0 reproduces the paper's blocking semantics.
+  std::uint32_t write_retry_limit = 32;
+
+  /// Figure 1 server side: forward each adopted write to readers in the
+  /// running_read table. Ablated in bench E6 — with forwarding on, reads
+  /// concurrent with write bursts virtually always certify on the local
+  /// graph; with it off they fall back to the union graph and, when the
+  /// burst exceeds the old_vals window, abort (the regime Assumption 2
+  /// excludes).
+  bool forward_to_running_reads = true;
+
+  /// Harden operation-label matching with a bounded epoch counter
+  /// (24 bits) prepended to the pool index. The paper's pure scheme
+  /// (false) matches replies by pool index alone; an ack from a previous
+  /// use of the same label is then indistinguishable from a fresh one,
+  /// which under adversarial delay lets up to f stale-correct replies
+  /// into a read quorum and erodes the (exactly tight) 2f+1 witness
+  /// intersection — observed as rare stale reads in randomized runs.
+  /// Epochs keep labels bounded while making aliasing require ~2^24
+  /// operations' worth of in-flight traffic. Ablated in bench E8.
+  bool epoch_extended_op_labels = true;
+
+  bool allow_unsafe = false;
+
+  /// Replies a client must collect before deciding: n - f.
+  [[nodiscard]] std::uint32_t Quorum() const { return n - f; }
+  /// Witnesses a value needs in a WTsG: 2f + 1.
+  [[nodiscard]] std::uint32_t WitnessThreshold() const { return 2 * f + 1; }
+
+  void Validate() const {
+    SBFT_ASSERT(n >= 1);
+    SBFT_ASSERT(allow_unsafe || n > 5 * f);
+    SBFT_ASSERT(k >= n);
+    SBFT_ASSERT(k >= 2);
+    SBFT_ASSERT(read_label_count >= 2);
+    SBFT_ASSERT(write_label_count >= 2);
+    SBFT_ASSERT(history_window >= 1);
+  }
+
+  /// Canonical config for n servers: f = floor((n-1)/5), k = n (min 2),
+  /// history window = n, as in the paper.
+  static ProtocolConfig ForServers(std::uint32_t n) {
+    ProtocolConfig config;
+    config.n = n;
+    config.f = n >= 6 ? (n - 1) / 5 : 0;
+    config.k = n < 2 ? 2 : n;
+    config.history_window = n;
+    config.Validate();
+    return config;
+  }
+};
+
+}  // namespace sbft

@@ -1,0 +1,164 @@
+#include "core/mux.hpp"
+
+#include <algorithm>
+
+#include "common/hash.hpp"
+
+namespace sbft {
+namespace {
+
+// Endpoint adaptor: outgoing inner frames get wrapped with the register
+// id. Used per-call on the server side (RegisterServer never stores the
+// endpoint) and persistently on the client side via OuterRef.
+class WrapEndpoint final : public IEndpoint {
+ public:
+  WrapEndpoint(IEndpoint& outer, RegisterId id) : outer_(&outer), id_(id) {}
+
+  void Send(NodeId dst, Bytes frame) override {
+    MuxMsg wrapped;
+    wrapped.register_id = id_;
+    wrapped.inner = std::move(frame);
+    outer_->Send(dst, EncodeMessage(Message(std::move(wrapped))));
+  }
+  void SetTimer(VirtualTime delay, int timer_id) override {
+    outer_->SetTimer(delay, timer_id);
+  }
+  [[nodiscard]] VirtualTime Now() const override { return outer_->Now(); }
+  [[nodiscard]] NodeId self() const override { return outer_->self(); }
+  Rng& rng() override { return outer_->rng(); }
+
+ private:
+  IEndpoint* outer_;
+  RegisterId id_;
+};
+
+void TouchLru(std::list<RegisterId>& lru, RegisterId id) {
+  lru.remove(id);
+  lru.push_front(id);
+}
+
+}  // namespace
+
+RegisterId RegisterIdOf(std::string_view key) { return Fnv1a(key); }
+
+// --- MuxServer -----------------------------------------------------------
+
+MuxServer::MuxServer(ProtocolConfig config, std::size_t server_index,
+                     std::size_t max_registers, ServerFactory factory)
+    : config_(config),
+      index_(server_index),
+      max_registers_(max_registers),
+      factory_(std::move(factory)) {
+  SBFT_ASSERT(max_registers_ >= 1);
+  if (!factory_) {
+    factory_ = [this](RegisterId) {
+      return std::make_unique<RegisterServer>(config_, index_);
+    };
+  }
+}
+
+RegisterServer* MuxServer::Find(RegisterId id) {
+  auto it = registers_.find(id);
+  return it == registers_.end() ? nullptr : it->second.get();
+}
+
+RegisterServer& MuxServer::GetOrCreate(RegisterId id) {
+  auto it = registers_.find(id);
+  if (it == registers_.end()) {
+    if (registers_.size() >= max_registers_ && !lru_.empty()) {
+      // Evict the coldest register. It re-enters later in its initial
+      // state, which the protocol treats like a transient fault.
+      registers_.erase(lru_.back());
+      lru_.pop_back();
+    }
+    it = registers_.emplace(id, factory_(id)).first;
+  }
+  TouchLru(lru_, id);
+  return *it->second;
+}
+
+void MuxServer::OnFrame(NodeId from, BytesView frame, IEndpoint& endpoint) {
+  auto decoded = DecodeMessage(frame);
+  if (!decoded.ok()) return;
+  const auto* mux = std::get_if<MuxMsg>(&decoded.value());
+  if (mux == nullptr) return;  // bare frames are not for a mux server
+  WrapEndpoint wrapped(endpoint, mux->register_id);
+  GetOrCreate(mux->register_id).OnFrame(from, mux->inner, wrapped);
+}
+
+void MuxServer::CorruptState(Rng& rng) {
+  for (auto& [id, server] : registers_) server->CorruptState(rng);
+}
+
+// --- MuxClient -----------------------------------------------------------
+
+MuxClient::MuxClient(ProtocolConfig config, std::vector<NodeId> servers,
+                     ClientId client_id, std::size_t max_registers)
+    : config_(config),
+      servers_(std::move(servers)),
+      client_id_(client_id),
+      max_registers_(max_registers) {
+  SBFT_ASSERT(max_registers_ >= 1);
+}
+
+void MuxClient::OnStart(IEndpoint& endpoint) { endpoint_ = &endpoint; }
+
+RegisterClient& MuxClient::GetOrCreate(RegisterId id) {
+  SBFT_ASSERT(endpoint_ != nullptr);
+  auto it = clients_.find(id);
+  if (it == clients_.end()) {
+    if (clients_.size() >= max_registers_) {
+      // Evict the coldest IDLE register client (an in-flight operation
+      // must never lose its callback). If everything is busy, exceed
+      // the cap rather than wedge.
+      for (auto lru_it = lru_.rbegin(); lru_it != lru_.rend(); ++lru_it) {
+        auto candidate = clients_.find(*lru_it);
+        if (candidate != clients_.end() && candidate->second.client->idle()) {
+          clients_.erase(candidate);
+          lru_.remove(*lru_it);
+          break;
+        }
+      }
+    }
+    Entry entry;
+    entry.endpoint = std::make_unique<WrapEndpoint>(*endpoint_, id);
+    entry.client = std::make_unique<RegisterClient>(config_, servers_,
+                                                    client_id_);
+    // RegisterClient caches the endpoint passed to OnStart; the wrapper
+    // lives in the same Entry, so lifetimes match exactly.
+    entry.client->OnStart(*entry.endpoint);
+    it = clients_.emplace(id, std::move(entry)).first;
+  }
+  TouchLru(lru_, id);
+  return *it->second.client;
+}
+
+void MuxClient::OnFrame(NodeId from, BytesView frame, IEndpoint&) {
+  auto decoded = DecodeMessage(frame);
+  if (!decoded.ok()) return;
+  const auto* mux = std::get_if<MuxMsg>(&decoded.value());
+  if (mux == nullptr) return;
+  auto it = clients_.find(mux->register_id);
+  if (it == clients_.end()) return;  // reply for an evicted register
+  it->second.client->OnFrame(from, mux->inner, *it->second.endpoint);
+}
+
+void MuxClient::StartWrite(RegisterId id, Value value,
+                           WriteCallback callback) {
+  GetOrCreate(id).StartWrite(std::move(value), std::move(callback));
+}
+
+void MuxClient::StartRead(RegisterId id, ReadCallback callback) {
+  GetOrCreate(id).StartRead(std::move(callback));
+}
+
+bool MuxClient::idle(RegisterId id) {
+  auto it = clients_.find(id);
+  return it == clients_.end() || it->second.client->idle();
+}
+
+void MuxClient::CorruptState(Rng& rng) {
+  for (auto& [id, entry] : clients_) entry.client->CorruptState(rng);
+}
+
+}  // namespace sbft

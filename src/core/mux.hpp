@@ -1,0 +1,107 @@
+// Multi-register storage service: many independent registers multiplexed
+// over one server/client population.
+//
+// The paper emulates a single register; a cloud storage service needs a
+// namespace of them. Composition is by envelope: every inner protocol
+// frame travels inside MuxMsg{register_id, inner}, and each side hosts a
+// table of per-register automata behind an endpoint adaptor that
+// re-wraps outgoing frames with the same register id. The inner automata
+// are the UNCHANGED RegisterServer / RegisterClient — all correctness
+// and stabilization arguments apply per register verbatim, because the
+// registers share nothing but the transport.
+//
+// Bounded state: the server-side table is capped (LRU-evicting an idle
+// register re-admits it later in its initial state — equivalent to a
+// transient fault on that register, which the protocol tolerates by
+// design).
+#pragma once
+
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+
+#include "core/byzantine.hpp"
+#include "core/client.hpp"
+#include "core/server.hpp"
+
+namespace sbft {
+
+using RegisterId = std::uint64_t;
+
+/// Derive a register id from a string key (FNV-1a). Collisions alias
+/// keys onto the same register — acceptable for a 64-bit space.
+RegisterId RegisterIdOf(std::string_view key);
+
+class MuxServer : public Automaton {
+ public:
+  /// `factory` builds the per-register server (honest by default;
+  /// Byzantine factories let tests attack individual registers).
+  using ServerFactory =
+      std::function<std::unique_ptr<RegisterServer>(RegisterId)>;
+
+  MuxServer(ProtocolConfig config, std::size_t server_index,
+            std::size_t max_registers = 1024, ServerFactory factory = {});
+
+  void OnFrame(NodeId from, BytesView frame, IEndpoint& endpoint) override;
+  void CorruptState(Rng& rng) override;
+
+  [[nodiscard]] std::size_t register_count() const { return registers_.size(); }
+  /// nullptr if the register was never touched (or was evicted).
+  [[nodiscard]] RegisterServer* Find(RegisterId id);
+
+ private:
+  RegisterServer& GetOrCreate(RegisterId id);
+
+  ProtocolConfig config_;
+  std::size_t index_;
+  std::size_t max_registers_;
+  ServerFactory factory_;
+  std::map<RegisterId, std::unique_ptr<RegisterServer>> registers_;
+  std::list<RegisterId> lru_;  // front = most recent
+};
+
+class MuxClient : public Automaton {
+ public:
+  MuxClient(ProtocolConfig config, std::vector<NodeId> servers,
+            ClientId client_id, std::size_t max_registers = 1024);
+
+  void OnStart(IEndpoint& endpoint) override;
+  void OnFrame(NodeId from, BytesView frame, IEndpoint& endpoint) override;
+  void CorruptState(Rng& rng) override;
+
+  /// Operations on independent registers may run concurrently; two
+  /// operations on the SAME register must be sequential (as for a
+  /// plain RegisterClient).
+  void StartWrite(RegisterId id, Value value, WriteCallback callback);
+  void StartRead(RegisterId id, ReadCallback callback);
+  [[nodiscard]] bool idle(RegisterId id);
+
+  // String-key convenience (KV store facade).
+  void Put(std::string_view key, Value value, WriteCallback callback) {
+    StartWrite(RegisterIdOf(key), std::move(value), std::move(callback));
+  }
+  void Get(std::string_view key, ReadCallback callback) {
+    StartRead(RegisterIdOf(key), std::move(callback));
+  }
+
+ private:
+  /// An inner client plus the wrapped endpoint it cached at OnStart
+  /// (the wrapper must live exactly as long as the client).
+  struct Entry {
+    std::unique_ptr<IEndpoint> endpoint;
+    std::unique_ptr<RegisterClient> client;
+  };
+
+  RegisterClient& GetOrCreate(RegisterId id);
+
+  ProtocolConfig config_;
+  std::vector<NodeId> servers_;
+  ClientId client_id_;
+  std::size_t max_registers_;
+  IEndpoint* endpoint_ = nullptr;
+  std::map<RegisterId, Entry> clients_;
+  std::list<RegisterId> lru_;
+};
+
+}  // namespace sbft

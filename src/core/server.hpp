@@ -1,0 +1,73 @@
+// The correct-server automaton (Figures 1(b), 2(b), 3(b)).
+//
+// Per the paper, a server keeps:
+//   * v_i, ts_i            — current register copy and its timestamp;
+//   * old_vals_i[]         — sliding window of the last W written values
+//                            (W = history_window, paper uses n);
+//   * running_read_i       — (reader, label) pairs of reads in progress,
+//                            so concurrent writes are forwarded to them.
+//
+// All of this state is fair game for transient corruption; CorruptState
+// overwrites every field with arbitrary (seeded) garbage, and every
+// handler therefore sanitizes what it touches before use.
+#pragma once
+
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "core/config.hpp"
+#include "labels/labeling_system.hpp"
+#include "net/message.hpp"
+#include "sim/world.hpp"
+
+namespace sbft {
+
+class RegisterServer : public Automaton {
+ public:
+  RegisterServer(ProtocolConfig config, std::size_t server_index);
+
+  void OnFrame(NodeId from, BytesView frame, IEndpoint& endpoint) override;
+  void CorruptState(Rng& rng) override;
+
+  // State inspection for tests and experiment harnesses.
+  [[nodiscard]] const VersionedValue& current() const { return current_; }
+  [[nodiscard]] const std::deque<VersionedValue>& old_vals() const {
+    return old_vals_;
+  }
+  [[nodiscard]] std::size_t running_read_count() const {
+    return running_reads_.size();
+  }
+  [[nodiscard]] std::size_t server_index() const { return index_; }
+
+  /// Direct state override (used by scripted experiment setups that need
+  /// a specific "corrupted" configuration, e.g. the Theorem 1 replay).
+  void SetState(VersionedValue vv) { current_ = std::move(vv); }
+
+ protected:
+  // Handlers are virtual so Byzantine strategies can subclass and
+  // selectively misbehave while inheriting honest behaviour elsewhere.
+  virtual void HandleGetTs(NodeId from, const GetTsMsg& msg,
+                           IEndpoint& endpoint);
+  virtual void HandleWrite(NodeId from, const WriteMsg& msg,
+                           IEndpoint& endpoint);
+  virtual void HandleRead(NodeId from, const ReadMsg& msg,
+                          IEndpoint& endpoint);
+  virtual void HandleCompleteRead(NodeId from, const CompleteReadMsg& msg,
+                                  IEndpoint& endpoint);
+  virtual void HandleFlush(NodeId from, const FlushMsg& msg,
+                           IEndpoint& endpoint);
+
+  [[nodiscard]] const ProtocolConfig& config() const { return config_; }
+  [[nodiscard]] const LabelingSystem& labels() const { return labels_; }
+
+  ProtocolConfig config_;
+  LabelingSystem labels_;
+  std::size_t index_;
+
+  VersionedValue current_;
+  std::deque<VersionedValue> old_vals_;
+  std::deque<std::pair<NodeId, OpLabel>> running_reads_;
+};
+
+}  // namespace sbft

@@ -1,0 +1,105 @@
+#include "core/wtsg.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/bytes.hpp"
+
+namespace sbft {
+
+void Wtsg::AddWitness(std::size_t server, const VersionedValue& vv) {
+  for (Node& node : nodes_) {
+    if (node.vv == vv) {
+      auto it = std::lower_bound(node.witnesses.begin(), node.witnesses.end(),
+                                 server);
+      if (it == node.witnesses.end() || *it != server) {
+        node.witnesses.insert(it, server);
+      }
+      return;
+    }
+  }
+  nodes_.push_back(Node{vv, {server}});
+}
+
+std::size_t Wtsg::EdgeCount() const {
+  std::size_t edges = 0;
+  for (const Node& a : nodes_) {
+    for (const Node& b : nodes_) {
+      if (&a != &b && Precedes(a.vv.ts, b.vv.ts, params_)) ++edges;
+    }
+  }
+  return edges;
+}
+
+bool Wtsg::HasEdge(const VersionedValue& from, const VersionedValue& to) const {
+  return Precedes(from.ts, to.ts, params_);
+}
+
+std::optional<VersionedValue> Wtsg::FindWitnessed(std::size_t threshold) const {
+  // Select among qualifying vertices using the graph's edges. Because
+  // the label order is not transitive, a naive "take the max by pairwise
+  // comparison" scan can elect a stale vertex (an old timestamp may be
+  // incomparable to — or even spuriously dominate — the newest one).
+  // Instead the rule is:
+  //   1. prefer vertices with NO dominator among the qualifiers — the
+  //      newest write is never dominated, while every certified older
+  //      write is dominated by its certified successor (whose next()
+  //      folded in the older label);
+  //   2. among those, prefer the vertex dominating the most qualifiers;
+  //   3. deterministic tie-break: writer id, then representation order
+  //      (ties are concurrent writes, where either choice is regular).
+  std::vector<const Node*> qualifying;
+  for (const Node& node : nodes_) {
+    if (node.weight() >= threshold) qualifying.push_back(&node);
+  }
+  if (qualifying.empty()) return std::nullopt;
+
+  const Node* best = nullptr;
+  bool best_undominated = false;
+  std::size_t best_dominates = 0;
+  for (const Node* candidate : qualifying) {
+    bool undominated = true;
+    std::size_t dominates = 0;
+    for (const Node* other : qualifying) {
+      if (other == candidate) continue;
+      if (Precedes(candidate->vv.ts, other->vv.ts, params_)) {
+        undominated = false;
+      }
+      if (Precedes(other->vv.ts, candidate->vv.ts, params_)) ++dominates;
+    }
+    bool better;
+    if (best == nullptr) {
+      better = true;
+    } else if (undominated != best_undominated) {
+      better = undominated;
+    } else if (dominates != best_dominates) {
+      better = dominates > best_dominates;
+    } else if (candidate->vv.ts.writer_id != best->vv.ts.writer_id) {
+      better = candidate->vv.ts.writer_id > best->vv.ts.writer_id;
+    } else if (auto c = candidate->vv.ts.CompareRepr(best->vv.ts); c != 0) {
+      better = c > 0;
+    } else {
+      better = candidate->vv.value > best->vv.value;
+    }
+    if (better) {
+      best = candidate;
+      best_undominated = undominated;
+      best_dominates = dominates;
+    }
+  }
+  return best->vv;
+}
+
+std::string Wtsg::ToString() const {
+  std::ostringstream out;
+  out << "WTsG{";
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (i != 0) out << ", ";
+    out << nodes_[i].vv.ts.ToString() << "#" << ToHex(nodes_[i].vv.value)
+        << " w=" << nodes_[i].weight();
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace sbft

@@ -1,0 +1,63 @@
+// Weighted Timestamp Graph (Definition 3).
+//
+// Vertices are distinct (timestamp, value) pairs — see DESIGN.md for why
+// the value participates in the key: with timestamp-only vertices a
+// Byzantine server could attach garbage values to the legitimate newest
+// timestamp and poison its witness count. The weight of a vertex is the
+// number of *distinct servers* witnessing the pair; a directed edge
+// (u, v) exists when u.ts precedes v.ts in the bounded label order.
+//
+// The reader builds two graphs (Figure 2 lines 09 and 15):
+//   * the local graph over the current (value, ts) of each replier;
+//   * the union graph additionally folding in each replier's old_vals
+//     history, so values displaced by concurrent writes keep witnesses.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "net/message.hpp"
+
+namespace sbft {
+
+class Wtsg {
+ public:
+  explicit Wtsg(const LabelParams& params) : params_(params) {}
+
+  /// Record that `server` witnesses `vv`. Repeated witnessing by the
+  /// same server for the same vertex counts once (a server reporting a
+  /// pair both as current and in its history is still one witness).
+  void AddWitness(std::size_t server, const VersionedValue& vv);
+
+  struct Node {
+    VersionedValue vv;
+    std::vector<std::size_t> witnesses;  // sorted server indices
+    [[nodiscard]] std::size_t weight() const { return witnesses.size(); }
+  };
+
+  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  /// Number of precedence edges among vertices (diagnostics/tests).
+  [[nodiscard]] std::size_t EdgeCount() const;
+  [[nodiscard]] bool HasEdge(const VersionedValue& from,
+                             const VersionedValue& to) const;
+
+  /// The decision rule of Figure 2 lines 10/16: among vertices with
+  /// weight >= threshold, return the one maximal under the timestamp
+  /// selection order (deterministic; see Timestamp::SelectionLess).
+  /// nullopt when no vertex qualifies.
+  [[nodiscard]] std::optional<VersionedValue> FindWitnessed(
+      std::size_t threshold) const;
+
+  [[nodiscard]] std::string ToString() const;
+
+ private:
+  LabelParams params_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace sbft

@@ -1,0 +1,133 @@
+#include "labels/bounded_label.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sbft {
+
+std::strong_ordering Label::CompareRepr(const Label& other) const {
+  if (auto c = sting <=> other.sting; c != 0) return c;
+  return antistings <=> other.antistings;
+}
+
+std::string Label::ToString() const {
+  std::ostringstream out;
+  out << "(" << sting << "|{";
+  for (std::size_t i = 0; i < antistings.size(); ++i) {
+    if (i != 0) out << ",";
+    out << antistings[i];
+  }
+  out << "})";
+  return out.str();
+}
+
+void Label::Encode(BufWriter& w) const {
+  w.Put<std::uint32_t>(sting);
+  w.PutVector(antistings,
+              [](BufWriter& bw, std::uint32_t a) { bw.Put<std::uint32_t>(a); });
+}
+
+Label Label::Decode(BufReader& r) {
+  Label label;
+  label.sting = r.Get<std::uint32_t>();
+  label.antistings = r.GetVector<std::uint32_t>(
+      [](BufReader& br) { return br.Get<std::uint32_t>(); });
+  return label;
+}
+
+bool IsValid(const Label& label, const LabelParams& params) {
+  const std::uint32_t m = params.Domain();
+  if (label.sting >= m) return false;
+  if (label.antistings.size() != params.k) return false;
+  if (!std::is_sorted(label.antistings.begin(), label.antistings.end()))
+    return false;
+  for (std::size_t i = 0; i < label.antistings.size(); ++i) {
+    if (label.antistings[i] >= m) return false;
+    if (i > 0 && label.antistings[i] == label.antistings[i - 1]) return false;
+    if (label.antistings[i] == label.sting) return false;
+  }
+  return true;
+}
+
+Label Sanitize(Label label, const LabelParams& params) {
+  const std::uint32_t m = params.Domain();
+  label.sting %= m;
+  for (auto& a : label.antistings) a %= m;
+  std::sort(label.antistings.begin(), label.antistings.end());
+  label.antistings.erase(
+      std::unique(label.antistings.begin(), label.antistings.end()),
+      label.antistings.end());
+  std::erase(label.antistings, label.sting);
+  if (label.antistings.size() > params.k) {
+    label.antistings.resize(params.k);
+  }
+  // Pad with the smallest unused domain elements. Domain() > k+1 ensures
+  // enough candidates even after skipping the sting.
+  std::uint32_t candidate = 0;
+  while (label.antistings.size() < params.k) {
+    const bool used =
+        candidate == label.sting ||
+        std::binary_search(label.antistings.begin(), label.antistings.end(),
+                           candidate);
+    if (!used) {
+      label.antistings.insert(
+          std::upper_bound(label.antistings.begin(), label.antistings.end(),
+                           candidate),
+          candidate);
+    }
+    ++candidate;
+  }
+  return label;
+}
+
+bool Precedes(const Label& a, const Label& b, const LabelParams& params) {
+  if (!IsValid(a, params) || !IsValid(b, params)) {
+    // Garbage never precedes nor is preceded: an invalid label is outside
+    // the labeling system. Callers that must make progress sanitize first.
+    return false;
+  }
+  const bool a_sting_in_b = std::binary_search(b.antistings.begin(),
+                                               b.antistings.end(), a.sting);
+  const bool b_sting_in_a = std::binary_search(a.antistings.begin(),
+                                               a.antistings.end(), b.sting);
+  return a_sting_in_b && !b_sting_in_a;
+}
+
+Label InitialLabel(const LabelParams& params) {
+  Label label;
+  label.sting = params.k;  // antistings occupy 0..k-1
+  label.antistings.resize(params.k);
+  for (std::uint32_t i = 0; i < params.k; ++i) label.antistings[i] = i;
+  return label;
+}
+
+Label RandomValidLabel(Rng& rng, const LabelParams& params) {
+  const std::uint32_t m = params.Domain();
+  // Sample a k+1 subset by rejection (domain is small: m = k^2+k+1).
+  std::vector<std::uint32_t> picks;
+  while (picks.size() < params.k + 1) {
+    const auto candidate = static_cast<std::uint32_t>(rng.NextBelow(m));
+    if (std::find(picks.begin(), picks.end(), candidate) == picks.end()) {
+      picks.push_back(candidate);
+    }
+  }
+  Label label;
+  label.sting = picks.back();
+  picks.pop_back();
+  std::sort(picks.begin(), picks.end());
+  label.antistings = std::move(picks);
+  return label;
+}
+
+Label RandomGarbageLabel(Rng& rng, const LabelParams& params) {
+  Label label;
+  label.sting = static_cast<std::uint32_t>(rng());
+  const auto count = rng.NextBelow(2 * params.k + 2);
+  label.antistings.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    label.antistings.push_back(static_cast<std::uint32_t>(rng()));
+  }
+  return label;
+}
+
+}  // namespace sbft

@@ -1,0 +1,100 @@
+// Bounded labels for the k-stabilizing bounded labeling system of
+// Alon, Attiya, Dolev, Dubois, Potop-Butucaru, Tixeuil (DISC 2010),
+// which the paper (Definition 2) uses to timestamp write operations.
+//
+// Construction (the paper cites [18] without repeating it; this is the
+// standard sting/antisting construction):
+//   * fix k >= 2 and a finite domain D = {0, ..., m-1} with m = k^2+k+1;
+//   * a label is a pair (sting s in D, antistings A subset of D, |A| = k,
+//     s not in A);
+//   * order:  l_i < l_j  iff  s_i in A_j  and  s_j not in A_i;
+//   * next(L') for |L'| <= k: A_new := {stings of L'} padded to size k,
+//     s_new := smallest domain element outside (union of antistings of
+//     L') and outside A_new. At most k*k + k elements are excluded, so a
+//     sting always exists, and by construction every l in L' satisfies
+//     l < next(L').
+//
+// The relation < is antisymmetric but NOT transitive — that is the price
+// of boundedness, and exactly why the protocol reasons with Weighted
+// Timestamp Graphs instead of a single maximum.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+
+namespace sbft {
+
+/// Parameters of the labeling system: k is the maximum cardinality of a
+/// label set that next() must dominate (Definition 2 of the paper).
+struct LabelParams {
+  std::uint32_t k = 2;
+
+  /// Size of the label domain D. Correctness of next() needs only
+  /// k^2 + k + 1 (k^2 excludes every antisting of k input labels, +k
+  /// keeps the fresh sting outside its own antisting set, +1 guarantees
+  /// an element remains). We provision 4x that: the slack stretches the
+  /// sting-rotation period of next() (see labeling_system.cpp) so that
+  /// labels of writes still inside the servers' old_vals window never
+  /// collide with freshly issued ones. Wire size is unaffected — a label
+  /// is one sting plus exactly k antistings regardless of domain size.
+  [[nodiscard]] std::uint32_t Domain() const {
+    return 4 * (k * k + k) + 1;
+  }
+
+  friend bool operator==(const LabelParams&, const LabelParams&) = default;
+};
+
+/// One bounded label. Invariants (when valid for params p):
+///   sting < p.Domain(); antistings sorted, distinct, all < p.Domain(),
+///   exactly p.k of them, and sting is not among them.
+/// A Label object may hold arbitrary garbage after a transient fault;
+/// IsValid/Sanitize handle that case explicitly.
+struct Label {
+  std::uint32_t sting = 0;
+  std::vector<std::uint32_t> antistings;
+
+  friend bool operator==(const Label&, const Label&) = default;
+
+  /// Deterministic total order on representations. This is NOT the
+  /// temporal precedence relation — it is used only for canonical
+  /// tie-breaking and container keys.
+  [[nodiscard]] std::strong_ordering CompareRepr(const Label& other) const;
+
+  [[nodiscard]] std::string ToString() const;
+
+  void Encode(BufWriter& w) const;
+  static Label Decode(BufReader& r);
+};
+
+/// True iff `label` satisfies every structural invariant for `params`.
+[[nodiscard]] bool IsValid(const Label& label, const LabelParams& params);
+
+/// Coerce arbitrary bytes into a valid label, deterministically.
+/// Self-stabilization requires every code path to make progress from
+/// arbitrary state, so garbage labels are normalized rather than
+/// rejected: sting is reduced mod Domain(), antistings are reduced,
+/// deduplicated and padded/truncated to exactly k elements != sting.
+[[nodiscard]] Label Sanitize(Label label, const LabelParams& params);
+
+/// The temporal precedence relation (Definition 2): a < b.
+[[nodiscard]] bool Precedes(const Label& a, const Label& b,
+                            const LabelParams& params);
+
+/// A fixed valid label, used for clean bootstraps (a freshly started,
+/// uncorrupted server). Any valid label works; this one is canonical.
+[[nodiscard]] Label InitialLabel(const LabelParams& params);
+
+/// A uniformly random *valid* label — models a corrupted-but-plausible
+/// state. (For corrupted-and-implausible states the fault injector
+/// writes raw garbage and relies on Sanitize at use sites.)
+[[nodiscard]] Label RandomValidLabel(Rng& rng, const LabelParams& params);
+
+/// A random, possibly structurally invalid label (arbitrary memory).
+[[nodiscard]] Label RandomGarbageLabel(Rng& rng, const LabelParams& params);
+
+}  // namespace sbft

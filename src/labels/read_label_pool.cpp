@@ -1,0 +1,65 @@
+#include "labels/read_label_pool.hpp"
+
+#include "common/error.hpp"
+
+namespace sbft {
+
+ReadLabelPool::ReadLabelPool(std::size_t n_servers, std::size_t n_labels)
+    : n_labels_(n_labels),
+      pending_(n_servers, std::vector<bool>(n_labels, false)) {
+  SBFT_ASSERT(n_labels >= 2);
+  SBFT_ASSERT(n_servers >= 1);
+}
+
+ReadLabel ReadLabelPool::PickCandidate() const {
+  ReadLabel best = static_cast<ReadLabel>((last_ + 1) % n_labels_);
+  std::size_t best_pending = PendingCount(best);
+  for (std::size_t offset = 2; offset < n_labels_; ++offset) {
+    const auto candidate =
+        static_cast<ReadLabel>((last_ + offset) % n_labels_);
+    const std::size_t pending = PendingCount(candidate);
+    if (pending < best_pending) {
+      best = candidate;
+      best_pending = pending;
+    }
+  }
+  return best;
+}
+
+void ReadLabelPool::MarkPending(ServerIndex server, ReadLabel label) {
+  SBFT_ASSERT(server < pending_.size());
+  SBFT_ASSERT(label < n_labels_);
+  pending_[server][label] = true;
+}
+
+void ReadLabelPool::ClearPending(ServerIndex server, ReadLabel label) {
+  if (server >= pending_.size() || label >= n_labels_) return;  // garbage msg
+  pending_[server][label] = false;
+}
+
+bool ReadLabelPool::IsPending(ServerIndex server, ReadLabel label) const {
+  SBFT_ASSERT(server < pending_.size());
+  SBFT_ASSERT(label < n_labels_);
+  return pending_[server][label];
+}
+
+std::size_t ReadLabelPool::PendingCount(ReadLabel label) const {
+  SBFT_ASSERT(label < n_labels_);
+  std::size_t count = 0;
+  for (const auto& row : pending_) count += row[label] ? 1 : 0;
+  return count;
+}
+
+void ReadLabelPool::Corrupt(Rng& rng) {
+  last_ = static_cast<ReadLabel>(rng());
+  for (auto& row : pending_) {
+    for (std::size_t j = 0; j < row.size(); ++j) row[j] = rng.NextBool(0.5);
+  }
+}
+
+void ReadLabelPool::SanitizeState() {
+  last_ %= n_labels_;
+  // The matrix itself is structurally always in range; nothing else to fix.
+}
+
+}  // namespace sbft

@@ -1,0 +1,47 @@
+#include "labels/timestamp.hpp"
+
+#include <sstream>
+
+namespace sbft {
+
+std::string Timestamp::ToString() const {
+  std::ostringstream out;
+  out << "ts{w" << writer_id << ":" << label.ToString() << "}";
+  return out.str();
+}
+
+void Timestamp::Encode(BufWriter& w) const {
+  label.Encode(w);
+  w.Put<ClientId>(writer_id);
+}
+
+Timestamp Timestamp::Decode(BufReader& r) {
+  Timestamp ts;
+  ts.label = Label::Decode(r);
+  ts.writer_id = r.Get<ClientId>();
+  return ts;
+}
+
+bool Precedes(const Timestamp& a, const Timestamp& b,
+              const LabelParams& params) {
+  if (Precedes(a.label, b.label, params)) return true;
+  if (Precedes(b.label, a.label, params)) return false;
+  if (a.label == b.label) return a.writer_id < b.writer_id;
+  // Incomparable labels stay unordered. Identifiers must NOT order them
+  // here: because the label order is not transitive, an old label can be
+  // incomparable to a much newer one, and an id-based edge would let a
+  // stale write spuriously "dominate" a fresh write in the WTsG. The
+  // identifier ordering of Lemma 8 is applied only when electing among
+  // undominated WTsG vertices — i.e. among genuinely concurrent writes
+  // (see Wtsg::FindWitnessed).
+  return false;
+}
+
+bool SelectionLess(const Timestamp& a, const Timestamp& b,
+                   const LabelParams& params) {
+  if (Precedes(a, b, params)) return true;
+  if (Precedes(b, a, params)) return false;
+  return a.CompareRepr(b) < 0;
+}
+
+}  // namespace sbft

@@ -1,0 +1,39 @@
+// Unbounded (sequence-number) timestamps, used by the baseline
+// protocols (ABD and the non-stabilizing BFT register of [14]). Their
+// unbounded growth — and their inability to recover once a transient
+// fault plants a huge corrupted value — is what experiment E4/E5
+// contrasts with the paper's bounded labels.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "common/serialize.hpp"
+
+namespace sbft {
+
+struct UnboundedTs {
+  std::uint64_t seq = 0;
+  std::uint32_t writer_id = 0;
+
+  friend auto operator<=>(const UnboundedTs&, const UnboundedTs&) = default;
+
+  [[nodiscard]] std::string ToString() const {
+    return "uts{" + std::to_string(seq) + "," + std::to_string(writer_id) +
+           "}";
+  }
+
+  void Encode(BufWriter& w) const {
+    w.Put<std::uint64_t>(seq);
+    w.Put<std::uint32_t>(writer_id);
+  }
+  static UnboundedTs Decode(BufReader& r) {
+    UnboundedTs ts;
+    ts.seq = r.Get<std::uint64_t>();
+    ts.writer_id = r.Get<std::uint32_t>();
+    return ts;
+  }
+};
+
+}  // namespace sbft

@@ -1,0 +1,110 @@
+#include "net/datalink.hpp"
+
+namespace sbft {
+
+Bytes DlFrame::Encode() const {
+  BufWriter w;
+  w.Put<Kind>(kind);
+  w.Put<std::uint32_t>(label);
+  w.PutBytes(payload);
+  return w.Take();
+}
+
+std::optional<DlFrame> DlFrame::Decode(BytesView raw) {
+  BufReader r(raw);
+  DlFrame frame;
+  frame.kind = r.Get<Kind>();
+  frame.label = r.Get<std::uint32_t>();
+  frame.payload = r.GetBytes();
+  if (!r.AtEndOk()) return std::nullopt;
+  if (frame.kind != Kind::kData && frame.kind != Kind::kAck) {
+    return std::nullopt;
+  }
+  return frame;
+}
+
+std::optional<Bytes> DataLinkSender::Tick() {
+  if (!active_) {
+    if (pending_.empty()) return std::nullopt;
+    current_ = std::move(pending_.front());
+    pending_.pop_front();
+    active_ = true;
+    label_ = (label_ + 1) % LabelSpace();
+    acks_ = 0;
+  }
+  DlFrame frame;
+  frame.kind = DlFrame::Kind::kData;
+  frame.label = label_;
+  frame.payload = current_;
+  return frame.Encode();
+}
+
+void DataLinkSender::OnFrame(BytesView raw) {
+  const auto frame = DlFrame::Decode(raw);
+  if (!frame || frame->kind != DlFrame::Kind::kAck) return;
+  if (!active_ || frame->label != label_) return;
+  // At most `capacity_` stale ACKs can carry the current label, so
+  // capacity_+1 receipts prove the receiver delivered the current
+  // message (it only acknowledges after delivering).
+  if (++acks_ >= capacity_ + 1) {
+    active_ = false;
+    current_.clear();
+    ++completed_;
+  }
+}
+
+void DataLinkSender::CorruptState(Rng& rng) {
+  label_ = static_cast<std::uint32_t>(rng.NextBelow(LabelSpace()));
+  acks_ = rng.NextBelow(capacity_ + 1);
+  active_ = rng.NextBool(0.5);
+  if (active_) current_ = RandomBytes(rng, 1 + rng.NextBelow(16));
+}
+
+std::optional<Bytes> DataLinkReceiver::OnFrame(BytesView raw) {
+  const auto frame = DlFrame::Decode(raw);
+  if (!frame || frame->kind != DlFrame::Kind::kData) return std::nullopt;
+
+  if (has_delivered_ && frame->label == delivered_label_ &&
+      frame->payload == delivered_payload_) {
+    // Already delivered: acknowledge so the sender can finish.
+    DlFrame ack;
+    ack.kind = DlFrame::Kind::kAck;
+    ack.label = frame->label;
+    return ack.Encode();
+  }
+
+  if (!counting_ || frame->label != count_label_ ||
+      frame->payload != count_payload_) {
+    // New candidate pair; restart the count. Stale frames can reset the
+    // count only finitely often (at most `capacity_` of them exist), so
+    // the genuine retransmission stream always wins eventually.
+    counting_ = true;
+    count_label_ = frame->label;
+    count_payload_ = frame->payload;
+    count_ = 0;
+  }
+  if (++count_ >= capacity_ + 1) {
+    counting_ = false;
+    has_delivered_ = true;
+    delivered_label_ = count_label_;
+    delivered_payload_ = count_payload_;
+    deliver_(count_payload_);
+    DlFrame ack;
+    ack.kind = DlFrame::Kind::kAck;
+    ack.label = count_label_;
+    return ack.Encode();
+  }
+  return std::nullopt;
+}
+
+void DataLinkReceiver::CorruptState(Rng& rng) {
+  counting_ = rng.NextBool(0.5);
+  count_label_ = static_cast<std::uint32_t>(rng());
+  count_payload_ = RandomBytes(rng, 1 + rng.NextBelow(8));
+  count_ = rng.NextBelow(capacity_ + 2);
+  has_delivered_ = rng.NextBool(0.5);
+  delivered_label_ = static_cast<std::uint32_t>(rng());
+  delivered_payload_ = RandomBytes(rng, 1 + rng.NextBelow(8));
+}
+
+}  // namespace sbft

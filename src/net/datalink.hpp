@@ -1,0 +1,112 @@
+// Self-stabilizing data-link over a bounded, fair-lossy, non-FIFO
+// channel — the substrate assumed away in §II of the paper ("this
+// behavior can be ensured by using a stabilization preserving data-link
+// protocol built on top of bounded, non-reliable but fair, non-FIFO
+// communication channels [8]").
+//
+// Simplified capacity-counting variant of Dolev, Dubois, Potop-Butucaru,
+// Tixeuil (IPL 2011), sound for channels that lose/reorder but never
+// duplicate (see lossy_channel.hpp):
+//
+//   * the sender transmits DATA(label, payload) repeatedly for the
+//     current message; labels cycle through {0..c+1};
+//   * the receiver counts receipts of the *identical* (label, payload)
+//     pair; because at most c frames can be in flight, c+1 identical
+//     receipts guarantee at least one was sent for the current message,
+//     so the receiver delivers the payload and starts acknowledging;
+//   * the receiver answers each further DATA for a delivered pair with
+//     ACK(label); the sender completes after c+1 ACK(label) receipts
+//     (again: at most c can be stale) and moves to the next message.
+//
+// Pseudo-stabilizing: from an arbitrary initial configuration (garbage
+// in both directions, garbage local state) a bounded prefix of spurious
+// deliveries may occur; once the initial garbage drains, the link
+// delivers exactly the sent sequence, in order, exactly once (tested in
+// datalink_test.cpp, measured in bench E8).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+
+namespace sbft {
+
+/// Frames exchanged by the link (self-describing, garbage-tolerant).
+struct DlFrame {
+  enum class Kind : std::uint8_t { kData = 1, kAck = 2 };
+  Kind kind = Kind::kData;
+  std::uint32_t label = 0;
+  Bytes payload;  // empty for ACK
+
+  [[nodiscard]] Bytes Encode() const;
+  static std::optional<DlFrame> Decode(BytesView raw);
+};
+
+class DataLinkSender {
+ public:
+  /// `capacity` must match the underlying channel's bound c.
+  explicit DataLinkSender(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Queue an application message for reliable FIFO delivery.
+  void Submit(Bytes message) { pending_.push_back(std::move(message)); }
+
+  /// Produce the frame to transmit now (retransmission included), or
+  /// nullopt when idle. Call once per tick; fairness of the channel plus
+  /// unbounded ticks gives liveness.
+  [[nodiscard]] std::optional<Bytes> Tick();
+
+  /// Feed every frame arriving on the reverse channel.
+  void OnFrame(BytesView raw);
+
+  [[nodiscard]] std::size_t completed() const { return completed_; }
+  [[nodiscard]] bool idle() const { return !active_ && pending_.empty(); }
+
+  /// Transient fault: garble all local state.
+  void CorruptState(Rng& rng);
+
+ private:
+  [[nodiscard]] std::uint32_t LabelSpace() const {
+    return static_cast<std::uint32_t>(capacity_) + 2;
+  }
+
+  std::size_t capacity_;
+  std::deque<Bytes> pending_;
+  bool active_ = false;
+  Bytes current_;
+  std::uint32_t label_ = 0;
+  std::size_t acks_ = 0;
+  std::size_t completed_ = 0;
+};
+
+class DataLinkReceiver {
+ public:
+  DataLinkReceiver(std::size_t capacity,
+                   std::function<void(Bytes)> deliver)
+      : capacity_(capacity), deliver_(std::move(deliver)) {}
+
+  /// Feed every frame from the forward channel; returns the ACK frame to
+  /// send back, if any.
+  [[nodiscard]] std::optional<Bytes> OnFrame(BytesView raw);
+
+  void CorruptState(Rng& rng);
+
+ private:
+  std::size_t capacity_;
+  std::function<void(Bytes)> deliver_;
+  // Receipt counting for the candidate (label, payload) pair.
+  bool counting_ = false;
+  std::uint32_t count_label_ = 0;
+  Bytes count_payload_;
+  std::size_t count_ = 0;
+  // Last delivered pair (acknowledged, never redelivered).
+  bool has_delivered_ = false;
+  std::uint32_t delivered_label_ = 0;
+  Bytes delivered_payload_;
+};
+
+}  // namespace sbft

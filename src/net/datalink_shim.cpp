@@ -1,0 +1,126 @@
+#include "net/datalink_shim.hpp"
+
+#include "common/error.hpp"
+
+namespace sbft {
+
+namespace {
+constexpr int kPumpTimer = 0x0D71;
+}  // namespace
+
+// The inner automaton's view of the network: frames are handed to the
+// per-peer data-link sender instead of the raw channel.
+class DatalinkShim::InnerEndpoint final : public IEndpoint {
+ public:
+  explicit InnerEndpoint(DatalinkShim& shim) : shim_(shim) {}
+
+  void Send(NodeId dst, Bytes frame) override {
+    SBFT_ASSERT(shim_.outer_ != nullptr);
+    shim_.LinkTo(dst, *shim_.outer_).sender->Submit(std::move(frame));
+    shim_.ArmTimer(*shim_.outer_);
+  }
+  void SetTimer(VirtualTime delay, int timer_id) override {
+    // Inner timer ids must not collide with the pump timer.
+    SBFT_ASSERT(timer_id != kPumpTimer);
+    shim_.outer_->SetTimer(delay, timer_id);
+  }
+  [[nodiscard]] VirtualTime Now() const override {
+    return shim_.outer_->Now();
+  }
+  [[nodiscard]] NodeId self() const override { return shim_.outer_->self(); }
+  Rng& rng() override { return shim_.outer_->rng(); }
+
+ private:
+  DatalinkShim& shim_;
+};
+
+DatalinkShim::~DatalinkShim() = default;
+
+DatalinkShim::DatalinkShim(std::unique_ptr<Automaton> inner,
+                           std::size_t capacity, std::vector<NodeId> peers)
+    : inner_(std::move(inner)),
+      capacity_(capacity),
+      peers_(std::move(peers)),
+      inner_endpoint_(std::make_unique<InnerEndpoint>(*this)) {
+  SBFT_ASSERT(inner_ != nullptr);
+}
+
+DatalinkShim::Link& DatalinkShim::LinkTo(NodeId peer, IEndpoint& endpoint) {
+  auto it = links_.find(peer);
+  if (it == links_.end()) {
+    Link link;
+    link.sender = std::make_unique<DataLinkSender>(capacity_);
+    link.receiver = std::make_unique<DataLinkReceiver>(
+        capacity_, [this, peer](Bytes inner_frame) {
+          // Deliver upward on the inner endpoint's thread of control.
+          inner_->OnFrame(peer, inner_frame, *inner_endpoint_);
+        });
+    it = links_.emplace(peer, std::move(link)).first;
+  }
+  (void)endpoint;
+  return it->second;
+}
+
+void DatalinkShim::OnStart(IEndpoint& endpoint) {
+  outer_ = &endpoint;
+  inner_->OnStart(*inner_endpoint_);
+  ArmTimer(endpoint);
+}
+
+void DatalinkShim::OnFrame(NodeId from, BytesView frame,
+                           IEndpoint& endpoint) {
+  outer_ = &endpoint;
+  auto decoded = DlFrame::Decode(frame);
+  if (!decoded) return;  // garbage on the weak channel
+  Link& link = LinkTo(from, endpoint);
+  if (decoded->kind == DlFrame::Kind::kData) {
+    if (auto ack = link.receiver->OnFrame(frame)) {
+      endpoint.Send(from, std::move(*ack));
+    }
+  } else {
+    link.sender->OnFrame(frame);
+  }
+  ArmTimer(endpoint);
+}
+
+void DatalinkShim::OnTimer(int timer_id, IEndpoint& endpoint) {
+  outer_ = &endpoint;
+  if (timer_id != kPumpTimer) {
+    inner_->OnTimer(timer_id, *inner_endpoint_);
+    return;
+  }
+  timer_armed_ = false;
+  Pump(endpoint);
+}
+
+void DatalinkShim::Pump(IEndpoint& endpoint) {
+  bool any_active = false;
+  for (auto& [peer, link] : links_) {
+    if (auto frame = link.sender->Tick()) {
+      endpoint.Send(peer, std::move(*frame));
+      any_active = true;
+    }
+  }
+  if (any_active) ArmTimer(endpoint);
+}
+
+void DatalinkShim::ArmTimer(IEndpoint& endpoint) {
+  if (timer_armed_) return;
+  bool any_busy = false;
+  for (auto& [peer, link] : links_) {
+    if (!link.sender->idle()) any_busy = true;
+  }
+  if (!any_busy) return;
+  timer_armed_ = true;
+  endpoint.SetTimer(1, kPumpTimer);
+}
+
+void DatalinkShim::CorruptState(Rng& rng) {
+  inner_->CorruptState(rng);
+  for (auto& [peer, link] : links_) {
+    link.sender->CorruptState(rng);
+    link.receiver->CorruptState(rng);
+  }
+}
+
+}  // namespace sbft

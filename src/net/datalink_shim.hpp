@@ -1,0 +1,65 @@
+// Data-link shim: runs any Automaton over weak channels.
+//
+// §II assumes reliable FIFO channels and notes they "can be ensured by
+// using a stabilization preserving data-link protocol built on top of
+// bounded, non-reliable but fair, non-FIFO communication channels [8]".
+// This shim makes that note executable: it wraps an inner automaton and
+// tunnels every frame through a DataLinkSender/-Receiver pair per peer,
+// so the register protocol runs end-to-end over channels that lose and
+// reorder frames (World::DegradeChannel).
+//
+// Mechanics: outgoing inner frames are Submit()ted to the per-peer
+// sender; a self-rearming tick timer drives retransmission while any
+// sender is busy; incoming frames are classified by DlFrame kind (DATA
+// feeds the per-peer receiver, which delivers the inner frame upward;
+// ACK feeds the sender). The shim's own state is all bounded, and a
+// transient fault on the shim (CorruptState) garbles both the inner
+// automaton and every link endpoint.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "net/datalink.hpp"
+#include "sim/world.hpp"
+
+namespace sbft {
+
+class DatalinkShim final : public Automaton {
+ public:
+  /// `capacity` is the weak channel's bound c (must match the channel
+  /// model); `peers` are the nodes this shim may talk to.
+  DatalinkShim(std::unique_ptr<Automaton> inner, std::size_t capacity,
+               std::vector<NodeId> peers);
+  ~DatalinkShim() override;  // out-of-line: InnerEndpoint is incomplete
+
+  void OnStart(IEndpoint& endpoint) override;
+  void OnFrame(NodeId from, BytesView frame, IEndpoint& endpoint) override;
+  void OnTimer(int timer_id, IEndpoint& endpoint) override;
+  void CorruptState(Rng& rng) override;
+
+  [[nodiscard]] Automaton& inner() { return *inner_; }
+
+ private:
+  // Endpoint seen by the inner automaton: Send() goes to the link layer.
+  class InnerEndpoint;
+
+  struct Link {
+    std::unique_ptr<DataLinkSender> sender;
+    std::unique_ptr<DataLinkReceiver> receiver;
+  };
+
+  Link& LinkTo(NodeId peer, IEndpoint& endpoint);
+  void Pump(IEndpoint& endpoint);
+  void ArmTimer(IEndpoint& endpoint);
+
+  std::unique_ptr<Automaton> inner_;
+  std::size_t capacity_;
+  std::vector<NodeId> peers_;
+  std::map<NodeId, Link> links_;
+  std::unique_ptr<InnerEndpoint> inner_endpoint_;
+  IEndpoint* outer_ = nullptr;
+  bool timer_armed_ = false;
+};
+
+}  // namespace sbft

@@ -1,0 +1,35 @@
+#include "net/lossy_channel.hpp"
+
+namespace sbft {
+
+bool LossyChannel::Push(Bytes frame) {
+  if (rng_.NextBool(options_.drop_probability)) return false;
+  if (frames_.size() >= options_.capacity) return false;
+  frames_.push_back(std::move(frame));
+  return true;
+}
+
+std::optional<Bytes> LossyChannel::Pop() {
+  if (frames_.empty()) return std::nullopt;
+  const std::size_t index = rng_.NextBelow(frames_.size());
+  Bytes out = std::move(frames_[index]);
+  frames_[index] = std::move(frames_.back());
+  frames_.pop_back();
+  return out;
+}
+
+void LossyChannel::PreloadGarbage(std::size_t count,
+                                  std::size_t max_frame_size) {
+  for (std::size_t i = 0; i < count && frames_.size() < options_.capacity;
+       ++i) {
+    frames_.push_back(RandomBytes(rng_, 1 + rng_.NextBelow(max_frame_size)));
+  }
+}
+
+void LossyChannel::CorruptInFlight() {
+  for (Bytes& frame : frames_) {
+    frame = RandomBytes(rng_, frame.empty() ? 1 : frame.size());
+  }
+}
+
+}  // namespace sbft

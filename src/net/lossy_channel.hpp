@@ -1,0 +1,53 @@
+// The weak channel underneath the stabilizing data-link (reference [8]
+// of the paper): bounded capacity, non-FIFO, fair-lossy, and subject to
+// transient corruption (arbitrary initial content).
+//
+// Model restrictions (documented in DESIGN.md): the channel never
+// duplicates or creates frames after time 0 — it may only lose, reorder
+// and delay them, and may hold arbitrary garbage initially. This is the
+// model for which our simplified data-link is correct.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+
+namespace sbft {
+
+class LossyChannel {
+ public:
+  struct Options {
+    std::size_t capacity = 4;   // max frames in flight
+    double drop_probability = 0.1;
+  };
+
+  LossyChannel(Options options, Rng rng)
+      : options_(options), rng_(rng) {}
+
+  /// Offer a frame to the channel. Returns false if it was lost (random
+  /// drop, or capacity overflow — overflow drops the *new* frame, which
+  /// is the standard bounded-channel semantics).
+  bool Push(Bytes frame);
+
+  /// Deliver one frame, chosen uniformly (non-FIFO). Empty if none.
+  std::optional<Bytes> Pop();
+
+  /// Fill with `count` garbage frames (transient fault / arbitrary
+  /// initial configuration). Clipped to capacity.
+  void PreloadGarbage(std::size_t count, std::size_t max_frame_size = 32);
+
+  /// Overwrite all current contents with garbage of the same sizes.
+  void CorruptInFlight();
+
+  [[nodiscard]] std::size_t size() const { return frames_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return options_.capacity; }
+
+ private:
+  Options options_;
+  Rng rng_;
+  std::vector<Bytes> frames_;
+};
+
+}  // namespace sbft

@@ -1,0 +1,424 @@
+#include "net/message.hpp"
+
+namespace sbft {
+namespace {
+
+// Explicit wire tags (stable across refactors of the variant order).
+enum class Tag : std::uint8_t {
+  kGetTs = 1,
+  kTsReply = 2,
+  kWrite = 3,
+  kWriteReply = 4,
+  kRead = 5,
+  kReply = 6,
+  kCompleteRead = 7,
+  kFlush = 8,
+  kFlushAck = 9,
+  kAbdRead = 20,
+  kAbdReadReply = 21,
+  kAbdWrite = 22,
+  kAbdWriteAck = 23,
+  kAbdGetTs = 24,
+  kAbdTsReply = 25,
+  kBuGetTs = 30,
+  kBuTsReply = 31,
+  kBuWrite = 32,
+  kBuWriteAck = 33,
+  kBuRead = 34,
+  kBuReadReply = 35,
+  kNqGetTs = 40,
+  kNqTsReply = 41,
+  kNqWrite = 42,
+  kNqWriteAck = 43,
+  kNqRead = 44,
+  kNqReadReply = 45,
+  kMux = 60,
+};
+
+void EncodeBody(BufWriter& w, const GetTsMsg& m) {
+  w.Put<Tag>(Tag::kGetTs);
+  w.Put<OpLabel>(m.op_label);
+}
+void EncodeBody(BufWriter& w, const TsReplyMsg& m) {
+  w.Put<Tag>(Tag::kTsReply);
+  m.ts.Encode(w);
+  w.Put<OpLabel>(m.op_label);
+}
+void EncodeBody(BufWriter& w, const WriteMsg& m) {
+  w.Put<Tag>(Tag::kWrite);
+  w.PutBytes(m.value);
+  m.ts.Encode(w);
+  w.Put<OpLabel>(m.op_label);
+}
+void EncodeBody(BufWriter& w, const WriteReplyMsg& m) {
+  w.Put<Tag>(Tag::kWriteReply);
+  w.Put<std::uint8_t>(m.ack ? 1 : 0);
+  w.Put<OpLabel>(m.op_label);
+}
+void EncodeBody(BufWriter& w, const ReadMsg& m) {
+  w.Put<Tag>(Tag::kRead);
+  w.Put<OpLabel>(m.label);
+}
+void EncodeBody(BufWriter& w, const ReplyMsg& m) {
+  w.Put<Tag>(Tag::kReply);
+  w.PutBytes(m.value);
+  m.ts.Encode(w);
+  w.PutVector(m.old_vals,
+              [](BufWriter& bw, const VersionedValue& v) { v.Encode(bw); });
+  w.Put<OpLabel>(m.label);
+}
+void EncodeBody(BufWriter& w, const CompleteReadMsg& m) {
+  w.Put<Tag>(Tag::kCompleteRead);
+  w.Put<OpLabel>(m.label);
+}
+void EncodeBody(BufWriter& w, const FlushMsg& m) {
+  w.Put<Tag>(Tag::kFlush);
+  w.Put<OpLabel>(m.label);
+  w.Put<OpScope>(m.scope);
+}
+void EncodeBody(BufWriter& w, const FlushAckMsg& m) {
+  w.Put<Tag>(Tag::kFlushAck);
+  w.Put<OpLabel>(m.label);
+  w.Put<OpScope>(m.scope);
+}
+void EncodeBody(BufWriter& w, const AbdReadMsg& m) {
+  w.Put<Tag>(Tag::kAbdRead);
+  w.Put<std::uint64_t>(m.rid);
+}
+void EncodeBody(BufWriter& w, const AbdReadReplyMsg& m) {
+  w.Put<Tag>(Tag::kAbdReadReply);
+  w.Put<std::uint64_t>(m.rid);
+  m.ts.Encode(w);
+  w.PutBytes(m.value);
+}
+void EncodeBody(BufWriter& w, const AbdWriteMsg& m) {
+  w.Put<Tag>(Tag::kAbdWrite);
+  w.Put<std::uint64_t>(m.rid);
+  m.ts.Encode(w);
+  w.PutBytes(m.value);
+}
+void EncodeBody(BufWriter& w, const AbdWriteAckMsg& m) {
+  w.Put<Tag>(Tag::kAbdWriteAck);
+  w.Put<std::uint64_t>(m.rid);
+}
+void EncodeBody(BufWriter& w, const AbdGetTsMsg& m) {
+  w.Put<Tag>(Tag::kAbdGetTs);
+  w.Put<std::uint64_t>(m.rid);
+}
+void EncodeBody(BufWriter& w, const AbdTsReplyMsg& m) {
+  w.Put<Tag>(Tag::kAbdTsReply);
+  w.Put<std::uint64_t>(m.rid);
+  m.ts.Encode(w);
+}
+void EncodeBody(BufWriter& w, const BuGetTsMsg& m) {
+  w.Put<Tag>(Tag::kBuGetTs);
+  w.Put<std::uint64_t>(m.rid);
+}
+void EncodeBody(BufWriter& w, const BuTsReplyMsg& m) {
+  w.Put<Tag>(Tag::kBuTsReply);
+  w.Put<std::uint64_t>(m.rid);
+  m.ts.Encode(w);
+}
+void EncodeBody(BufWriter& w, const BuWriteMsg& m) {
+  w.Put<Tag>(Tag::kBuWrite);
+  w.Put<std::uint64_t>(m.rid);
+  m.ts.Encode(w);
+  w.PutBytes(m.value);
+}
+void EncodeBody(BufWriter& w, const BuWriteAckMsg& m) {
+  w.Put<Tag>(Tag::kBuWriteAck);
+  w.Put<std::uint64_t>(m.rid);
+}
+void EncodeBody(BufWriter& w, const BuReadMsg& m) {
+  w.Put<Tag>(Tag::kBuRead);
+  w.Put<std::uint64_t>(m.rid);
+}
+void EncodeBody(BufWriter& w, const BuReadReplyMsg& m) {
+  w.Put<Tag>(Tag::kBuReadReply);
+  w.Put<std::uint64_t>(m.rid);
+  m.ts.Encode(w);
+  w.PutBytes(m.value);
+}
+void EncodeBody(BufWriter& w, const NqGetTsMsg& m) {
+  w.Put<Tag>(Tag::kNqGetTs);
+  w.Put<std::uint64_t>(m.rid);
+}
+void EncodeBody(BufWriter& w, const NqTsReplyMsg& m) {
+  w.Put<Tag>(Tag::kNqTsReply);
+  w.Put<std::uint64_t>(m.rid);
+  m.ts.Encode(w);
+}
+void EncodeBody(BufWriter& w, const NqWriteMsg& m) {
+  w.Put<Tag>(Tag::kNqWrite);
+  w.Put<std::uint64_t>(m.rid);
+  m.ts.Encode(w);
+  w.PutBytes(m.value);
+}
+void EncodeBody(BufWriter& w, const NqWriteAckMsg& m) {
+  w.Put<Tag>(Tag::kNqWriteAck);
+  w.Put<std::uint64_t>(m.rid);
+}
+void EncodeBody(BufWriter& w, const NqReadMsg& m) {
+  w.Put<Tag>(Tag::kNqRead);
+  w.Put<std::uint64_t>(m.rid);
+}
+void EncodeBody(BufWriter& w, const NqReadReplyMsg& m) {
+  w.Put<Tag>(Tag::kNqReadReply);
+  w.Put<std::uint64_t>(m.rid);
+  m.ts.Encode(w);
+  w.PutBytes(m.value);
+}
+void EncodeBody(BufWriter& w, const MuxMsg& m) {
+  w.Put<Tag>(Tag::kMux);
+  w.Put<std::uint64_t>(m.register_id);
+  w.PutBytes(m.inner);
+}
+
+template <typename T>
+Message DecodeRid(BufReader& r) {
+  T m;
+  m.rid = r.Get<std::uint64_t>();
+  return m;
+}
+
+}  // namespace
+
+void VersionedValue::Encode(BufWriter& w) const {
+  w.PutBytes(value);
+  ts.Encode(w);
+}
+
+VersionedValue VersionedValue::Decode(BufReader& r) {
+  VersionedValue v;
+  v.value = r.GetBytes();
+  v.ts = Timestamp::Decode(r);
+  return v;
+}
+
+Bytes EncodeMessage(const Message& message) {
+  BufWriter w;
+  std::visit([&w](const auto& m) { EncodeBody(w, m); }, message);
+  return w.Take();
+}
+
+Result<Message> DecodeMessage(BytesView frame) {
+  BufReader r(frame);
+  const auto tag = r.Get<Tag>();
+  if (r.failed()) return Result<Message>::Err("empty frame");
+
+  Message out;
+  switch (tag) {
+    case Tag::kGetTs: {
+      GetTsMsg m;
+      m.op_label = r.Get<OpLabel>();
+      out = m;
+      break;
+    }
+    case Tag::kTsReply: {
+      TsReplyMsg m;
+      m.ts = Timestamp::Decode(r);
+      m.op_label = r.Get<OpLabel>();
+      out = m;
+      break;
+    }
+    case Tag::kWrite: {
+      WriteMsg m;
+      m.value = r.GetBytes();
+      m.ts = Timestamp::Decode(r);
+      m.op_label = r.Get<OpLabel>();
+      out = m;
+      break;
+    }
+    case Tag::kWriteReply: {
+      WriteReplyMsg m;
+      m.ack = r.Get<std::uint8_t>() != 0;
+      m.op_label = r.Get<OpLabel>();
+      out = m;
+      break;
+    }
+    case Tag::kRead: {
+      ReadMsg m;
+      m.label = r.Get<OpLabel>();
+      out = m;
+      break;
+    }
+    case Tag::kReply: {
+      ReplyMsg m;
+      m.value = r.GetBytes();
+      m.ts = Timestamp::Decode(r);
+      m.old_vals = r.GetVector<VersionedValue>(
+          [](BufReader& br) { return VersionedValue::Decode(br); });
+      m.label = r.Get<OpLabel>();
+      out = m;
+      break;
+    }
+    case Tag::kCompleteRead: {
+      CompleteReadMsg m;
+      m.label = r.Get<OpLabel>();
+      out = m;
+      break;
+    }
+    case Tag::kFlush: {
+      FlushMsg m;
+      m.label = r.Get<OpLabel>();
+      m.scope = r.Get<OpScope>();
+      out = m;
+      break;
+    }
+    case Tag::kFlushAck: {
+      FlushAckMsg m;
+      m.label = r.Get<OpLabel>();
+      m.scope = r.Get<OpScope>();
+      out = m;
+      break;
+    }
+    case Tag::kAbdRead:
+      out = DecodeRid<AbdReadMsg>(r);
+      break;
+    case Tag::kAbdReadReply: {
+      AbdReadReplyMsg m;
+      m.rid = r.Get<std::uint64_t>();
+      m.ts = UnboundedTs::Decode(r);
+      m.value = r.GetBytes();
+      out = m;
+      break;
+    }
+    case Tag::kAbdWrite: {
+      AbdWriteMsg m;
+      m.rid = r.Get<std::uint64_t>();
+      m.ts = UnboundedTs::Decode(r);
+      m.value = r.GetBytes();
+      out = m;
+      break;
+    }
+    case Tag::kAbdWriteAck:
+      out = DecodeRid<AbdWriteAckMsg>(r);
+      break;
+    case Tag::kAbdGetTs:
+      out = DecodeRid<AbdGetTsMsg>(r);
+      break;
+    case Tag::kAbdTsReply: {
+      AbdTsReplyMsg m;
+      m.rid = r.Get<std::uint64_t>();
+      m.ts = UnboundedTs::Decode(r);
+      out = m;
+      break;
+    }
+    case Tag::kBuGetTs:
+      out = DecodeRid<BuGetTsMsg>(r);
+      break;
+    case Tag::kBuTsReply: {
+      BuTsReplyMsg m;
+      m.rid = r.Get<std::uint64_t>();
+      m.ts = UnboundedTs::Decode(r);
+      out = m;
+      break;
+    }
+    case Tag::kBuWrite: {
+      BuWriteMsg m;
+      m.rid = r.Get<std::uint64_t>();
+      m.ts = UnboundedTs::Decode(r);
+      m.value = r.GetBytes();
+      out = m;
+      break;
+    }
+    case Tag::kBuWriteAck:
+      out = DecodeRid<BuWriteAckMsg>(r);
+      break;
+    case Tag::kBuRead:
+      out = DecodeRid<BuReadMsg>(r);
+      break;
+    case Tag::kBuReadReply: {
+      BuReadReplyMsg m;
+      m.rid = r.Get<std::uint64_t>();
+      m.ts = UnboundedTs::Decode(r);
+      m.value = r.GetBytes();
+      out = m;
+      break;
+    }
+    case Tag::kNqGetTs:
+      out = DecodeRid<NqGetTsMsg>(r);
+      break;
+    case Tag::kNqTsReply: {
+      NqTsReplyMsg m;
+      m.rid = r.Get<std::uint64_t>();
+      m.ts = Timestamp::Decode(r);
+      out = m;
+      break;
+    }
+    case Tag::kNqWrite: {
+      NqWriteMsg m;
+      m.rid = r.Get<std::uint64_t>();
+      m.ts = Timestamp::Decode(r);
+      m.value = r.GetBytes();
+      out = m;
+      break;
+    }
+    case Tag::kNqWriteAck:
+      out = DecodeRid<NqWriteAckMsg>(r);
+      break;
+    case Tag::kNqRead:
+      out = DecodeRid<NqReadMsg>(r);
+      break;
+    case Tag::kNqReadReply: {
+      NqReadReplyMsg m;
+      m.rid = r.Get<std::uint64_t>();
+      m.ts = Timestamp::Decode(r);
+      m.value = r.GetBytes();
+      out = m;
+      break;
+    }
+    case Tag::kMux: {
+      MuxMsg m;
+      m.register_id = r.Get<std::uint64_t>();
+      m.inner = r.GetBytes();
+      out = std::move(m);
+      break;
+    }
+    default:
+      return Result<Message>::Err("unknown message tag");
+  }
+  if (!r.AtEndOk()) {
+    return Result<Message>::Err("malformed frame for tag " +
+                                std::to_string(static_cast<int>(tag)));
+  }
+  return Result<Message>::Ok(std::move(out));
+}
+
+std::string MessageTypeName(const Message& message) {
+  struct Namer {
+    std::string operator()(const GetTsMsg&) { return "GET_TS"; }
+    std::string operator()(const TsReplyMsg&) { return "TS_REPLY"; }
+    std::string operator()(const WriteMsg&) { return "WRITE"; }
+    std::string operator()(const WriteReplyMsg& m) {
+      return m.ack ? "ACK" : "NACK";
+    }
+    std::string operator()(const ReadMsg&) { return "READ"; }
+    std::string operator()(const ReplyMsg&) { return "REPLY"; }
+    std::string operator()(const CompleteReadMsg&) { return "COMPLETE_READ"; }
+    std::string operator()(const FlushMsg&) { return "FLUSH"; }
+    std::string operator()(const FlushAckMsg&) { return "FLUSH_ACK"; }
+    std::string operator()(const AbdReadMsg&) { return "ABD_READ"; }
+    std::string operator()(const AbdReadReplyMsg&) { return "ABD_READ_REPLY"; }
+    std::string operator()(const AbdWriteMsg&) { return "ABD_WRITE"; }
+    std::string operator()(const AbdWriteAckMsg&) { return "ABD_WRITE_ACK"; }
+    std::string operator()(const AbdGetTsMsg&) { return "ABD_GET_TS"; }
+    std::string operator()(const AbdTsReplyMsg&) { return "ABD_TS_REPLY"; }
+    std::string operator()(const BuGetTsMsg&) { return "BU_GET_TS"; }
+    std::string operator()(const BuTsReplyMsg&) { return "BU_TS_REPLY"; }
+    std::string operator()(const BuWriteMsg&) { return "BU_WRITE"; }
+    std::string operator()(const BuWriteAckMsg&) { return "BU_WRITE_ACK"; }
+    std::string operator()(const BuReadMsg&) { return "BU_READ"; }
+    std::string operator()(const BuReadReplyMsg&) { return "BU_READ_REPLY"; }
+    std::string operator()(const NqGetTsMsg&) { return "NQ_GET_TS"; }
+    std::string operator()(const NqTsReplyMsg&) { return "NQ_TS_REPLY"; }
+    std::string operator()(const NqWriteMsg&) { return "NQ_WRITE"; }
+    std::string operator()(const NqWriteAckMsg&) { return "NQ_WRITE_ACK"; }
+    std::string operator()(const NqReadMsg&) { return "NQ_READ"; }
+    std::string operator()(const NqReadReplyMsg&) { return "NQ_READ_REPLY"; }
+    std::string operator()(const MuxMsg&) { return "MUX"; }
+  };
+  return std::visit(Namer{}, message);
+}
+
+}  // namespace sbft

@@ -1,0 +1,202 @@
+// Wire messages for the core protocol (Figures 1-3) and the baseline
+// protocols, plus the frame codec.
+//
+// A frame is [type: u8][payload]; decoding returns Result so garbage
+// frames (transient channel corruption, Byzantine noise) degrade to a
+// clean decode error. Even a *successfully* decoded frame may carry
+// semantic garbage — handlers validate every field before use.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "labels/read_label_pool.hpp"
+#include "labels/timestamp.hpp"
+#include "labels/unbounded_timestamp.hpp"
+
+namespace sbft {
+
+/// Register values are opaque bytes.
+using Value = Bytes;
+
+/// A (value, timestamp) pair as stored in servers' old_vals history and
+/// shipped inside REPLY messages.
+struct VersionedValue {
+  Value value;
+  Timestamp ts;
+
+  friend bool operator==(const VersionedValue&, const VersionedValue&) =
+      default;
+  void Encode(BufWriter& w) const;
+  static VersionedValue Decode(BufReader& r);
+};
+
+/// Which bounded-label pool a FLUSH round is draining. The paper flushes
+/// read labels (Figure 3); we apply the identical mechanism to write
+/// operation labels (see DESIGN.md, "Writer stale-reply disambiguation").
+enum class OpScope : std::uint8_t { kRead = 0, kWrite = 1 };
+
+using OpLabel = std::uint32_t;
+
+// --- Core protocol messages (Figures 1-3) ----------------------------
+
+/// Writer phase 1: request the server's current timestamp.
+struct GetTsMsg {
+  OpLabel op_label = 0;
+};
+/// Server's answer to GET_TS.
+struct TsReplyMsg {
+  Timestamp ts;
+  OpLabel op_label = 0;
+};
+/// Writer phase 2: the effective write.
+struct WriteMsg {
+  Value value;
+  Timestamp ts;
+  OpLabel op_label = 0;
+};
+/// ACK (ts accepted as new) or NACK (ts did not follow the local one);
+/// either way the server adopted the write (Figure 1 server side).
+struct WriteReplyMsg {
+  bool ack = false;
+  OpLabel op_label = 0;
+};
+/// Reader request (Figure 2 line 05).
+struct ReadMsg {
+  OpLabel label = 0;
+};
+/// Server reply: current value+ts and the recent-writes history used to
+/// build the union WTsG (Figure 2(b) line 02).
+struct ReplyMsg {
+  Value value;
+  Timestamp ts;
+  std::vector<VersionedValue> old_vals;
+  OpLabel label = 0;
+};
+/// Reader completion notice (Figure 2 lines 12/19).
+struct CompleteReadMsg {
+  OpLabel label = 0;
+};
+/// FIFO flush probe (Figure 3 line 04).
+struct FlushMsg {
+  OpLabel label = 0;
+  OpScope scope = OpScope::kRead;
+};
+/// Reflected flush probe (Figure 3(b)).
+struct FlushAckMsg {
+  OpLabel label = 0;
+  OpScope scope = OpScope::kRead;
+};
+
+// --- Baseline: ABD-style crash-only register --------------------------
+
+struct AbdReadMsg {
+  std::uint64_t rid = 0;
+};
+struct AbdReadReplyMsg {
+  std::uint64_t rid = 0;
+  UnboundedTs ts;
+  Value value;
+};
+struct AbdWriteMsg {
+  std::uint64_t rid = 0;
+  UnboundedTs ts;
+  Value value;
+};
+struct AbdWriteAckMsg {
+  std::uint64_t rid = 0;
+};
+struct AbdGetTsMsg {
+  std::uint64_t rid = 0;
+};
+struct AbdTsReplyMsg {
+  std::uint64_t rid = 0;
+  UnboundedTs ts;
+};
+
+// --- Baseline: non-stabilizing BFT register, unbounded ts ([14]) ------
+
+struct BuGetTsMsg {
+  std::uint64_t rid = 0;
+};
+struct BuTsReplyMsg {
+  std::uint64_t rid = 0;
+  UnboundedTs ts;
+};
+struct BuWriteMsg {
+  std::uint64_t rid = 0;
+  UnboundedTs ts;
+  Value value;
+};
+struct BuWriteAckMsg {
+  std::uint64_t rid = 0;
+};
+struct BuReadMsg {
+  std::uint64_t rid = 0;
+};
+struct BuReadReplyMsg {
+  std::uint64_t rid = 0;
+  UnboundedTs ts;
+  Value value;
+};
+
+// --- Baseline: naive TM_1R quorum register (Theorem 1 replay) ---------
+
+struct NqGetTsMsg {
+  std::uint64_t rid = 0;
+};
+struct NqTsReplyMsg {
+  std::uint64_t rid = 0;
+  Timestamp ts;
+};
+struct NqWriteMsg {
+  std::uint64_t rid = 0;
+  Timestamp ts;
+  Value value;
+};
+struct NqWriteAckMsg {
+  std::uint64_t rid = 0;
+};
+struct NqReadMsg {
+  std::uint64_t rid = 0;
+};
+struct NqReadReplyMsg {
+  std::uint64_t rid = 0;
+  Timestamp ts;
+  Value value;
+};
+
+// --- Multiplexing envelope (multi-register storage service) -----------
+
+/// Wraps an inner protocol frame with a register identifier, letting one
+/// server process host many independent registers (core/mux.hpp). The
+/// identifier is typically a 64-bit key hash.
+struct MuxMsg {
+  std::uint64_t register_id = 0;
+  Bytes inner;
+};
+
+using Message = std::variant<
+    GetTsMsg, TsReplyMsg, WriteMsg, WriteReplyMsg, ReadMsg, ReplyMsg,
+    CompleteReadMsg, FlushMsg, FlushAckMsg,
+    AbdReadMsg, AbdReadReplyMsg, AbdWriteMsg, AbdWriteAckMsg, AbdGetTsMsg,
+    AbdTsReplyMsg,
+    BuGetTsMsg, BuTsReplyMsg, BuWriteMsg, BuWriteAckMsg, BuReadMsg,
+    BuReadReplyMsg,
+    NqGetTsMsg, NqTsReplyMsg, NqWriteMsg, NqWriteAckMsg, NqReadMsg,
+    NqReadReplyMsg, MuxMsg>;
+
+/// Frame codec. Encode never fails; Decode fails on unknown type bytes,
+/// truncation, implausible lengths, or trailing garbage.
+[[nodiscard]] Bytes EncodeMessage(const Message& message);
+[[nodiscard]] Result<Message> DecodeMessage(BytesView frame);
+
+/// Human-readable tag, for traces and test diagnostics.
+[[nodiscard]] std::string MessageTypeName(const Message& message);
+
+}  // namespace sbft

@@ -1,0 +1,137 @@
+#include "runtime/cluster.hpp"
+
+#include <chrono>
+
+#include "common/error.hpp"
+
+namespace sbft {
+
+// Endpoint bound to one node of the threaded cluster. Send is called
+// from the node's own thread (handlers run there); it is nevertheless
+// thread-safe because mailbox pushes and TCP writes are synchronized.
+class ThreadCluster::Endpoint final : public IEndpoint {
+ public:
+  Endpoint(ThreadCluster& cluster, NodeId id, Rng rng)
+      : cluster_(cluster), id_(id), rng_(rng) {}
+
+  void Send(NodeId dst, Bytes frame) override {
+    cluster_.Deliver(id_, dst, std::move(frame));
+  }
+
+  void SetTimer(VirtualTime, int) override {
+    // The register protocol is purely message-driven; timers are a
+    // simulator convenience not offered by the threaded runtime.
+    throw InvariantViolation("timers unsupported in ThreadCluster");
+  }
+
+  [[nodiscard]] VirtualTime Now() const override {
+    using Clock = std::chrono::steady_clock;
+    return static_cast<VirtualTime>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            Clock::now().time_since_epoch())
+            .count());
+  }
+
+  [[nodiscard]] NodeId self() const override { return id_; }
+  Rng& rng() override { return rng_; }
+
+ private:
+  ThreadCluster& cluster_;
+  NodeId id_;
+  Rng rng_;
+};
+
+ThreadCluster::ThreadCluster(Options options) : options_(options) {
+  if (options_.use_tcp) {
+    tcp_ = std::make_unique<TcpBus>(
+        [this](NodeId src, NodeId dst, Bytes frame) {
+          // TCP reader thread -> destination mailbox.
+          if (dst < mailboxes_.size()) {
+            mailboxes_[dst]->Push(MailItem{src, std::move(frame), nullptr});
+          }
+        });
+  }
+}
+
+ThreadCluster::~ThreadCluster() { Stop(); }
+
+NodeId ThreadCluster::AddNode(std::unique_ptr<Automaton> automaton) {
+  SBFT_ASSERT(!started_);
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::move(automaton));
+  mailboxes_.push_back(std::make_unique<Mailbox>());
+  Rng seeder(options_.seed + id * 7919);
+  endpoints_.push_back(std::make_unique<Endpoint>(*this, id, seeder.Fork()));
+  if (tcp_) tcp_->AddNode(id);
+  return id;
+}
+
+void ThreadCluster::Start() {
+  SBFT_ASSERT(!started_);
+  started_ = true;
+  if (tcp_) tcp_->Start();
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    threads_.emplace_back([this, id] { NodeLoop(id); });
+  }
+  // OnStart on each node's own thread, synchronously.
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    RunOnNode(id, [this, id] { nodes_[id]->OnStart(*endpoints_[id]); });
+  }
+}
+
+void ThreadCluster::NodeLoop(NodeId id) {
+  Mailbox& mailbox = *mailboxes_[id];
+  while (true) {
+    auto item = mailbox.Pop();
+    if (!item) return;  // closed and drained
+    if (item->task) {
+      item->task();
+    } else {
+      frames_delivered_.fetch_add(1, std::memory_order_relaxed);
+      nodes_[id]->OnFrame(item->src, item->frame, *endpoints_[id]);
+    }
+  }
+}
+
+void ThreadCluster::Deliver(NodeId src, NodeId dst, Bytes frame) {
+  if (dst >= nodes_.size()) return;
+  if (tcp_) {
+    tcp_->Send(src, dst, frame);
+    return;
+  }
+  mailboxes_[dst]->Push(MailItem{src, std::move(frame), nullptr});
+}
+
+void ThreadCluster::RunOnNode(NodeId id, std::function<void()> fn) {
+  SBFT_ASSERT(id < nodes_.size());
+  std::promise<void> done;
+  auto future = done.get_future();
+  const bool pushed = mailboxes_[id]->Push(MailItem{
+      kNoNode, {}, [fn = std::move(fn), &done] {
+        fn();
+        done.set_value();
+      }});
+  SBFT_ASSERT(pushed);
+  future.wait();
+}
+
+void ThreadCluster::PostToNode(NodeId id, std::function<void()> fn) {
+  if (id >= nodes_.size()) return;
+  mailboxes_[id]->Push(MailItem{kNoNode, {}, std::move(fn)});
+}
+
+void ThreadCluster::Stop() {
+  if (stopped_ || !started_) {
+    stopped_ = true;
+    return;
+  }
+  stopped_ = true;
+  if (tcp_) tcp_->Stop();  // stop sockets first so reader threads exit
+  for (auto& mailbox : mailboxes_) mailbox->Close();
+  for (auto& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  threads_.clear();
+}
+
+}  // namespace sbft

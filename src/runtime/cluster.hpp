@@ -1,0 +1,83 @@
+// Threaded runtime: the same Automaton objects that run in the
+// deterministic simulator run here on real OS threads, communicating
+// through mailboxes (in-process mode) or TCP sockets on loopback.
+//
+// Design: one thread per node consumes its mailbox and drives the
+// automaton — handlers therefore stay single-threaded exactly as in the
+// simulator (no locks inside protocol code). Client operations are
+// injected as tasks onto the owning node's thread via RunOnNode, and
+// synchronous wrappers (BlockingWrite/BlockingRead in node_client.hpp)
+// wait on a future.
+#pragma once
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "runtime/mailbox.hpp"
+#include "runtime/tcp.hpp"
+#include "sim/world.hpp"
+
+namespace sbft {
+
+class ThreadCluster {
+ public:
+  struct Options {
+    /// Use TCP sockets on 127.0.0.1 instead of in-process mailboxes for
+    /// the transport (mailboxes still deliver to the node thread).
+    bool use_tcp = false;
+    std::uint64_t seed = 1;
+  };
+
+  explicit ThreadCluster(Options options);
+  ThreadCluster() : ThreadCluster(Options{}) {}
+  ~ThreadCluster();
+
+  ThreadCluster(const ThreadCluster&) = delete;
+  ThreadCluster& operator=(const ThreadCluster&) = delete;
+
+  /// Register a node before Start().
+  NodeId AddNode(std::unique_ptr<Automaton> automaton);
+
+  /// Spawn node threads (and TCP listeners when enabled) and run
+  /// OnStart hooks on each node's own thread.
+  void Start();
+
+  /// Close mailboxes, join threads, tear down sockets. Idempotent.
+  void Stop();
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] Automaton& node(NodeId id) { return *nodes_.at(id); }
+
+  /// Run `fn` on the node's thread (with exclusive access to its
+  /// automaton) and wait for it to finish.
+  void RunOnNode(NodeId id, std::function<void()> fn);
+
+  /// Fire-and-forget variant (no join); used by completion callbacks.
+  void PostToNode(NodeId id, std::function<void()> fn);
+
+  /// Total frames delivered across all nodes (throughput accounting).
+  [[nodiscard]] std::uint64_t frames_delivered() const {
+    return frames_delivered_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  class Endpoint;
+
+  void NodeLoop(NodeId id);
+  void Deliver(NodeId src, NodeId dst, Bytes frame);
+
+  Options options_;
+  std::vector<std::unique_ptr<Automaton>> nodes_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  std::vector<std::thread> threads_;
+  std::unique_ptr<TcpBus> tcp_;
+  std::atomic<std::uint64_t> frames_delivered_{0};
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace sbft

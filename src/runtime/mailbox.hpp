@@ -1,0 +1,69 @@
+// Blocking MPSC mailbox used by the threaded runtime. Producers are any
+// threads (peers' node threads, TCP reader threads, external drivers);
+// the consumer is the owning node thread.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <variant>
+
+#include "common/bytes.hpp"
+#include "sim/types.hpp"
+
+namespace sbft {
+
+/// A frame from a peer, or a task to run on the node thread (used to
+/// inject client operations with single-threaded automaton semantics).
+struct MailItem {
+  NodeId src = kNoNode;
+  Bytes frame;
+  std::function<void()> task;  // non-null => task item
+};
+
+class Mailbox {
+ public:
+  /// Returns false if the mailbox is closed.
+  bool Push(MailItem item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item arrives or the mailbox is closed and drained.
+  std::optional<MailItem> Pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    MailItem item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<MailItem> items_;
+  bool closed_ = false;
+};
+
+}  // namespace sbft

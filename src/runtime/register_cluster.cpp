@@ -1,0 +1,61 @@
+#include "runtime/register_cluster.hpp"
+
+#include <future>
+
+namespace sbft {
+
+RegisterCluster::RegisterCluster(Options options)
+    : config_(options.config),
+      cluster_(ThreadCluster::Options{options.use_tcp, options.seed}),
+      op_timeout_(options.op_timeout) {
+  config_.Validate();
+  std::vector<NodeId> server_ids;
+  for (std::size_t i = 0; i < config_.n; ++i) {
+    std::unique_ptr<RegisterServer> server;
+    if (auto it = options.byzantine.find(i); it != options.byzantine.end()) {
+      server = MakeByzantineServer(it->second, config_, i,
+                                   options.seed * 131 + i);
+    } else {
+      server = std::make_unique<RegisterServer>(config_, i);
+    }
+    server_ids.push_back(cluster_.AddNode(std::move(server)));
+  }
+  for (std::size_t i = 0; i < options.n_clients; ++i) {
+    auto client = std::make_unique<RegisterClient>(
+        config_, server_ids, static_cast<ClientId>(config_.n + i));
+    clients_.push_back(client.get());
+    client_ids_.push_back(cluster_.AddNode(std::move(client)));
+  }
+}
+
+WriteOutcome RegisterCluster::Write(std::size_t client, Value value) {
+  auto done = std::make_shared<std::promise<WriteOutcome>>();
+  auto future = done->get_future();
+  cluster_.PostToNode(client_ids_[client],
+                      [this, client, value = std::move(value), done] {
+                        clients_[client]->StartWrite(
+                            value, [done](const WriteOutcome& outcome) {
+                              done->set_value(outcome);
+                            });
+                      });
+  if (future.wait_for(op_timeout_) != std::future_status::ready) {
+    return WriteOutcome{};  // kFailed
+  }
+  return future.get();
+}
+
+ReadOutcome RegisterCluster::Read(std::size_t client) {
+  auto done = std::make_shared<std::promise<ReadOutcome>>();
+  auto future = done->get_future();
+  cluster_.PostToNode(client_ids_[client], [this, client, done] {
+    clients_[client]->StartRead([done](const ReadOutcome& outcome) {
+      done->set_value(outcome);
+    });
+  });
+  if (future.wait_for(op_timeout_) != std::future_status::ready) {
+    return ReadOutcome{};  // kFailed
+  }
+  return future.get();
+}
+
+}  // namespace sbft

@@ -1,0 +1,52 @@
+// Threaded deployment of the register: n servers (optionally Byzantine)
+// plus clients, each on its own OS thread, over in-process mailboxes or
+// TCP loopback. Mirrors core/deployment.hpp for the real-concurrency
+// setting (experiment E7, tcp_cluster example).
+#pragma once
+
+#include <chrono>
+#include <map>
+
+#include "core/byzantine.hpp"
+#include "core/client.hpp"
+#include "runtime/cluster.hpp"
+
+namespace sbft {
+
+class RegisterCluster {
+ public:
+  struct Options {
+    ProtocolConfig config;
+    bool use_tcp = false;
+    std::size_t n_clients = 1;
+    std::map<std::size_t, ByzantineStrategy> byzantine;
+    std::uint64_t seed = 1;
+    /// Per-operation timeout; expired operations report kFailed (the
+    /// asynchronous protocol never gives up on its own).
+    std::chrono::milliseconds op_timeout{10'000};
+  };
+
+  explicit RegisterCluster(Options options);
+  ~RegisterCluster() { Stop(); }
+
+  void Start() { cluster_.Start(); }
+  void Stop() { cluster_.Stop(); }
+
+  /// Synchronous operations, safe to call from any external thread
+  /// (each client must be driven by one external thread at a time).
+  WriteOutcome Write(std::size_t client, Value value);
+  ReadOutcome Read(std::size_t client);
+
+  [[nodiscard]] const ProtocolConfig& config() const { return config_; }
+  [[nodiscard]] ThreadCluster& cluster() { return cluster_; }
+  [[nodiscard]] std::size_t n_clients() const { return clients_.size(); }
+
+ private:
+  ProtocolConfig config_;
+  ThreadCluster cluster_;
+  std::chrono::milliseconds op_timeout_;
+  std::vector<RegisterClient*> clients_;
+  std::vector<NodeId> client_ids_;
+};
+
+}  // namespace sbft

@@ -1,0 +1,183 @@
+#include "runtime/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+
+namespace sbft {
+namespace {
+
+constexpr std::uint32_t kMaxTcpFrame = 16u << 20;
+
+bool WriteAll(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool ReadAll(int fd, std::uint8_t* data, std::size_t size) {
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd, data + got, size - got, 0);
+    if (n <= 0) return false;
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::uint32_t LoadU32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void StoreU32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+}  // namespace
+
+std::uint16_t TcpBus::AddNode(NodeId node) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  SBFT_ASSERT(fd >= 0);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  SBFT_ASSERT(::bind(fd, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)) == 0);
+  SBFT_ASSERT(::listen(fd, 64) == 0);
+
+  socklen_t len = sizeof(addr);
+  SBFT_ASSERT(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr),
+                            &len) == 0);
+  std::lock_guard<std::mutex> lock(mutex_);
+  listeners_[node] = Listener{fd, ntohs(addr.sin_port), {}};
+  return ntohs(addr.sin_port);
+}
+
+void TcpBus::Start() {
+  running_.store(true);
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [node, listener] : listeners_) {
+    listener.acceptor = std::thread([this, id = node] { AcceptLoop(id); });
+  }
+}
+
+void TcpBus::AcceptLoop(NodeId node) {
+  int listen_fd = -1;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    listen_fd = listeners_[node].fd;
+  }
+  while (running_.load()) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) break;  // listener closed
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(mutex_);
+    readers_.emplace_back([this, node, fd] { ReadLoop(node, fd); });
+  }
+}
+
+void TcpBus::ReadLoop(NodeId node, int fd) {
+  std::uint8_t header[8];
+  while (running_.load()) {
+    if (!ReadAll(fd, header, sizeof(header))) break;
+    const std::uint32_t length = LoadU32(header);
+    const NodeId src = LoadU32(header + 4);
+    if (length > kMaxTcpFrame) break;  // malformed: drop connection
+    Bytes frame(length);
+    if (!ReadAll(fd, frame.data(), length)) break;
+    deliver_(src, node, std::move(frame));
+  }
+  ::close(fd);
+}
+
+bool TcpBus::Send(NodeId src, NodeId dst, BytesView frame) {
+  if (!running_.load()) return false;
+  int fd = -1;
+  std::mutex* write_mutex = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& connection = connections_[{src, dst}];
+    if (connection.fd < 0) {
+      auto it = listeners_.find(dst);
+      if (it == listeners_.end()) return false;
+      const int new_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (new_fd < 0) return false;
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port = htons(it->second.port);
+      if (::connect(new_fd, reinterpret_cast<sockaddr*>(&addr),
+                    sizeof(addr)) != 0) {
+        ::close(new_fd);
+        return false;
+      }
+      const int one = 1;
+      ::setsockopt(new_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      connection.fd = new_fd;
+    }
+    fd = connection.fd;
+    write_mutex = connection.write_mutex.get();
+  }
+
+  std::uint8_t header[8];
+  StoreU32(header, static_cast<std::uint32_t>(frame.size()));
+  StoreU32(header + 4, src);
+  std::lock_guard<std::mutex> lock(*write_mutex);
+  if (!WriteAll(fd, header, sizeof(header))) return false;
+  return WriteAll(fd, frame.data(), frame.size());
+}
+
+void TcpBus::Stop() {
+  if (stopped_.exchange(true)) return;
+  running_.store(false);
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [node, listener] : listeners_) {
+      if (listener.fd >= 0) ::shutdown(listener.fd, SHUT_RDWR);
+      if (listener.fd >= 0) ::close(listener.fd);
+      listener.fd = -1;
+    }
+    for (auto& [key, connection] : connections_) {
+      if (connection.fd >= 0) ::shutdown(connection.fd, SHUT_RDWR);
+      if (connection.fd >= 0) ::close(connection.fd);
+      connection.fd = -1;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [node, listener] : listeners_) {
+      if (listener.acceptor.joinable()) to_join.push_back(
+          std::move(listener.acceptor));
+    }
+    for (auto& reader : readers_) {
+      if (reader.joinable()) to_join.push_back(std::move(reader));
+    }
+    readers_.clear();
+  }
+  for (auto& thread : to_join) thread.join();
+}
+
+}  // namespace sbft

@@ -1,0 +1,68 @@
+// Minimal TCP transport on 127.0.0.1 for the threaded runtime.
+//
+// Every node owns a listening socket on an ephemeral port; peers
+// connect lazily on first send and keep the connection. Frames are
+// length-prefixed: [u32 length][u32 sender id][payload]. A reader
+// thread per accepted connection decodes frames and hands them to the
+// cluster's delivery callback. Malformed frames (length out of bounds)
+// close the connection — the peer will reconnect; the protocol layer
+// tolerates loss-free FIFO per connection, which TCP provides.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "sim/types.hpp"
+
+namespace sbft {
+
+class TcpBus {
+ public:
+  using DeliverFn = std::function<void(NodeId src, NodeId dst, Bytes frame)>;
+
+  explicit TcpBus(DeliverFn deliver) : deliver_(std::move(deliver)) {}
+  ~TcpBus() { Stop(); }
+
+  /// Create the listening socket for `node`; returns the bound port.
+  /// Call once per node before Start().
+  std::uint16_t AddNode(NodeId node);
+
+  /// Spawn acceptor threads.
+  void Start();
+  void Stop();
+
+  /// Send a frame from `src` to `dst` (connects lazily, thread-safe).
+  /// Returns false if the bus is stopped or the connection failed.
+  bool Send(NodeId src, NodeId dst, BytesView frame);
+
+ private:
+  struct Listener {
+    int fd = -1;
+    std::uint16_t port = 0;
+    std::thread acceptor;
+  };
+
+  void AcceptLoop(NodeId node);
+  void ReadLoop(NodeId node, int fd);
+
+  DeliverFn deliver_;
+  std::mutex mutex_;
+  std::map<NodeId, Listener> listeners_;
+  // Outgoing connections keyed by (src, dst); each has a write mutex.
+  struct Connection {
+    int fd = -1;
+    std::unique_ptr<std::mutex> write_mutex = std::make_unique<std::mutex>();
+  };
+  std::map<std::pair<NodeId, NodeId>, Connection> connections_;
+  std::vector<std::thread> readers_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace sbft

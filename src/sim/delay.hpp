@@ -1,0 +1,81 @@
+// Delay policies: the adversary's lever over asynchrony.
+//
+// The system model is fully asynchronous, so a correct protocol must work
+// for *every* delay assignment. Tests and benches exercise uniform
+// random delays, fixed delays, and scripted per-channel delays (the
+// Theorem 1 replay slows specific servers at specific operations).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "sim/types.hpp"
+
+namespace sbft {
+
+class DelayPolicy {
+ public:
+  virtual ~DelayPolicy() = default;
+  /// Latency (in ticks, >= 1) for a frame entering channel src->dst now.
+  virtual VirtualTime Sample(NodeId src, NodeId dst, VirtualTime now,
+                             Rng& rng) = 0;
+};
+
+/// Every frame takes exactly `delay` ticks.
+class FixedDelay final : public DelayPolicy {
+ public:
+  explicit FixedDelay(VirtualTime delay) : delay_(delay < 1 ? 1 : delay) {}
+  VirtualTime Sample(NodeId, NodeId, VirtualTime, Rng&) override {
+    return delay_;
+  }
+
+ private:
+  VirtualTime delay_;
+};
+
+/// Uniform in [lo, hi]; the workhorse for randomized testing.
+class UniformDelay final : public DelayPolicy {
+ public:
+  UniformDelay(VirtualTime lo, VirtualTime hi)
+      : lo_(lo < 1 ? 1 : lo), hi_(hi < lo_ ? lo_ : hi) {}
+  VirtualTime Sample(NodeId, NodeId, VirtualTime, Rng& rng) override {
+    return static_cast<VirtualTime>(
+        rng.NextInRange(static_cast<std::int64_t>(lo_),
+                        static_cast<std::int64_t>(hi_)));
+  }
+
+ private:
+  VirtualTime lo_;
+  VirtualTime hi_;
+};
+
+/// Per-channel overrides on top of a base policy; used by scripted
+/// adversaries ("server s4 is slow in responding").
+class ChannelOverrideDelay final : public DelayPolicy {
+ public:
+  explicit ChannelOverrideDelay(std::unique_ptr<DelayPolicy> base)
+      : base_(std::move(base)) {}
+
+  void SetOverride(NodeId src, NodeId dst, VirtualTime delay) {
+    overrides_[{src, dst}] = delay < 1 ? 1 : delay;
+  }
+  void ClearOverride(NodeId src, NodeId dst) {
+    overrides_.erase({src, dst});
+  }
+
+  VirtualTime Sample(NodeId src, NodeId dst, VirtualTime now,
+                     Rng& rng) override {
+    if (auto it = overrides_.find({src, dst}); it != overrides_.end()) {
+      return it->second;
+    }
+    return base_->Sample(src, dst, now, rng);
+  }
+
+ private:
+  std::unique_ptr<DelayPolicy> base_;
+  std::map<std::pair<NodeId, NodeId>, VirtualTime> overrides_;
+};
+
+}  // namespace sbft

@@ -1,0 +1,65 @@
+// Trace recording for simulated executions.
+//
+// Tests use traces to assert message-level facts (e.g. the Figure 4 /
+// Lemma 5 happened-before structure); benches use the aggregate
+// counters. Frame payloads are stored verbatim — traces are only
+// enabled in tests where executions are small.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "sim/types.hpp"
+
+namespace sbft {
+
+enum class TraceKind : std::uint8_t {
+  kSend,              // src queued a frame to dst
+  kDeliver,           // dst's automaton consumed a frame from src
+  kDrop,              // frame discarded (stopped node, dropped by fault)
+  kTimerFired,
+  kNodeCorrupted,     // transient fault overwrote a node's local state
+  kChannelCorrupted,  // garbage frames planted in a channel
+  kNodeStopped,       // client crash
+};
+
+struct TraceEvent {
+  VirtualTime time = 0;
+  TraceKind kind = TraceKind::kSend;
+  NodeId src = kNoNode;
+  NodeId dst = kNoNode;
+  Bytes frame;  // payload for kSend / kDeliver / kDrop, else empty
+};
+
+class TraceRecorder {
+ public:
+  /// Recording is off by default; benches leave it off, tests opt in.
+  void Enable(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void Record(TraceEvent event) {
+    if (enabled_) events_.push_back(std::move(event));
+  }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  void Clear() { events_.clear(); }
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceEvent> events_;
+};
+
+/// Aggregate counters, always maintained (cheap), reported by benches.
+struct NetworkStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t frames_dropped = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t garbage_frames_injected = 0;
+};
+
+}  // namespace sbft

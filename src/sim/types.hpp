@@ -1,0 +1,21 @@
+// Identifier and virtual-time types shared by the simulator, the
+// messaging layer and the protocol automata.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace sbft {
+
+/// Identifies one process (server or client). Servers of an n-server
+/// deployment conventionally occupy ids 0..n-1 and clients follow.
+using NodeId = std::uint32_t;
+constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+/// Discrete simulated time in abstract ticks. The asynchronous model of
+/// §II has no real-time semantics; ticks only order events and let delay
+/// policies express relative speeds.
+using VirtualTime = std::uint64_t;
+constexpr VirtualTime kTimeForever = std::numeric_limits<VirtualTime>::max();
+
+}  // namespace sbft

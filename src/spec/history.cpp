@@ -1,0 +1,21 @@
+#include "spec/history.hpp"
+
+namespace sbft {
+
+std::vector<const OpRecord*> History::Writes() const {
+  std::vector<const OpRecord*> out;
+  for (const OpRecord& op : ops_) {
+    if (op.kind == OpRecord::Kind::kWrite) out.push_back(&op);
+  }
+  return out;
+}
+
+std::vector<const OpRecord*> History::Reads() const {
+  std::vector<const OpRecord*> out;
+  for (const OpRecord& op : ops_) {
+    if (op.kind == OpRecord::Kind::kRead) out.push_back(&op);
+  }
+  return out;
+}
+
+}  // namespace sbft

@@ -1,0 +1,60 @@
+// Operation histories for black-box consistency checking.
+//
+// A History is the projection of an execution onto operation invocation
+// and return events (the fictional-global-clock view of §II-A). The
+// checker is black-box: it never looks at protocol internals, only at
+// operation boundaries and returned values, so the same checker
+// validates the paper's protocol and every baseline.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "sim/types.hpp"
+
+namespace sbft {
+
+struct OpRecord {
+  enum class Kind : std::uint8_t { kWrite, kRead };
+  enum class Result : std::uint8_t {
+    kOk,       // completed with a value
+    kAborted,  // read aborted (explicitly allowed pre-stabilization)
+    kFailed,   // write failed / client destroyed
+    kPending,  // never returned within the observation window
+  };
+
+  Kind kind = Kind::kWrite;
+  Result result = Result::kPending;
+  std::uint32_t client = 0;
+  VirtualTime invoked_at = 0;
+  VirtualTime returned_at = 0;  // meaningful when result != kPending
+  Bytes value;                  // written value, or value returned by read
+
+  /// op precedes other iff it returned before the other was invoked
+  /// (§II-A precedence).
+  [[nodiscard]] bool PrecedesRt(const OpRecord& other) const {
+    return result != Result::kPending && returned_at < other.invoked_at;
+  }
+  [[nodiscard]] bool ConcurrentWith(const OpRecord& other) const {
+    return !PrecedesRt(other) && !other.PrecedesRt(*this);
+  }
+};
+
+class History {
+ public:
+  void Add(OpRecord record) { ops_.push_back(std::move(record)); }
+  [[nodiscard]] const std::vector<OpRecord>& ops() const { return ops_; }
+  [[nodiscard]] std::size_t size() const { return ops_.size(); }
+  void Clear() { ops_.clear(); }
+
+  [[nodiscard]] std::vector<const OpRecord*> Writes() const;
+  [[nodiscard]] std::vector<const OpRecord*> Reads() const;
+
+ private:
+  std::vector<OpRecord> ops_;
+};
+
+}  // namespace sbft

@@ -1,0 +1,181 @@
+#include "spec/regular_checker.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+
+namespace sbft {
+namespace {
+
+std::string Describe(const OpRecord& op) {
+  std::ostringstream out;
+  out << (op.kind == OpRecord::Kind::kWrite ? "write" : "read") << "(c"
+      << op.client << ", [" << op.invoked_at << "," << op.returned_at
+      << "], v=" << ToHex(op.value) << ")";
+  return out.str();
+}
+
+// DFS cycle detection over adjacency lists.
+bool HasCycle(const std::vector<std::vector<std::size_t>>& adjacency) {
+  enum class Mark : std::uint8_t { kWhite, kGray, kBlack };
+  std::vector<Mark> marks(adjacency.size(), Mark::kWhite);
+  std::vector<std::pair<std::size_t, std::size_t>> stack;  // node, edge idx
+  for (std::size_t root = 0; root < adjacency.size(); ++root) {
+    if (marks[root] != Mark::kWhite) continue;
+    stack.push_back({root, 0});
+    marks[root] = Mark::kGray;
+    while (!stack.empty()) {
+      auto& [node, edge] = stack.back();
+      if (edge < adjacency[node].size()) {
+        const std::size_t next = adjacency[node][edge++];
+        if (marks[next] == Mark::kGray) return true;
+        if (marks[next] == Mark::kWhite) {
+          marks[next] = Mark::kGray;
+          stack.push_back({next, 0});
+        }
+      } else {
+        marks[node] = Mark::kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string CheckReport::Summary() const {
+  if (ok) return "OK";
+  std::ostringstream out;
+  out << violations.size() << " violation(s):";
+  for (const std::string& violation : violations) {
+    out << "\n  - " << violation;
+  }
+  return out.str();
+}
+
+CheckReport CheckRegular(const History& history, const CheckOptions& options) {
+  CheckReport report;
+  const auto writes = history.Writes();
+  const auto reads = history.Reads();
+
+  // Unique write values are a precondition for identification. Failed
+  // writes are indexed too: their value may have been installed at some
+  // servers before the failure (like a crashed writer's), so a read
+  // returning it is legal — but it imposes no ordering constraints.
+  std::map<Bytes, std::size_t> write_by_value;
+  for (std::size_t i = 0; i < writes.size(); ++i) {
+    if (!write_by_value.emplace(writes[i]->value, i).second) {
+      report.AddViolation("duplicate write value (driver bug): " +
+                          Describe(*writes[i]));
+      return report;
+    }
+  }
+
+  // Constraint graph over writes.
+  std::vector<std::vector<std::size_t>> adjacency(writes.size());
+  auto add_edge = [&](std::size_t from, std::size_t to) {
+    if (from != to) adjacency[from].push_back(to);
+  };
+
+  // Real-time precedence among completed writes.
+  for (std::size_t i = 0; i < writes.size(); ++i) {
+    for (std::size_t j = 0; j < writes.size(); ++j) {
+      if (i != j && writes[i]->PrecedesRt(*writes[j])) add_edge(i, j);
+    }
+  }
+
+  for (const OpRecord* read : reads) {
+    if (read->result != OpRecord::Result::kOk) continue;
+    if (read->invoked_at < options.stabilized_from) continue;
+
+    const bool grandfathered =
+        std::find(options.grandfathered_values.begin(),
+                  options.grandfathered_values.end(),
+                  read->value) != options.grandfathered_values.end();
+    auto it = write_by_value.find(read->value);
+    if (it == write_by_value.end()) {
+      if (!grandfathered) {
+        report.AddViolation("read returned a value never written: " +
+                            Describe(*read));
+      }
+      continue;
+    }
+    const OpRecord& write = *writes[it->second];
+
+    // Validity, first filter: the write must not strictly follow the read.
+    if (read->PrecedesRt(write)) {
+      report.AddViolation("read returned a future write: " + Describe(*read) +
+                          " <- " + Describe(write));
+      continue;
+    }
+    // A failed write never completed: like a crashed writer's operation
+    // it is treated as concurrent with everything after its invocation,
+    // so it neither constrains nor is constrained.
+    if (write.result == OpRecord::Result::kFailed) continue;
+    // A write concurrent with the read is always admissible.
+    if (write.ConcurrentWith(*read)) continue;
+
+    // The write precedes the read: it must not be superseded by another
+    // write also preceding the read.
+    for (std::size_t j = 0; j < writes.size(); ++j) {
+      const OpRecord& other = *writes[j];
+      if (&other == &write || other.result == OpRecord::Result::kFailed) {
+        continue;
+      }
+      if (write.PrecedesRt(other) && other.PrecedesRt(*read)) {
+        report.AddViolation("stale read: " + Describe(*read) +
+                            " returned " + Describe(write) +
+                            " superseded by " + Describe(other));
+      }
+    }
+    // Serialization constraint: every write completed before the read
+    // must be ordered at or before the returned write.
+    for (std::size_t j = 0; j < writes.size(); ++j) {
+      if (j == it->second) continue;
+      if (writes[j]->result == OpRecord::Result::kFailed) continue;
+      if (writes[j]->PrecedesRt(*read)) add_edge(j, it->second);
+    }
+  }
+
+  if (report.ok && HasCycle(adjacency)) {
+    report.AddViolation(
+        "no write serialization satisfies all reads (Consistency violated: "
+        "two reads perceive prefix writes in different orders)");
+  }
+  return report;
+}
+
+CheckReport CheckNoNewOldInversion(const History& history,
+                                   const CheckOptions& options) {
+  CheckReport report;
+  const auto writes = history.Writes();
+  const auto reads = history.Reads();
+  std::map<Bytes, const OpRecord*> write_by_value;
+  for (const OpRecord* write : writes) write_by_value[write->value] = write;
+
+  for (const OpRecord* r1 : reads) {
+    if (r1->result != OpRecord::Result::kOk) continue;
+    if (r1->invoked_at < options.stabilized_from) continue;
+    auto w1_it = write_by_value.find(r1->value);
+    if (w1_it == write_by_value.end()) continue;
+    for (const OpRecord* r2 : reads) {
+      if (r2->result != OpRecord::Result::kOk) continue;
+      if (!r1->PrecedesRt(*r2)) continue;  // need r1 strictly before r2
+      auto w2_it = write_by_value.find(r2->value);
+      if (w2_it == write_by_value.end()) continue;
+      // Inversion: the earlier read saw a write that strictly supersedes
+      // what the later read returned.
+      if (w2_it->second->PrecedesRt(*w1_it->second)) {
+        report.AddViolation("new/old inversion: " + Describe(*r1) +
+                            " then " + Describe(*r2));
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace sbft

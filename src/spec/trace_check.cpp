@@ -1,0 +1,97 @@
+#include "spec/trace_check.hpp"
+
+#include <map>
+#include <sstream>
+#include <tuple>
+
+#include "net/message.hpp"
+
+namespace sbft {
+namespace {
+
+enum class LabelState : std::uint8_t {
+  kUnflushed,  // no flush round seen yet for this label
+  kFlushed,    // FLUSH sent, ack outstanding
+  kAcked,      // FLUSH_ACK received: READ(l) is now legitimate
+  kReading,    // READ sent under a valid ack
+};
+
+struct ChannelKey {
+  NodeId client;
+  NodeId server;
+  OpLabel label;
+  auto operator<=>(const ChannelKey&) const = default;
+};
+
+}  // namespace
+
+TraceCheckReport CheckReadMessageOrder(
+    const std::vector<TraceEvent>& events, const std::set<NodeId>& clients,
+    const std::set<NodeId>& correct_servers) {
+  TraceCheckReport report;
+  std::map<ChannelKey, LabelState> state;
+
+  auto violation = [&](const ChannelKey& key, const std::string& what,
+                       VirtualTime when) {
+    std::ostringstream out;
+    out << what << " (client " << key.client << ", server " << key.server
+        << ", label " << key.label << ", t=" << when << ")";
+    report.ok = false;
+    report.violations.push_back(out.str());
+  };
+
+  for (const TraceEvent& event : events) {
+    if (event.kind != TraceKind::kSend && event.kind != TraceKind::kDeliver) {
+      continue;
+    }
+    auto decoded = DecodeMessage(event.frame);
+    if (!decoded.ok()) continue;
+    const Message& message = decoded.value();
+
+    // Client -> server sends.
+    if (event.kind == TraceKind::kSend && clients.count(event.src) &&
+        correct_servers.count(event.dst)) {
+      if (const auto* flush = std::get_if<FlushMsg>(&message)) {
+        if (flush->scope == OpScope::kRead) {
+          state[{event.src, event.dst, flush->label}] = LabelState::kFlushed;
+          report.flush_rounds++;
+        }
+      } else if (const auto* read = std::get_if<ReadMsg>(&message)) {
+        const ChannelKey key{event.src, event.dst, read->label};
+        auto it = state.find(key);
+        const LabelState current =
+            it == state.end() ? LabelState::kUnflushed : it->second;
+        if (current != LabelState::kAcked) {
+          violation(key,
+                    current == LabelState::kFlushed
+                        ? "READ sent before FLUSH_ACK returned"
+                        : (current == LabelState::kReading
+                               ? "READ re-sent without a fresh flush round"
+                               : "READ sent with no flush round at all"),
+                    event.time);
+        }
+        state[key] = LabelState::kReading;
+        report.reads_checked++;
+      }
+    }
+
+    // Server -> client deliveries.
+    if (event.kind == TraceKind::kDeliver &&
+        correct_servers.count(event.src) && clients.count(event.dst)) {
+      if (const auto* ack = std::get_if<FlushAckMsg>(&message)) {
+        if (ack->scope == OpScope::kRead) {
+          const ChannelKey key{event.dst, event.src, ack->label};
+          auto it = state.find(key);
+          if (it != state.end() && it->second == LabelState::kFlushed) {
+            it->second = LabelState::kAcked;
+          }
+        }
+      } else if (std::get_if<ReplyMsg>(&message) != nullptr) {
+        report.replies_seen++;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace sbft

@@ -1,0 +1,36 @@
+// Message-order validation against the Figure 4 / Lemma 5 structure.
+//
+// Facts 1-4 of Lemma 5, restated as a checkable pattern per
+// (client, server, read label):
+//   a READ(l) may be sent to a server only after a FLUSH(l) was sent to
+//   it and the matching FLUSH_ACK(l) was delivered back (facts 1-3), and
+//   every REPLY(l) the client counts arrives after its READ(l) (fact 4,
+//   implied by causality but asserted over the recorded trace anyway).
+//
+// The checker consumes a World trace (sends and deliveries in virtual-
+// time order) and reports every violation of this discipline by a
+// correct client against a correct server. Byzantine nodes are excluded:
+// they may emit anything.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace sbft {
+
+struct TraceCheckReport {
+  bool ok = true;
+  std::vector<std::string> violations;
+  std::uint64_t reads_checked = 0;
+  std::uint64_t flush_rounds = 0;
+  std::uint64_t replies_seen = 0;
+};
+
+[[nodiscard]] TraceCheckReport CheckReadMessageOrder(
+    const std::vector<TraceEvent>& events, const std::set<NodeId>& clients,
+    const std::set<NodeId>& correct_servers);
+
+}  // namespace sbft

@@ -1,0 +1,119 @@
+#include "spec/workload.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+namespace sbft {
+namespace {
+
+Value TaggedValue(std::size_t client, std::uint32_t seq) {
+  const std::string text =
+      "c" + std::to_string(client) + "#" + std::to_string(seq);
+  return Value(text.begin(), text.end());
+}
+
+OpRecord::Result FromStatus(OpStatus status) {
+  switch (status) {
+    case OpStatus::kOk:
+      return OpRecord::Result::kOk;
+    case OpStatus::kAborted:
+      return OpRecord::Result::kAborted;
+    case OpStatus::kFailed:
+      return OpRecord::Result::kFailed;
+  }
+  return OpRecord::Result::kFailed;
+}
+
+// All driver state lives on the heap and is captured by shared_ptr in
+// every scheduled closure: if the event cap interrupts the workload,
+// closures left in the world's queue must stay safe to run later.
+struct Driver : std::enable_shared_from_this<Driver> {
+  Driver(Deployment& deployment, const WorkloadOptions& options)
+      : deployment(deployment),
+        options(options),
+        rng(options.seed),
+        remaining(deployment.n_clients(), options.ops_per_client),
+        seq(deployment.n_clients(), 0) {}
+
+  Deployment& deployment;
+  WorkloadOptions options;
+  Rng rng;
+  std::vector<std::uint32_t> remaining;
+  std::vector<std::uint32_t> seq;
+  std::size_t outstanding = 0;
+  WorkloadResult result;
+
+  [[nodiscard]] bool AllDone() const {
+    return outstanding == 0 &&
+           std::all_of(remaining.begin(), remaining.end(),
+                       [](std::uint32_t r) { return r == 0; });
+  }
+
+  void ScheduleNext(std::size_t client) {
+    auto self = shared_from_this();
+    deployment.world().ScheduleCall(
+        1 + rng.NextBelow(options.max_think_time),
+        [self, client] { self->LaunchNext(client); });
+  }
+
+  void LaunchNext(std::size_t client) {
+    if (remaining[client] == 0) return;
+    if (!deployment.client(client).idle()) return;  // destroyed op pending
+    remaining[client]--;
+    outstanding++;
+    const VirtualTime invoked_at = deployment.world().now();
+    auto self = shared_from_this();
+
+    if (rng.NextBool(options.write_fraction)) {
+      const Value value = TaggedValue(client, seq[client]++);
+      deployment.client(client).StartWrite(
+          value, [self, client, value, invoked_at](const WriteOutcome& out) {
+            OpRecord record;
+            record.kind = OpRecord::Kind::kWrite;
+            record.result = FromStatus(out.status);
+            record.client = static_cast<std::uint32_t>(client);
+            record.invoked_at = invoked_at;
+            record.returned_at = self->deployment.world().now();
+            record.value = value;
+            self->result.history.Add(std::move(record));
+            if (out.status == OpStatus::kOk) {
+              self->result.first_write_done = std::min(
+                  self->result.first_write_done,
+                  self->deployment.world().now());
+            }
+            self->outstanding--;
+            self->ScheduleNext(client);
+          });
+    } else {
+      deployment.client(client).StartRead(
+          [self, client, invoked_at](const ReadOutcome& out) {
+            OpRecord record;
+            record.kind = OpRecord::Kind::kRead;
+            record.result = FromStatus(out.status);
+            record.client = static_cast<std::uint32_t>(client);
+            record.invoked_at = invoked_at;
+            record.returned_at = self->deployment.world().now();
+            record.value = out.value;
+            self->result.history.Add(std::move(record));
+            self->outstanding--;
+            self->ScheduleNext(client);
+          });
+    }
+  }
+};
+
+}  // namespace
+
+WorkloadResult RunConcurrentWorkload(Deployment& deployment,
+                                     const WorkloadOptions& options) {
+  auto driver = std::make_shared<Driver>(deployment, options);
+  for (std::size_t client = 0; client < deployment.n_clients(); ++client) {
+    driver->ScheduleNext(client);
+  }
+  driver->result.all_completed = deployment.world().RunUntil(
+      [&] { return driver->AllDone(); }, options.max_events);
+  return driver->result;
+}
+
+}  // namespace sbft

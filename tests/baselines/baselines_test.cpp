@@ -1,0 +1,254 @@
+// Baseline protocols: correct in their own fault models, demonstrably
+// broken outside them (the E5 story, unit-sized).
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/abd.hpp"
+#include "baselines/bft_unbounded.hpp"
+#include "baselines/naive_quorum.hpp"
+#include "sim/world.hpp"
+
+namespace sbft {
+namespace {
+
+Value Val(const std::string& text) { return Value(text.begin(), text.end()); }
+
+// --- ABD harness -------------------------------------------------------
+
+struct AbdRig {
+  explicit AbdRig(std::size_t n, std::uint64_t seed = 1,
+                  std::size_t byzantine = 0) {
+    World::Options options;
+    options.seed = seed;
+    world = std::make_unique<World>(std::move(options));
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i < byzantine) {
+        // ABD has no Byzantine defence; reuse the Bu Byzantine which
+        // speaks a different protocol — instead emulate with a corrupted
+        // AbdServer frozen at a huge ts.
+        auto server = std::make_unique<AbdServer>();
+        server->SetState(UnboundedTs{~0ull, 99}, Val("evil"));
+        servers.push_back(server.get());
+        server_ids.push_back(world->AddNode(std::move(server)));
+      } else {
+        auto server = std::make_unique<AbdServer>();
+        servers.push_back(server.get());
+        server_ids.push_back(world->AddNode(std::move(server)));
+      }
+    }
+    auto client_owner = std::make_unique<AbdClient>(server_ids, 100);
+    client = client_owner.get();
+    world->AddNode(std::move(client_owner));
+    world->RunUntil([] { return true; }, 0);
+  }
+
+  bool Write(const Value& value) {
+    bool done = false, ok = false;
+    client->StartWrite(value, [&](bool k) {
+      ok = k;
+      done = true;
+    });
+    world->RunUntil([&] { return done; }, 100000);
+    return done && ok;
+  }
+  AbdReadOutcome Read() {
+    AbdReadOutcome outcome;
+    bool done = false;
+    client->StartRead([&](const AbdReadOutcome& o) {
+      outcome = o;
+      done = true;
+    });
+    world->RunUntil([&] { return done; }, 100000);
+    return outcome;
+  }
+
+  std::unique_ptr<World> world;
+  std::vector<AbdServer*> servers;
+  std::vector<NodeId> server_ids;
+  AbdClient* client = nullptr;
+};
+
+TEST(AbdBaseline, CrashModelWriteReadWorks) {
+  AbdRig rig(5);
+  ASSERT_TRUE(rig.Write(Val("abd-1")));
+  auto read = rig.Read();
+  ASSERT_TRUE(read.ok);
+  EXPECT_EQ(read.value, Val("abd-1"));
+}
+
+TEST(AbdBaseline, SequentialWritesMonotone) {
+  AbdRig rig(5);
+  for (int i = 0; i < 10; ++i) {
+    const Value value = Val("abd-" + std::to_string(i));
+    ASSERT_TRUE(rig.Write(value));
+    EXPECT_EQ(rig.Read().value, value);
+  }
+}
+
+TEST(AbdBaseline, ByzantineMaxTsServerPoisonsReads) {
+  // One lying server with a maximal timestamp wins the max-ts rule on
+  // any read quorum containing it: ABD gives no Byzantine protection.
+  AbdRig rig(5, /*seed=*/3, /*byzantine=*/1);
+  ASSERT_TRUE(rig.Write(Val("honest")));
+  int poisoned = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto read = rig.Read();
+    if (read.value == Val("evil")) ++poisoned;
+  }
+  EXPECT_GT(poisoned, 0);
+}
+
+TEST(AbdBaseline, TransientCorruptionIsPermanent) {
+  // Corrupt every server: the planted near-maximal timestamps make the
+  // garbage stick — no later write can exceed them.
+  AbdRig rig(5, /*seed=*/4);
+  ASSERT_TRUE(rig.Write(Val("before")));
+  Rng rng(99);
+  for (auto* server : rig.servers) {
+    server->SetState(UnboundedTs{0xFFFFFFFFFFFFFF00ull +
+                                     rng.NextBelow(200),
+                                 7},
+                     Val("junk"));
+  }
+  ASSERT_TRUE(rig.Write(Val("after")));  // write "completes"...
+  auto read = rig.Read();
+  ASSERT_TRUE(read.ok);
+  EXPECT_NE(read.value, Val("after"));  // ...but is never visible
+}
+
+// --- BFT-unbounded harness ----------------------------------------------
+
+struct BuRig {
+  BuRig(std::size_t n, std::uint32_t f, std::uint64_t seed = 1,
+        std::size_t byzantine = 0) {
+    World::Options world_options;
+    world_options.seed = seed;
+    world = std::make_unique<World>(std::move(world_options));
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i < byzantine) {
+        server_ids.push_back(
+            world->AddNode(std::make_unique<BuByzantineServer>(seed + i)));
+        servers.push_back(nullptr);
+      } else {
+        auto server = std::make_unique<BuServer>();
+        servers.push_back(server.get());
+        server_ids.push_back(world->AddNode(std::move(server)));
+      }
+    }
+    auto client_owner = std::make_unique<BuClient>(server_ids, f, 100);
+    client = client_owner.get();
+    world->AddNode(std::move(client_owner));
+    world->RunUntil([] { return true; }, 0);
+  }
+
+  bool Write(const Value& value) {
+    bool done = false, ok = false;
+    client->StartWrite(value, [&](bool k) {
+      ok = k;
+      done = true;
+    });
+    world->RunUntil([&] { return done; }, 100000);
+    return done && ok;
+  }
+  BuReadOutcome Read() {
+    BuReadOutcome outcome;
+    bool done = false;
+    client->StartRead([&](const BuReadOutcome& o) {
+      outcome = o;
+      done = true;
+    });
+    world->RunUntil([&] { return done; }, 100000);
+    return outcome;
+  }
+
+  std::unique_ptr<World> world;
+  std::vector<BuServer*> servers;
+  std::vector<NodeId> server_ids;
+  BuClient* client = nullptr;
+};
+
+TEST(BuBaseline, CleanStartWorks) {
+  BuRig rig(4, 1);
+  ASSERT_TRUE(rig.Write(Val("bu-1")));
+  auto read = rig.Read();
+  ASSERT_TRUE(read.ok);
+  EXPECT_EQ(read.value, Val("bu-1"));
+}
+
+TEST(BuBaseline, ToleratesByzantineFromCleanStart) {
+  BuRig rig(4, 1, /*seed=*/5, /*byzantine=*/1);
+  for (int i = 0; i < 8; ++i) {
+    const Value value = Val("bu-" + std::to_string(i));
+    ASSERT_TRUE(rig.Write(value));
+    auto read = rig.Read();
+    ASSERT_TRUE(read.ok) << i;
+    EXPECT_EQ(read.value, value) << i;
+  }
+}
+
+TEST(BuBaseline, TransientCorruptionPermanentlyBreaksReads) {
+  // The unbounded-timestamp failure mode the paper's bounded labels
+  // avoid: corruption plants distinct near-maximal timestamps at every
+  // correct server; no value can ever again reach f+1 witnesses and the
+  // saturated timestamps cannot be dominated, so reads abort forever.
+  BuRig rig(4, 1, /*seed=*/6);
+  ASSERT_TRUE(rig.Write(Val("before")));
+  Rng rng(7);
+  for (auto* server : rig.servers) {
+    // Fully saturated timestamps with distinct garbage: the worst legal
+    // state a transient fault can leave fixed-width timestamps in. No
+    // legitimate timestamp can ever exceed it again.
+    server->SetState(
+        UnboundedTs{std::numeric_limits<std::uint64_t>::max(),
+                    std::numeric_limits<std::uint32_t>::max()},
+        RandomBytes(rng, 4));  // distinct garbage each
+  }
+  ASSERT_TRUE(rig.Write(Val("after")));
+  int ok_reads = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto read = rig.Read();
+    if (read.ok && read.value == Val("after")) ++ok_reads;
+  }
+  // The register never again returns the legitimately written value.
+  EXPECT_EQ(ok_reads, 0);
+}
+
+// --- Naive quorum (TM_1R) -----------------------------------------------
+
+TEST(NqBaseline, CleanStartWorks) {
+  World world;
+  std::vector<NodeId> server_ids;
+  const std::uint32_t n = 5, f = 1, k = 8;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    server_ids.push_back(world.AddNode(std::make_unique<NqServer>(k)));
+  }
+  auto client_owner = std::make_unique<NqClient>(server_ids, f, k, 100);
+  NqClient* client = client_owner.get();
+  world.AddNode(std::move(client_owner));
+  world.RunUntil([] { return true; }, 0);
+
+  bool done = false, ok = false;
+  client->StartWrite(Val("nq-1"), [&](bool w) {
+    ok = w;
+    done = true;
+  });
+  world.RunUntil([&] { return done; }, 100000);
+  ASSERT_TRUE(done && ok);
+
+  done = false;
+  NqReadOutcome outcome;
+  client->StartRead([&](const NqReadOutcome& o) {
+    outcome = o;
+    done = true;
+  });
+  world.RunUntil([&] { return done; }, 100000);
+  ASSERT_TRUE(done && outcome.ok);
+  EXPECT_EQ(outcome.value, Val("nq-1"));
+}
+
+}  // namespace
+}  // namespace sbft

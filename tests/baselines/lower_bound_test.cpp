@@ -1,0 +1,56 @@
+// Theorem 1, executed: the adversarial schedule from the lower-bound
+// proof violates regularity at n = 5f, and the identical attack fails
+// at n = 5f+1 — the bound is tight.
+#include "baselines/lower_bound_replay.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sbft {
+namespace {
+
+class LowerBound : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(LowerBound, AttackViolatesRegularityAtFiveF) {
+  ReplayOptions options;
+  options.f = GetParam();
+  options.extra_correct = 0;  // n = 5f: Theorem 1 says impossible
+  auto result = RunTheorem1Replay(options);
+  ASSERT_TRUE(result.all_ops_completed) << "replay schedule stalled";
+  // The proof's signature: both reads face the same timestamp multiset,
+  // so the deterministic decision elects the same timestamp twice, while
+  // regularity demands w1's value from r1 and w2's value from r2 — at
+  // least one read must come back wrong (a stale value or the planted
+  // never-written one).
+  EXPECT_TRUE(result.violated()) << result.Summary();
+  const bool r1_ok = result.r1_value == Bytes{'v', '1'};
+  const bool r2_ok = result.r2_value == Bytes{'v', '2'};
+  EXPECT_FALSE(r1_ok && r2_ok);
+}
+
+TEST_P(LowerBound, AttackFailsAtFiveFPlusOne) {
+  ReplayOptions options;
+  options.f = GetParam();
+  options.extra_correct = 1;  // n = 5f+1: the paper's tight bound
+  auto result = RunTheorem1Replay(options);
+  ASSERT_TRUE(result.all_ops_completed) << "replay schedule stalled";
+  EXPECT_FALSE(result.violated()) << result.report.Summary();
+  EXPECT_NE(result.r1_value, result.r2_value);  // fresh value each time
+}
+
+INSTANTIATE_TEST_SUITE_P(FSweep, LowerBound, ::testing::Values(1u, 2u, 3u),
+                         [](const auto& info) {
+                           return "f" + std::to_string(info.param);
+                         });
+
+TEST(LowerBound, DeterministicAcrossRuns) {
+  ReplayOptions options;
+  options.f = 1;
+  auto a = RunTheorem1Replay(options);
+  auto b = RunTheorem1Replay(options);
+  EXPECT_EQ(a.r1_value, b.r1_value);
+  EXPECT_EQ(a.r2_value, b.r2_value);
+  EXPECT_EQ(a.violated(), b.violated());
+}
+
+}  // namespace
+}  // namespace sbft

@@ -1,0 +1,48 @@
+// Hashing and logging utilities.
+#include <gtest/gtest.h>
+
+#include "common/hash.hpp"
+#include "common/logging.hpp"
+
+namespace sbft {
+namespace {
+
+TEST(Hash, Fnv1aKnownVectors) {
+  // Standard FNV-1a 64-bit test vectors.
+  EXPECT_EQ(Fnv1a(""), 0xCBF29CE484222325ull);
+  EXPECT_EQ(Fnv1a("a"), 0xAF63DC4C8601EC8Cull);
+  EXPECT_EQ(Fnv1a("foobar"), 0x85944171F73967E8ull);
+}
+
+TEST(Hash, BytesAndStringAgree) {
+  const char* text = "register";
+  std::vector<std::uint8_t> bytes(text, text + 8);
+  EXPECT_EQ(Fnv1a(std::string_view(text)),
+            Fnv1a(std::span<const std::uint8_t>(bytes)));
+}
+
+TEST(Hash, CombineIsOrderSensitive) {
+  const std::uint64_t a = HashCombine(HashCombine(kFnvOffset, 1), 2);
+  const std::uint64_t b = HashCombine(HashCombine(kFnvOffset, 2), 1);
+  EXPECT_NE(a, b);
+}
+
+TEST(Hash, ConstexprUsable) {
+  constexpr std::uint64_t h = Fnv1a("compile-time");
+  static_assert(h != 0);
+  EXPECT_NE(h, 0u);
+}
+
+TEST(Logging, LevelRoundTrip) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kNone);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kNone);
+  // Emitting below threshold must be a no-op (and not crash).
+  SBFT_LOG_DEBUG << "suppressed " << 42;
+  SetLogLevel(before);
+}
+
+}  // namespace
+}  // namespace sbft

@@ -1,0 +1,116 @@
+// Unit tests for the bounds-checked wire codec. The decoding paths are
+// the first line of defence against corrupted channel contents (§II),
+// so the garbage cases matter as much as the round-trips.
+#include "common/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "common/rng.hpp"
+
+namespace sbft {
+namespace {
+
+TEST(Serialize, RoundTripsIntegers) {
+  BufWriter w;
+  w.Put<std::uint8_t>(0xAB);
+  w.Put<std::uint32_t>(0xDEADBEEF);
+  w.Put<std::uint64_t>(std::numeric_limits<std::uint64_t>::max());
+  w.Put<std::int32_t>(-12345);
+
+  BufReader r(w.data());
+  EXPECT_EQ(r.Get<std::uint8_t>(), 0xAB);
+  EXPECT_EQ(r.Get<std::uint32_t>(), 0xDEADBEEFu);
+  EXPECT_EQ(r.Get<std::uint64_t>(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(r.Get<std::int32_t>(), -12345);
+  EXPECT_TRUE(r.AtEndOk());
+}
+
+TEST(Serialize, RoundTripsStringsAndBytes) {
+  BufWriter w;
+  w.PutString("hello register");
+  w.PutString("");
+  w.PutBytes(Bytes{1, 2, 3});
+
+  BufReader r(w.data());
+  EXPECT_EQ(r.GetString(), "hello register");
+  EXPECT_EQ(r.GetString(), "");
+  EXPECT_EQ(r.GetBytes(), (Bytes{1, 2, 3}));
+  EXPECT_TRUE(r.AtEndOk());
+}
+
+TEST(Serialize, RoundTripsVectors) {
+  BufWriter w;
+  std::vector<std::uint32_t> values{7, 11, 13};
+  w.PutVector(values,
+              [](BufWriter& bw, std::uint32_t v) { bw.Put<std::uint32_t>(v); });
+
+  BufReader r(w.data());
+  auto decoded = r.GetVector<std::uint32_t>(
+      [](BufReader& br) { return br.Get<std::uint32_t>(); });
+  EXPECT_EQ(decoded, values);
+  EXPECT_TRUE(r.AtEndOk());
+}
+
+TEST(Serialize, TruncatedIntegerFailsSticky) {
+  Bytes two_bytes{0x01, 0x02};
+  BufReader r(two_bytes);
+  (void)r.Get<std::uint32_t>();
+  EXPECT_TRUE(r.failed());
+  // Sticky: subsequent reads also fail and return zero values.
+  EXPECT_EQ(r.Get<std::uint8_t>(), 0);
+  EXPECT_TRUE(r.failed());
+  EXPECT_FALSE(r.AtEndOk());
+}
+
+TEST(Serialize, AbsurdLengthPrefixRejected) {
+  BufWriter w;
+  w.Put<std::uint32_t>(0xFFFFFFFF);  // length prefix far beyond buffer
+  BufReader r(w.data());
+  Bytes out = r.GetBytes();
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(r.failed());
+}
+
+TEST(Serialize, VectorWithHugeCountRejected) {
+  BufWriter w;
+  w.Put<std::uint32_t>(kMaxWireElements + 1);
+  BufReader r(w.data());
+  auto decoded = r.GetVector<std::uint32_t>(
+      [](BufReader& br) { return br.Get<std::uint32_t>(); });
+  EXPECT_TRUE(decoded.empty());
+  EXPECT_TRUE(r.failed());
+}
+
+TEST(Serialize, TrailingGarbageNotAtEndOk) {
+  BufWriter w;
+  w.Put<std::uint16_t>(5);
+  w.Put<std::uint8_t>(9);
+  BufReader r(w.data());
+  EXPECT_EQ(r.Get<std::uint16_t>(), 5);
+  EXPECT_FALSE(r.AtEndOk());  // one byte left unread
+}
+
+// Property: decoding arbitrary garbage never crashes and either fails or
+// consumes within bounds. This is exercised at scale because garbage
+// frames are a first-class input in the transient-fault model.
+TEST(Serialize, FuzzDecodingGarbageIsTotal) {
+  Rng rng(0x5EED);
+  for (int round = 0; round < 2000; ++round) {
+    Bytes garbage = RandomBytes(rng, rng.NextBelow(64));
+    BufReader r(garbage);
+    (void)r.Get<std::uint32_t>();
+    (void)r.GetString();
+    (void)r.GetVector<std::uint64_t>(
+        [](BufReader& br) { return br.Get<std::uint64_t>(); });
+    (void)r.GetBytes();
+    // No assertion needed beyond "did not crash"; but the reader must
+    // never report more remaining bytes than the buffer held.
+    EXPECT_LE(r.remaining(), garbage.size());
+  }
+}
+
+}  // namespace
+}  // namespace sbft

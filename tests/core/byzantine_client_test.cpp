@@ -1,0 +1,176 @@
+// §VI final remark, executed: Byzantine *reader* clients cannot break
+// the register — the read path never modifies correct-server state, the
+// running_read table is bounded, and honest clients' operations remain
+// regular. A Byzantine *writer* is outside the paper's model (writers
+// only crash); the ForgedWriter strategy measures what it actually
+// does: it can overwrite the register (servers adopt unconditionally —
+// write access control is explicitly not part of the model), but it
+// cannot corrupt protocol state or block honest operations.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/byzantine_client.hpp"
+#include "core/deployment.hpp"
+
+namespace sbft {
+namespace {
+
+Value Val(const std::string& text) { return Value(text.begin(), text.end()); }
+
+struct Rig {
+  explicit Rig(ByzantineClientStrategy strategy, std::uint64_t seed) {
+    Deployment::Options options;
+    options.config = ProtocolConfig::ForServers(6);
+    options.config.max_running_reads = 16;
+    options.seed = seed;
+    options.n_clients = 2;
+    deployment = std::make_unique<Deployment>(std::move(options));
+    // Splice the Byzantine client into the same world.
+    std::vector<NodeId> server_ids;
+    for (std::size_t i = 0; i < 6; ++i) {
+      server_ids.push_back(deployment->server_node(i));
+    }
+    deployment->world().AddNode(std::make_unique<ByzantineClient>(
+        strategy, server_ids, deployment->config().k, seed * 13,
+        /*rounds=*/64));
+  }
+  std::unique_ptr<Deployment> deployment;
+};
+
+class ByzantineClientSweep
+    : public ::testing::TestWithParam<ByzantineClientStrategy> {};
+
+TEST_P(ByzantineClientSweep, HonestReadersUnaffected) {
+  const auto strategy = GetParam();
+  if (strategy == ByzantineClientStrategy::kForgedWriter) {
+    GTEST_SKIP() << "forged writers legitimately overwrite the register "
+                    "(no write access control in the model); covered by "
+                    "ForgedWriterOnlyOverwrites below";
+  }
+  Rig rig(strategy, 91);
+  for (int i = 0; i < 8; ++i) {
+    const Value value = Val("sane" + std::to_string(i));
+    auto write = rig.deployment->Write(0, value);
+    ASSERT_TRUE(write.completed) << ByzantineClientStrategyName(strategy);
+    ASSERT_EQ(write.outcome.status, OpStatus::kOk);
+    auto read = rig.deployment->Read(1);
+    ASSERT_TRUE(read.completed);
+    ASSERT_EQ(read.outcome.status, OpStatus::kOk);
+    EXPECT_EQ(read.outcome.value, value)
+        << "attacker: " << ByzantineClientStrategyName(strategy);
+  }
+}
+
+TEST_P(ByzantineClientSweep, ServerStateStaysBounded) {
+  const auto strategy = GetParam();
+  Rig rig(strategy, 92);
+  rig.deployment->world().Run(5'000'000);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_LE(rig.deployment->server(i).running_read_count(), 16u)
+        << "server " << i << " vs "
+        << ByzantineClientStrategyName(strategy);
+    EXPECT_LE(rig.deployment->server(i).old_vals().size(),
+              rig.deployment->config().history_window);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, ByzantineClientSweep,
+    ::testing::Values(ByzantineClientStrategy::kReadFlooder,
+                      ByzantineClientStrategy::kGarbageSprayer,
+                      ByzantineClientStrategy::kForgedWriter),
+    [](const auto& info) {
+      std::string name(ByzantineClientStrategyName(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(ByzantineClientTest, ForgedWriterOnlyOverwrites) {
+  // A forged writer can install values (as any writer could), but the
+  // register keeps functioning: an honest write after the attack is
+  // again visible to every honest reader.
+  Rig rig(ByzantineClientStrategy::kForgedWriter, 93);
+  rig.deployment->world().Run(5'000'000);  // let the attack play out
+  const Value value = Val("after-the-storm");
+  auto write = rig.deployment->Write(0, value);
+  ASSERT_TRUE(write.completed);
+  ASSERT_EQ(write.outcome.status, OpStatus::kOk);
+  for (int i = 0; i < 3; ++i) {
+    auto read = rig.deployment->Read(1);
+    ASSERT_TRUE(read.completed);
+    ASSERT_EQ(read.outcome.status, OpStatus::kOk);
+    EXPECT_EQ(read.outcome.value, value);
+  }
+}
+
+TEST(ByzantineClientTest, CrashedReaderLeavesBoundedResidue) {
+  // A reader that crashes mid-read leaves its (reader, label) entry in
+  // running_read tables; the entry is bounded and evicted by churn, and
+  // nothing else is affected.
+  Deployment::Options options;
+  options.config = ProtocolConfig::ForServers(6);
+  options.seed = 94;
+  options.n_clients = 3;
+  Deployment deployment(std::move(options));
+  ASSERT_TRUE(deployment.Write(0, Val("base")).completed);
+
+  // Client 2 starts a read, then crashes before it completes.
+  deployment.client(2).StartRead([](const ReadOutcome&) {});
+  deployment.world().RunUntil(
+      [&] { return deployment.world().stats().frames_delivered > 40; },
+      2'000);
+  deployment.world().StopNode(deployment.client_node(2));
+  deployment.world().Run();
+
+  // Honest traffic continues unharmed.
+  for (int i = 0; i < 5; ++i) {
+    const Value value = Val("post-crash" + std::to_string(i));
+    ASSERT_TRUE(deployment.Write(0, value).completed);
+    auto read = deployment.Read(1);
+    ASSERT_EQ(read.outcome.status, OpStatus::kOk);
+    EXPECT_EQ(read.outcome.value, value);
+  }
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_LE(deployment.server(i).running_read_count(),
+              deployment.config().max_running_reads);
+  }
+}
+
+TEST(ByzantineClientTest, CrashedWriterMidWriteDoesNotWedge) {
+  // Writers may crash at any time (after the first write completes, in
+  // the transient-fault case — Assumption 1). A mid-write crash leaves
+  // a partially installed value; subsequent reads return either the old
+  // or the partial value (both regular), and later writes supersede it.
+  Deployment::Options options;
+  options.config = ProtocolConfig::ForServers(6);
+  options.seed = 95;
+  options.n_clients = 2;
+  Deployment deployment(std::move(options));
+  ASSERT_TRUE(deployment.Write(0, Val("committed")).completed);
+
+  deployment.client(0).StartWrite(Val("torn"), [](const WriteOutcome&) {});
+  deployment.world().RunUntil(
+      [&] { return deployment.world().stats().frames_delivered > 20; },
+      1'000);
+  deployment.world().StopNode(deployment.client_node(0));
+  deployment.world().Run();
+
+  auto read = deployment.Read(1);
+  ASSERT_TRUE(read.completed);
+  ASSERT_EQ(read.outcome.status, OpStatus::kOk);
+  EXPECT_TRUE(read.outcome.value == Val("committed") ||
+              read.outcome.value == Val("torn"))
+      << std::string(read.outcome.value.begin(), read.outcome.value.end());
+
+  // Client 1 can still write and its value wins.
+  ASSERT_TRUE(deployment.Write(1, Val("recovered")).completed);
+  auto read2 = deployment.Read(1);
+  ASSERT_EQ(read2.outcome.status, OpStatus::kOk);
+  EXPECT_EQ(read2.outcome.value, Val("recovered"));
+}
+
+}  // namespace
+}  // namespace sbft

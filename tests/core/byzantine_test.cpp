@@ -1,0 +1,154 @@
+// Per-strategy unit tests: each Byzantine server behaves as specified
+// (the sweep tests in protocol_test.cpp check the register masks them;
+// these check the strategies actually attack).
+#include "core/byzantine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/world.hpp"
+
+namespace sbft {
+namespace {
+
+// Scripted prober reused from server tests.
+class Scripted final : public Automaton {
+ public:
+  Scripted(NodeId target, std::vector<Message> script)
+      : target_(target), script_(std::move(script)) {}
+  void OnStart(IEndpoint& endpoint) override {
+    for (const Message& message : script_) {
+      endpoint.Send(target_, EncodeMessage(message));
+    }
+  }
+  void OnFrame(NodeId, BytesView frame, IEndpoint&) override {
+    raw_frames.push_back(Bytes(frame.begin(), frame.end()));
+    auto decoded = DecodeMessage(frame);
+    if (decoded.ok()) replies.push_back(std::move(decoded).value());
+  }
+  std::vector<Message> replies;
+  std::vector<Bytes> raw_frames;
+
+ private:
+  NodeId target_;
+  std::vector<Message> script_;
+};
+
+struct Rig {
+  Rig(ByzantineStrategy strategy, std::vector<Message> script) {
+    auto config = ProtocolConfig::ForServers(6);
+    auto server = MakeByzantineServer(strategy, config, 0, /*seed=*/5);
+    byz = server.get();
+    const NodeId id = world.AddNode(std::move(server));
+    auto probe_owner = std::make_unique<Scripted>(id, std::move(script));
+    probe = probe_owner.get();
+    world.AddNode(std::move(probe_owner));
+    world.Run();
+  }
+  World world;
+  RegisterServer* byz;
+  Scripted* probe;
+};
+
+Timestamp FreshTs() {
+  LabelingSystem system(6);
+  return Timestamp{system.Next(std::vector<Label>{system.Initial()}), 7};
+}
+
+TEST(ByzantineStrategies, SilentNeverReplies) {
+  Rig rig(ByzantineStrategy::kSilent,
+          {Message(GetTsMsg{1}), Message(ReadMsg{0}),
+           Message(FlushMsg{0, OpScope::kRead})});
+  EXPECT_TRUE(rig.probe->raw_frames.empty());
+}
+
+TEST(ByzantineStrategies, GarbageRepliesWithNoise) {
+  Rig rig(ByzantineStrategy::kGarbage,
+          {Message(GetTsMsg{1}), Message(ReadMsg{0})});
+  EXPECT_GE(rig.probe->raw_frames.size(), 2u);  // bursts per message
+}
+
+TEST(ByzantineStrategies, StaleReplayFreezesItsStory) {
+  // Two reads after a write: both replies must carry the same frozen
+  // pair, and the write must be "ACKed" without adoption.
+  Rig rig(ByzantineStrategy::kStaleReplay,
+          {Message(ReadMsg{0}), Message(WriteMsg{Value{9}, FreshTs(), 1}),
+           Message(ReadMsg{1})});
+  const ReplyMsg* first = nullptr;
+  const ReplyMsg* second = nullptr;
+  bool acked = false;
+  for (const Message& message : rig.probe->replies) {
+    if (const auto* reply = std::get_if<ReplyMsg>(&message)) {
+      (first == nullptr ? first : second) = reply;
+    } else if (const auto* wr = std::get_if<WriteReplyMsg>(&message)) {
+      acked = wr->ack;
+    }
+  }
+  ASSERT_NE(first, nullptr);
+  ASSERT_NE(second, nullptr);
+  EXPECT_TRUE(acked);  // the lie
+  EXPECT_EQ(first->value, second->value);
+  EXPECT_EQ(first->ts, second->ts);
+  EXPECT_NE(first->value, Value{9});  // never adopted
+}
+
+TEST(ByzantineStrategies, EquivocatorForgesValuesUnderRealTimestamp) {
+  const Timestamp ts = FreshTs();
+  Rig rig(ByzantineStrategy::kEquivocate,
+          {Message(WriteMsg{Value{9}, ts, 1}), Message(ReadMsg{0}),
+           Message(ReadMsg{1})});
+  std::vector<const ReplyMsg*> replies;
+  for (const Message& message : rig.probe->replies) {
+    if (const auto* reply = std::get_if<ReplyMsg>(&message)) {
+      replies.push_back(reply);
+    }
+  }
+  ASSERT_GE(replies.size(), 2u);
+  for (const ReplyMsg* reply : replies) {
+    EXPECT_EQ(reply->ts, ts);              // the legitimate timestamp...
+    EXPECT_NE(reply->value, Value{9});     // ...with a forged value
+  }
+  // Different readers (here: different reads) get different forgeries.
+  EXPECT_NE(replies[0]->value, replies[1]->value);
+}
+
+TEST(ByzantineStrategies, NackRefusesEverythingButAnswers) {
+  Rig rig(ByzantineStrategy::kNack,
+          {Message(GetTsMsg{1}), Message(WriteMsg{Value{9}, FreshTs(), 2}),
+           Message(GetTsMsg{3})});
+  int nacks = 0;
+  std::vector<Timestamp> reported;
+  for (const Message& message : rig.probe->replies) {
+    if (const auto* wr = std::get_if<WriteReplyMsg>(&message)) {
+      nacks += wr->ack ? 0 : 1;
+    } else if (const auto* tr = std::get_if<TsReplyMsg>(&message)) {
+      reported.push_back(tr->ts);
+    }
+  }
+  EXPECT_EQ(nacks, 1);
+  ASSERT_EQ(reported.size(), 2u);
+  EXPECT_EQ(reported[0], reported[1]);  // fixed private timestamp
+}
+
+TEST(ByzantineStrategies, MuteAnswersOnlyFlush) {
+  Rig rig(ByzantineStrategy::kMute,
+          {Message(FlushMsg{2, OpScope::kRead}), Message(GetTsMsg{1}),
+           Message(ReadMsg{0}), Message(WriteMsg{Value{9}, FreshTs(), 1})});
+  ASSERT_EQ(rig.probe->replies.size(), 1u);
+  const auto* ack = std::get_if<FlushAckMsg>(&rig.probe->replies[0]);
+  ASSERT_NE(ack, nullptr);
+  EXPECT_EQ(ack->label, 2u);
+}
+
+TEST(ByzantineStrategies, FactoryCoversAllStrategiesWithNames) {
+  auto config = ProtocolConfig::ForServers(6);
+  for (ByzantineStrategy strategy : kAllByzantineStrategies) {
+    auto server = MakeByzantineServer(strategy, config, 0, 1);
+    EXPECT_NE(server, nullptr);
+    EXPECT_STRNE(ByzantineStrategyName(strategy), "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace sbft

@@ -1,0 +1,187 @@
+// Client automaton edge cases: write retries under scripted rivalry,
+// retry exhaustion, mid-operation transient faults, hostile inputs.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/deployment.hpp"
+
+namespace sbft {
+namespace {
+
+Value Val(const std::string& text) { return Value(text.begin(), text.end()); }
+
+TEST(ClientEdge, RivalWriteForcesRetryAndBothSucceed) {
+  // Scripted rivalry: writer A's WRITE frames are frozen in flight
+  // while writer B completes a full write; on release the servers have
+  // moved on and NACK A, forcing A through the retry path.
+  Deployment::Options options;
+  options.config = ProtocolConfig::ForServers(6);
+  options.seed = 70;
+  options.n_clients = 2;
+  Deployment deployment(std::move(options));
+  World& world = deployment.world();
+
+  ASSERT_TRUE(deployment.Write(0, Val("base")).completed);
+
+  bool a_done = false;
+  WriteOutcome a_outcome;
+  deployment.client(0).StartWrite(Val("A"), [&](const WriteOutcome& o) {
+    a_outcome = o;
+    a_done = true;
+  });
+  // Let A compute its timestamp (GET_TS phase completes), then freeze
+  // every WRITE frame it has in flight.
+  world.RunUntil([&] {
+    return world.stats().frames_sent > 30;  // flush+get_ts done
+  }, 100'000);
+  for (std::size_t s = 0; s < 6; ++s) {
+    world.HoldChannel(deployment.client_node(0), deployment.server_node(s),
+                      /*capture_in_flight=*/true);
+  }
+  // B writes to completion.
+  auto b = deployment.Write(1, Val("B"));
+  ASSERT_TRUE(b.completed);
+  ASSERT_EQ(b.outcome.status, OpStatus::kOk);
+  // Release A's frames; A must recover (possibly via retries).
+  for (std::size_t s = 0; s < 6; ++s) {
+    world.ReleaseChannel(deployment.client_node(0),
+                         deployment.server_node(s));
+  }
+  ASSERT_TRUE(world.RunUntil([&] { return a_done; }, 2'000'000));
+  EXPECT_EQ(a_outcome.status, OpStatus::kOk);
+
+  // The register ends in a consistent state: some read returns A or B
+  // (whichever the serialization puts last), consistently.
+  auto read1 = deployment.Read(1);
+  auto read2 = deployment.Read(0);
+  ASSERT_EQ(read1.outcome.status, OpStatus::kOk);
+  ASSERT_EQ(read2.outcome.status, OpStatus::kOk);
+  EXPECT_EQ(read1.outcome.value, read2.outcome.value);
+  EXPECT_TRUE(read1.outcome.value == Val("A") ||
+              read1.outcome.value == Val("B"));
+}
+
+TEST(ClientEdge, RetryLimitZeroReproducesBlockingSemantics) {
+  // With write_retry_limit = 0 and a scripted rival, the writer fails
+  // outright instead of retrying (the paper's literal wait semantics
+  // would block; we surface kFailed).
+  Deployment::Options options;
+  options.config = ProtocolConfig::ForServers(6);
+  options.config.write_retry_limit = 0;
+  options.seed = 71;
+  options.n_clients = 2;
+  Deployment deployment(std::move(options));
+  World& world = deployment.world();
+  ASSERT_TRUE(deployment.Write(0, Val("base")).completed);
+
+  bool a_done = false;
+  WriteOutcome a_outcome;
+  deployment.client(0).StartWrite(Val("A"), [&](const WriteOutcome& o) {
+    a_outcome = o;
+    a_done = true;
+  });
+  world.RunUntil([&] { return world.stats().frames_sent > 30; }, 100'000);
+  for (std::size_t s = 0; s < 6; ++s) {
+    world.HoldChannel(deployment.client_node(0), deployment.server_node(s),
+                      true);
+  }
+  ASSERT_TRUE(deployment.Write(1, Val("B")).completed);
+  for (std::size_t s = 0; s < 6; ++s) {
+    world.ReleaseChannel(deployment.client_node(0),
+                         deployment.server_node(s));
+  }
+  ASSERT_TRUE(world.RunUntil([&] { return a_done; }, 2'000'000));
+  // Either the WRITE landed before B everywhere (ok) or it was NACKed
+  // and, with no retries allowed, failed.
+  EXPECT_TRUE(a_outcome.status == OpStatus::kOk ||
+              a_outcome.status == OpStatus::kFailed);
+  if (a_outcome.status == OpStatus::kFailed) {
+    EXPECT_EQ(a_outcome.retries, 0u);
+  }
+}
+
+TEST(ClientEdge, MidOperationCorruptionReportsFailure) {
+  Deployment::Options options;
+  options.config = ProtocolConfig::ForServers(6);
+  options.seed = 72;
+  Deployment deployment(std::move(options));
+  World& world = deployment.world();
+
+  bool done = false;
+  OpStatus status = OpStatus::kOk;
+  deployment.client(0).StartWrite(Val("doomed"), [&](const WriteOutcome& o) {
+    status = o.status;
+    done = true;
+  });
+  world.RunUntil([&] { return world.stats().frames_sent > 3; }, 1'000);
+  deployment.CorruptClient(0);  // destroys the in-flight operation
+  EXPECT_TRUE(done);            // callback fired synchronously
+  EXPECT_EQ(status, OpStatus::kFailed);
+  EXPECT_TRUE(deployment.client(0).idle());
+
+  // The client works again immediately.
+  auto write = deployment.Write(0, Val("alive"));
+  ASSERT_TRUE(write.completed);
+  EXPECT_EQ(write.outcome.status, OpStatus::kOk);
+}
+
+TEST(ClientEdge, FramesFromUnknownNodesIgnored) {
+  // A frame from a node that is not a register server must be dropped
+  // before decoding (clients only trust their server set).
+  Deployment::Options options;
+  options.config = ProtocolConfig::ForServers(6);
+  options.seed = 73;
+  options.n_clients = 2;
+  Deployment deployment(std::move(options));
+  World& world = deployment.world();
+
+  // Frames attributed to the *other client's* id (not a server) must be
+  // dropped by the server-set check before any decoding happens.
+  world.InjectGarbageFrames(deployment.client_node(1),
+                            deployment.client_node(0), 10);
+  world.Run();
+
+  auto write = deployment.Write(0, Val("fine"));
+  ASSERT_TRUE(write.completed);
+  auto read = deployment.Read(0);
+  EXPECT_EQ(read.outcome.value, Val("fine"));
+}
+
+TEST(ClientEdge, StaleRepliesAreCountedAndIgnored) {
+  // After operations complete, late replies keep arriving (quorum is
+  // n-f, not n). They must be ignored and tallied.
+  Deployment::Options options;
+  options.config = ProtocolConfig::ForServers(11);  // more stragglers
+  options.seed = 74;
+  Deployment deployment(std::move(options));
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        deployment.Write(0, Value{static_cast<std::uint8_t>(i)}).completed);
+    ASSERT_TRUE(deployment.Read(0).completed);
+  }
+  deployment.world().Run();  // drain stragglers
+  EXPECT_GT(deployment.client(0).stats().stale_replies_ignored, 0u);
+  EXPECT_EQ(deployment.client(0).stats().writes_ok, 10u);
+  EXPECT_EQ(deployment.client(0).stats().reads_ok, 10u);
+}
+
+TEST(ClientEdge, EpochAblationStillWorksSequentially) {
+  // The paper-pure label matching must behave identically on benign
+  // sequential histories.
+  Deployment::Options options;
+  options.config = ProtocolConfig::ForServers(6);
+  options.config.epoch_extended_op_labels = false;
+  options.seed = 75;
+  Deployment deployment(std::move(options));
+  for (int i = 0; i < 12; ++i) {
+    const Value value{static_cast<std::uint8_t>(i)};
+    ASSERT_TRUE(deployment.Write(0, value).completed);
+    auto read = deployment.Read(0);
+    ASSERT_EQ(read.outcome.status, OpStatus::kOk);
+    EXPECT_EQ(read.outcome.value, value);
+  }
+}
+
+}  // namespace
+}  // namespace sbft

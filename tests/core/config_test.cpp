@@ -1,0 +1,69 @@
+// ProtocolConfig: derived quantities and validation.
+#include "core/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sbft {
+namespace {
+
+TEST(ProtocolConfig, ForServersPicksMaxToleratedF) {
+  EXPECT_EQ(ProtocolConfig::ForServers(6).f, 1u);
+  EXPECT_EQ(ProtocolConfig::ForServers(10).f, 1u);  // 10 <= 5*2
+  EXPECT_EQ(ProtocolConfig::ForServers(11).f, 2u);
+  EXPECT_EQ(ProtocolConfig::ForServers(16).f, 3u);
+  EXPECT_EQ(ProtocolConfig::ForServers(31).f, 6u);
+  // Below 6 servers no Byzantine server is tolerable.
+  EXPECT_EQ(ProtocolConfig::ForServers(5).f, 0u);
+}
+
+TEST(ProtocolConfig, QuorumAndWitnessMath) {
+  auto config = ProtocolConfig::ForServers(11);
+  EXPECT_EQ(config.Quorum(), 9u);            // n - f
+  EXPECT_EQ(config.WitnessThreshold(), 5u);  // 2f + 1
+  // The tightness identity behind Lemma 7's intersection argument:
+  // (n-2f) + (n-2f) - (n-f) == 2f+1 exactly when n == 5f+1.
+  EXPECT_EQ(2 * (config.n - 2 * config.f) - (config.n - config.f),
+            config.WitnessThreshold());
+}
+
+TEST(ProtocolConfig, ValidateRejectsBadBounds) {
+  ProtocolConfig config = ProtocolConfig::ForServers(6);
+  config.f = 2;  // n = 6 <= 5*2
+  EXPECT_THROW(config.Validate(), InvariantViolation);
+  config.allow_unsafe = true;
+  EXPECT_NO_THROW(config.Validate());
+
+  ProtocolConfig small_k = ProtocolConfig::ForServers(6);
+  small_k.k = 3;  // k < n
+  EXPECT_THROW(small_k.Validate(), InvariantViolation);
+
+  ProtocolConfig tiny_pool = ProtocolConfig::ForServers(6);
+  tiny_pool.read_label_count = 1;
+  EXPECT_THROW(tiny_pool.Validate(), InvariantViolation);
+
+  ProtocolConfig no_window = ProtocolConfig::ForServers(6);
+  no_window.history_window = 0;
+  EXPECT_THROW(no_window.Validate(), InvariantViolation);
+}
+
+TEST(ProtocolConfig, HistoryWindowDefaultsToN) {
+  EXPECT_EQ(ProtocolConfig::ForServers(6).history_window, 6u);
+  EXPECT_EQ(ProtocolConfig::ForServers(21).history_window, 21u);
+}
+
+TEST(ProtocolConfig, PaperBoundIsTightInValidate) {
+  for (std::uint32_t f = 1; f <= 6; ++f) {
+    ProtocolConfig config;
+    config.n = 5 * f + 1;
+    config.f = f;
+    config.k = config.n;
+    EXPECT_NO_THROW(config.Validate()) << "n=5f+1 must validate, f=" << f;
+    config.n = 5 * f;
+    config.k = config.n < 2 ? 2 : config.n;
+    EXPECT_THROW(config.Validate(), InvariantViolation)
+        << "n=5f must be rejected, f=" << f;
+  }
+}
+
+}  // namespace
+}  // namespace sbft

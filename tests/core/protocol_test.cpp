@@ -1,0 +1,267 @@
+// End-to-end protocol tests over the Deployment harness: write protocol
+// (F1), read protocol (F2), find_read_label (F3), Byzantine tolerance,
+// and pseudo-stabilization (Theorem 2) smoke tests. Heavier randomized
+// sweeps live in stabilization_test.cpp.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/deployment.hpp"
+
+namespace sbft {
+namespace {
+
+Value Val(const std::string& text) { return Value(text.begin(), text.end()); }
+
+Deployment::Options BaseOptions(std::uint32_t n, std::uint64_t seed) {
+  Deployment::Options options;
+  options.config = ProtocolConfig::ForServers(n);
+  options.seed = seed;
+  return options;
+}
+
+TEST(Protocol, WriteThenReadReturnsValue) {
+  Deployment deployment(BaseOptions(6, 1));
+  auto write = deployment.Write(0, Val("hello"));
+  ASSERT_TRUE(write.completed);
+  EXPECT_EQ(write.outcome.status, OpStatus::kOk);
+  EXPECT_EQ(write.outcome.retries, 0u);
+
+  auto read = deployment.Read(0);
+  ASSERT_TRUE(read.completed);
+  EXPECT_EQ(read.outcome.status, OpStatus::kOk);
+  EXPECT_EQ(read.outcome.value, Val("hello"));
+  EXPECT_FALSE(read.outcome.used_union_graph);
+}
+
+TEST(Protocol, SequentialWritesEachVisible) {
+  Deployment deployment(BaseOptions(6, 2));
+  for (int i = 0; i < 25; ++i) {
+    const Value value = Val("v" + std::to_string(i));
+    auto write = deployment.Write(0, value);
+    ASSERT_TRUE(write.completed) << i;
+    ASSERT_EQ(write.outcome.status, OpStatus::kOk) << i;
+    auto read = deployment.Read(0);
+    ASSERT_TRUE(read.completed) << i;
+    ASSERT_EQ(read.outcome.status, OpStatus::kOk) << i;
+    EXPECT_EQ(read.outcome.value, value) << i;
+  }
+}
+
+TEST(Protocol, WriteInstallsValueOnSupermajority) {
+  // Lemma 2: after a write completes, at least 3f+1 servers store the
+  // written value and timestamp.
+  Deployment deployment(BaseOptions(11, 3));  // f = 2
+  auto write = deployment.Write(0, Val("lemma2"));
+  ASSERT_TRUE(write.completed);
+  std::size_t holders = 0;
+  for (std::size_t i = 0; i < 11; ++i) {
+    if (deployment.server(i).current().value == Val("lemma2") &&
+        deployment.server(i).current().ts == write.outcome.ts) {
+      ++holders;
+    }
+  }
+  EXPECT_GE(holders, 3u * 2 + 1);
+}
+
+TEST(Protocol, MultiWriterTotalOrder) {
+  // Lemma 8: consecutive writes by different writers are ordered — the
+  // later writer's timestamp follows the earlier one's.
+  Deployment::Options options = BaseOptions(6, 4);
+  options.n_clients = 2;
+  Deployment deployment(std::move(options));
+  LabelingSystem system(deployment.config().k);
+
+  auto w1 = deployment.Write(0, Val("from-w0"));
+  ASSERT_TRUE(w1.completed);
+  auto w2 = deployment.Write(1, Val("from-w1"));
+  ASSERT_TRUE(w2.completed);
+  EXPECT_TRUE(Precedes(w1.outcome.ts, w2.outcome.ts, system.params()));
+
+  auto read = deployment.Read(0);
+  ASSERT_TRUE(read.completed);
+  EXPECT_EQ(read.outcome.value, Val("from-w1"));
+}
+
+TEST(Protocol, ReaderSeesOtherWritersValue) {
+  Deployment::Options options = BaseOptions(6, 5);
+  options.n_clients = 3;
+  Deployment deployment(std::move(options));
+  ASSERT_TRUE(deployment.Write(2, Val("cross")).completed);
+  auto read = deployment.Read(1);
+  ASSERT_TRUE(read.completed);
+  EXPECT_EQ(read.outcome.status, OpStatus::kOk);
+  EXPECT_EQ(read.outcome.value, Val("cross"));
+}
+
+// --- F3: find_read_label / bounded label reuse -------------------------
+
+TEST(Protocol, ManyReadsReuseBoundedLabels) {
+  // More reads than labels in the pool: reuse must be safe and live.
+  Deployment deployment(BaseOptions(6, 6));
+  ASSERT_TRUE(deployment.Write(0, Val("stable")).completed);
+  for (int i = 0; i < 20; ++i) {  // pool has 4 read labels
+    auto read = deployment.Read(0);
+    ASSERT_TRUE(read.completed) << i;
+    EXPECT_EQ(read.outcome.status, OpStatus::kOk);
+    EXPECT_EQ(read.outcome.value, Val("stable"));
+  }
+}
+
+TEST(Protocol, CorruptedClientLabelStateRecovers) {
+  // Transient fault on the client's label pools: the flush protocol
+  // must re-acquire labels and the next operations must succeed.
+  Deployment deployment(BaseOptions(6, 7));
+  ASSERT_TRUE(deployment.Write(0, Val("pre")).completed);
+  deployment.CorruptClient(0);
+  auto write = deployment.Write(0, Val("post"));
+  ASSERT_TRUE(write.completed);
+  EXPECT_EQ(write.outcome.status, OpStatus::kOk);
+  auto read = deployment.Read(0);
+  ASSERT_TRUE(read.completed);
+  EXPECT_EQ(read.outcome.status, OpStatus::kOk);
+  EXPECT_EQ(read.outcome.value, Val("post"));
+}
+
+// --- Byzantine tolerance sweep -----------------------------------------
+
+class ByzantineSweep
+    : public ::testing::TestWithParam<std::tuple<ByzantineStrategy, int>> {};
+
+TEST_P(ByzantineSweep, RegisterCorrectDespiteByzantineServers) {
+  const auto [strategy, seed] = GetParam();
+  Deployment::Options options = BaseOptions(6, seed);  // f = 1
+  options.byzantine[5] = strategy;
+  options.n_clients = 2;
+  Deployment deployment(std::move(options));
+
+  for (int i = 0; i < 10; ++i) {
+    const Value value = Val("byz" + std::to_string(i));
+    auto write = deployment.Write(i % 2, value);
+    ASSERT_TRUE(write.completed) << ByzantineStrategyName(strategy);
+    ASSERT_EQ(write.outcome.status, OpStatus::kOk);
+    auto read = deployment.Read((i + 1) % 2);
+    ASSERT_TRUE(read.completed) << ByzantineStrategyName(strategy);
+    ASSERT_EQ(read.outcome.status, OpStatus::kOk);
+    EXPECT_EQ(read.outcome.value, value)
+        << "strategy=" << ByzantineStrategyName(strategy) << " i=" << i;
+  }
+}
+
+TEST_P(ByzantineSweep, TwoByzantineAtF2) {
+  const auto [strategy, seed] = GetParam();
+  Deployment::Options options = BaseOptions(11, seed + 100);  // f = 2
+  options.byzantine[3] = strategy;
+  options.byzantine[8] = strategy;
+  Deployment deployment(std::move(options));
+
+  for (int i = 0; i < 5; ++i) {
+    const Value value = Val("f2-" + std::to_string(i));
+    ASSERT_TRUE(deployment.Write(0, value).completed);
+    auto read = deployment.Read(0);
+    ASSERT_TRUE(read.completed);
+    ASSERT_EQ(read.outcome.status, OpStatus::kOk);
+    EXPECT_EQ(read.outcome.value, value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, ByzantineSweep,
+    ::testing::Combine(::testing::ValuesIn(kAllByzantineStrategies),
+                       ::testing::Values(11, 12)),
+    [](const auto& info) {
+      std::string name(ByzantineStrategyName(std::get<0>(info.param)));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+// --- Pseudo-stabilization (Theorem 2) -----------------------------------
+
+TEST(Protocol, StabilizesAfterServerCorruption) {
+  Deployment deployment(BaseOptions(6, 21));
+  deployment.CorruptAllCorrectServers();
+  // Assumption 1: the first write after the fault runs to completion.
+  auto write = deployment.Write(0, Val("heal"));
+  ASSERT_TRUE(write.completed);
+  EXPECT_EQ(write.outcome.status, OpStatus::kOk);
+  // Every subsequent read must return the regular value (Lemma 7).
+  for (int i = 0; i < 5; ++i) {
+    auto read = deployment.Read(0);
+    ASSERT_TRUE(read.completed);
+    ASSERT_EQ(read.outcome.status, OpStatus::kOk) << i;
+    EXPECT_EQ(read.outcome.value, Val("heal"));
+  }
+}
+
+TEST(Protocol, StabilizesAfterChannelCorruption) {
+  Deployment deployment(BaseOptions(6, 22));
+  deployment.CorruptAllChannels(3);
+  auto write = deployment.Write(0, Val("flush-the-garbage"));
+  ASSERT_TRUE(write.completed);
+  auto read = deployment.Read(0);
+  ASSERT_TRUE(read.completed);
+  EXPECT_EQ(read.outcome.status, OpStatus::kOk);
+  EXPECT_EQ(read.outcome.value, Val("flush-the-garbage"));
+}
+
+TEST(Protocol, StabilizesAfterFullCorruptionWithByzantine) {
+  // The paper's headline scenario: arbitrary initial state at every
+  // correct server AND client AND channels, plus a Byzantine server.
+  Deployment::Options options = BaseOptions(6, 23);
+  options.byzantine[2] = ByzantineStrategy::kStaleReplay;
+  Deployment deployment(std::move(options));
+  deployment.CorruptAllCorrectServers();
+  deployment.CorruptClient(0);
+  deployment.CorruptAllChannels(2);
+
+  auto write = deployment.Write(0, Val("phoenix"));
+  ASSERT_TRUE(write.completed);
+  EXPECT_EQ(write.outcome.status, OpStatus::kOk);
+  for (int i = 0; i < 5; ++i) {
+    auto read = deployment.Read(0);
+    ASSERT_TRUE(read.completed);
+    ASSERT_EQ(read.outcome.status, OpStatus::kOk);
+    EXPECT_EQ(read.outcome.value, Val("phoenix"));
+  }
+}
+
+TEST(Protocol, ReadBeforeAnyWriteMayAbortButTerminates) {
+  // From a corrupted initial state with no completed write, reads may
+  // abort (or return garbage) but must terminate (Lemma 6).
+  Deployment deployment(BaseOptions(6, 24));
+  deployment.CorruptAllCorrectServers();
+  auto read = deployment.Read(0);
+  EXPECT_TRUE(read.completed);  // termination — outcome unconstrained
+}
+
+TEST(Protocol, LargerDeploymentsWork) {
+  for (std::uint32_t n : {16u, 21u}) {
+    Deployment deployment(BaseOptions(n, 30 + n));
+    const Value value = Val("n" + std::to_string(n));
+    ASSERT_TRUE(deployment.Write(0, value).completed);
+    auto read = deployment.Read(0);
+    ASSERT_TRUE(read.completed);
+    EXPECT_EQ(read.outcome.value, value);
+  }
+}
+
+TEST(Protocol, OperationMessageComplexityIsLinear) {
+  // E3 sanity: one op costs Theta(n) frames. A write is flush(2n) +
+  // get_ts(2n) + write(2n) = 6n frames with all-correct servers; a read
+  // is flush(2n) + read/reply(2(n)) + complete(n) ~ 5n.
+  Deployment deployment(BaseOptions(6, 40));
+  auto write = deployment.Write(0, Val("count"));
+  ASSERT_TRUE(write.completed);
+  EXPECT_LE(write.frames_sent, 6u * 6 + 6);
+  EXPECT_GE(write.frames_sent, 5u * 6);
+  auto read = deployment.Read(0);
+  ASSERT_TRUE(read.completed);
+  EXPECT_LE(read.frames_sent, 5u * 6 + 6);
+  EXPECT_GE(read.frames_sent, 4u * 6);
+}
+
+}  // namespace
+}  // namespace sbft

@@ -1,0 +1,211 @@
+// Server automaton conformance (Figures 1(b), 2(b), 3(b)): per-message
+// behaviour checked against the paper's pseudo-code, using a
+// minimal two-node world (one server, one probe client).
+#include "core/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "sim/world.hpp"
+
+namespace sbft {
+namespace {
+
+// A client-side automaton that sends a fixed script of messages on start.
+class Scripted final : public Automaton {
+ public:
+  Scripted(NodeId target, std::vector<Message> script)
+      : target_(target), script_(std::move(script)) {}
+  void OnStart(IEndpoint& endpoint) override {
+    for (const Message& message : script_) {
+      endpoint.Send(target_, EncodeMessage(message));
+    }
+  }
+  void OnFrame(NodeId, BytesView frame, IEndpoint&) override {
+    auto decoded = DecodeMessage(frame);
+    if (decoded.ok()) replies.push_back(std::move(decoded).value());
+  }
+  std::vector<Message> replies;
+
+ private:
+  NodeId target_;
+  std::vector<Message> script_;
+};
+
+struct Rig {
+  explicit Rig(ProtocolConfig config, std::vector<Message> script)
+      : world() {
+    auto server_owner = std::make_unique<RegisterServer>(config, 0);
+    server = server_owner.get();
+    const NodeId server_id = world.AddNode(std::move(server_owner));
+    auto client_owner = std::make_unique<Scripted>(server_id,
+                                                   std::move(script));
+    client = client_owner.get();
+    world.AddNode(std::move(client_owner));
+  }
+  World world;
+  RegisterServer* server;
+  Scripted* client;
+};
+
+Timestamp NextTs(const LabelingSystem& system, const Timestamp& from,
+                 ClientId writer) {
+  return Timestamp{system.Next(std::vector<Label>{from.label}), writer};
+}
+
+TEST(RegisterServerTest, GetTsAnswersWithCurrentTimestamp) {
+  auto config = ProtocolConfig::ForServers(6);
+  Rig rig(config, {Message(GetTsMsg{.op_label = 3})});
+  rig.world.Run();
+  ASSERT_EQ(rig.client->replies.size(), 1u);
+  const auto* reply = std::get_if<TsReplyMsg>(&rig.client->replies[0]);
+  ASSERT_NE(reply, nullptr);
+  EXPECT_EQ(reply->op_label, 3u);
+  EXPECT_EQ(reply->ts, rig.server->current().ts);
+}
+
+TEST(RegisterServerTest, WriteWithNewerTsAcksAndAdopts) {
+  auto config = ProtocolConfig::ForServers(6);
+  LabelingSystem system(config.k);
+  const Timestamp newer = NextTs(system, Timestamp{system.Initial(), 0}, 7);
+  Rig rig(config, {Message(WriteMsg{Value{42}, newer, 1})});
+  rig.world.Run();
+  ASSERT_EQ(rig.client->replies.size(), 1u);
+  const auto* reply = std::get_if<WriteReplyMsg>(&rig.client->replies[0]);
+  ASSERT_NE(reply, nullptr);
+  EXPECT_TRUE(reply->ack);
+  EXPECT_EQ(rig.server->current().value, Value{42});
+  EXPECT_EQ(rig.server->current().ts, newer);
+  // The displaced value landed in old_vals.
+  ASSERT_EQ(rig.server->old_vals().size(), 1u);
+}
+
+TEST(RegisterServerTest, WriteWithStaleTsNacksButStillAdopts) {
+  // Figure 1 server side: NACK when the ts does not follow the local
+  // one, but the server updates its copy regardless.
+  auto config = ProtocolConfig::ForServers(6);
+  LabelingSystem system(config.k);
+  Rng rng(5);
+  const Timestamp incomparable{RandomValidLabel(rng, system.params()), 0};
+  Rig rig(config, {Message(WriteMsg{Value{7}, incomparable, 1})});
+  rig.world.Run();
+  ASSERT_EQ(rig.client->replies.size(), 1u);
+  const auto* reply = std::get_if<WriteReplyMsg>(&rig.client->replies[0]);
+  ASSERT_NE(reply, nullptr);
+  // Whether this ACKs depends on label comparability; with a random
+  // label vs the canonical initial label, Precedes is almost surely
+  // false — assert adoption, which is unconditional.
+  EXPECT_EQ(rig.server->current().value, Value{7});
+}
+
+TEST(RegisterServerTest, HistoryWindowBounded) {
+  auto config = ProtocolConfig::ForServers(6);
+  LabelingSystem system(config.k);
+  std::vector<Message> script;
+  Timestamp ts{system.Initial(), 0};
+  for (int i = 0; i < 20; ++i) {
+    ts = NextTs(system, ts, 9);
+    script.push_back(Message(WriteMsg{Value{static_cast<std::uint8_t>(i)},
+                                      ts, 1}));
+  }
+  Rig rig(config, script);
+  rig.world.Run();
+  EXPECT_LE(rig.server->old_vals().size(),
+            static_cast<std::size_t>(config.history_window));
+  // Newest history entry is the second-to-last write.
+  EXPECT_EQ(rig.server->old_vals().front().value, Value{18});
+  EXPECT_EQ(rig.server->current().value, Value{19});
+}
+
+TEST(RegisterServerTest, ReadRegistersRunningReaderAndReplies) {
+  auto config = ProtocolConfig::ForServers(6);
+  Rig rig(config, {Message(ReadMsg{.label = 2})});
+  rig.world.Run();
+  ASSERT_EQ(rig.client->replies.size(), 1u);
+  const auto* reply = std::get_if<ReplyMsg>(&rig.client->replies[0]);
+  ASSERT_NE(reply, nullptr);
+  EXPECT_EQ(reply->label, 2u);
+  EXPECT_EQ(rig.server->running_read_count(), 1u);
+}
+
+TEST(RegisterServerTest, CompleteReadDeregisters) {
+  auto config = ProtocolConfig::ForServers(6);
+  Rig rig(config, {Message(ReadMsg{.label = 2}),
+                   Message(CompleteReadMsg{.label = 2})});
+  rig.world.Run();
+  EXPECT_EQ(rig.server->running_read_count(), 0u);
+}
+
+TEST(RegisterServerTest, ConcurrentWriteForwardedToRunningReader) {
+  // Figure 1: on WRITE, the server pushes a fresh REPLY to registered
+  // readers. Script: READ (registers), then WRITE; expect two ReplyMsg.
+  auto config = ProtocolConfig::ForServers(6);
+  LabelingSystem system(config.k);
+  const Timestamp newer = NextTs(system, Timestamp{system.Initial(), 0}, 7);
+  Rig rig(config, {Message(ReadMsg{.label = 1}),
+                   Message(WriteMsg{Value{5}, newer, 2})});
+  rig.world.Run();
+  int reply_count = 0;
+  bool saw_forwarded = false;
+  for (const Message& message : rig.client->replies) {
+    if (const auto* reply = std::get_if<ReplyMsg>(&message)) {
+      ++reply_count;
+      if (reply->value == Value{5} && reply->label == 1u) {
+        saw_forwarded = true;
+      }
+    }
+  }
+  EXPECT_EQ(reply_count, 2);
+  EXPECT_TRUE(saw_forwarded);
+}
+
+TEST(RegisterServerTest, FlushReflected) {
+  auto config = ProtocolConfig::ForServers(6);
+  Rig rig(config, {Message(FlushMsg{.label = 3, .scope = OpScope::kWrite})});
+  rig.world.Run();
+  ASSERT_EQ(rig.client->replies.size(), 1u);
+  const auto* ack = std::get_if<FlushAckMsg>(&rig.client->replies[0]);
+  ASSERT_NE(ack, nullptr);
+  EXPECT_EQ(ack->label, 3u);
+  EXPECT_EQ(ack->scope, OpScope::kWrite);
+}
+
+TEST(RegisterServerTest, RunningReadTableBounded) {
+  auto config = ProtocolConfig::ForServers(6);
+  config.max_running_reads = 4;
+  std::vector<Message> script;
+  for (OpLabel l = 0; l < 20; ++l) script.push_back(Message(ReadMsg{l}));
+  Rig rig(config, script);
+  rig.world.Run();
+  EXPECT_LE(rig.server->running_read_count(), 4u);
+}
+
+TEST(RegisterServerTest, GarbageFramesIgnored) {
+  auto config = ProtocolConfig::ForServers(6);
+  Rig rig(config, {});
+  rig.world.InjectGarbageFrames(1, 0, 50);  // probe -> server garbage
+  rig.world.Run();
+  // Server may occasionally decode garbage into a valid message and
+  // reply; the requirement is no crash and bounded state.
+  EXPECT_LE(rig.server->old_vals().size(),
+            static_cast<std::size_t>(config.history_window));
+}
+
+TEST(RegisterServerTest, CorruptStateThenSanitizedReplies) {
+  auto config = ProtocolConfig::ForServers(6);
+  Rig rig(config, {Message(GetTsMsg{.op_label = 1})});
+  LabelingSystem system(config.k);
+  rig.world.CorruptNode(0);  // server is node 0
+  rig.world.Run();
+  ASSERT_EQ(rig.client->replies.size(), 1u);
+  const auto* reply = std::get_if<TsReplyMsg>(&rig.client->replies[0]);
+  ASSERT_NE(reply, nullptr);
+  // Exported timestamps are sanitized even when local state is garbage.
+  EXPECT_TRUE(system.IsValid(reply->ts.label));
+}
+
+}  // namespace
+}  // namespace sbft

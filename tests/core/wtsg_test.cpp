@@ -1,0 +1,138 @@
+// Unit tests for the Weighted Timestamp Graph (Definition 3).
+#include "core/wtsg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace sbft {
+namespace {
+
+class WtsgTest : public ::testing::Test {
+ protected:
+  WtsgTest() : system_(4), graph_(system_.params()) {}
+
+  VersionedValue Vv(std::uint8_t v, const Timestamp& ts) {
+    return VersionedValue{Value{v}, ts};
+  }
+  Timestamp Ts(const Label& label, ClientId writer = 0) {
+    return Timestamp{label, writer};
+  }
+
+  LabelingSystem system_;
+  Wtsg graph_;
+};
+
+TEST_F(WtsgTest, WeightCountsDistinctServersOnce) {
+  const Timestamp ts = Ts(system_.Initial());
+  graph_.AddWitness(0, Vv(1, ts));
+  graph_.AddWitness(1, Vv(1, ts));
+  graph_.AddWitness(1, Vv(1, ts));  // duplicate witness
+  graph_.AddWitness(2, Vv(1, ts));
+  ASSERT_EQ(graph_.node_count(), 1u);
+  EXPECT_EQ(graph_.nodes()[0].weight(), 3u);
+}
+
+TEST_F(WtsgTest, SameTimestampDifferentValueSplitsNodes) {
+  // The Byzantine equivocation attack: forged value under the real ts
+  // must land in a separate vertex.
+  const Timestamp ts = Ts(system_.Initial());
+  graph_.AddWitness(0, Vv(1, ts));
+  graph_.AddWitness(1, Vv(1, ts));
+  graph_.AddWitness(2, Vv(9, ts));  // forged
+  EXPECT_EQ(graph_.node_count(), 2u);
+  EXPECT_FALSE(graph_.FindWitnessed(3).has_value());
+  auto two = graph_.FindWitnessed(2);
+  ASSERT_TRUE(two.has_value());
+  EXPECT_EQ(two->value, Value{1});
+}
+
+TEST_F(WtsgTest, EdgesFollowLabelPrecedence) {
+  const Label l0 = system_.Initial();
+  const Label l1 = system_.Next(std::vector<Label>{l0});
+  graph_.AddWitness(0, Vv(1, Ts(l0)));
+  graph_.AddWitness(1, Vv(2, Ts(l1)));
+  EXPECT_EQ(graph_.EdgeCount(), 1u);
+  EXPECT_TRUE(graph_.HasEdge(Vv(1, Ts(l0)), Vv(2, Ts(l1))));
+  EXPECT_FALSE(graph_.HasEdge(Vv(2, Ts(l1)), Vv(1, Ts(l0))));
+}
+
+TEST_F(WtsgTest, FindWitnessedPicksNewestAmongQualifying) {
+  const Label l0 = system_.Initial();
+  const Label l1 = system_.Next(std::vector<Label>{l0});
+  // Both values have >= 3 witnesses; the l1 vertex must win (it follows
+  // l0 in the precedence order).
+  for (std::size_t s = 0; s < 3; ++s) graph_.AddWitness(s, Vv(1, Ts(l0)));
+  for (std::size_t s = 3; s < 6; ++s) graph_.AddWitness(s, Vv(2, Ts(l1)));
+  auto winner = graph_.FindWitnessed(3);
+  ASSERT_TRUE(winner.has_value());
+  EXPECT_EQ(winner->value, Value{2});
+}
+
+TEST_F(WtsgTest, FindWitnessedEmptyGraph) {
+  EXPECT_FALSE(graph_.FindWitnessed(1).has_value());
+}
+
+TEST_F(WtsgTest, ThresholdBoundary) {
+  const Timestamp ts = Ts(system_.Initial());
+  graph_.AddWitness(0, Vv(1, ts));
+  graph_.AddWitness(1, Vv(1, ts));
+  EXPECT_TRUE(graph_.FindWitnessed(2).has_value());
+  EXPECT_FALSE(graph_.FindWitnessed(3).has_value());
+}
+
+TEST_F(WtsgTest, DeterministicWinnerUnderInsertionOrder) {
+  // Same witness multiset added in different orders must elect the same
+  // vertex.
+  Rng rng(71);
+  const Label l0 = system_.Initial();
+  const Label l1 = system_.Next(std::vector<Label>{l0});
+  const Label l2 = system_.Next(std::vector<Label>{l1});
+  std::vector<std::pair<std::size_t, VersionedValue>> witnesses;
+  for (std::size_t s = 0; s < 3; ++s) {
+    witnesses.push_back({s, Vv(1, Ts(l1))});
+    witnesses.push_back({s + 3, Vv(2, Ts(l2))});
+    witnesses.push_back({s + 6, Vv(3, Ts(l0))});
+  }
+  std::optional<VersionedValue> first;
+  for (int round = 0; round < 20; ++round) {
+    // Shuffle.
+    for (std::size_t i = witnesses.size(); i > 1; --i) {
+      std::swap(witnesses[i - 1], witnesses[rng.NextBelow(i)]);
+    }
+    Wtsg graph(system_.params());
+    for (const auto& [server, vv] : witnesses) graph.AddWitness(server, vv);
+    auto winner = graph.FindWitnessed(3);
+    ASSERT_TRUE(winner.has_value());
+    if (!first) {
+      first = winner;
+    } else {
+      EXPECT_EQ(winner->value, first->value);
+      EXPECT_EQ(winner->ts, first->ts);
+    }
+  }
+}
+
+TEST_F(WtsgTest, GarbageTimestampsFormIsolatedNodes) {
+  // Invalid labels are incomparable to everything: no edges.
+  Rng rng(72);
+  graph_.AddWitness(0, Vv(1, Ts(RandomGarbageLabel(rng, system_.params()))));
+  graph_.AddWitness(1, Vv(2, Ts(system_.Initial())));
+  EXPECT_EQ(graph_.node_count(), 2u);
+  EXPECT_EQ(graph_.EdgeCount(), 0u);
+}
+
+TEST_F(WtsgTest, UnionSemanticsServerWitnessesManyNodes) {
+  // One server may witness several vertices (current + history); each
+  // vertex counts it once.
+  const Label l0 = system_.Initial();
+  const Label l1 = system_.Next(std::vector<Label>{l0});
+  graph_.AddWitness(0, Vv(1, Ts(l0)));
+  graph_.AddWitness(0, Vv(2, Ts(l1)));
+  EXPECT_EQ(graph_.node_count(), 2u);
+  EXPECT_EQ(graph_.nodes()[0].weight(), 1u);
+  EXPECT_EQ(graph_.nodes()[1].weight(), 1u);
+}
+
+}  // namespace
+}  // namespace sbft

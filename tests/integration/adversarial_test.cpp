@@ -1,0 +1,185 @@
+// Integration tests with scripted adversarial schedules against the
+// paper's protocol: held quorums, slow-server reads, partition-ish
+// delays, corruption storms mid-run. The asynchronous model demands
+// correctness for every delay assignment — these pick nasty ones on
+// purpose.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/deployment.hpp"
+#include "spec/regular_checker.hpp"
+#include "spec/workload.hpp"
+
+namespace sbft {
+namespace {
+
+Value Val(const std::string& text) { return Value(text.begin(), text.end()); }
+
+TEST(Adversarial, WriteBlocksUntilQuorumReleased) {
+  // Hold f+1 servers' reply channels: only n-(f+1) = 4f servers can
+  // answer, below the n-f quorum — the write must NOT complete; release
+  // one channel and it must.
+  Deployment::Options options;
+  options.config = ProtocolConfig::ForServers(6);
+  options.seed = 201;
+  Deployment deployment(std::move(options));
+  World& world = deployment.world();
+
+  for (std::size_t s = 0; s < 2; ++s) {  // f+1 = 2 servers held
+    world.HoldChannel(deployment.server_node(s), deployment.client_node(0));
+  }
+  bool done = false;
+  deployment.client(0).StartWrite(Val("gated"),
+                                  [&](const WriteOutcome&) { done = true; });
+  world.Run(2'000'000);
+  EXPECT_FALSE(done) << "write completed without a quorum";
+
+  world.ReleaseChannel(deployment.server_node(0), deployment.client_node(0));
+  world.Run(2'000'000);
+  EXPECT_TRUE(done) << "write failed to complete once a quorum existed";
+}
+
+TEST(Adversarial, ReadBlocksWithoutQuorumThenCompletes) {
+  Deployment::Options options;
+  options.config = ProtocolConfig::ForServers(6);
+  options.seed = 202;
+  Deployment deployment(std::move(options));
+  World& world = deployment.world();
+  ASSERT_TRUE(deployment.Write(0, Val("v")).completed);
+
+  for (std::size_t s = 0; s < 2; ++s) {
+    world.HoldChannel(deployment.server_node(s), deployment.client_node(0));
+  }
+  bool done = false;
+  ReadOutcome outcome;
+  deployment.client(0).StartRead([&](const ReadOutcome& o) {
+    outcome = o;
+    done = true;
+  });
+  world.Run(2'000'000);
+  EXPECT_FALSE(done);
+
+  world.ReleaseChannel(deployment.server_node(0), deployment.client_node(0));
+  world.Run(2'000'000);
+  ASSERT_TRUE(done);
+  EXPECT_EQ(outcome.status, OpStatus::kOk);
+  EXPECT_EQ(outcome.value, Val("v"));
+}
+
+TEST(Adversarial, StragglersDeliveringYearsLaterAreHarmless) {
+  // Freeze one server's replies across MANY operations, then release
+  // the whole backlog at once: every stale frame must be discarded and
+  // the next operations stay regular.
+  Deployment::Options options;
+  options.config = ProtocolConfig::ForServers(6);
+  options.seed = 203;
+  Deployment deployment(std::move(options));
+  World& world = deployment.world();
+
+  world.HoldChannel(deployment.server_node(5), deployment.client_node(0));
+  for (int i = 0; i < 12; ++i) {
+    const Value value{static_cast<std::uint8_t>(i)};
+    ASSERT_TRUE(deployment.Write(0, value).completed) << i;
+    ASSERT_TRUE(deployment.Read(0).completed) << i;
+  }
+  world.ReleaseChannel(deployment.server_node(5), deployment.client_node(0));
+  world.Run();  // the backlog floods in
+
+  const Value last{11};
+  for (int i = 0; i < 3; ++i) {
+    auto read = deployment.Read(0);
+    ASSERT_EQ(read.outcome.status, OpStatus::kOk);
+    EXPECT_EQ(read.outcome.value, last);
+  }
+}
+
+TEST(Adversarial, CorruptionStormMidWorkload) {
+  // Repeated transient faults DURING a running workload. Between storms
+  // there is always a completing write, so each storm's suffix must be
+  // regular. We check the suffix after the LAST storm.
+  Deployment::Options options;
+  options.config = ProtocolConfig::ForServers(6);
+  options.seed = 204;
+  options.n_clients = 2;
+  Deployment deployment(std::move(options));
+
+  VirtualTime last_storm_heal = 0;
+  for (int storm = 0; storm < 3; ++storm) {
+    WorkloadOptions workload;
+    workload.ops_per_client = 6;
+    workload.seed = 300 + static_cast<std::uint64_t>(storm);
+    (void)RunConcurrentWorkload(deployment, workload);
+
+    deployment.CorruptAllCorrectServers();
+    deployment.CorruptAllChannels(1);
+    auto heal = deployment.Write(0, Val("heal" + std::to_string(storm)));
+    ASSERT_TRUE(heal.completed);
+    ASSERT_EQ(heal.outcome.status, OpStatus::kOk);
+    last_storm_heal = heal.returned_at;
+  }
+
+  WorkloadOptions final_workload;
+  final_workload.ops_per_client = 10;
+  final_workload.seed = 400;
+  auto result = RunConcurrentWorkload(deployment, final_workload);
+  ASSERT_TRUE(result.all_completed);
+  CheckOptions check;
+  check.stabilized_from = last_storm_heal;
+  check.grandfathered_values = {Val("heal2")};
+  auto report = CheckRegular(result.history, check);
+  EXPECT_TRUE(report.ok) << report.Summary();
+}
+
+TEST(Adversarial, ExtremeDelaySkewStaysRegular) {
+  // One server is 100x slower than the rest on every channel.
+  class SkewDelay final : public DelayPolicy {
+   public:
+    VirtualTime Sample(NodeId src, NodeId dst, VirtualTime,
+                       Rng& rng) override {
+      const bool slow = src == 3 || dst == 3;
+      return static_cast<VirtualTime>(
+          rng.NextInRange(slow ? 200 : 1, slow ? 400 : 10));
+    }
+  };
+  Deployment::Options options;
+  options.config = ProtocolConfig::ForServers(6);
+  options.seed = 205;
+  options.delay = std::make_unique<SkewDelay>();
+  options.n_clients = 2;
+  Deployment deployment(std::move(options));
+
+  WorkloadOptions workload;
+  workload.ops_per_client = 15;
+  workload.seed = 500;
+  auto result = RunConcurrentWorkload(deployment, workload);
+  ASSERT_TRUE(result.all_completed);
+  CheckOptions check;
+  check.stabilized_from = result.first_write_done;
+  check.grandfathered_values = {Value{}};
+  auto report = CheckRegular(result.history, check);
+  EXPECT_TRUE(report.ok) << report.Summary();
+}
+
+TEST(Adversarial, ByzantineQuorumParticipationCannotFakeValue) {
+  // All f Byzantine servers collude on a single forged (value, ts) and
+  // answer every read with it. With only f witnesses the forgery never
+  // certifies.
+  Deployment::Options options;
+  options.config = ProtocolConfig::ForServers(11);  // f = 2
+  options.seed = 206;
+  options.byzantine[1] = ByzantineStrategy::kStaleReplay;
+  options.byzantine[7] = ByzantineStrategy::kStaleReplay;
+  Deployment deployment(std::move(options));
+
+  for (int i = 0; i < 8; ++i) {
+    const Value value = Val("truth" + std::to_string(i));
+    ASSERT_TRUE(deployment.Write(0, value).completed);
+    auto read = deployment.Read(0);
+    ASSERT_EQ(read.outcome.status, OpStatus::kOk);
+    EXPECT_EQ(read.outcome.value, value);
+  }
+}
+
+}  // namespace
+}  // namespace sbft

@@ -1,0 +1,97 @@
+// Long-horizon soak: hundreds of operations across deployment sizes,
+// fault cocktails and Byzantine mixes, every history checked. This is
+// the "leave it running overnight" test at CI scale.
+#include <gtest/gtest.h>
+
+#include "spec/regular_checker.hpp"
+#include "spec/workload.hpp"
+
+namespace sbft {
+namespace {
+
+struct SoakCase {
+  std::uint32_t n;
+  std::uint32_t byzantine_count;
+  bool corrupt;
+  std::uint64_t seed;
+};
+
+class Soak : public ::testing::TestWithParam<SoakCase> {};
+
+TEST_P(Soak, LongWorkloadStaysRegular) {
+  const SoakCase& param = GetParam();
+  Deployment::Options options;
+  options.config = ProtocolConfig::ForServers(param.n);
+  options.seed = param.seed;
+  options.n_clients = 3;
+  for (std::uint32_t b = 0; b < param.byzantine_count; ++b) {
+    options.byzantine[b * 2 + 1] = kAllByzantineStrategies[
+        (param.seed + b) % std::size(kAllByzantineStrategies)];
+  }
+  Deployment deployment(std::move(options));
+  if (param.corrupt) {
+    deployment.CorruptAllCorrectServers();
+    deployment.CorruptAllChannels(1);
+  }
+
+  WorkloadOptions workload;
+  workload.ops_per_client = 60;  // 180 operations total
+  workload.seed = param.seed * 7 + param.n;
+  auto result = RunConcurrentWorkload(deployment, workload);
+  ASSERT_TRUE(result.all_completed);
+
+  CheckOptions check;
+  check.stabilized_from = result.first_write_done;
+  check.grandfathered_values = {Value{}};
+  auto report = CheckRegular(result.history, check);
+  EXPECT_TRUE(report.ok) << report.Summary();
+
+  // Operational health: overwhelming majority of ops succeed.
+  std::size_t ok = 0;
+  for (const auto& op : result.history.ops()) {
+    if (op.result == OpRecord::Result::kOk) ++ok;
+  }
+  EXPECT_GE(ok, result.history.size() * 9 / 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, Soak,
+    ::testing::Values(SoakCase{6, 0, false, 1}, SoakCase{6, 1, false, 2},
+                      SoakCase{6, 1, true, 3}, SoakCase{11, 2, false, 4},
+                      SoakCase{11, 2, true, 5}, SoakCase{16, 3, false, 6},
+                      SoakCase{16, 3, true, 7}),
+    [](const auto& info) {
+      const SoakCase& param = info.param;
+      return "n" + std::to_string(param.n) + "_byz" +
+             std::to_string(param.byzantine_count) +
+             (param.corrupt ? "_corrupt" : "_clean") + "_seed" +
+             std::to_string(param.seed);
+    });
+
+TEST(SoakSingleWriter, SwmrHundredsOfWrites) {
+  // The paper's SWMR core: one writer, two readers, 300 writes with
+  // interleaved reads — bounded labels wrap multiple times.
+  Deployment::Options options;
+  options.config = ProtocolConfig::ForServers(6);
+  options.seed = 42;
+  options.n_clients = 3;
+  options.byzantine[4] = ByzantineStrategy::kStaleReplay;
+  Deployment deployment(std::move(options));
+
+  for (int i = 0; i < 300; ++i) {
+    const Value value{static_cast<std::uint8_t>(i & 0xFF),
+                      static_cast<std::uint8_t>(i >> 8)};
+    auto write = deployment.Write(0, value);
+    ASSERT_TRUE(write.completed) << i;
+    ASSERT_EQ(write.outcome.status, OpStatus::kOk) << i;
+    if (i % 3 == 0) {
+      auto read = deployment.Read(1 + (i / 3) % 2);
+      ASSERT_TRUE(read.completed) << i;
+      ASSERT_EQ(read.outcome.status, OpStatus::kOk) << i;
+      ASSERT_EQ(read.outcome.value, value) << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sbft

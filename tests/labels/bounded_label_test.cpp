@@ -1,0 +1,167 @@
+// Unit + property tests for the sting/antisting bounded label
+// construction (Definition 2 substrate).
+#include "labels/bounded_label.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace sbft {
+namespace {
+
+TEST(BoundedLabel, InitialLabelIsValid) {
+  for (std::uint32_t k = 2; k <= 40; ++k) {
+    LabelParams params{k};
+    EXPECT_TRUE(IsValid(InitialLabel(params), params)) << "k=" << k;
+  }
+}
+
+TEST(BoundedLabel, DomainSizeFormula) {
+  // 4x the theoretical minimum k^2+k+1 (see LabelParams::Domain).
+  EXPECT_EQ(LabelParams{2}.Domain(), 25u);
+  EXPECT_EQ(LabelParams{5}.Domain(), 121u);
+  EXPECT_EQ(LabelParams{10}.Domain(), 441u);
+  // Always strictly above the correctness minimum.
+  for (std::uint32_t k = 2; k <= 64; ++k) {
+    EXPECT_GT(LabelParams{k}.Domain(), k * k + k);
+  }
+}
+
+TEST(BoundedLabel, ValidityRejectsBadStructure) {
+  LabelParams params{3};
+  Label good = InitialLabel(params);
+  ASSERT_TRUE(IsValid(good, params));
+
+  Label sting_oob = good;
+  sting_oob.sting = params.Domain();
+  EXPECT_FALSE(IsValid(sting_oob, params));
+
+  Label too_few = good;
+  too_few.antistings.pop_back();
+  EXPECT_FALSE(IsValid(too_few, params));
+
+  Label dup = good;
+  dup.antistings[1] = dup.antistings[0];
+  EXPECT_FALSE(IsValid(dup, params));
+
+  Label unsorted = good;
+  std::swap(unsorted.antistings[0], unsorted.antistings[2]);
+  EXPECT_FALSE(IsValid(unsorted, params));
+
+  Label self_sting = good;
+  self_sting.antistings[0] = self_sting.sting;
+  // Re-sorting to isolate the "contains own sting" violation.
+  std::sort(self_sting.antistings.begin(), self_sting.antistings.end());
+  EXPECT_FALSE(IsValid(self_sting, params));
+
+  Label anti_oob = good;
+  anti_oob.antistings.back() = params.Domain() + 5;
+  EXPECT_FALSE(IsValid(anti_oob, params));
+}
+
+TEST(BoundedLabel, PrecedenceBasics) {
+  LabelParams params{2};  // domain 25
+  Label a{.sting = 1, .antistings = {2, 3}};
+  Label b{.sting = 4, .antistings = {1, 5}};  // a.sting in b.A, b.sting not in a.A
+  ASSERT_TRUE(IsValid(a, params));
+  ASSERT_TRUE(IsValid(b, params));
+  EXPECT_TRUE(Precedes(a, b, params));
+  EXPECT_FALSE(Precedes(b, a, params));
+}
+
+TEST(BoundedLabel, PrecedenceIrreflexive) {
+  Rng rng(21);
+  LabelParams params{4};
+  for (int i = 0; i < 200; ++i) {
+    Label l = RandomValidLabel(rng, params);
+    EXPECT_FALSE(Precedes(l, l, params));
+  }
+}
+
+TEST(BoundedLabel, PrecedenceAntisymmetric) {
+  Rng rng(22);
+  LabelParams params{4};
+  for (int i = 0; i < 2000; ++i) {
+    Label a = RandomValidLabel(rng, params);
+    Label b = RandomValidLabel(rng, params);
+    EXPECT_FALSE(Precedes(a, b, params) && Precedes(b, a, params))
+        << a.ToString() << " vs " << b.ToString();
+  }
+}
+
+TEST(BoundedLabel, GarbageIsIncomparable) {
+  Rng rng(23);
+  LabelParams params{3};
+  Label valid = InitialLabel(params);
+  for (int i = 0; i < 200; ++i) {
+    Label garbage = RandomGarbageLabel(rng, params);
+    if (IsValid(garbage, params)) continue;  // rare but possible
+    EXPECT_FALSE(Precedes(garbage, valid, params));
+    EXPECT_FALSE(Precedes(valid, garbage, params));
+  }
+}
+
+TEST(BoundedLabel, SanitizeProducesValidFixpoint) {
+  Rng rng(24);
+  for (std::uint32_t k = 2; k <= 12; k += 2) {
+    LabelParams params{k};
+    for (int i = 0; i < 300; ++i) {
+      Label garbage = RandomGarbageLabel(rng, params);
+      Label clean = Sanitize(garbage, params);
+      EXPECT_TRUE(IsValid(clean, params)) << clean.ToString();
+      // Sanitizing twice is a no-op (fixpoint): a stabilized state stays.
+      EXPECT_EQ(Sanitize(clean, params), clean);
+    }
+  }
+}
+
+TEST(BoundedLabel, SanitizePreservesValidLabels) {
+  Rng rng(25);
+  LabelParams params{5};
+  for (int i = 0; i < 300; ++i) {
+    Label l = RandomValidLabel(rng, params);
+    EXPECT_EQ(Sanitize(l, params), l);
+  }
+}
+
+TEST(BoundedLabel, EncodeDecodeRoundTrip) {
+  Rng rng(26);
+  LabelParams params{6};
+  for (int i = 0; i < 200; ++i) {
+    Label l = RandomValidLabel(rng, params);
+    BufWriter w;
+    l.Encode(w);
+    BufReader r(w.data());
+    Label back = Label::Decode(r);
+    EXPECT_TRUE(r.AtEndOk());
+    EXPECT_EQ(back, l);
+  }
+}
+
+TEST(BoundedLabel, DecodeGarbageIsTotal) {
+  Rng rng(27);
+  for (int i = 0; i < 500; ++i) {
+    Bytes garbage = RandomBytes(rng, rng.NextBelow(40));
+    BufReader r(garbage);
+    (void)Label::Decode(r);  // must not crash; validity checked by caller
+  }
+}
+
+TEST(BoundedLabel, CompareReprIsTotalOrder) {
+  Rng rng(28);
+  LabelParams params{3};
+  for (int i = 0; i < 500; ++i) {
+    Label a = RandomValidLabel(rng, params);
+    Label b = RandomValidLabel(rng, params);
+    const bool ab = a.CompareRepr(b) < 0;
+    const bool ba = b.CompareRepr(a) < 0;
+    if (a == b) {
+      EXPECT_FALSE(ab || ba);
+    } else {
+      EXPECT_NE(ab, ba);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sbft

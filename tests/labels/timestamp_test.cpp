@@ -1,0 +1,110 @@
+// Tests for MWMR timestamps (label, writer id) — the §IV-D extension.
+#include "labels/timestamp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "labels/unbounded_timestamp.hpp"
+
+namespace sbft {
+namespace {
+
+TEST(Timestamp, LabelOrderDominatesWriterId) {
+  LabelingSystem system(3);
+  Label l0 = system.Initial();
+  Label l1 = system.Next(std::vector<Label>{l0});
+  // Higher writer id on the older label must not win.
+  Timestamp old_ts{l0, /*writer_id=*/99};
+  Timestamp new_ts{l1, /*writer_id=*/1};
+  EXPECT_TRUE(Precedes(old_ts, new_ts, system.params()));
+  EXPECT_FALSE(Precedes(new_ts, old_ts, system.params()));
+}
+
+TEST(Timestamp, EqualLabelsOrderedByWriterId) {
+  LabelingSystem system(3);
+  Label l = system.Initial();
+  Timestamp a{l, 1};
+  Timestamp b{l, 2};
+  EXPECT_TRUE(Precedes(a, b, system.params()));
+  EXPECT_FALSE(Precedes(b, a, system.params()));
+}
+
+TEST(Timestamp, IncomparableLabelsStayUnordered) {
+  // Identifiers must not order incomparable labels (a stale label can be
+  // incomparable to a fresh one; an id-based edge would let it dominate
+  // fresh writes in the WTsG). Lemma 8's identifier ordering applies at
+  // head election time instead.
+  LabelingSystem system(2);  // domain 25
+  Label a{.sting = 1, .antistings = {2, 3}};
+  Label b{.sting = 4, .antistings = {5, 6}};  // mutually incomparable
+  ASSERT_FALSE(Precedes(a, b, system.params()));
+  ASSERT_FALSE(Precedes(b, a, system.params()));
+  Timestamp ta{a, 1};
+  Timestamp tb{b, 2};
+  EXPECT_FALSE(Precedes(ta, tb, system.params()));
+  EXPECT_FALSE(Precedes(tb, ta, system.params()));
+  // SelectionLess still breaks the tie deterministically.
+  EXPECT_NE(SelectionLess(ta, tb, system.params()),
+            SelectionLess(tb, ta, system.params()));
+}
+
+TEST(Timestamp, AntisymmetryProperty) {
+  Rng rng(31);
+  LabelingSystem system(4);
+  for (int i = 0; i < 2000; ++i) {
+    Timestamp a{RandomValidLabel(rng, system.params()),
+                static_cast<ClientId>(rng.NextBelow(4))};
+    Timestamp b{RandomValidLabel(rng, system.params()),
+                static_cast<ClientId>(rng.NextBelow(4))};
+    EXPECT_FALSE(Precedes(a, b, system.params()) &&
+                 Precedes(b, a, system.params()));
+    EXPECT_FALSE(Precedes(a, a, system.params()));
+  }
+}
+
+TEST(Timestamp, SelectionLessIsTotalOnDistinct) {
+  Rng rng(32);
+  LabelingSystem system(4);
+  for (int i = 0; i < 1000; ++i) {
+    Timestamp a{RandomValidLabel(rng, system.params()),
+                static_cast<ClientId>(rng.NextBelow(3))};
+    Timestamp b{RandomValidLabel(rng, system.params()),
+                static_cast<ClientId>(rng.NextBelow(3))};
+    if (a == b) continue;
+    EXPECT_NE(SelectionLess(a, b, system.params()),
+              SelectionLess(b, a, system.params()));
+  }
+}
+
+TEST(Timestamp, EncodeDecodeRoundTrip) {
+  Rng rng(33);
+  LabelingSystem system(5);
+  for (int i = 0; i < 200; ++i) {
+    Timestamp ts{RandomValidLabel(rng, system.params()),
+                 static_cast<ClientId>(rng())};
+    BufWriter w;
+    ts.Encode(w);
+    BufReader r(w.data());
+    Timestamp back = Timestamp::Decode(r);
+    EXPECT_TRUE(r.AtEndOk());
+    EXPECT_EQ(back, ts);
+  }
+}
+
+TEST(UnboundedTsTest, TotalOrderAndRoundTrip) {
+  UnboundedTs a{1, 5};
+  UnboundedTs b{2, 0};
+  UnboundedTs c{2, 1};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_LT(a, c);  // transitive, unlike bounded labels
+
+  BufWriter w;
+  c.Encode(w);
+  BufReader r(w.data());
+  EXPECT_EQ(UnboundedTs::Decode(r), c);
+  EXPECT_TRUE(r.AtEndOk());
+}
+
+}  // namespace
+}  // namespace sbft

@@ -1,0 +1,76 @@
+// The bounded fair-lossy non-FIFO channel model under the data-link.
+#include "net/lossy_channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sbft {
+namespace {
+
+TEST(LossyChannel, CapacityBoundEnforced) {
+  LossyChannel channel({.capacity = 3, .drop_probability = 0.0}, Rng(1));
+  EXPECT_TRUE(channel.Push(Bytes{1}));
+  EXPECT_TRUE(channel.Push(Bytes{2}));
+  EXPECT_TRUE(channel.Push(Bytes{3}));
+  EXPECT_FALSE(channel.Push(Bytes{4}));  // over capacity: dropped
+  EXPECT_EQ(channel.size(), 3u);
+}
+
+TEST(LossyChannel, PopDrainsEverythingNoDuplication) {
+  LossyChannel channel({.capacity = 8, .drop_probability = 0.0}, Rng(2));
+  std::multiset<Bytes> pushed;
+  for (std::uint8_t i = 0; i < 8; ++i) {
+    channel.Push(Bytes{i});
+    pushed.insert(Bytes{i});
+  }
+  std::multiset<Bytes> popped;
+  while (auto frame = channel.Pop()) popped.insert(*frame);
+  EXPECT_EQ(popped, pushed);  // exactly once each, any order
+  EXPECT_FALSE(channel.Pop().has_value());
+}
+
+TEST(LossyChannel, ReordersButNeverInvents) {
+  LossyChannel channel({.capacity = 16, .drop_probability = 0.0}, Rng(3));
+  bool reordered = false;
+  for (int round = 0; round < 50 && !reordered; ++round) {
+    for (std::uint8_t i = 0; i < 10; ++i) channel.Push(Bytes{i});
+    for (std::uint8_t i = 0; i < 10; ++i) {
+      auto frame = channel.Pop();
+      ASSERT_TRUE(frame.has_value());
+      ASSERT_LT((*frame)[0], 10);  // never invented
+      if ((*frame)[0] != i) reordered = true;
+    }
+  }
+  EXPECT_TRUE(reordered);
+}
+
+TEST(LossyChannel, DropProbabilityRoughlyHolds) {
+  LossyChannel channel({.capacity = 100000, .drop_probability = 0.3},
+                       Rng(4));
+  int accepted = 0;
+  const int kPushes = 20000;
+  for (int i = 0; i < kPushes; ++i) {
+    if (channel.Push(Bytes{1})) ++accepted;
+  }
+  EXPECT_NEAR(accepted, kPushes * 0.7, kPushes * 0.03);
+}
+
+TEST(LossyChannel, PreloadGarbageClipsToCapacity) {
+  LossyChannel channel({.capacity = 4, .drop_probability = 0.0}, Rng(5));
+  channel.PreloadGarbage(10);
+  EXPECT_EQ(channel.size(), 4u);
+}
+
+TEST(LossyChannel, CorruptInFlightPreservesSizes) {
+  LossyChannel channel({.capacity = 4, .drop_probability = 0.0}, Rng(6));
+  channel.Push(Bytes{1, 2, 3});
+  channel.Push(Bytes{4});
+  channel.CorruptInFlight();
+  std::multiset<std::size_t> sizes;
+  while (auto frame = channel.Pop()) sizes.insert(frame->size());
+  EXPECT_EQ(sizes, (std::multiset<std::size_t>{1, 3}));
+}
+
+}  // namespace
+}  // namespace sbft

@@ -1,0 +1,65 @@
+// OpRecord precedence/concurrency predicates and History projections —
+// the temporal algebra everything in spec/ rests on.
+#include "spec/history.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sbft {
+namespace {
+
+OpRecord Make(OpRecord::Kind kind, VirtualTime from, VirtualTime to,
+              OpRecord::Result result = OpRecord::Result::kOk) {
+  OpRecord op;
+  op.kind = kind;
+  op.result = result;
+  op.invoked_at = from;
+  op.returned_at = to;
+  return op;
+}
+
+TEST(HistoryOps, PrecedenceIsStrict) {
+  auto a = Make(OpRecord::Kind::kWrite, 0, 10);
+  auto b = Make(OpRecord::Kind::kRead, 20, 30);
+  EXPECT_TRUE(a.PrecedesRt(b));
+  EXPECT_FALSE(b.PrecedesRt(a));
+  EXPECT_FALSE(a.ConcurrentWith(b));
+}
+
+TEST(HistoryOps, TouchingIntervalsAreConcurrent) {
+  // op precedes op' iff t_E(op) < t_B(op') — equality means overlap at
+  // an instant, which the paper's definition treats as concurrent.
+  auto a = Make(OpRecord::Kind::kWrite, 0, 10);
+  auto b = Make(OpRecord::Kind::kRead, 10, 20);
+  EXPECT_FALSE(a.PrecedesRt(b));
+  EXPECT_TRUE(a.ConcurrentWith(b));
+}
+
+TEST(HistoryOps, OverlapIsSymmetricConcurrency) {
+  auto a = Make(OpRecord::Kind::kWrite, 0, 15);
+  auto b = Make(OpRecord::Kind::kRead, 10, 20);
+  EXPECT_TRUE(a.ConcurrentWith(b));
+  EXPECT_TRUE(b.ConcurrentWith(a));
+}
+
+TEST(HistoryOps, PendingOpsNeverPrecede) {
+  auto pending = Make(OpRecord::Kind::kWrite, 0, 0,
+                      OpRecord::Result::kPending);
+  auto later = Make(OpRecord::Kind::kRead, 100, 110);
+  EXPECT_FALSE(pending.PrecedesRt(later));
+  EXPECT_TRUE(pending.ConcurrentWith(later));  // forever in flight
+}
+
+TEST(HistoryOps, ProjectionsSplitByKind) {
+  History history;
+  history.Add(Make(OpRecord::Kind::kWrite, 0, 1));
+  history.Add(Make(OpRecord::Kind::kRead, 2, 3));
+  history.Add(Make(OpRecord::Kind::kWrite, 4, 5));
+  EXPECT_EQ(history.Writes().size(), 2u);
+  EXPECT_EQ(history.Reads().size(), 1u);
+  EXPECT_EQ(history.size(), 3u);
+  history.Clear();
+  EXPECT_EQ(history.size(), 0u);
+}
+
+}  // namespace
+}  // namespace sbft

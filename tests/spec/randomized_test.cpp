@@ -1,0 +1,168 @@
+// Randomized end-to-end validation: concurrent multi-writer multi-reader
+// workloads under Byzantine servers and transient corruption, checked
+// against the MWMR regular specification (Theorems 2-3 empirically).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "spec/regular_checker.hpp"
+#include "spec/workload.hpp"
+
+namespace sbft {
+namespace {
+
+CheckOptions AfterStabilization(const WorkloadResult& result) {
+  CheckOptions options;
+  // Theorem 2 guarantees regularity for operations after the first
+  // complete write; before it reads may return the (legal) initial
+  // register content.
+  options.stabilized_from = result.first_write_done;
+  options.grandfathered_values = {Value{}};  // pristine initial value
+  return options;
+}
+
+class RandomizedRegular
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, int>> {};
+
+TEST_P(RandomizedRegular, CleanConcurrentWorkloadIsRegular) {
+  const auto [n, seed] = GetParam();
+  Deployment::Options options;
+  options.config = ProtocolConfig::ForServers(n);
+  options.seed = static_cast<std::uint64_t>(seed);
+  options.n_clients = 3;
+  Deployment deployment(std::move(options));
+
+  WorkloadOptions workload;
+  workload.ops_per_client = 25;
+  workload.seed = static_cast<std::uint64_t>(seed) * 31 + n;
+  auto result = RunConcurrentWorkload(deployment, workload);
+  ASSERT_TRUE(result.all_completed);
+
+  auto report = CheckRegular(result.history, AfterStabilization(result));
+  EXPECT_TRUE(report.ok) << report.Summary();
+  // With no faults and no corruption, nothing should abort.
+  std::size_t aborted = 0;
+  for (const auto& op : result.history.ops()) {
+    if (op.result == OpRecord::Result::kAborted) ++aborted;
+  }
+  EXPECT_EQ(aborted, 0u);
+}
+
+TEST_P(RandomizedRegular, ByzantineConcurrentWorkloadIsRegular) {
+  const auto [n, seed] = GetParam();
+  Deployment::Options options;
+  options.config = ProtocolConfig::ForServers(n);
+  options.seed = static_cast<std::uint64_t>(seed) + 500;
+  options.n_clients = 3;
+  const std::uint32_t f = options.config.f;
+  for (std::uint32_t b = 0; b < f; ++b) {
+    options.byzantine[b * 3] = kAllByzantineStrategies[
+        (static_cast<std::size_t>(seed) + b) %
+        std::size(kAllByzantineStrategies)];
+  }
+  Deployment deployment(std::move(options));
+
+  WorkloadOptions workload;
+  workload.ops_per_client = 20;
+  workload.seed = static_cast<std::uint64_t>(seed) * 37 + n;
+  auto result = RunConcurrentWorkload(deployment, workload);
+  ASSERT_TRUE(result.all_completed);
+  auto report = CheckRegular(result.history, AfterStabilization(result));
+  EXPECT_TRUE(report.ok) << report.Summary();
+}
+
+TEST_P(RandomizedRegular, CorruptionThenWorkloadStabilizes) {
+  const auto [n, seed] = GetParam();
+  Deployment::Options options;
+  options.config = ProtocolConfig::ForServers(n);
+  options.seed = static_cast<std::uint64_t>(seed) + 900;
+  options.n_clients = 2;
+  Deployment deployment(std::move(options));
+  deployment.CorruptAllCorrectServers();
+  deployment.CorruptAllChannels(2);
+  for (std::size_t c = 0; c < 2; ++c) deployment.CorruptClient(c);
+
+  WorkloadOptions workload;
+  workload.ops_per_client = 20;
+  workload.write_fraction = 0.6;  // ensure an early first write
+  workload.seed = static_cast<std::uint64_t>(seed) * 41 + n;
+  auto result = RunConcurrentWorkload(deployment, workload);
+  ASSERT_TRUE(result.all_completed);
+  ASSERT_NE(result.first_write_done, kTimeForever);
+
+  // Judge only the post-stabilization suffix; pre-suffix reads may
+  // return corrupted-state garbage, which is exactly what
+  // pseudo-stabilization permits.
+  CheckOptions check;
+  check.stabilized_from = result.first_write_done;
+  auto report = CheckRegular(result.history, check);
+  EXPECT_TRUE(report.ok) << report.Summary();
+}
+
+TEST_P(RandomizedRegular, FullFaultCocktailStabilizes) {
+  const auto [n, seed] = GetParam();
+  Deployment::Options options;
+  options.config = ProtocolConfig::ForServers(n);
+  options.seed = static_cast<std::uint64_t>(seed) + 1300;
+  options.n_clients = 2;
+  const std::uint32_t f = options.config.f;
+  for (std::uint32_t b = 0; b < f; ++b) {
+    options.byzantine[b + 1] = kAllByzantineStrategies[
+        static_cast<std::size_t>(seed + b) %
+        std::size(kAllByzantineStrategies)];
+  }
+  Deployment deployment(std::move(options));
+  deployment.CorruptAllCorrectServers();
+  deployment.CorruptAllChannels(1);
+
+  WorkloadOptions workload;
+  workload.ops_per_client = 15;
+  workload.write_fraction = 0.6;
+  workload.seed = static_cast<std::uint64_t>(seed) * 43 + n;
+  auto result = RunConcurrentWorkload(deployment, workload);
+  ASSERT_TRUE(result.all_completed);
+  ASSERT_NE(result.first_write_done, kTimeForever);
+  CheckOptions check;
+  check.stabilized_from = result.first_write_done;
+  auto report = CheckRegular(result.history, check);
+  EXPECT_TRUE(report.ok) << report.Summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomizedRegular,
+    ::testing::Combine(::testing::Values(6u, 11u),
+                       ::testing::Values(1, 2, 3, 4)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(RandomizedRegularHeavy, ManySeedsCleanAndByzantine) {
+  // Broad seed sweep with small workloads: catches rare interleavings.
+  for (int seed = 0; seed < 30; ++seed) {
+    Deployment::Options options;
+    options.config = ProtocolConfig::ForServers(6);
+    options.seed = static_cast<std::uint64_t>(seed) + 2000;
+    options.n_clients = 2;
+    if (seed % 2 == 1) {
+      options.byzantine[seed % 6] = kAllByzantineStrategies[
+          static_cast<std::size_t>(seed) %
+          std::size(kAllByzantineStrategies)];
+    }
+    Deployment deployment(std::move(options));
+    WorkloadOptions workload;
+    workload.ops_per_client = 10;
+    workload.seed = static_cast<std::uint64_t>(seed) * 101;
+    auto result = RunConcurrentWorkload(deployment, workload);
+    ASSERT_TRUE(result.all_completed) << "seed " << seed;
+    CheckOptions check;
+    check.stabilized_from = result.first_write_done;
+    check.grandfathered_values = {Value{}};
+    auto report = CheckRegular(result.history, check);
+    EXPECT_TRUE(report.ok) << "seed " << seed << ": " << report.Summary();
+  }
+}
+
+}  // namespace
+}  // namespace sbft

@@ -1,0 +1,112 @@
+// The concurrent workload driver itself: determinism, completeness of
+// recording, stabilization-point detection.
+#include "spec/workload.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sbft {
+namespace {
+
+Deployment::Options BaseOptions(std::uint64_t seed) {
+  Deployment::Options options;
+  options.config = ProtocolConfig::ForServers(6);
+  options.seed = seed;
+  options.n_clients = 2;
+  return options;
+}
+
+TEST(Workload, RecordsEveryOperationOnce) {
+  Deployment deployment(BaseOptions(11));
+  WorkloadOptions workload;
+  workload.ops_per_client = 12;
+  workload.seed = 3;
+  auto result = RunConcurrentWorkload(deployment, workload);
+  ASSERT_TRUE(result.all_completed);
+  EXPECT_EQ(result.history.size(), 24u);  // 12 ops x 2 clients
+}
+
+TEST(Workload, DeterministicGivenSeeds) {
+  auto run_once = [] {
+    Deployment deployment(BaseOptions(12));
+    WorkloadOptions workload;
+    workload.ops_per_client = 10;
+    workload.seed = 5;
+    auto result = RunConcurrentWorkload(deployment, workload);
+    std::vector<std::tuple<int, std::uint32_t, VirtualTime, VirtualTime,
+                           Bytes>>
+        trace;
+    for (const auto& op : result.history.ops()) {
+      trace.emplace_back(static_cast<int>(op.kind), op.client,
+                         op.invoked_at, op.returned_at, op.value);
+    }
+    return trace;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Workload, WriteValuesAreUnique) {
+  Deployment deployment(BaseOptions(13));
+  WorkloadOptions workload;
+  workload.ops_per_client = 15;
+  workload.write_fraction = 1.0;
+  workload.seed = 7;
+  auto result = RunConcurrentWorkload(deployment, workload);
+  std::set<Bytes> values;
+  for (const auto& op : result.history.ops()) {
+    ASSERT_EQ(op.kind, OpRecord::Kind::kWrite);
+    EXPECT_TRUE(values.insert(op.value).second);
+  }
+}
+
+TEST(Workload, FirstWriteDoneMatchesEarliestOkWrite) {
+  Deployment deployment(BaseOptions(14));
+  WorkloadOptions workload;
+  workload.ops_per_client = 10;
+  workload.seed = 9;
+  auto result = RunConcurrentWorkload(deployment, workload);
+  VirtualTime earliest = kTimeForever;
+  for (const auto& op : result.history.ops()) {
+    if (op.kind == OpRecord::Kind::kWrite &&
+        op.result == OpRecord::Result::kOk) {
+      earliest = std::min(earliest, op.returned_at);
+    }
+  }
+  EXPECT_EQ(result.first_write_done, earliest);
+}
+
+TEST(Workload, ReadOnlyWorkloadHasNoStabilizationPoint) {
+  Deployment deployment(BaseOptions(15));
+  WorkloadOptions workload;
+  workload.ops_per_client = 5;
+  workload.write_fraction = 0.0;
+  workload.seed = 11;
+  auto result = RunConcurrentWorkload(deployment, workload);
+  ASSERT_TRUE(result.all_completed);
+  EXPECT_EQ(result.first_write_done, kTimeForever);
+}
+
+TEST(Workload, OperationsGenuinelyInterleave) {
+  // With two clients and short think times, some operations from
+  // different clients must overlap in virtual time.
+  Deployment deployment(BaseOptions(16));
+  WorkloadOptions workload;
+  workload.ops_per_client = 20;
+  workload.max_think_time = 2;
+  workload.seed = 13;
+  auto result = RunConcurrentWorkload(deployment, workload);
+  bool overlap = false;
+  const auto& ops = result.history.ops();
+  for (std::size_t i = 0; i < ops.size() && !overlap; ++i) {
+    for (std::size_t j = 0; j < ops.size(); ++j) {
+      if (ops[i].client != ops[j].client &&
+          ops[i].ConcurrentWith(ops[j])) {
+        overlap = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(overlap);
+}
+
+}  // namespace
+}  // namespace sbft

@@ -1,0 +1,91 @@
+// F1 at the wire level: a write must appear on every correct channel as
+// FLUSH before GET_TS before WRITE (the two protocol phases behind a
+// label-acquisition round), with the WRITE carrying a timestamp that
+// dominates every timestamp reported in that operation's TS replies.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/deployment.hpp"
+
+namespace sbft {
+namespace {
+
+TEST(WriteOrder, PhasesAppearInOrderPerChannel) {
+  Deployment::Options options;
+  options.config = ProtocolConfig::ForServers(6);
+  options.seed = 88;
+  Deployment deployment(std::move(options));
+  deployment.world().trace().Enable(true);
+
+  ASSERT_TRUE(deployment.Write(0, Value{42}).completed);
+
+  const NodeId client = deployment.client_node(0);
+  // Per server: the send order of the write's phases.
+  std::map<NodeId, std::vector<std::string>> sequence;
+  for (const TraceEvent& event : deployment.world().trace().events()) {
+    if (event.kind != TraceKind::kSend || event.src != client) continue;
+    auto decoded = DecodeMessage(event.frame);
+    if (!decoded.ok()) continue;
+    const std::string name = MessageTypeName(decoded.value());
+    if (name == "FLUSH" || name == "GET_TS" || name == "WRITE") {
+      sequence[event.dst].push_back(name);
+    }
+  }
+  ASSERT_EQ(sequence.size(), 6u);  // every server was contacted
+  for (const auto& [server, names] : sequence) {
+    ASSERT_EQ(names.size(), 3u) << "server " << server;
+    EXPECT_EQ(names[0], "FLUSH");
+    EXPECT_EQ(names[1], "GET_TS");
+    EXPECT_EQ(names[2], "WRITE");
+  }
+}
+
+TEST(WriteOrder, WriteTimestampDominatesCollectedReplies) {
+  Deployment::Options options;
+  options.config = ProtocolConfig::ForServers(6);
+  options.seed = 89;
+  Deployment deployment(std::move(options));
+  deployment.world().trace().Enable(true);
+
+  auto write = deployment.Write(0, Value{7});
+  ASSERT_TRUE(write.completed);
+
+  LabelingSystem system(deployment.config().k);
+  const NodeId client = deployment.client_node(0);
+  int ts_replies = 0;
+  for (const TraceEvent& event : deployment.world().trace().events()) {
+    if (event.kind != TraceKind::kDeliver || event.dst != client) continue;
+    auto decoded = DecodeMessage(event.frame);
+    if (!decoded.ok()) continue;
+    if (const auto* reply = std::get_if<TsReplyMsg>(&decoded.value())) {
+      ++ts_replies;
+      EXPECT_TRUE(system.Precedes(reply->ts.label, write.outcome.ts.label))
+          << reply->ts.ToString() << " !< " << write.outcome.ts.ToString();
+    }
+  }
+  EXPECT_GE(ts_replies, static_cast<int>(deployment.config().Quorum()));
+}
+
+TEST(WriteOrder, ReadNeverSendsWritePhaseMessages) {
+  Deployment::Options options;
+  options.config = ProtocolConfig::ForServers(6);
+  options.seed = 90;
+  Deployment deployment(std::move(options));
+  ASSERT_TRUE(deployment.Write(0, Value{1}).completed);
+  deployment.world().trace().Enable(true);
+  ASSERT_TRUE(deployment.Read(0).completed);
+
+  const NodeId client = deployment.client_node(0);
+  for (const TraceEvent& event : deployment.world().trace().events()) {
+    if (event.kind != TraceKind::kSend || event.src != client) continue;
+    auto decoded = DecodeMessage(event.frame);
+    if (!decoded.ok()) continue;
+    const std::string name = MessageTypeName(decoded.value());
+    EXPECT_NE(name, "GET_TS");
+    EXPECT_NE(name, "WRITE");
+  }
+}
+
+}  // namespace
+}  // namespace sbft
