@@ -172,4 +172,12 @@ const char* ByzantineStrategyName(ByzantineStrategy strategy) {
   return "unknown";
 }
 
+std::optional<ByzantineStrategy> ByzantineStrategyFromName(
+    std::string_view name) {
+  for (ByzantineStrategy strategy : kAllByzantineStrategies) {
+    if (name == ByzantineStrategyName(strategy)) return strategy;
+  }
+  return std::nullopt;
+}
+
 }  // namespace sbft

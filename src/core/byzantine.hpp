@@ -21,6 +21,8 @@
 #pragma once
 
 #include <memory>
+#include <optional>
+#include <string_view>
 
 #include "core/server.hpp"
 
@@ -49,5 +51,11 @@ inline constexpr ByzantineStrategy kAllByzantineStrategies[] = {
 };
 
 const char* ByzantineStrategyName(ByzantineStrategy strategy);
+
+/// Registry lookup: inverse of ByzantineStrategyName. Scenario tokens
+/// and CLI filters (tools/sbft_fuzz --byz) address strategies by name;
+/// nullopt for unknown names keeps parsing total.
+std::optional<ByzantineStrategy> ByzantineStrategyFromName(
+    std::string_view name);
 
 }  // namespace sbft

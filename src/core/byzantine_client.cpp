@@ -74,4 +74,12 @@ const char* ByzantineClientStrategyName(ByzantineClientStrategy strategy) {
   return "unknown";
 }
 
+std::optional<ByzantineClientStrategy> ByzantineClientStrategyFromName(
+    std::string_view name) {
+  for (ByzantineClientStrategy strategy : kAllByzantineClientStrategies) {
+    if (name == ByzantineClientStrategyName(strategy)) return strategy;
+  }
+  return std::nullopt;
+}
+
 }  // namespace sbft

@@ -13,6 +13,8 @@
 #pragma once
 
 #include <memory>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "core/config.hpp"
@@ -54,6 +56,17 @@ class ByzantineClient final : public Automaton {
   std::size_t rounds_left_;
 };
 
+/// All strategies, for parameterized sweeps and fuzz scenario drawing.
+inline constexpr ByzantineClientStrategy kAllByzantineClientStrategies[] = {
+    ByzantineClientStrategy::kReadFlooder,
+    ByzantineClientStrategy::kGarbageSprayer,
+    ByzantineClientStrategy::kForgedWriter,
+};
+
 const char* ByzantineClientStrategyName(ByzantineClientStrategy strategy);
+
+/// Registry lookup: inverse of ByzantineClientStrategyName.
+std::optional<ByzantineClientStrategy> ByzantineClientStrategyFromName(
+    std::string_view name);
 
 }  // namespace sbft

@@ -1,0 +1,206 @@
+#include "fuzz/campaign.hpp"
+
+#include <chrono>
+#include <ostream>
+
+namespace sbft::fuzz {
+
+CampaignResult RunCampaign(const CampaignOptions& options) {
+  CampaignResult result;
+  Rng rng(options.seed);
+  const auto started = std::chrono::steady_clock::now();
+  const auto out_of_time = [&] {
+    if (options.budget_seconds <= 0.0) return false;
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - started;
+    return elapsed.count() >= options.budget_seconds;
+  };
+
+  for (std::size_t i = 0; i < options.runs && !out_of_time(); ++i) {
+    Scenario scenario = GenerateScenario(rng, options.generator);
+    RunOutcome outcome = RunScenario(scenario);
+    result.runs_executed++;
+    if (!outcome.all_completed) result.stalled++;
+    if (outcome.checked_reads == 0) result.vacuous++;
+    if (options.out && options.verbose) {
+      *options.out << "[run " << i << "] " << scenario.Summary()
+                   << (outcome.violation() ? " VIOLATION" : " ok")
+                   << " (checked_reads=" << outcome.checked_reads
+                   << " aborted=" << outcome.reads_aborted << ")\n";
+    }
+    if (!outcome.violation()) continue;
+
+    ViolationRecord record;
+    record.original = scenario;
+    record.shrunk = scenario;
+    record.first_violation = outcome.report.violations.empty()
+                                 ? std::string("(unreported)")
+                                 : outcome.report.violations.front();
+    record.sub_resilient = scenario.sub_resilient();
+    record.run_index = i;
+    if (options.do_shrink) {
+      ShrinkOptions shrink;
+      shrink.max_runs = options.shrink_budget;
+      ShrinkResult shrunk = Shrink(scenario, shrink);
+      record.shrunk = shrunk.scenario;
+      record.shrink_attempts = shrunk.attempts;
+      record.shrink_accepted = shrunk.accepted;
+    }
+    record.token = EncodeToken(record.shrunk);
+    if (options.out) {
+      *options.out << "[viol] run " << i << ": " << scenario.Summary()
+                   << "\n  " << record.first_violation << "\n  shrunk ("
+                   << record.shrink_accepted << " edits in "
+                   << record.shrink_attempts
+                   << " runs) -> " << record.shrunk.Summary()
+                   << "\n  repro: " << record.token << "\n";
+    }
+    result.violations.push_back(std::move(record));
+  }
+  return result;
+}
+
+namespace {
+
+Scenario BaseScenario(std::uint64_t seed, std::uint32_t f,
+                      std::uint32_t extra, std::uint32_t clients) {
+  Scenario s;
+  s.seed = seed;
+  s.f = f;
+  s.extra = extra;
+  s.n_clients = clients;
+  s.ops_per_client = 10;
+  s.write_percent = 50;
+  s.max_think_time = 20;
+  return s;
+}
+
+void CorruptEverything(Scenario& s) {
+  for (std::uint32_t i = 0; i < s.n(); ++i) {
+    bool byzantine = false;
+    for (const auto& spec : s.byz_servers) byzantine |= spec.server == i;
+    if (!byzantine) {
+      s.faults.push_back({FaultKind::kCorruptServer, 0, i, 0, 0});
+    }
+  }
+  for (std::uint32_t c = 0; c < s.n_clients; ++c) {
+    s.faults.push_back({FaultKind::kCorruptClient, 0, c, 0, 0});
+    for (std::uint32_t i = 0; i < s.n(); ++i) {
+      s.faults.push_back({FaultKind::kGarbageFrames, 0, c, i, 2});
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<CorpusEntry> CuratedCorpus() {
+  std::vector<CorpusEntry> corpus;
+  const auto add = [&corpus](std::string name, std::string comment,
+                             Scenario s) {
+    s.Normalize();
+    corpus.push_back({std::move(name), std::move(comment), std::move(s)});
+  };
+
+  add("clean-baseline",
+      "n=6 f=1, no faults: the checker itself must stay quiet",
+      BaseScenario(101, 1, 1, 3));
+
+  {
+    Scenario s = BaseScenario(102, 1, 1, 2);
+    s.byz_servers = {{2, ByzantineStrategy::kStaleReplay}};
+    add("byz-stale-replay", "lying server forever reporting initial state",
+        s);
+  }
+  {
+    Scenario s = BaseScenario(103, 1, 1, 2);
+    s.byz_servers = {{0, ByzantineStrategy::kEquivocate}};
+    add("byz-equivocate",
+        "fabricated value attached to the legitimate newest timestamp", s);
+  }
+  {
+    Scenario s = BaseScenario(104, 2, 1, 3);
+    s.byz_servers = {{1, ByzantineStrategy::kNack},
+                     {7, ByzantineStrategy::kGarbage}};
+    add("byz-pair-n11", "f=2 mixed nack + garbage at n=11", s);
+  }
+  {
+    Scenario s = BaseScenario(105, 1, 1, 2);
+    s.byz_servers = {{4, ByzantineStrategy::kMute}};
+    CorruptEverything(s);
+    add("all-fault-cocktail-5f1",
+        "n=5f+1 with every injection: all correct servers corrupted, all "
+        "clients corrupted, garbage in every client channel, plus a mute "
+        "Byzantine server",
+        s);
+  }
+  {
+    Scenario s = BaseScenario(106, 1, 1, 3);
+    s.byz_servers = {{3, ByzantineStrategy::kStaleReplay}};
+    s.slowdowns = {{0, 0, true, 90}, {0, 1, true, 90}};
+    add("theorem1-near-miss",
+        "the Theorem 1 schedule shape at the tight bound n=5f+1: writer "
+        "slow to f+1 servers, stale-replay Byzantine — must stay regular",
+        s);
+  }
+  {
+    Scenario s = BaseScenario(107, 1, 1, 2);
+    s.faults = {{FaultKind::kCorruptServer, 300, 1, 0, 0},
+                {FaultKind::kCorruptServer, 300, 4, 0, 0},
+                {FaultKind::kGarbageFrames, 320, 0, 2, 3}};
+    s.ops_per_client = 14;
+    add("midrun-burst",
+        "fault burst mid-execution: the checked suffix re-anchors at the "
+        "next complete write",
+        s);
+  }
+  {
+    Scenario s = BaseScenario(108, 1, 1, 2);
+    s.byz_clients = {{ByzantineClientStrategy::kReadFlooder, 48}};
+    add("byz-client-flooder",
+        "hostile reader registering endless reads with every label", s);
+  }
+  {
+    Scenario s = BaseScenario(109, 1, 1, 2);
+    s.byz_clients = {{ByzantineClientStrategy::kGarbageSprayer, 48}};
+    s.faults = {{FaultKind::kScrambleChannel, 0, 0, 0, 0},
+                {FaultKind::kGarbageFrames, 0, 1, 3, 4}};
+    add("garbage-storm",
+        "undecodable bytes from a hostile client plus channel corruption",
+        s);
+  }
+  {
+    Scenario s = BaseScenario(110, 2, 1, 3);
+    s.byz_servers = {{0, ByzantineStrategy::kStaleReplay},
+                     {5, ByzantineStrategy::kEquivocate}};
+    s.slowdowns = {{1, 2, true, 70}, {1, 3, true, 70}, {2, 4, false, 60}};
+    s.faults = {{FaultKind::kCorruptServer, 0, 2, 0, 0},
+                {FaultKind::kCorruptClient, 0, 0, 0, 0},
+                {FaultKind::kGarbageFrames, 0, 2, 1, 2}};
+    add("mixed-cocktail-f2",
+        "f=2 everything at once: byzantine pair, directed slowdowns, "
+        "initial corruption",
+        s);
+  }
+  {
+    Scenario s = BaseScenario(111, 1, 2, 4);
+    s.write_percent = 80;
+    s.ops_per_client = 16;
+    s.byz_servers = {{6, ByzantineStrategy::kNack}};
+    add("write-heavy-slack",
+        "write-dominated workload at n=5f+2 with a NACKing server", s);
+  }
+  {
+    Scenario s = BaseScenario(112, 1, 1, 4);
+    s.write_percent = 25;
+    s.ops_per_client = 16;
+    s.delay_hi = 15;
+    s.slowdowns = {{2, 0, false, 80}};
+    add("read-heavy-slow-replies",
+        "read-dominated workload with one server's replies to one reader "
+        "delayed across write generations",
+        s);
+  }
+  return corpus;
+}
+
+}  // namespace sbft::fuzz

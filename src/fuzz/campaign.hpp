@@ -1,0 +1,83 @@
+// Fuzz campaigns: seeded loops of generate -> run -> check -> shrink.
+//
+// A campaign is the model-checking-lite workhorse: hundreds of seeded
+// scenarios drawn from the generator, each executed deterministically
+// and judged against the regular-register specification. Violations in
+// safe topologies (n > 5f) are protocol bugs and fail the campaign;
+// violations in sub-resilient topologies (n = 5f, only generated on
+// request) are Theorem 1 made executable — they are shrunk to minimal
+// repros and reported with replay tokens, but expected.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fuzz/generator.hpp"
+#include "fuzz/runner.hpp"
+#include "fuzz/shrink.hpp"
+
+namespace sbft::fuzz {
+
+struct CampaignOptions {
+  std::uint64_t seed = 1;
+  std::size_t runs = 100;
+  GeneratorOptions generator;
+  /// Shrink violating scenarios before reporting (costs extra runs).
+  bool do_shrink = true;
+  std::size_t shrink_budget = 300;
+  /// Wall-clock cap in seconds; 0 = none. The --smoke CI mode sets this
+  /// and a large run count, taking whatever coverage the budget buys.
+  double budget_seconds = 0.0;
+  /// Progress/violation stream (nullptr = silent).
+  std::ostream* out = nullptr;
+  bool verbose = false;
+};
+
+struct ViolationRecord {
+  Scenario original;
+  Scenario shrunk;         // == original when shrinking is off/failed
+  std::string token;       // replay token of the shrunk scenario
+  std::string first_violation;
+  bool sub_resilient = false;
+  std::size_t run_index = 0;
+  std::size_t shrink_attempts = 0;
+  std::size_t shrink_accepted = 0;
+};
+
+struct CampaignResult {
+  std::size_t runs_executed = 0;
+  std::size_t stalled = 0;   // event cap hit (liveness observation)
+  std::size_t vacuous = 0;   // no read fell inside the checked suffix
+  std::vector<ViolationRecord> violations;
+
+  /// Violations in n > 5f topologies — genuine bugs.
+  [[nodiscard]] std::size_t safe_violations() const {
+    std::size_t count = 0;
+    for (const auto& v : violations) {
+      if (!v.sub_resilient) count++;
+    }
+    return count;
+  }
+  [[nodiscard]] std::size_t sub_resilience_violations() const {
+    return violations.size() - safe_violations();
+  }
+};
+
+[[nodiscard]] CampaignResult RunCampaign(const CampaignOptions& options);
+
+/// The curated corpus: hand-designed scenarios pinning the shapes the
+/// test suite must keep passing (E1-E8 analogues plus fuzz-found
+/// near-misses). sbft_fuzz --write-corpus serializes these to token
+/// files under tests/fuzz/corpus/, which the fuzz_corpus_test ctest
+/// suite replays. All entries are safe topologies expected to produce
+/// zero post-stabilization violations.
+struct CorpusEntry {
+  std::string name;
+  std::string comment;
+  Scenario scenario;
+};
+[[nodiscard]] std::vector<CorpusEntry> CuratedCorpus();
+
+}  // namespace sbft::fuzz

@@ -1,0 +1,142 @@
+#include "fuzz/generator.hpp"
+
+#include <algorithm>
+
+namespace sbft::fuzz {
+namespace {
+
+// Strategies that still answer reader traffic. These are the ones that
+// matter near the resilience boundary: a server must be *in* the read
+// quorum to displace a fresh witness (a silent server just shrinks the
+// quorum to the correct ones).
+constexpr ByzantineStrategy kTalkativeStrategies[] = {
+    ByzantineStrategy::kStaleReplay,
+    ByzantineStrategy::kEquivocate,
+    ByzantineStrategy::kNack,
+};
+
+constexpr ByzantineClientStrategy kInModelClientStrategies[] = {
+    ByzantineClientStrategy::kReadFlooder,
+    ByzantineClientStrategy::kGarbageSprayer,
+};
+
+template <typename T, std::size_t N>
+T Pick(Rng& rng, const T (&choices)[N]) {
+  return choices[rng.NextBelow(N)];
+}
+
+}  // namespace
+
+Scenario GenerateScenario(Rng& rng, const GeneratorOptions& options) {
+  Scenario s;
+  s.seed = rng();
+
+  s.f = 1 + static_cast<std::uint32_t>(
+                rng.NextBelow(std::max<std::uint32_t>(options.max_f, 1)));
+  // Cluster around the boundary: mostly the tight bound 5f+1, sometimes
+  // slack, and (only when allowed) the impossible setting 5f itself.
+  if (options.allow_sub_resilience && rng.NextBool(0.5)) {
+    s.extra = 0;
+  } else {
+    s.extra = rng.NextBool(0.8) ? 1 : 2;
+  }
+  s.n_clients = 2 + static_cast<std::uint32_t>(rng.NextBelow(3));
+
+  s.delay_lo = 1;
+  s.delay_hi = 4 + rng.NextBelow(12);
+
+  // --- Byzantine servers: up to f, biased toward talkative strategies.
+  const std::uint32_t byz_count =
+      static_cast<std::uint32_t>(rng.NextBelow(s.f + 1));
+  for (std::uint32_t i = 0; i < byz_count; ++i) {
+    ByzantineServerSpec spec;
+    spec.server = static_cast<std::uint32_t>(rng.NextBelow(s.n()));
+    spec.strategy = rng.NextBool(0.7)
+                        ? Pick(rng, kTalkativeStrategies)
+                        : Pick(rng, kAllByzantineStrategies);
+    s.byz_servers.push_back(spec);
+  }
+
+  // --- Directed slowdowns: the scripted-adversary ingredient. Slowing
+  // one client's path to a few servers lets its write quorums complete
+  // without them while other clients still hear those servers promptly
+  // — the Theorem 1 schedule shape, found here by chance composition.
+  if (rng.NextBool(0.6)) {
+    const std::uint32_t lagged =
+        1 + static_cast<std::uint32_t>(rng.NextBelow(s.f));
+    const std::uint32_t victim_client =
+        static_cast<std::uint32_t>(rng.NextBelow(s.n_clients));
+    for (std::uint32_t i = 0; i < lagged; ++i) {
+      ChannelSlowdown slow;
+      slow.client = victim_client;
+      slow.server = static_cast<std::uint32_t>(rng.NextBelow(s.n()));
+      slow.client_to_server = rng.NextBool(0.8);
+      slow.delay = 40 + rng.NextBelow(120);
+      s.slowdowns.push_back(slow);
+      // Usually slow both phases of the same write (FLUSH and WRITE ride
+      // the same channel), occasionally the reply direction too.
+      if (rng.NextBool(0.3)) {
+        ChannelSlowdown back = slow;
+        back.client_to_server = !slow.client_to_server;
+        back.delay = 40 + rng.NextBelow(120);
+        s.slowdowns.push_back(back);
+      }
+    }
+  }
+
+  // --- Byzantine clients (in-model attackers only).
+  if (options.enable_byzantine_clients && rng.NextBool(0.25)) {
+    ByzantineClientSpec spec;
+    spec.strategy = Pick(rng, kInModelClientStrategies);
+    spec.rounds = 8 + static_cast<std::uint32_t>(rng.NextBelow(56));
+    s.byz_clients.push_back(spec);
+  }
+
+  // --- Transient faults: an initial burst (arbitrary starting state,
+  // the paper's core premise) and sometimes a mid-run burst that
+  // re-anchors the checked suffix.
+  auto add_fault_burst = [&](VirtualTime at) {
+    const std::size_t count = 1 + rng.NextBelow(4);
+    for (std::size_t i = 0; i < count; ++i) {
+      FaultInjection fault;
+      fault.at = at;
+      switch (rng.NextBelow(4)) {
+        case 0:
+          fault.kind = FaultKind::kCorruptServer;
+          fault.a = static_cast<std::uint32_t>(rng.NextBelow(s.n()));
+          break;
+        case 1:
+          fault.kind = FaultKind::kCorruptClient;
+          fault.a = static_cast<std::uint32_t>(rng.NextBelow(s.n_clients));
+          break;
+        case 2:
+          fault.kind = FaultKind::kGarbageFrames;
+          fault.a = static_cast<std::uint32_t>(rng.NextBelow(s.n_clients));
+          fault.b = static_cast<std::uint32_t>(rng.NextBelow(s.n()));
+          fault.count = 1 + static_cast<std::uint32_t>(rng.NextBelow(4));
+          break;
+        default:
+          fault.kind = FaultKind::kScrambleChannel;
+          fault.a = static_cast<std::uint32_t>(rng.NextBelow(s.n_clients));
+          fault.b = static_cast<std::uint32_t>(rng.NextBelow(s.n()));
+          break;
+      }
+      s.faults.push_back(fault);
+    }
+  };
+  if (rng.NextBool(0.5)) add_fault_burst(0);
+  if (rng.NextBool(0.2)) add_fault_burst(50 + rng.NextBelow(400));
+
+  // --- Workload: enough operations that write/write/read chains with
+  // different writers occur, small enough that a run stays in the tens
+  // of milliseconds.
+  s.ops_per_client = 6 + static_cast<std::uint32_t>(rng.NextBelow(15));
+  s.write_percent = 30 + static_cast<std::uint32_t>(rng.NextBelow(50));
+  s.max_think_time = 5 + rng.NextBelow(40);
+  s.max_events = 4'000'000;
+
+  s.Normalize();
+  return s;
+}
+
+}  // namespace sbft::fuzz

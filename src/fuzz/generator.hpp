@@ -1,0 +1,38 @@
+// Random scenario generation: swarm-style composition of topology,
+// asynchrony, Byzantine mixes and transient faults.
+//
+// The generator is deliberately biased rather than uniform: plain
+// uniform sampling almost never produces the schedule shapes the
+// proofs reason about (a write quorum that excludes specific correct
+// servers while a reader still hears them). Each draw independently
+// switches a handful of *ingredients* on or off — stale-replay
+// Byzantine servers, directed channel slowdowns between one writer and
+// one server, fault bursts, hostile clients — so interesting
+// combinations appear every few dozen runs instead of once per epoch.
+#pragma once
+
+#include "common/rng.hpp"
+#include "fuzz/scenario.hpp"
+
+namespace sbft::fuzz {
+
+struct GeneratorOptions {
+  /// Permit n = 5f topologies (Theorem 1's impossible setting). Off by
+  /// default: sub-resilient runs are expected to violate eventually and
+  /// would drown the signal of a genuine bug at n > 5f.
+  bool allow_sub_resilience = false;
+  /// Cap on f (n grows as 5f+extra; big topologies are slow).
+  std::uint32_t max_f = 2;
+  /// Byzantine client strategies to draw from. Forged writers are
+  /// excluded: a Byzantine *writer* is outside the paper's model, so
+  /// histories it pollutes have no specification to check against.
+  bool enable_byzantine_clients = true;
+};
+
+/// Draw one scenario. Consumes `rng`; the scenario embeds its own seed
+/// (also drawn from `rng`), so the draw sequence and the execution
+/// randomness are decoupled.
+[[nodiscard]] Scenario GenerateScenario(Rng& rng,
+                                        const GeneratorOptions& options);
+
+}  // namespace sbft::fuzz

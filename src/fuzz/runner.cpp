@@ -1,0 +1,163 @@
+#include "fuzz/runner.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "core/deployment.hpp"
+#include "net/message.hpp"
+#include "spec/workload.hpp"
+
+namespace sbft::fuzz {
+namespace {
+
+// Seed separation: each randomness consumer forks off the scenario seed
+// through a distinct salt so shrinking one dimension (e.g. dropping a
+// Byzantine client) does not perturb the others more than necessary.
+constexpr std::uint64_t kWorkloadSeedSalt = 0x3C6EF372FE94F82Bull;
+
+std::string DescribeFrame(BytesView frame) {
+  auto decoded = DecodeMessage(frame);
+  return decoded.ok() ? MessageTypeName(decoded.value()) : "garbage";
+}
+
+void ApplyFault(World& world, Deployment& deployment,
+                const FaultInjection& fault) {
+  switch (fault.kind) {
+    case FaultKind::kCorruptServer:
+      world.CorruptNode(deployment.server_node(fault.a));
+      break;
+    case FaultKind::kCorruptClient:
+      world.CorruptNode(deployment.client_node(fault.a));
+      break;
+    case FaultKind::kGarbageFrames:
+      world.InjectGarbageFrames(deployment.client_node(fault.a),
+                                deployment.server_node(fault.b),
+                                fault.count);
+      world.InjectGarbageFrames(deployment.server_node(fault.b),
+                                deployment.client_node(fault.a),
+                                fault.count);
+      break;
+    case FaultKind::kScrambleChannel:
+      world.ScrambleChannel(deployment.client_node(fault.a),
+                            deployment.server_node(fault.b));
+      world.ScrambleChannel(deployment.server_node(fault.b),
+                            deployment.client_node(fault.a));
+      break;
+  }
+}
+
+}  // namespace
+
+RunOutcome RunScenario(const Scenario& input, const RunOptions& options) {
+  Scenario scenario = input;
+  scenario.Normalize();
+
+  Deployment::Options deploy;
+  deploy.config = scenario.Config();
+  deploy.seed = scenario.seed;
+  deploy.n_clients = scenario.n_clients;
+  for (const auto& spec : scenario.byz_servers) {
+    deploy.byzantine[spec.server] = spec.strategy;
+  }
+  auto delay = std::make_unique<ChannelOverrideDelay>(
+      std::make_unique<UniformDelay>(scenario.delay_lo, scenario.delay_hi));
+  ChannelOverrideDelay* overrides = delay.get();
+  deploy.delay = std::move(delay);
+
+  Deployment deployment(std::move(deploy));
+  World& world = deployment.world();
+  world.trace().Enable(options.record_trace);
+
+  for (const auto& slow : scenario.slowdowns) {
+    const NodeId client = deployment.client_node(slow.client);
+    const NodeId server = deployment.server_node(slow.server);
+    if (slow.client_to_server) {
+      overrides->SetOverride(client, server, slow.delay);
+    } else {
+      overrides->SetOverride(server, client, slow.delay);
+    }
+  }
+
+  // Byzantine clients are extra automata outside the deployment; they
+  // attack the same server set the honest clients use.
+  std::uint64_t byz_client_salt = scenario.seed ^ 0xB12A97CE5EEDull;
+  for (const auto& spec : scenario.byz_clients) {
+    world.AddNode(std::make_unique<ByzantineClient>(
+        spec.strategy, deployment.server_nodes(), deployment.config().k,
+        SplitMix64(byz_client_salt), spec.rounds));
+  }
+
+  VirtualTime last_fault_time = 0;
+  for (const auto& fault : scenario.faults) {
+    last_fault_time = std::max(last_fault_time, fault.at);
+    if (fault.at == 0) {
+      ApplyFault(world, deployment, fault);
+    } else {
+      const FaultInjection scheduled = fault;
+      world.ScheduleCall(fault.at, [&world, &deployment, scheduled] {
+        ApplyFault(world, deployment, scheduled);
+      });
+    }
+  }
+
+  WorkloadOptions workload;
+  workload.ops_per_client = scenario.ops_per_client;
+  workload.write_fraction = scenario.write_percent / 100.0;
+  workload.max_think_time = scenario.max_think_time;
+  std::uint64_t workload_salt = scenario.seed + kWorkloadSeedSalt;
+  workload.seed = SplitMix64(workload_salt);
+  workload.max_events = scenario.max_events;
+
+  WorkloadResult result = RunConcurrentWorkload(deployment, workload);
+
+  RunOutcome outcome;
+  outcome.all_completed = result.all_completed;
+  outcome.history = std::move(result.history);
+
+  // Re-anchor the Definition 1 suffix past the last injected fault: the
+  // paper's guarantee starts at the first complete write issued after
+  // transient faults cease.
+  outcome.stabilized_from = kTimeForever;
+  for (const OpRecord& op : outcome.history.ops()) {
+    if (op.kind == OpRecord::Kind::kWrite &&
+        op.result == OpRecord::Result::kOk &&
+        op.invoked_at > last_fault_time) {
+      outcome.stabilized_from =
+          std::min(outcome.stabilized_from, op.returned_at);
+    }
+  }
+
+  for (const OpRecord& op : outcome.history.ops()) {
+    if (op.result == OpRecord::Result::kFailed) outcome.ops_failed++;
+    if (op.kind != OpRecord::Kind::kRead) continue;
+    if (op.result == OpRecord::Result::kAborted) outcome.reads_aborted++;
+    if (op.result == OpRecord::Result::kOk &&
+        op.invoked_at >= outcome.stabilized_from) {
+      outcome.checked_reads++;
+    }
+  }
+
+  CheckOptions check;
+  check.stabilized_from = outcome.stabilized_from;
+  check.max_violations = options.max_violations;
+  // Without server corruption the pre-write register content really is
+  // the pristine initial value, which reads overlapping the stabilizing
+  // write may legally return (Validity's second disjunct). Corruption
+  // replaces it with garbage, so nothing is grandfathered then — any
+  // unwritten value returned post-stabilization is a violation.
+  const bool servers_corrupted =
+      std::any_of(scenario.faults.begin(), scenario.faults.end(),
+                  [](const FaultInjection& fault) {
+                    return fault.kind == FaultKind::kCorruptServer;
+                  });
+  if (!servers_corrupted) check.grandfathered_values = {Value{}};
+  outcome.report = CheckRegular(outcome.history, check);
+
+  if (options.record_trace) {
+    outcome.trace = FormatTrace(world.trace().events(), DescribeFrame);
+  }
+  return outcome;
+}
+
+}  // namespace sbft::fuzz

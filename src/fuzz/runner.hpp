@@ -1,0 +1,54 @@
+// Deterministic scenario execution: Scenario in, checked history out.
+//
+// The runner is the bridge between the fuzz grammar and the simulator:
+// it deploys the scenario's topology, plants the Byzantine mix, arms
+// the delay overrides and fault injections, drives the randomized
+// workload, and judges the resulting history with the regular-register
+// checker. Everything is derived from the Scenario fields alone, so a
+// replayed token reproduces the original execution byte-for-byte.
+#pragma once
+
+#include <string>
+
+#include "fuzz/scenario.hpp"
+#include "spec/history.hpp"
+#include "spec/regular_checker.hpp"
+
+namespace sbft::fuzz {
+
+struct RunOptions {
+  /// Record and export the full message trace (expensive; replay only).
+  bool record_trace = false;
+  /// Passed through to CheckOptions::max_violations.
+  std::size_t max_violations = 8;
+};
+
+struct RunOutcome {
+  /// False when the event cap interrupted the workload (a liveness
+  /// observation, reported separately from safety violations).
+  bool all_completed = true;
+  /// Start of the judged suffix: the return time of the first complete
+  /// write invoked after the last fault injection (Definition 1 /
+  /// Theorem 2 re-anchored past the final transient fault). kTimeForever
+  /// when no such write completed — the check is then vacuous.
+  VirtualTime stabilized_from = 0;
+  CheckReport report;
+  History history;
+  /// Reads judged inside the stabilized window (coverage signal: a run
+  /// where this is 0 proved nothing).
+  std::size_t checked_reads = 0;
+  std::size_t reads_aborted = 0;
+  std::size_t ops_failed = 0;
+  /// Message trace (RunOptions::record_trace only), one event per line.
+  std::string trace;
+
+  [[nodiscard]] bool violation() const { return !report.ok; }
+};
+
+/// Execute `scenario` start to finish. The scenario is normalized first;
+/// pass only scenarios whose Normalize() is a no-op (generator output
+/// and decoded tokens both are) if token-exact reproduction matters.
+[[nodiscard]] RunOutcome RunScenario(const Scenario& scenario,
+                                     const RunOptions& options = {});
+
+}  // namespace sbft::fuzz

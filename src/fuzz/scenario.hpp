@@ -1,0 +1,141 @@
+// Fuzz scenarios: a complete, self-contained description of one
+// simulated execution — topology around the n = 5f+1 resilience
+// boundary, delay policy (base distribution plus directed per-channel
+// slowdowns), Byzantine server/client mixes, transient-fault
+// injections, and the randomized workload that drives it.
+//
+// A Scenario is the unit of everything the fuzzer does: the generator
+// draws one from an Rng, the runner executes it deterministically (the
+// same Scenario always produces byte-identical executions), the
+// shrinker edits it, and the token codec round-trips it through a
+// single-line ASCII string so a violation found on one machine replays
+// anywhere. See docs/FUZZING.md for the grammar and the token format.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/byzantine.hpp"
+#include "core/byzantine_client.hpp"
+#include "core/config.hpp"
+#include "sim/types.hpp"
+
+namespace sbft::fuzz {
+
+/// Transient faults a scenario can inject. Faults with `at == 0` model
+/// the paper's arbitrary initial configuration (applied before the
+/// first event); later times model a fault burst mid-execution, after
+/// which the checker window restarts at the next complete write (the
+/// Definition 1 suffix is re-anchored — see runner.cpp).
+enum class FaultKind : std::uint8_t {
+  kCorruptServer = 0,    // World::CorruptNode on server `a`
+  kCorruptClient = 1,    // World::CorruptNode on honest client `a`
+  kGarbageFrames = 2,    // World::InjectGarbageFrames a->b (count frames)
+  kScrambleChannel = 3,  // World::ScrambleChannel between client a/server b
+};
+
+struct FaultInjection {
+  FaultKind kind = FaultKind::kCorruptServer;
+  VirtualTime at = 0;
+  /// Operands, interpreted per kind: kCorruptServer/kCorruptClient use
+  /// `a` as the server/client index; kGarbageFrames and kScrambleChannel
+  /// corrupt the client-`a` <-> server-`b` channel pair.
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  std::uint32_t count = 0;  // kGarbageFrames: frames per direction
+
+  friend bool operator==(const FaultInjection&, const FaultInjection&) =
+      default;
+};
+
+/// A directed per-channel delay override (the scripted-adversary lever
+/// of the Theorem 1 schedule: "server s was slow"). Directions matter:
+/// slowing only writer->server traffic lets a server miss a write while
+/// still answering a concurrent reader promptly.
+struct ChannelSlowdown {
+  std::uint32_t client = 0;      // client index
+  std::uint32_t server = 0;      // server index
+  bool client_to_server = true;  // false: server->client direction
+  VirtualTime delay = 50;
+
+  friend bool operator==(const ChannelSlowdown&, const ChannelSlowdown&) =
+      default;
+};
+
+struct ByzantineServerSpec {
+  std::uint32_t server = 0;
+  ByzantineStrategy strategy = ByzantineStrategy::kSilent;
+
+  friend bool operator==(const ByzantineServerSpec&,
+                         const ByzantineServerSpec&) = default;
+};
+
+struct ByzantineClientSpec {
+  ByzantineClientStrategy strategy = ByzantineClientStrategy::kReadFlooder;
+  std::uint32_t rounds = 32;
+
+  friend bool operator==(const ByzantineClientSpec&,
+                         const ByzantineClientSpec&) = default;
+};
+
+struct Scenario {
+  std::uint64_t seed = 1;
+
+  // --- Topology: n = 5f + extra servers. extra == 0 is the provably
+  // impossible setting of Theorem 1 and is only generated/replayed when
+  // sub-resilience is explicitly allowed.
+  std::uint32_t f = 1;
+  std::uint32_t extra = 1;
+  std::uint32_t n_clients = 2;
+
+  // --- Delay policy: UniformDelay(delay_lo, delay_hi) base plus
+  // directed overrides.
+  VirtualTime delay_lo = 1;
+  VirtualTime delay_hi = 10;
+  std::vector<ChannelSlowdown> slowdowns;
+
+  // --- Adversary mix.
+  std::vector<ByzantineServerSpec> byz_servers;
+  std::vector<ByzantineClientSpec> byz_clients;
+  std::vector<FaultInjection> faults;
+
+  // --- Workload.
+  std::uint32_t ops_per_client = 10;
+  std::uint32_t write_percent = 50;  // integral so tokens stay exact
+  VirtualTime max_think_time = 20;
+  std::uint64_t max_events = 4'000'000;
+
+  [[nodiscard]] std::uint32_t n() const { return 5 * f + extra; }
+  [[nodiscard]] bool sub_resilient() const { return extra == 0; }
+
+  /// The ProtocolConfig this scenario deploys (allow_unsafe is set for
+  /// sub-resilient topologies).
+  [[nodiscard]] ProtocolConfig Config() const;
+
+  /// Canonical form: byzantine specs sorted/deduped by server index and
+  /// clamped to f entries, operand indices reduced into range. The
+  /// generator and the token decoder both normalize, so equal tokens
+  /// mean equal executions.
+  void Normalize();
+
+  /// Human-readable multi-line description (sbft_fuzz --describe).
+  [[nodiscard]] std::string Describe() const;
+  /// One-line summary for campaign logs.
+  [[nodiscard]] std::string Summary() const;
+
+  friend bool operator==(const Scenario&, const Scenario&) = default;
+};
+
+/// Replay token: "SBFZ1:" + lowercase hex of the length-prefixed binary
+/// encoding, with a trailing FNV-1a checksum guarding against truncated
+/// copy-paste. Stable across platforms (little-endian, fixed widths).
+[[nodiscard]] std::string EncodeToken(const Scenario& scenario);
+
+/// Decode and validate a token. Fails cleanly on bad prefix, non-hex
+/// characters, checksum mismatch, trailing bytes, or out-of-range
+/// fields (the same hardening discipline as the wire codec).
+[[nodiscard]] Result<Scenario> DecodeToken(const std::string& token);
+
+}  // namespace sbft::fuzz

@@ -1,0 +1,103 @@
+#include "fuzz/shrink.hpp"
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace sbft::fuzz {
+namespace {
+
+struct Shrinker {
+  ShrinkOptions options;
+  ShrinkResult result;
+
+  [[nodiscard]] bool BudgetLeft() const {
+    return result.attempts < options.max_runs;
+  }
+
+  /// Run a candidate; adopt it if the violation survives.
+  bool Try(Scenario candidate) {
+    if (!BudgetLeft()) return false;
+    candidate.Normalize();
+    if (candidate == result.scenario) return false;
+    result.attempts++;
+    if (!RunScenario(candidate, options.run).violation()) return false;
+    result.scenario = std::move(candidate);
+    result.accepted++;
+    return true;
+  }
+
+  /// Try emptying a list wholesale, then dropping single elements
+  /// (back-to-front so indices stay stable). Returns true on progress.
+  template <typename T>
+  bool ShrinkList(std::vector<T> Scenario::* list) {
+    bool progress = false;
+    if (!(result.scenario.*list).empty()) {
+      Scenario candidate = result.scenario;
+      (candidate.*list).clear();
+      progress |= Try(std::move(candidate));
+    }
+    for (std::size_t i = (result.scenario.*list).size(); i-- > 0;) {
+      if ((result.scenario.*list).size() <= 1) break;  // clear covered it
+      Scenario candidate = result.scenario;
+      (candidate.*list).erase((candidate.*list).begin() +
+                              static_cast<std::ptrdiff_t>(i));
+      progress |= Try(std::move(candidate));
+    }
+    return progress;
+  }
+
+  bool Pass() {
+    bool progress = false;
+    // Big, structural reductions first: whole adversary dimensions.
+    progress |= ShrinkList(&Scenario::faults);
+    progress |= ShrinkList(&Scenario::byz_clients);
+    progress |= ShrinkList(&Scenario::byz_servers);
+    progress |= ShrinkList(&Scenario::slowdowns);
+
+    // Fewer clients (operand indices re-wrap via Normalize).
+    while (result.scenario.n_clients > 1 && BudgetLeft()) {
+      Scenario candidate = result.scenario;
+      candidate.n_clients--;
+      if (!Try(std::move(candidate))) break;
+      progress = true;
+    }
+
+    // Shorter workload: halve toward 1, then linear steps.
+    while (result.scenario.ops_per_client > 1 && BudgetLeft()) {
+      Scenario candidate = result.scenario;
+      candidate.ops_per_client = std::max(1u, candidate.ops_per_client / 2);
+      if (!Try(std::move(candidate))) break;
+      progress = true;
+    }
+    while (result.scenario.ops_per_client > 1 && BudgetLeft()) {
+      Scenario candidate = result.scenario;
+      candidate.ops_per_client--;
+      if (!Try(std::move(candidate))) break;
+      progress = true;
+    }
+
+    // Smaller topology (keeps the 5f relationship: only f shrinks).
+    while (result.scenario.f > 1 && BudgetLeft()) {
+      Scenario candidate = result.scenario;
+      candidate.f--;
+      if (!Try(std::move(candidate))) break;
+      progress = true;
+    }
+    return progress;
+  }
+};
+
+}  // namespace
+
+ShrinkResult Shrink(const Scenario& scenario, const ShrinkOptions& options) {
+  Shrinker shrinker;
+  shrinker.options = options;
+  shrinker.result.scenario = scenario;
+  shrinker.result.scenario.Normalize();
+  while (shrinker.BudgetLeft() && shrinker.Pass()) {
+  }
+  return shrinker.result;
+}
+
+}  // namespace sbft::fuzz

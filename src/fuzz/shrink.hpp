@@ -1,0 +1,39 @@
+// Greedy scenario shrinking: reduce a violating scenario to a locally
+// minimal repro while preserving the violation.
+//
+// Classic delta-debugging adapted to the scenario grammar: candidate
+// edits (drop a whole fault burst, drop one Byzantine server, remove a
+// slowdown, halve the workload, drop a client, shrink the topology) are
+// tried in a fixed order; an edit is kept iff the edited scenario still
+// violates the specification when re-run. The result is not globally
+// minimal — the checker only promises a local fixpoint within the run
+// budget — but in practice a 40-operand cocktail shrinks to the 3-4
+// ingredients that matter, which is what a human needs for triage.
+#pragma once
+
+#include <cstddef>
+
+#include "fuzz/runner.hpp"
+#include "fuzz/scenario.hpp"
+
+namespace sbft::fuzz {
+
+struct ShrinkOptions {
+  /// Budget on re-executions (each candidate edit costs one run).
+  std::size_t max_runs = 300;
+  RunOptions run;
+};
+
+struct ShrinkResult {
+  Scenario scenario;       // locally minimal, still violating
+  std::size_t attempts = 0;  // candidate runs spent
+  std::size_t accepted = 0;  // edits that preserved the violation
+};
+
+/// Precondition: RunScenario(scenario).violation() is true (the caller
+/// just observed it). Returns the shrunk scenario; if nothing could be
+/// removed, returns the input unchanged.
+[[nodiscard]] ShrinkResult Shrink(const Scenario& scenario,
+                                  const ShrinkOptions& options = {});
+
+}  // namespace sbft::fuzz

@@ -1,0 +1,62 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+namespace sbft {
+namespace {
+
+const char* KindName(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kSend:
+      return "send";
+    case TraceKind::kDeliver:
+      return "deliver";
+    case TraceKind::kDrop:
+      return "drop";
+    case TraceKind::kTimerFired:
+      return "timer";
+    case TraceKind::kNodeCorrupted:
+      return "corrupt-node";
+    case TraceKind::kChannelCorrupted:
+      return "corrupt-channel";
+    case TraceKind::kNodeStopped:
+      return "stop-node";
+  }
+  return "unknown";
+}
+
+void PutNode(std::ostringstream& out, NodeId id) {
+  if (id == kNoNode) {
+    out << "-";
+  } else {
+    out << "n" << id;
+  }
+}
+
+}  // namespace
+
+std::string FormatTraceEvent(const TraceEvent& event,
+                             const PayloadDescriber& describe) {
+  std::ostringstream out;
+  out << "t=" << event.time << " " << KindName(event.kind) << " ";
+  PutNode(out, event.src);
+  out << "->";
+  PutNode(out, event.dst);
+  if (!event.frame.empty()) {
+    out << " [" << event.frame.size() << "B";
+    if (describe) out << " " << describe(event.frame);
+    out << "]";
+  }
+  return out.str();
+}
+
+std::string FormatTrace(const std::vector<TraceEvent>& events,
+                        const PayloadDescriber& describe) {
+  std::ostringstream out;
+  for (const TraceEvent& event : events) {
+    out << FormatTraceEvent(event, describe) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace sbft

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,22 @@ class TraceRecorder {
   bool enabled_ = false;
   std::vector<TraceEvent> events_;
 };
+
+/// Optional hook turning a raw frame payload into a protocol-level tag
+/// (e.g. a message type name). The sim layer knows nothing about wire
+/// formats, so callers wanting decoded traces inject the describer —
+/// the fuzz replayer passes one built on net's MessageTypeName.
+using PayloadDescriber = std::function<std::string(BytesView)>;
+
+/// One event as a single human-readable line (no trailing newline).
+[[nodiscard]] std::string FormatTraceEvent(
+    const TraceEvent& event, const PayloadDescriber& describe = {});
+
+/// The whole trace, one line per event — the export format sbft_fuzz
+/// --replay --trace emits for schedule triage.
+[[nodiscard]] std::string FormatTrace(
+    const std::vector<TraceEvent>& events,
+    const PayloadDescriber& describe = {});
 
 /// Aggregate counters, always maintained (cheap), reported by benches.
 struct NetworkStats {

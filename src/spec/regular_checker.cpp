@@ -59,6 +59,10 @@ std::string CheckReport::Summary() const {
 
 CheckReport CheckRegular(const History& history, const CheckOptions& options) {
   CheckReport report;
+  const auto capped = [&report, &options] {
+    return options.max_violations != 0 &&
+           report.violations.size() >= options.max_violations;
+  };
   const auto writes = history.Writes();
   const auto reads = history.Reads();
 
@@ -89,6 +93,7 @@ CheckReport CheckRegular(const History& history, const CheckOptions& options) {
   }
 
   for (const OpRecord* read : reads) {
+    if (capped()) return report;
     if (read->result != OpRecord::Result::kOk) continue;
     if (read->invoked_at < options.stabilized_from) continue;
 
@@ -130,6 +135,7 @@ CheckReport CheckRegular(const History& history, const CheckOptions& options) {
         report.AddViolation("stale read: " + Describe(*read) +
                             " returned " + Describe(write) +
                             " superseded by " + Describe(other));
+        if (capped()) return report;
       }
     }
     // Serialization constraint: every write completed before the read

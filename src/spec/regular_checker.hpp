@@ -51,6 +51,11 @@ struct CheckOptions {
   /// Values that may legally be returned without a matching write (the
   /// pre-fault register content in scenarios without corruption).
   std::vector<Bytes> grandfathered_values;
+  /// Fuzz mode: stop collecting after this many violations (0 = no cap).
+  /// Campaign loops only need to know *that* a scenario violates, plus a
+  /// sample message for triage — not the full quadratic enumeration over
+  /// a large randomized history.
+  std::size_t max_violations = 0;
 };
 
 /// Validate the MWMR regular register specification over `history`.

@@ -1,0 +1,109 @@
+// Replays every curated corpus token under tests/fuzz/corpus/ (path
+// baked in via SBFT_FUZZ_CORPUS_DIR). Each token is a full scenario —
+// topology, adversary mix, fault injections, workload — and every one
+// uses a safe topology (n > 5f), so the protocol must produce zero
+// post-stabilization violations on all of them, forever. A failure here
+// means a protocol regression reachable by a schedule we have already
+// seen, with the token as the ready-made repro.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/runner.hpp"
+#include "fuzz/scenario.hpp"
+
+#ifndef SBFT_FUZZ_CORPUS_DIR
+#error "build must define SBFT_FUZZ_CORPUS_DIR"
+#endif
+
+namespace sbft::fuzz {
+namespace {
+
+struct CorpusFile {
+  std::string name;
+  std::string token;
+};
+
+std::vector<CorpusFile> LoadCorpus() {
+  namespace fs = std::filesystem;
+  std::vector<CorpusFile> files;
+  for (const auto& entry : fs::directory_iterator(SBFT_FUZZ_CORPUS_DIR)) {
+    if (entry.path().extension() != ".token") continue;
+    std::ifstream in(entry.path());
+    std::string token;
+    for (std::string line; std::getline(in, line);) {
+      if (line.empty() || line[0] == '#') continue;
+      token = line;
+      break;
+    }
+    files.push_back({entry.path().filename().string(), token});
+  }
+  std::sort(files.begin(), files.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  return files;
+}
+
+TEST(FuzzCorpus, HasAtLeastTenScenarios) {
+  EXPECT_GE(LoadCorpus().size(), 10u);
+}
+
+TEST(FuzzCorpus, EveryTokenDecodesToSafeTopology) {
+  for (const auto& file : LoadCorpus()) {
+    auto decoded = DecodeToken(file.token);
+    ASSERT_TRUE(decoded.ok()) << file.name << ": " << decoded.error();
+    EXPECT_FALSE(decoded.value().sub_resilient())
+        << file.name << " is n=5f; the corpus must stay replayable-green";
+    // Tokens are stored normalized: decode(encode(s)) is the identity,
+    // so the scenario that runs is exactly the scenario that was stored.
+    EXPECT_EQ(EncodeToken(decoded.value()), file.token) << file.name;
+  }
+}
+
+TEST(FuzzCorpus, ContainsAllFaultInjectionScenarioAtTightBound) {
+  // The ISSUE-mandated anchor entry: n = 5f+1 exercising every
+  // injection primitive at once. Identified structurally, not by name.
+  bool found = false;
+  for (const auto& file : LoadCorpus()) {
+    auto decoded = DecodeToken(file.token);
+    ASSERT_TRUE(decoded.ok()) << file.name;
+    const Scenario& s = decoded.value();
+    if (s.extra != 1) continue;
+    bool corrupt_server = false, corrupt_client = false, garbage = false;
+    for (const auto& fault : s.faults) {
+      corrupt_server |= fault.kind == FaultKind::kCorruptServer;
+      corrupt_client |= fault.kind == FaultKind::kCorruptClient;
+      garbage |= fault.kind == FaultKind::kGarbageFrames;
+    }
+    found |= corrupt_server && corrupt_client && garbage;
+  }
+  EXPECT_TRUE(found) << "no n=5f+1 scenario injects corrupt-server + "
+                        "corrupt-client + garbage-frames together";
+}
+
+TEST(FuzzCorpus, ReplaysWithZeroViolations) {
+  const auto corpus = LoadCorpus();
+  ASSERT_FALSE(corpus.empty());
+  std::size_t covered = 0;
+  for (const auto& file : corpus) {
+    auto decoded = DecodeToken(file.token);
+    ASSERT_TRUE(decoded.ok()) << file.name;
+    const RunOutcome outcome = RunScenario(decoded.value());
+    EXPECT_TRUE(outcome.all_completed) << file.name << " hit the event cap";
+    EXPECT_FALSE(outcome.violation())
+        << file.name << ": "
+        << (outcome.report.violations.empty()
+                ? std::string("(empty report)")
+                : outcome.report.violations.front());
+    if (outcome.checked_reads > 0) covered++;
+  }
+  // The corpus must actually prove something: the overwhelming majority
+  // of entries must land reads inside the checked suffix.
+  EXPECT_GE(covered, corpus.size() - 1);
+}
+
+}  // namespace
+}  // namespace sbft::fuzz

@@ -1,0 +1,272 @@
+// sbft_fuzz: schedule-exploration fuzzer for the stabilizing BFT
+// register. Three modes:
+//
+//   campaign (default)   seeded generate/run/check/shrink loop
+//   --replay TOKEN       re-execute one scenario byte-for-byte
+//   --corpus DIR         replay every *.token file in DIR
+//
+// Exit code 0 means "nothing unexpected": violations in sub-resilient
+// (n = 5f) topologies are Theorem 1 made executable and are reported
+// but expected. Exit code 1 means a genuine failure: a violation in a
+// safe topology (n > 5f), a corpus scenario that no longer passes, or
+// a token that fails to decode.
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/campaign.hpp"
+
+namespace {
+
+using namespace sbft;
+using namespace sbft::fuzz;
+
+constexpr const char* kUsage = R"(usage: sbft_fuzz [options]
+
+Campaign mode (default):
+  --runs N               scenarios to execute (default 200)
+  --seed S               campaign seed (default 1)
+  --allow-sub-resilience also generate n = 5f topologies (Theorem 1
+                         territory; their violations are expected)
+  --max-f N              largest f to generate (default 2)
+  --no-shrink            report violations without shrinking
+  --shrink-budget N      re-runs allowed per shrink (default 300)
+  --budget-seconds X     wall-clock cap; stops early when exceeded
+  --smoke                CI smoke preset: --budget-seconds 60 with an
+                         effectively unbounded run count
+  --verbose              per-run progress lines
+
+Replay / corpus:
+  --replay TOKEN         re-execute one replay token
+  --trace                with --replay: print the full message trace
+  --describe TOKEN       decode and print a token without running it
+  --corpus DIR           replay every *.token file in DIR
+  --write-corpus DIR     write the curated corpus tokens into DIR
+)";
+
+int Fail(const std::string& message) {
+  std::cerr << "sbft_fuzz: " << message << "\n";
+  return 2;
+}
+
+void PrintOutcome(const Scenario& scenario, const RunOutcome& outcome) {
+  std::cout << scenario.Describe();
+  std::cout << "result: "
+            << (outcome.violation() ? "VIOLATION" : "no violation") << "\n";
+  std::cout << "  all_completed=" << (outcome.all_completed ? "yes" : "no")
+            << " stabilized_from=";
+  if (outcome.stabilized_from == kTimeForever) {
+    std::cout << "never";
+  } else {
+    std::cout << outcome.stabilized_from;
+  }
+  std::cout << " checked_reads=" << outcome.checked_reads
+            << " reads_aborted=" << outcome.reads_aborted
+            << " ops_failed=" << outcome.ops_failed << "\n";
+  for (const auto& violation : outcome.report.violations) {
+    std::cout << "  violation: " << violation << "\n";
+  }
+}
+
+int RunReplay(const std::string& token, bool with_trace) {
+  auto decoded = DecodeToken(token);
+  if (!decoded.ok()) return Fail("bad token: " + decoded.error());
+  const Scenario& scenario = decoded.value();
+  RunOptions options;
+  options.record_trace = with_trace;
+  const RunOutcome outcome = RunScenario(scenario, options);
+  PrintOutcome(scenario, outcome);
+  if (with_trace) {
+    std::cout << "--- trace ---\n" << outcome.trace;
+    if (!outcome.trace.empty() && outcome.trace.back() != '\n') {
+      std::cout << "\n";
+    }
+  }
+  // Replaying a sub-resilient repro is expected to violate; a violation
+  // in a safe topology is a real bug.
+  return (outcome.violation() && !scenario.sub_resilient()) ? 1 : 0;
+}
+
+int RunDescribe(const std::string& token) {
+  auto decoded = DecodeToken(token);
+  if (!decoded.ok()) return Fail("bad token: " + decoded.error());
+  std::cout << decoded.value().Describe();
+  return 0;
+}
+
+int RunCorpusDir(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".token") files.push_back(entry.path());
+  }
+  if (ec) return Fail("cannot read corpus dir " + dir + ": " + ec.message());
+  if (files.empty()) return Fail("no *.token files in " + dir);
+  std::sort(files.begin(), files.end());
+
+  std::size_t failures = 0;
+  for (const auto& path : files) {
+    std::ifstream in(path);
+    std::string token;
+    // Token is the first non-comment, non-empty line; '#' lines carry
+    // the human-readable description.
+    for (std::string line; std::getline(in, line);) {
+      if (line.empty() || line[0] == '#') continue;
+      token = line;
+      break;
+    }
+    auto decoded = DecodeToken(token);
+    if (!decoded.ok()) {
+      std::cout << path.filename().string() << ": DECODE FAILURE ("
+                << decoded.error() << ")\n";
+      failures++;
+      continue;
+    }
+    const RunOutcome outcome = RunScenario(decoded.value());
+    const bool bad = outcome.violation() && !decoded.value().sub_resilient();
+    std::cout << path.filename().string() << ": "
+              << (bad ? "FAIL" : "ok")
+              << " (checked_reads=" << outcome.checked_reads << ")\n";
+    if (bad) {
+      for (const auto& violation : outcome.report.violations) {
+        std::cout << "  violation: " << violation << "\n";
+      }
+      failures++;
+    }
+  }
+  std::cout << files.size() << " corpus scenarios, " << failures
+            << " failures\n";
+  return failures == 0 ? 0 : 1;
+}
+
+int WriteCorpus(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return Fail("cannot create " + dir + ": " + ec.message());
+  const auto corpus = CuratedCorpus();
+  std::size_t index = 0;
+  for (const auto& entry : corpus) {
+    std::ostringstream name;
+    name << (index < 10 ? "0" : "") << index << "-" << entry.name
+         << ".token";
+    const fs::path path = fs::path(dir) / name.str();
+    std::ofstream out(path);
+    out << "# " << entry.comment << "\n"
+        << "# " << entry.scenario.Summary() << "\n"
+        << EncodeToken(entry.scenario) << "\n";
+    if (!out) return Fail("cannot write " + path.string());
+    std::cout << "wrote " << path.string() << "\n";
+    index++;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CampaignOptions options;
+  options.runs = 200;
+  options.out = &std::cout;
+
+  std::string replay_token;
+  std::string describe_token;
+  std::string corpus_dir;
+  std::string write_corpus_dir;
+  bool with_trace = false;
+
+  const auto need_value = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "sbft_fuzz: " << flag << " needs a value\n";
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  const auto need_number = [&](int& i, const char* flag) -> std::uint64_t {
+    const char* text = need_value(i, flag);
+    try {
+      std::size_t used = 0;
+      const std::uint64_t value = std::stoull(text, &used);
+      if (used != std::strlen(text)) throw std::invalid_argument(text);
+      return value;
+    } catch (const std::exception&) {
+      std::cerr << "sbft_fuzz: " << flag << " needs a number, got '" << text
+                << "'\n";
+      std::exit(2);
+    }
+  };
+  const auto need_double = [&](int& i, const char* flag) -> double {
+    const char* text = need_value(i, flag);
+    try {
+      std::size_t used = 0;
+      const double value = std::stod(text, &used);
+      if (used != std::strlen(text)) throw std::invalid_argument(text);
+      return value;
+    } catch (const std::exception&) {
+      std::cerr << "sbft_fuzz: " << flag << " needs a number, got '" << text
+                << "'\n";
+      std::exit(2);
+    }
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      return 0;
+    } else if (arg == "--runs") {
+      options.runs = need_number(i, "--runs");
+    } else if (arg == "--seed") {
+      options.seed = need_number(i, "--seed");
+    } else if (arg == "--allow-sub-resilience") {
+      options.generator.allow_sub_resilience = true;
+    } else if (arg == "--max-f") {
+      options.generator.max_f =
+          static_cast<std::uint32_t>(need_number(i, "--max-f"));
+    } else if (arg == "--no-shrink") {
+      options.do_shrink = false;
+    } else if (arg == "--shrink-budget") {
+      options.shrink_budget = need_number(i, "--shrink-budget");
+    } else if (arg == "--budget-seconds") {
+      options.budget_seconds = need_double(i, "--budget-seconds");
+    } else if (arg == "--smoke") {
+      options.budget_seconds = 60.0;
+      options.runs = 1'000'000;
+    } else if (arg == "--verbose") {
+      options.verbose = true;
+    } else if (arg == "--replay") {
+      replay_token = need_value(i, "--replay");
+    } else if (arg == "--trace") {
+      with_trace = true;
+    } else if (arg == "--describe") {
+      describe_token = need_value(i, "--describe");
+    } else if (arg == "--corpus") {
+      corpus_dir = need_value(i, "--corpus");
+    } else if (arg == "--write-corpus") {
+      write_corpus_dir = need_value(i, "--write-corpus");
+    } else {
+      std::cerr << "sbft_fuzz: unknown option " << arg << "\n" << kUsage;
+      return 2;
+    }
+  }
+
+  if (!describe_token.empty()) return RunDescribe(describe_token);
+  if (!replay_token.empty()) return RunReplay(replay_token, with_trace);
+  if (!write_corpus_dir.empty()) return WriteCorpus(write_corpus_dir);
+  if (!corpus_dir.empty()) return RunCorpusDir(corpus_dir);
+
+  const CampaignResult result = RunCampaign(options);
+  std::cout << "campaign: " << result.runs_executed << " runs, "
+            << result.violations.size() << " violations ("
+            << result.safe_violations() << " in safe topologies, "
+            << result.sub_resilience_violations()
+            << " at the n=5f bound), " << result.stalled << " stalled, "
+            << result.vacuous << " vacuous\n";
+  return result.safe_violations() == 0 ? 0 : 1;
+}
