@@ -16,6 +16,7 @@
 
 #include "baselines/abd.hpp"
 #include "baselines/bft_unbounded.hpp"
+#include "bench_json.hpp"
 #include "bench_util.hpp"
 #include "core/deployment.hpp"
 
@@ -158,7 +159,8 @@ int RunOurs(bool byzantine, bool corruption, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReport report("comparison", ParseBenchArgs(argc, argv));
   Header("E5", "resilience comparison: correct reads out of 20 after fault "
                "injection + one recovery write (mean over 10 seeds)");
   Row("%-28s | %-12s | %-12s | %-12s", "protocol / fault", "(i) byz",
@@ -166,16 +168,18 @@ int main() {
 
   struct Arm {
     const char* name;
+    const char* key;
     int (*run)(bool, bool, std::uint64_t);
   };
   const Arm arms[] = {
-      {"ABD (n=3, crash-only)", RunAbd},
-      {"BFT-unbounded (n=4, [14])", RunBu},
-      {"this paper (n=6, 5f+1)", RunOurs},
+      {"ABD (n=3, crash-only)", "abd", RunAbd},
+      {"BFT-unbounded (n=4, [14])", "bft_unbounded", RunBu},
+      {"this paper (n=6, 5f+1)", "ours", RunOurs},
   };
+  const char* fault_keys[3] = {"byz", "corrupt", "both"};
   for (const Arm& arm : arms) {
     double cells[3] = {0, 0, 0};
-    const int kSeeds = 10;
+    const int kSeeds = report.smoke() ? 3 : 10;
     for (int seed = 1; seed <= kSeeds; ++seed) {
       cells[0] += arm.run(true, false, static_cast<std::uint64_t>(seed));
       cells[1] += arm.run(false, true, static_cast<std::uint64_t>(seed));
@@ -183,10 +187,15 @@ int main() {
     }
     Row("%-28s | %6.1f/20    | %6.1f/20    | %6.1f/20", arm.name,
         cells[0] / kSeeds, cells[1] / kSeeds, cells[2] / kSeeds);
+    for (int fault = 0; fault < 3; ++fault) {
+      report.Metric(std::string(arm.key) + "." + fault_keys[fault] +
+                        ".good_reads",
+                    cells[fault] / kSeeds, "reads/20");
+    }
   }
   Row("%s", "\nexpected shape: ABD fails whenever a Byzantine server is "
             "present and stays poisoned after corruption; BFT-unbounded "
             "masks Byzantine servers but never recovers from saturated "
             "timestamps; this paper's protocol scores 20/20 everywhere.");
-  return 0;
+  return report.Flush() ? 0 : 1;
 }

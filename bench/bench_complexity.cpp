@@ -3,13 +3,15 @@
 // and simulated round-trip latency for writes and reads. Prediction:
 // Theta(n) frames per op (write ~6n: flush + get_ts + write, each a
 // round trip to all servers; read ~5n) and constant round counts.
+#include "bench_json.hpp"
 #include "bench_util.hpp"
 #include "core/deployment.hpp"
 
 using namespace sbft;
 using namespace sbft::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReport report("complexity", ParseBenchArgs(argc, argv));
   Header("E3", "message complexity and latency vs n (delay U[1,10], "
                "20 ops each, all-correct servers)");
   Row("%-4s %-4s | %-12s %-12s | %-12s %-12s | %-10s %-10s", "n", "f",
@@ -42,9 +44,14 @@ int main() {
     Row("%-4u %-4u | %-12.1f %-12.2f | %-12.1f %-12.2f | %-10.1f %-10.1f",
         n, deployment.config().f, wf, wf / n, rf, rf / n, Mean(write_ticks),
         Mean(read_ticks));
+    const std::string key = "n" + std::to_string(n);
+    report.Metric(key + ".write_frames_per_n", wf / n, "frames");
+    report.Metric(key + ".read_frames_per_n", rf / n, "frames");
+    report.Metric(key + ".write_ticks", Mean(write_ticks), "ticks");
+    report.Metric(key + ".read_ticks", Mean(read_ticks), "ticks");
   }
   Row("%s", "\nexpected shape: frames/op grow linearly in n (constant "
             "frames/n per op type); latency stays ~constant (fixed number "
             "of message rounds, independent of n).");
-  return 0;
+  return report.Flush() ? 0 : 1;
 }

@@ -7,6 +7,7 @@
 // shows up as an experiment regression, not just a quieter fuzzer.
 #include <chrono>
 
+#include "bench_json.hpp"
 #include "bench_util.hpp"
 #include "fuzz/campaign.hpp"
 
@@ -14,37 +15,44 @@ using namespace sbft;
 using namespace sbft::bench;
 using namespace sbft::fuzz;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReport report("fuzz", ParseBenchArgs(argc, argv));
   Header("E9", "fuzz campaign throughput (seeded, 150 runs per row)");
   Row("%-24s | %-10s %-12s %-10s %-10s", "generator mix", "runs/s",
       "violations", "stalled", "vacuous");
 
   struct Mix {
     const char* name;
+    const char* key;
     GeneratorOptions options;
-  };
-  Mix mixes[] = {
-      {"safe f<=2 (default)", {}},
-      {"safe f<=4", {.allow_sub_resilience = false, .max_f = 4}},
-      {"sub-resilience f<=2", {.allow_sub_resilience = true}},
+  } mixes[] = {
+      {"safe f<=2 (default)", "safe_f2", {}},
+      {"safe f<=4", "safe_f4", {.allow_sub_resilience = false, .max_f = 4}},
+      {"sub-resilience f<=2", "subres_f2", {.allow_sub_resilience = true}},
   };
 
   for (const Mix& mix : mixes) {
     CampaignOptions options;
     options.seed = 1;
-    options.runs = 150;
+    options.runs = report.smoke() ? 30 : 150;
     options.generator = mix.options;
     options.do_shrink = false;  // measure the explore loop, not triage
     const auto start = std::chrono::steady_clock::now();
     const CampaignResult result = RunCampaign(options);
     const std::chrono::duration<double> elapsed =
         std::chrono::steady_clock::now() - start;
-    Row("%-24s | %-10.0f %-12zu %-10zu %-10zu", mix.name,
-        static_cast<double>(result.runs_executed) / elapsed.count(),
+    const double rate =
+        static_cast<double>(result.runs_executed) / elapsed.count();
+    Row("%-24s | %-10.0f %-12zu %-10zu %-10zu", mix.name, rate,
         result.violations.size(), result.stalled, result.vacuous);
+    report.Metric(std::string(mix.key) + ".runs_per_sec", rate, "runs/s");
+    report.Metric(std::string(mix.key) + ".violations",
+                  static_cast<double>(result.violations.size()), "runs");
+    report.Metric(std::string(mix.key) + ".vacuous",
+                  static_cast<double>(result.vacuous), "runs");
   }
   Row("%s", "\nexpected shape: hundreds of runs/s unsanitized (tens under "
             "ASan); violations only in the sub-resilience row; vacuous "
             "fraction < 10%.");
-  return 0;
+  return report.Flush() ? 0 : 1;
 }

@@ -1,0 +1,87 @@
+// Shared machine-readable output for the bench_* binaries.
+//
+// Every bench accepts:
+//   --json <path>   write the metrics recorded via JsonReport::Metric to
+//                   <path> as a small stable JSON document (the BENCH_*.json
+//                   trajectory files are produced this way);
+//   --smoke         reduced iteration counts for CI smoke runs.
+//
+// The JSON is deliberately timestamp-free so artifacts diff cleanly;
+// provenance (commit, date) lives in git history / CI metadata.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sbft::bench {
+
+struct BenchArgs {
+  std::string json_path;  // empty: no JSON output
+  bool smoke = false;
+};
+
+inline BenchArgs ParseBenchArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      args.json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      args.smoke = true;
+    }
+  }
+  return args;
+}
+
+/// Collects (name, value, unit) rows and writes them as JSON on Flush.
+/// Metric names use dotted lowercase ("hotpath.allocs_per_op").
+class JsonReport {
+ public:
+  JsonReport(std::string bench, BenchArgs args)
+      : bench_(std::move(bench)), args_(std::move(args)) {}
+
+  void Metric(const std::string& name, double value,
+              const std::string& unit = "") {
+    metrics_.push_back({name, value, unit});
+  }
+
+  /// Write the report if --json was given. Returns false on I/O failure.
+  bool Flush() const {
+    if (args_.json_path.empty()) return true;
+    std::ofstream out(args_.json_path);
+    if (!out) {
+      std::fprintf(stderr, "bench: cannot write %s\n",
+                   args_.json_path.c_str());
+      return false;
+    }
+    out << "{\n  \"bench\": \"" << bench_ << "\",\n  \"metrics\": [\n";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      const Row& row = metrics_[i];
+      char value[64];
+      std::snprintf(value, sizeof(value), "%.6g", row.value);
+      out << "    {\"name\": \"" << row.name << "\", \"value\": " << value
+          << ", \"unit\": \"" << row.unit << "\"}"
+          << (i + 1 < metrics_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    return static_cast<bool>(out);
+  }
+
+  [[nodiscard]] bool smoke() const { return args_.smoke; }
+
+ private:
+  struct Row {
+    std::string name;
+    double value;
+    std::string unit;
+  };
+
+  std::string bench_;
+  BenchArgs args_;
+  std::vector<Row> metrics_;
+};
+
+}  // namespace sbft::bench

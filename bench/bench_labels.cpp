@@ -5,6 +5,10 @@
 // and micro-benchmarks next()/Precedes with google-benchmark.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+
+#include "bench_json.hpp"
 #include "bench_util.hpp"
 #include "core/deployment.hpp"
 #include "labels/labeling_system.hpp"
@@ -14,7 +18,7 @@ using namespace sbft::bench;
 
 namespace {
 
-void Tables() {
+void Tables(JsonReport& report) {
   Header("E4a", "bounded label space vs k (k >= n; wire size is constant "
                 "per k regardless of execution length)");
   Row("%-5s %-8s %-14s %-12s %-16s", "k", "domain", "|L| (labels)",
@@ -36,6 +40,8 @@ void Tables() {
     }
     Row("%-5u %-8u %-14.3g %-12zu %-16u", k, system.params().Domain(),
         system.LabelSpaceSize(), system.LabelWireSize(), period);
+    report.Metric("k" + std::to_string(k) + ".bytes_per_label",
+                  static_cast<double>(system.LabelWireSize()), "bytes");
   }
 
   Header("E4b", "timestamp bytes on the wire after N writes: bounded labels "
@@ -75,6 +81,8 @@ void Tables() {
   }
   Row("writes ok: %d/600, reads returning the last write: %d/10", write_ok,
       read_ok);
+  report.Metric("wraparound.writes_ok", write_ok, "writes");
+  report.Metric("wraparound.reads_ok", read_ok, "reads");
   Row("%s", "\nexpected shape: label size constant in execution length; "
             "wrap-around never breaks regularity (labels are reused "
             "safely).");
@@ -107,8 +115,20 @@ BENCHMARK(BM_Precedes)->Arg(6)->Arg(31);
 }  // namespace
 
 int main(int argc, char** argv) {
-  Tables();
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  JsonReport report("labels", ParseBenchArgs(argc, argv));
+  Tables(report);
+  // google-benchmark rejects flags it does not know; strip ours before
+  // handing the argument vector over.
+  std::vector<char*> bm_args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      ++i;
+    } else if (std::strcmp(argv[i], "--smoke") != 0) {
+      bm_args.push_back(argv[i]);
+    }
+  }
+  int bm_argc = static_cast<int>(bm_args.size());
+  ::benchmark::Initialize(&bm_argc, bm_args.data());
+  if (!report.smoke()) ::benchmark::RunSpecifiedBenchmarks();
+  return report.Flush() ? 0 : 1;
 }

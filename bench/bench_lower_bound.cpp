@@ -3,13 +3,17 @@
 // expected) and n = 5f+1 (the same attack must fail), over several
 // seeds. Regenerates the paper's central impossibility claim and shows
 // the bound is tight.
+#include <string>
+
 #include "baselines/lower_bound_replay.hpp"
+#include "bench_json.hpp"
 #include "bench_util.hpp"
 
 using namespace sbft;
 using namespace sbft::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReport report("lower_bound", ParseBenchArgs(argc, argv));
   Header("E1 (Theorem 1)",
          "regularity violations of a TM_1R register under the proof's "
          "adversarial schedule");
@@ -20,7 +24,7 @@ int main() {
     for (std::uint32_t extra = 0; extra <= 1; ++extra) {
       int violated = 0;
       int completed = 0;
-      const int kRuns = 10;
+      const int kRuns = report.smoke() ? 4 : 10;
       for (int seed = 1; seed <= kRuns; ++seed) {
         ReplayOptions options;
         options.f = f;
@@ -32,9 +36,12 @@ int main() {
       }
       Row("%-4u %-4u %-10s %2d/%-19d %2d/%-19d", f, 5 * f + extra,
           extra == 0 ? "n=5f" : "n=5f+1", violated, kRuns, completed, kRuns);
+      report.Metric("f" + std::to_string(f) +
+                        (extra == 0 ? ".n5f" : ".n5f1") + ".violated_frac",
+                    static_cast<double>(violated) / kRuns, "runs");
     }
   }
   Row("%s", "\nexpected shape: n=5f rows violate in every completed run; "
             "n=5f+1 rows never violate (tight bound).");
-  return 0;
+  return report.Flush() ? 0 : 1;
 }

@@ -6,6 +6,7 @@
 // size W and measure read aborts and union-graph usage.
 #include <string>
 
+#include "bench_json.hpp"
 #include "bench_util.hpp"
 #include "core/deployment.hpp"
 
@@ -87,7 +88,9 @@ Cell RunBurst(std::uint32_t window, int burst_length, bool forwarding,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReport report("quiescence", ParseBenchArgs(argc, argv));
+  const std::uint64_t seeds = report.smoke() ? 2 : 5;
   Header("E6 (Assumption 2)",
          "reads concurrent with a write burst: aborts and union-graph "
          "usage vs burst length and history window W (n=6, 10 reads, "
@@ -98,7 +101,7 @@ int main() {
     for (std::uint32_t window : {1u, 2u, 6u, 12u}) {
       for (int burst : {1, 8, 32}) {
         Cell total;
-        for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
           Cell cell = RunBurst(window, burst, forwarding, seed * 13);
           total.reads += cell.reads;
           total.aborted += cell.aborted;
@@ -107,6 +110,11 @@ int main() {
         Row("%-12s %-8u %-8d | %-10d %-12d %-12d",
             forwarding ? "on (paper)" : "off (ablated)", window, burst,
             total.reads, total.aborted, total.union_path);
+        const std::string key = std::string(forwarding ? "fwd" : "nofwd") +
+                                ".w" + std::to_string(window) + ".b" +
+                                std::to_string(burst);
+        report.Metric(key + ".aborted", total.aborted, "reads");
+        report.Metric(key + ".union_path", total.union_path, "reads");
       }
     }
   }
@@ -117,5 +125,5 @@ int main() {
             "graph, and once the burst far exceeds the window W the "
             "history cannot certify anything and reads abort — the regime "
             "Assumption 2 exists to exclude.");
-  return 0;
+  return report.Flush() ? 0 : 1;
 }

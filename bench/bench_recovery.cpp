@@ -8,6 +8,7 @@
 //         hardened one, under an adversarial mix (gap #1 in DESIGN.md).
 #include <string>
 
+#include "bench_json.hpp"
 #include "bench_util.hpp"
 #include "net/datalink.hpp"
 #include "net/lossy_channel.hpp"
@@ -19,15 +20,16 @@ using namespace sbft::bench;
 
 namespace {
 
-void FindLabelRecovery() {
+void FindLabelRecovery(JsonReport& report) {
   Header("E8a", "operations to recover after client label-state corruption "
                 "(n=6, mean over 50 corruptions)");
   Row("%-14s %-22s %-18s", "label pool", "first op ok (frac)",
       "mean extra ticks vs clean");
+  const int runs = report.smoke() ? 10 : 50;
   for (std::uint32_t pool : {2u, 4u, 8u}) {
     int first_ok = 0;
     std::vector<double> clean_ticks, corrupt_ticks;
-    for (int run = 0; run < 50; ++run) {
+    for (int run = 0; run < runs; ++run) {
       Deployment::Options options;
       options.config = ProtocolConfig::ForServers(6);
       options.config.read_label_count = pool;
@@ -47,12 +49,14 @@ void FindLabelRecovery() {
         ++first_ok;
       }
     }
-    Row("%-14u %2d/50                  %+.1f", pool, first_ok,
+    Row("%-14u %2d/%-2d                  %+.1f", pool, first_ok, runs,
         Mean(corrupt_ticks) - Mean(clean_ticks));
+    report.Metric("recovery.pool" + std::to_string(pool) + ".first_ok_frac",
+                  static_cast<double>(first_ok) / runs, "runs");
   }
 }
 
-void DatalinkStabilization() {
+void DatalinkStabilization(JsonReport& report) {
   Header("E8b", "stabilizing data-link: rounds until the suffix converges "
                 "(20 messages, 15% loss, mean over 20 seeds)");
   Row("%-10s %-10s | %-14s %-16s", "capacity", "garbage", "rounds",
@@ -60,7 +64,8 @@ void DatalinkStabilization() {
   for (std::size_t capacity : {1u, 2u, 4u, 8u}) {
     for (std::size_t garbage : {std::size_t{0}, capacity}) {
       std::vector<double> rounds_used, spurious;
-      for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+      const std::uint64_t seeds = report.smoke() ? 5 : 20;
+      for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
         LossyChannel forward({capacity, 0.15}, Rng(seed * 2 + 1));
         LossyChannel backward({capacity, 0.15}, Rng(seed * 2 + 2));
         std::vector<Bytes> delivered;
@@ -108,18 +113,23 @@ void DatalinkStabilization() {
       }
       Row("%-10zu %-10zu | %-14.0f %-16.2f", capacity, garbage,
           Mean(rounds_used), Mean(spurious));
+      const std::string key = "datalink.cap" + std::to_string(capacity) +
+                              ".garb" + std::to_string(garbage);
+      report.Metric(key + ".rounds", Mean(rounds_used), "rounds");
+      report.Metric(key + ".spurious", Mean(spurious), "frames");
     }
   }
 }
 
-void EpochAblation() {
+void EpochAblation(JsonReport& report) {
   Header("E8c", "ablation: paper-pure op-label matching vs epoch-extended "
                 "(n=11, f=2 Byzantine, concurrent workload, 20 seeds)");
   Row("%-18s | %-14s %-14s", "matching", "violations", "stalled runs");
   for (bool epochs : {false, true}) {
     std::uint64_t violations = 0;
     int stalled = 0;
-    for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const std::uint64_t seeds = report.smoke() ? 8 : 30;
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
       Deployment::Options options;
       options.config = ProtocolConfig::ForServers(11);
       options.config.epoch_extended_op_labels = epochs;
@@ -155,6 +165,11 @@ void EpochAblation() {
     }
     Row("%-18s | %-14llu %-14d", epochs ? "epoch-extended" : "paper-pure",
         static_cast<unsigned long long>(violations), stalled);
+    const std::string key =
+        std::string("ablation.") + (epochs ? "epoch" : "pure");
+    report.Metric(key + ".violations", static_cast<double>(violations),
+                  "violations");
+    report.Metric(key + ".stalled", stalled, "runs");
   }
   Row("%s", "\nexpected shape: recovery within a single operation (E8a); "
             "data-link convergence cost grows with capacity and garbage "
@@ -171,9 +186,10 @@ void EpochAblation() {
 
 }  // namespace
 
-int main() {
-  FindLabelRecovery();
-  DatalinkStabilization();
-  EpochAblation();
-  return 0;
+int main(int argc, char** argv) {
+  JsonReport report("recovery", ParseBenchArgs(argc, argv));
+  FindLabelRecovery(report);
+  DatalinkStabilization(report);
+  EpochAblation(report);
+  return report.Flush() ? 0 : 1;
 }

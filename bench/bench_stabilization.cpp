@@ -8,6 +8,7 @@
 //   * virtual-time cost of the stabilizing write.
 #include <cstring>
 
+#include "bench_json.hpp"
 #include "bench_util.hpp"
 #include "spec/regular_checker.hpp"
 #include "spec/workload.hpp"
@@ -36,7 +37,8 @@ constexpr Scenario kScenarios[] = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReport json("stabilization", ParseBenchArgs(argc, argv));
   Header("E2 (Theorem 2)",
          "pseudo-stabilization from arbitrary initial configurations "
          "(n=6, f=1, 40 seeded runs each)");
@@ -44,7 +46,7 @@ int main() {
       "pre-write reads (ok/abort/garb)", "post-write violations",
       "stabilizing write ticks (mean)");
 
-  const int kRuns = 40;
+  const int kRuns = json.smoke() ? 8 : 40;
   for (const Scenario& scenario : kScenarios) {
     std::uint64_t pre_ok = 0, pre_abort = 0, pre_garbage = 0;
     std::uint64_t violations = 0, checked_runs = 0;
@@ -119,9 +121,16 @@ int main() {
                   static_cast<unsigned long long>(checked_runs));
     Row("%-10s | %-28s | %-28s | %.0f", scenario.name, pre, post,
         Mean(write_ticks));
+    const std::string key = scenario.name;
+    json.Metric(key + ".post_write_violations",
+                static_cast<double>(violations), "violations");
+    json.Metric(key + ".checked_runs", static_cast<double>(checked_runs),
+                "runs");
+    json.Metric(key + ".stabilizing_write_ticks", Mean(write_ticks),
+                "ticks");
   }
   Row("%s", "\nexpected shape: garbage/aborts appear only pre-write and "
             "only under corruption; post-write violations are 0 everywhere "
             "(pseudo-stabilization).");
-  return 0;
+  return json.Flush() ? 0 : 1;
 }

@@ -8,6 +8,7 @@
 #include <string>
 #include <thread>
 
+#include "bench_json.hpp"
 #include "bench_util.hpp"
 #include "runtime/register_cluster.hpp"
 
@@ -76,26 +77,37 @@ Numbers RunArm(std::uint32_t n, std::size_t n_clients, bool use_tcp,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReport report("throughput", ParseBenchArgs(argc, argv));
+  const int ops = report.smoke() ? 10 : 40;
   Header("E7", "threaded runtime throughput (ops = writes+reads)");
   Row("%-4s %-8s %-9s | %-12s %-10s %-10s %-7s", "n", "clients", "transport",
       "ops/s", "p50 us", "p99 us", "failed");
   for (std::uint32_t n : {6u, 11u, 16u}) {
     for (std::size_t clients : {std::size_t{1}, std::size_t{2}}) {
-      auto inproc = RunArm(n, clients, /*use_tcp=*/false, 40);
+      auto inproc = RunArm(n, clients, /*use_tcp=*/false, ops);
       Row("%-4u %-8zu %-9s | %-12.0f %-10.0f %-10.0f %-7d", n, clients,
           "mailbox", inproc.ops_per_sec, inproc.p50_us, inproc.p99_us,
           inproc.failed);
+      const std::string key = "mailbox.n" + std::to_string(n) + ".c" +
+                              std::to_string(clients);
+      report.Metric(key + ".ops_per_sec", inproc.ops_per_sec, "ops/s");
+      report.Metric(key + ".p99_us", inproc.p99_us, "us");
+      report.Metric(key + ".failed", inproc.failed, "ops");
     }
   }
   // TCP arm kept small: sockets * n^2 on one box.
   for (std::uint32_t n : {6u, 11u}) {
-    auto tcp = RunArm(n, 1, /*use_tcp=*/true, 25);
+    auto tcp = RunArm(n, 1, /*use_tcp=*/true, report.smoke() ? 8 : 25);
     Row("%-4u %-8d %-9s | %-12.0f %-10.0f %-10.0f %-7d", n, 1, "tcp",
         tcp.ops_per_sec, tcp.p50_us, tcp.p99_us, tcp.failed);
+    const std::string key = "tcp.n" + std::to_string(n) + ".c1";
+    report.Metric(key + ".ops_per_sec", tcp.ops_per_sec, "ops/s");
+    report.Metric(key + ".p99_us", tcp.p99_us, "us");
+    report.Metric(key + ".failed", tcp.failed, "ops");
   }
   Row("%s", "\nexpected shape: latency grows roughly linearly with n "
             "(Theta(n) frames/op on one core); TCP pays a constant "
             "per-frame syscall premium over mailboxes; no failed ops.");
-  return 0;
+  return report.Flush() ? 0 : 1;
 }

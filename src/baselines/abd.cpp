@@ -14,7 +14,7 @@ void AbdServer::OnFrame(NodeId from, BytesView frame, IEndpoint& endpoint) {
   } else if (const auto* m = std::get_if<AbdWriteMsg>(&message)) {
     if (ts_ < m->ts) {
       ts_ = m->ts;
-      value_ = m->value;
+      value_ = ToBytes(m->value);  // copy the frame-borrowed view into state
     }
     endpoint.Send(from, EncodeMessage(Message(AbdWriteAckMsg{m->rid})));
   } else if (const auto* m = std::get_if<AbdReadMsg>(&message)) {
@@ -50,8 +50,7 @@ void AbdClient::StartWrite(Value value, std::function<void(bool)> callback) {
   collected_ts_.clear();
   phase_ = Phase::kGetTs;
   ++rid_;
-  const Bytes frame = EncodeMessage(Message(AbdGetTsMsg{rid_}));
-  for (NodeId server : servers_) endpoint_->Send(server, frame);
+  endpoint_->Broadcast(servers_, EncodeMessage(Message(AbdGetTsMsg{rid_})));
 }
 
 void AbdClient::StartRead(
@@ -61,8 +60,7 @@ void AbdClient::StartRead(
   read_replies_.clear();
   phase_ = Phase::kRead;
   ++rid_;
-  const Bytes frame = EncodeMessage(Message(AbdReadMsg{rid_}));
-  for (NodeId server : servers_) endpoint_->Send(server, frame);
+  endpoint_->Broadcast(servers_, EncodeMessage(Message(AbdReadMsg{rid_})));
 }
 
 void AbdClient::OnFrame(NodeId from, BytesView frame, IEndpoint&) {
@@ -86,9 +84,11 @@ void AbdClient::OnFrame(NodeId from, BytesView frame, IEndpoint&) {
                        client_id_};
     phase_ = Phase::kWrite;
     write_acks_.clear();
-    const Bytes out =
-        EncodeMessage(Message(AbdWriteMsg{rid_, new_ts, write_value_}));
-    for (NodeId server : servers_) endpoint_->Send(server, out);
+    // write_value_ is a stable member, so the view inside AbdWriteMsg is
+    // valid for the duration of the encode.
+    endpoint_->Broadcast(
+        servers_, EncodeMessage(Message(AbdWriteMsg{rid_, new_ts,
+                                                    write_value_})));
   } else if (const auto* m = std::get_if<AbdWriteAckMsg>(&message)) {
     if (phase_ != Phase::kWrite || m->rid != rid_) return;
     write_acks_.insert(*index);
@@ -102,7 +102,7 @@ void AbdClient::OnFrame(NodeId from, BytesView frame, IEndpoint&) {
     }
   } else if (const auto* m = std::get_if<AbdReadReplyMsg>(&message)) {
     if (phase_ != Phase::kRead || m->rid != rid_) return;
-    read_replies_.emplace(*index, std::make_pair(m->ts, m->value));
+    read_replies_.emplace(*index, std::make_pair(m->ts, ToBytes(m->value)));
     if (read_replies_.size() >= Majority()) {
       AbdReadOutcome outcome;
       outcome.ok = true;

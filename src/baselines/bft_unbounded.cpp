@@ -15,7 +15,7 @@ void BuServer::OnFrame(NodeId from, BytesView frame, IEndpoint& endpoint) {
   } else if (const auto* m = std::get_if<BuWriteMsg>(&message)) {
     if (ts_ < m->ts) {
       ts_ = m->ts;
-      value_ = m->value;
+      value_ = ToBytes(m->value);  // copy the frame-borrowed view into state
     }
     endpoint.Send(from, EncodeMessage(Message(BuWriteAckMsg{m->rid})));
   } else if (const auto* m = std::get_if<BuReadMsg>(&message)) {
@@ -69,8 +69,7 @@ void BuClient::StartWrite(Value value, std::function<void(bool)> callback) {
   collected_ts_.clear();
   phase_ = Phase::kGetTs;
   ++rid_;
-  const Bytes frame = EncodeMessage(Message(BuGetTsMsg{rid_}));
-  for (NodeId server : servers_) endpoint_->Send(server, frame);
+  endpoint_->Broadcast(servers_, EncodeMessage(Message(BuGetTsMsg{rid_})));
 }
 
 void BuClient::StartRead(std::function<void(const BuReadOutcome&)> callback) {
@@ -79,8 +78,7 @@ void BuClient::StartRead(std::function<void(const BuReadOutcome&)> callback) {
   read_replies_.clear();
   phase_ = Phase::kRead;
   ++rid_;
-  const Bytes frame = EncodeMessage(Message(BuReadMsg{rid_}));
-  for (NodeId server : servers_) endpoint_->Send(server, frame);
+  endpoint_->Broadcast(servers_, EncodeMessage(Message(BuReadMsg{rid_})));
 }
 
 void BuClient::OnFrame(NodeId from, BytesView frame, IEndpoint&) {
@@ -113,9 +111,9 @@ void BuClient::OnFrame(NodeId from, BytesView frame, IEndpoint&) {
                        client_id_};
     phase_ = Phase::kWrite;
     write_acks_.clear();
-    const Bytes out =
-        EncodeMessage(Message(BuWriteMsg{rid_, new_ts, write_value_}));
-    for (NodeId server : servers_) endpoint_->Send(server, out);
+    endpoint_->Broadcast(
+        servers_, EncodeMessage(Message(BuWriteMsg{rid_, new_ts,
+                                                   write_value_})));
   } else if (const auto* m = std::get_if<BuWriteAckMsg>(&message)) {
     if (phase_ != Phase::kWrite || m->rid != rid_) return;
     write_acks_.insert(*index);
@@ -129,7 +127,7 @@ void BuClient::OnFrame(NodeId from, BytesView frame, IEndpoint&) {
     }
   } else if (const auto* m = std::get_if<BuReadReplyMsg>(&message)) {
     if (phase_ != Phase::kRead || m->rid != rid_) return;
-    read_replies_.emplace(*index, std::make_pair(m->ts, m->value));
+    read_replies_.emplace(*index, std::make_pair(m->ts, ToBytes(m->value)));
     if (read_replies_.size() >= Quorum()) {
       // Certify: identical (ts, value) reported by >= f+1 servers; take
       // the maximal certified pair.

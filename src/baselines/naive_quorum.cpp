@@ -16,7 +16,7 @@ void NqServer::OnFrame(NodeId from, BytesView frame, IEndpoint& endpoint) {
     Timestamp incoming{labels_.Sanitize(m->ts.label), m->ts.writer_id};
     if (Precedes(ts_, incoming, labels_.params())) {
       ts_ = incoming;
-      value_ = m->value;
+      value_ = ToBytes(m->value);  // copy the frame-borrowed view into state
     }
     endpoint.Send(from, EncodeMessage(Message(NqWriteAckMsg{m->rid})));
   } else if (const auto* m = std::get_if<NqReadMsg>(&message)) {
@@ -75,8 +75,7 @@ void NqClient::StartWrite(Value value, std::function<void(bool)> callback) {
   collected_ts_.clear();
   phase_ = Phase::kGetTs;
   ++rid_;
-  const Bytes frame = EncodeMessage(Message(NqGetTsMsg{rid_}));
-  for (NodeId server : servers_) endpoint_->Send(server, frame);
+  endpoint_->Broadcast(servers_, EncodeMessage(Message(NqGetTsMsg{rid_})));
 }
 
 void NqClient::StartRead(std::function<void(const NqReadOutcome&)> callback) {
@@ -85,8 +84,7 @@ void NqClient::StartRead(std::function<void(const NqReadOutcome&)> callback) {
   read_replies_.clear();
   phase_ = Phase::kRead;
   ++rid_;
-  const Bytes frame = EncodeMessage(Message(NqReadMsg{rid_}));
-  for (NodeId server : servers_) endpoint_->Send(server, frame);
+  endpoint_->Broadcast(servers_, EncodeMessage(Message(NqReadMsg{rid_})));
 }
 
 void NqClient::OnFrame(NodeId from, BytesView frame, IEndpoint&) {
@@ -107,9 +105,9 @@ void NqClient::OnFrame(NodeId from, BytesView frame, IEndpoint&) {
     last_write_ts_ = Timestamp{labels_.Next(inputs), client_id_};
     phase_ = Phase::kWrite;
     write_replies_.clear();
-    const Bytes out = EncodeMessage(
-        Message(NqWriteMsg{rid_, last_write_ts_, write_value_}));
-    for (NodeId server : servers_) endpoint_->Send(server, out);
+    endpoint_->Broadcast(
+        servers_, EncodeMessage(Message(NqWriteMsg{rid_, last_write_ts_,
+                                                   write_value_})));
   } else if (const auto* m = std::get_if<NqWriteAckMsg>(&message)) {
     if (phase_ != Phase::kWrite || m->rid != rid_) return;
     write_replies_.emplace(*index, true);
@@ -126,7 +124,7 @@ void NqClient::OnFrame(NodeId from, BytesView frame, IEndpoint&) {
     read_replies_.emplace(
         *index, std::make_pair(Timestamp{labels_.Sanitize(m->ts.label),
                                          m->ts.writer_id},
-                               m->value));
+                               ToBytes(m->value)));
     if (read_replies_.size() >= Quorum()) DecideRead();
   }
 }

@@ -1,0 +1,77 @@
+// Free-list of reusable byte buffers for the messaging hot path.
+//
+// Every frame the system encodes used to be a fresh std::vector that
+// died after one hop. A BufferPool keeps recently freed buffers (with
+// their capacity) and hands them back to the next encode, so a steady
+// quorum workload reaches a fixed point with no heap traffic at all.
+//
+// A pool is NOT thread-safe; each thread uses its own via FramePool().
+// The sim world is single-threaded, and in the threaded runtime each
+// node loop touches only its own thread's pool.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace sbft {
+
+class BufferPool {
+ public:
+  struct Stats {
+    std::uint64_t acquired = 0;  // total Acquire() calls
+    std::uint64_t reused = 0;    // Acquire() satisfied from the free list
+    std::uint64_t recycled = 0;  // Release() that kept the buffer
+  };
+
+  explicit BufferPool(std::size_t max_buffers = 64,
+                      std::size_t max_retained_capacity = 1u << 20)
+      : max_buffers_(max_buffers),
+        max_retained_capacity_(max_retained_capacity) {}
+
+  /// An empty buffer, reusing pooled capacity when available.
+  [[nodiscard]] Bytes Acquire() {
+    ++stats_.acquired;
+    if (free_.empty()) return {};
+    ++stats_.reused;
+    Bytes out = std::move(free_.back());
+    free_.pop_back();
+    out.clear();
+    return out;
+  }
+
+  /// Return a dead buffer's storage to the pool. Buffers with no
+  /// capacity, oversized ones, and overflow beyond max_buffers are
+  /// simply dropped — Release never allocates.
+  void Release(Bytes&& buf) {
+    if (buf.capacity() == 0 || buf.capacity() > max_retained_capacity_ ||
+        free_.size() >= max_buffers_) {
+      return;
+    }
+    ++stats_.recycled;
+    buf.clear();
+    free_.push_back(std::move(buf));
+  }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t size() const { return free_.size(); }
+
+ private:
+  std::size_t max_buffers_;
+  std::size_t max_retained_capacity_;
+  std::vector<Bytes> free_;
+  Stats stats_;
+};
+
+/// The per-thread pool wire frames cycle through: EncodeMessage draws
+/// its output buffer here, and transports return delivered frames once
+/// the receiving automaton is done with them.
+inline BufferPool& FramePool() {
+  thread_local BufferPool pool;
+  return pool;
+}
+
+}  // namespace sbft

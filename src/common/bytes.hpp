@@ -2,6 +2,7 @@
 // fault injector (which overwrites buffers with garbage).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -13,6 +14,15 @@ namespace sbft {
 
 using Bytes = std::vector<std::uint8_t>;
 using BytesView = std::span<const std::uint8_t>;
+
+/// Explicit copy out of a borrowed view — the one place where a decoded
+/// zero-copy payload becomes owned state.
+inline Bytes ToBytes(BytesView view) { return Bytes(view.begin(), view.end()); }
+
+/// Content equality for views (std::span has no operator==).
+inline bool SameBytes(BytesView a, BytesView b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
 
 /// Produce `size` uniformly random bytes; the fault injector uses this to
 /// model arbitrary memory / channel corruption.

@@ -1,0 +1,81 @@
+// A wire frame in flight: owned bytes, or a shared immutable payload
+// when one encode fans out to many destinations (broadcast) or is also
+// referenced by the trace recorder.
+//
+// Frame is move-only — copying a frame body is always an explicit
+// decision (Share() + Frame(shared)), never an accident of pass-by-
+// value. Ownership rules are documented in docs/ARCHITECTURE.md
+// ("Buffer ownership").
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <variant>
+
+#include "common/buffer_pool.hpp"
+#include "common/bytes.hpp"
+
+namespace sbft {
+
+class Frame {
+ public:
+  Frame() = default;
+  explicit Frame(Bytes bytes) : rep_(std::move(bytes)) {}
+  explicit Frame(std::shared_ptr<Bytes> shared) : rep_(std::move(shared)) {}
+
+  Frame(Frame&&) noexcept = default;
+  Frame& operator=(Frame&&) noexcept = default;
+  Frame(const Frame&) = delete;
+  Frame& operator=(const Frame&) = delete;
+
+  [[nodiscard]] BytesView view() const {
+    if (const auto* owned = std::get_if<Bytes>(&rep_)) return *owned;
+    const auto& shared = std::get<std::shared_ptr<Bytes>>(rep_);
+    return shared ? BytesView(*shared) : BytesView();
+  }
+
+  [[nodiscard]] std::size_t size() const { return view().size(); }
+  [[nodiscard]] bool empty() const { return view().empty(); }
+
+  /// Convert to shared representation in place and return the payload
+  /// pointer; further Frame(shared) copies alias the same bytes. The
+  /// payload must not be mutated once shared — fault injectors that
+  /// corrupt frames must replace the whole Frame instead.
+  const std::shared_ptr<Bytes>& Share() {
+    if (auto* owned = std::get_if<Bytes>(&rep_)) {
+      rep_ = std::make_shared<Bytes>(std::move(*owned));
+    }
+    return std::get<std::shared_ptr<Bytes>>(rep_);
+  }
+
+  /// Steal the backing storage if this frame is its sole owner (owned
+  /// representation, or a shared payload with use_count 1). Leaves the
+  /// frame empty on success.
+  bool TryTakeBytes(Bytes& out) {
+    if (auto* owned = std::get_if<Bytes>(&rep_)) {
+      if (owned->capacity() == 0) return false;
+      out = std::move(*owned);
+      return true;
+    }
+    auto& shared = std::get<std::shared_ptr<Bytes>>(rep_);
+    if (shared && shared.use_count() == 1) {
+      out = std::move(*shared);
+      shared.reset();
+      return true;
+    }
+    return false;
+  }
+
+  /// Return the backing storage to `pool` when uniquely owned; no-op
+  /// (and no allocation) otherwise.
+  void Recycle(BufferPool& pool) {
+    Bytes bytes;
+    if (TryTakeBytes(bytes)) pool.Release(std::move(bytes));
+  }
+
+ private:
+  std::variant<Bytes, std::shared_ptr<Bytes>> rep_;
+};
+
+}  // namespace sbft

@@ -8,6 +8,7 @@
 // length-prefixed with a sanity cap.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <string>
@@ -43,15 +44,28 @@ class BufWriter {
  public:
   BufWriter() = default;
 
+  /// Write into a caller-supplied buffer — typically drawn from a
+  /// BufferPool so repeated encodes reuse capacity. The buffer is
+  /// cleared; Take() hands it back with the encoded frame.
+  explicit BufWriter(Bytes reuse) : buf_(std::move(reuse)) { buf_.clear(); }
+
+  /// Pre-size for a frame whose length the caller can compute, so the
+  /// encode runs without reallocation.
+  void Reserve(std::size_t bytes) { buf_.reserve(buf_.size() + bytes); }
+
   template <typename T>
     requires std::is_integral_v<T> || std::is_enum_v<T>
   void Put(T value) {
     using U = detail::WireCarrierT<T>;
     auto u = static_cast<U>(value);
+    std::uint8_t le[sizeof(U)];
     for (std::size_t i = 0; i < sizeof(U); ++i) {
-      buf_.push_back(static_cast<std::uint8_t>(u & 0xFF));
+      le[i] = static_cast<std::uint8_t>(u & 0xFF);
       u = static_cast<U>(u >> 8);
     }
+    const std::size_t at = buf_.size();
+    buf_.resize(at + sizeof(U));
+    std::memcpy(buf_.data() + at, le, sizeof(U));
   }
 
   void PutBytes(BytesView data) {
@@ -94,16 +108,23 @@ class BufReader {
     return static_cast<T>(u);
   }
 
-  Bytes GetBytes() {
+  /// Zero-copy: a view of the next length-prefixed run, borrowed from
+  /// the frame being decoded. Valid only while the frame's storage is —
+  /// copy (ToBytes) before storing into long-lived state.
+  BytesView GetBytesView() {
     const auto size = Get<std::uint32_t>();
     if (failed_ || size > kMaxWireElements || !Need(size)) {
       failed_ = true;
       return {};
     }
-    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
-              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + size));
+    BytesView out = data_.subspan(pos_, size);
     pos_ += size;
     return out;
+  }
+
+  Bytes GetBytes() {
+    BytesView view = GetBytesView();
+    return Bytes(view.begin(), view.end());
   }
 
   std::string GetString() {
@@ -119,7 +140,10 @@ class BufReader {
       return {};
     }
     std::vector<T> out;
-    out.reserve(count);
+    // Cap the speculative reserve by the bytes actually left: every
+    // element consumes at least one byte in every codec, so a garbage
+    // length can never force an allocation larger than the frame.
+    out.reserve(std::min<std::size_t>(count, remaining()));
     for (std::uint32_t i = 0; i < count && !failed_; ++i) {
       out.push_back(decode_one(*this));
     }

@@ -58,7 +58,7 @@ class StaleReplayServer final : public RegisterServer {
     ReplyMsg reply;
     reply.value = frozen_.value;
     reply.ts = frozen_.ts;
-    reply.old_vals = {frozen_};
+    reply.old_vals = {AsWire(frozen_)};
     reply.label = msg.label;
     endpoint.Send(from, EncodeMessage(Message(reply)));
   }
@@ -78,12 +78,17 @@ class EquivocateServer final : public RegisterServer {
  protected:
   void HandleRead(NodeId from, const ReadMsg& msg,
                   IEndpoint& endpoint) override {
+    // Forged values need owned storage: ReplyMsg carries views, and a
+    // view of a temporary would dangle before the encode below.
+    const Bytes forged = RandomBytes(noise_, 4);
+    std::vector<Bytes> forged_hist;
+    forged_hist.reserve(old_vals().size());
     ReplyMsg reply;
-    reply.value = RandomBytes(noise_, 4);  // forged value, real timestamp
+    reply.value = forged;  // forged value, real timestamp
     reply.ts = current().ts;
     for (const VersionedValue& old : old_vals()) {
-      reply.old_vals.push_back(
-          VersionedValue{RandomBytes(noise_, 4), old.ts});
+      forged_hist.push_back(RandomBytes(noise_, 4));
+      reply.old_vals.push_back(WireVersioned{forged_hist.back(), old.ts});
     }
     reply.label = msg.label;
     endpoint.Send(from, EncodeMessage(Message(reply)));

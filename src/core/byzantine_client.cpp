@@ -44,8 +44,11 @@ void ByzantineClient::FireRound(IEndpoint& endpoint) {
         break;
       }
       case ByzantineClientStrategy::kForgedWriter: {
+        // Owned storage: WriteMsg::value is a view and must not bind to
+        // a temporary.
+        const Bytes forged = RandomBytes(noise_, 4);
         WriteMsg write;
-        write.value = RandomBytes(noise_, 4);
+        write.value = forged;
         write.ts = Timestamp{noise_.NextBool(0.5)
                                  ? RandomValidLabel(noise_, labels_.params())
                                  : RandomGarbageLabel(noise_,

@@ -85,8 +85,7 @@ void RegisterClient::BeginFlush(OpScope scope) {
   FlushMsg flush;
   flush.label = op_label_;
   flush.scope = scope;
-  const Bytes frame = EncodeMessage(Message(flush));
-  for (NodeId server : servers_) endpoint_->Send(server, frame);
+  endpoint_->Broadcast(servers_, EncodeMessage(Message(flush)));
 }
 
 // --- FLUSH / FLUSH_ACK (Figure 3) --------------------------------------
@@ -156,11 +155,10 @@ void RegisterClient::AdvanceAfterFlush() {
     phase_ = Phase::kGetTs;
     GetTsMsg get_ts;
     get_ts.op_label = op_label_;
-    const Bytes frame = EncodeMessage(Message(get_ts));
     for (std::size_t i = 0; i < servers_.size(); ++i) {
       write_pool_.MarkPending(i, PoolIndexOf(op_label_));
-      endpoint_->Send(servers_[i], frame);
     }
+    endpoint_->Broadcast(servers_, EncodeMessage(Message(get_ts)));
   } else {
     read_pool_.SetLast(PoolIndexOf(op_label_));
     replies_.clear();
@@ -168,11 +166,13 @@ void RegisterClient::AdvanceAfterFlush() {
     phase_ = Phase::kRead;
     ReadMsg read;
     read.label = op_label_;
-    const Bytes frame = EncodeMessage(Message(read));
+    std::vector<NodeId> targets;
+    targets.reserve(safe_.size());
     for (std::size_t server : safe_) {
       read_pool_.MarkPending(server, PoolIndexOf(op_label_));
-      endpoint_->Send(servers_[server], frame);
+      targets.push_back(servers_[server]);
     }
+    endpoint_->Broadcast(targets, EncodeMessage(Message(read)));
   }
 }
 
@@ -200,14 +200,13 @@ void RegisterClient::OnTsReply(std::size_t server, const TsReplyMsg& msg) {
   write_replied_.clear();
   ack_count_ = 0;
   WriteMsg write;
-  write.value = write_value_;
+  write.value = write_value_;  // view of the member; encoded below
   write.ts = last_write_ts_;
   write.op_label = op_label_;
-  const Bytes frame = EncodeMessage(Message(write));
   for (std::size_t i = 0; i < servers_.size(); ++i) {
     write_pool_.MarkPending(i, PoolIndexOf(op_label_));
-    endpoint_->Send(servers_[i], frame);
   }
+  endpoint_->Broadcast(servers_, EncodeMessage(Message(write)));
 }
 
 void RegisterClient::OnWriteReply(std::size_t server,
@@ -279,18 +278,19 @@ void RegisterClient::OnReply(std::size_t server, const ReplyMsg& msg) {
     return;
   }
   // Keep the latest report per server (servers forward concurrent
-  // writes, superseding their earlier reply).
+  // writes, superseding their earlier reply). The reply's values are
+  // views into the frame — copy here, where they enter client state.
   VersionedValue vv;
-  vv.value = msg.value;
+  vv.value = ToBytes(msg.value);
   vv.ts = Timestamp{labels_.Sanitize(msg.ts.label), msg.ts.writer_id};
   replies_[server] = std::move(vv);
 
   auto& history = recent_vals_[server];
   history.clear();
-  for (const VersionedValue& old : msg.old_vals) {
+  for (const WireVersioned& old : msg.old_vals) {
     if (history.size() >= config_.history_window) break;  // clamp garbage
     history.push_back(VersionedValue{
-        old.value,
+        ToBytes(old.value),
         Timestamp{labels_.Sanitize(old.ts.label), old.ts.writer_id}});
   }
 
@@ -358,8 +358,10 @@ void RegisterClient::FinishRead(const ReadOutcome& outcome) {
   // COMPLETE_READ to every safe server (Figure 2 lines 12/19).
   CompleteReadMsg complete;
   complete.label = op_label_;
-  const Bytes frame = EncodeMessage(Message(complete));
-  for (std::size_t server : safe_) endpoint_->Send(servers_[server], frame);
+  std::vector<NodeId> targets;
+  targets.reserve(safe_.size());
+  for (std::size_t server : safe_) targets.push_back(servers_[server]);
+  endpoint_->Broadcast(targets, EncodeMessage(Message(complete)));
 
   phase_ = Phase::kIdle;
   if (outcome.status == OpStatus::kOk) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/buffer_pool.hpp"
 #include "common/hash.hpp"
 
 namespace sbft {
@@ -15,10 +16,17 @@ class WrapEndpoint final : public IEndpoint {
   WrapEndpoint(IEndpoint& outer, RegisterId id) : outer_(&outer), id_(id) {}
 
   void Send(NodeId dst, Bytes frame) override {
-    MuxMsg wrapped;
-    wrapped.register_id = id_;
-    wrapped.inner = std::move(frame);
-    outer_->Send(dst, EncodeMessage(Message(std::move(wrapped))));
+    // Envelope the already-encoded inner frame in place — no MuxMsg
+    // variant construction, no second encode of the inner message.
+    outer_->Send(dst, EncodeMuxEnvelope(id_, frame));
+    FramePool().Release(std::move(frame));
+  }
+
+  void Broadcast(std::span<const NodeId> dsts, Bytes frame) override {
+    // Envelope once; the outer endpoint fans the single wrapped frame
+    // out (shared payload in the sim/threaded backends).
+    outer_->Broadcast(dsts, EncodeMuxEnvelope(id_, frame));
+    FramePool().Release(std::move(frame));
   }
   void SetTimer(VirtualTime delay, int timer_id) override {
     outer_->SetTimer(delay, timer_id);

@@ -79,26 +79,34 @@ void RegisterServer::HandleWrite(NodeId from, const WriteMsg& msg,
       adopt = incoming.writer_id >= local.writer_id;
     }
   }
+  // The write's value is a view into the frame; copy it as it enters
+  // server state.
   if (adopt) {
-    old_vals_.push_front(current_);
-    current_ = VersionedValue{msg.value, incoming};
+    old_vals_.push_front(std::move(current_));
+    current_ = VersionedValue{ToBytes(msg.value), incoming};
   } else {
     // Keep the rejected value witnessed in history: a read racing the
     // losing branch of a concurrent pair may still need to certify it
     // through the union graph.
-    old_vals_.push_front(VersionedValue{msg.value, incoming});
+    old_vals_.push_front(VersionedValue{ToBytes(msg.value), incoming});
   }
   while (old_vals_.size() > config_.history_window) old_vals_.pop_back();
 
   // Forward the new value to every reader currently registered
   // (Figure 1: "the server forwards the new written value to all the
-  // concurrent readers stored in running_read_i").
+  // concurrent readers stored in running_read_i"). Each reader's reply
+  // carries its own label, so these frames cannot share one encode; the
+  // history is staged as views once, outside the loop.
   if (!config_.forward_to_running_reads) return;
+  if (running_reads_.empty()) return;
+  ReplyMsg forward;
+  forward.value = current_.value;
+  forward.ts = current_.ts;
+  forward.old_vals.reserve(old_vals_.size());
+  for (const VersionedValue& v : old_vals_) {
+    forward.old_vals.push_back(AsWire(v));
+  }
   for (const auto& [reader, label] : running_reads_) {
-    ReplyMsg forward;
-    forward.value = current_.value;
-    forward.ts = current_.ts;
-    forward.old_vals.assign(old_vals_.begin(), old_vals_.end());
     forward.label = label;
     endpoint.Send(reader, EncodeMessage(Message(forward)));
   }
@@ -122,7 +130,10 @@ void RegisterServer::HandleRead(NodeId from, const ReadMsg& msg,
   reply.value = current_.value;
   reply.ts = Timestamp{labels_.Sanitize(current_.ts.label),
                        current_.ts.writer_id};
-  reply.old_vals.assign(old_vals_.begin(), old_vals_.end());
+  reply.old_vals.reserve(old_vals_.size());
+  for (const VersionedValue& v : old_vals_) {
+    reply.old_vals.push_back(AsWire(v));
+  }
   reply.label = msg.label;
   endpoint.Send(from, EncodeMessage(Message(reply)));
 }

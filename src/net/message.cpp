@@ -1,5 +1,11 @@
 #include "net/message.hpp"
 
+#include <array>
+#include <type_traits>
+
+#include "common/buffer_pool.hpp"
+#include "common/serialize.hpp"
+
 namespace sbft {
 namespace {
 
@@ -35,349 +41,394 @@ enum class Tag : std::uint8_t {
   kMux = 60,
 };
 
-void EncodeBody(BufWriter& w, const GetTsMsg& m) {
-  w.Put<Tag>(Tag::kGetTs);
-  w.Put<OpLabel>(m.op_label);
-}
-void EncodeBody(BufWriter& w, const TsReplyMsg& m) {
-  w.Put<Tag>(Tag::kTsReply);
-  m.ts.Encode(w);
-  w.Put<OpLabel>(m.op_label);
-}
-void EncodeBody(BufWriter& w, const WriteMsg& m) {
-  w.Put<Tag>(Tag::kWrite);
-  w.PutBytes(m.value);
-  m.ts.Encode(w);
-  w.Put<OpLabel>(m.op_label);
-}
-void EncodeBody(BufWriter& w, const WriteReplyMsg& m) {
-  w.Put<Tag>(Tag::kWriteReply);
-  w.Put<std::uint8_t>(m.ack ? 1 : 0);
-  w.Put<OpLabel>(m.op_label);
-}
-void EncodeBody(BufWriter& w, const ReadMsg& m) {
-  w.Put<Tag>(Tag::kRead);
-  w.Put<OpLabel>(m.label);
-}
-void EncodeBody(BufWriter& w, const ReplyMsg& m) {
-  w.Put<Tag>(Tag::kReply);
-  w.PutBytes(m.value);
-  m.ts.Encode(w);
-  w.PutVector(m.old_vals,
-              [](BufWriter& bw, const VersionedValue& v) { v.Encode(bw); });
-  w.Put<OpLabel>(m.label);
-}
-void EncodeBody(BufWriter& w, const CompleteReadMsg& m) {
-  w.Put<Tag>(Tag::kCompleteRead);
-  w.Put<OpLabel>(m.label);
-}
-void EncodeBody(BufWriter& w, const FlushMsg& m) {
-  w.Put<Tag>(Tag::kFlush);
-  w.Put<OpLabel>(m.label);
-  w.Put<OpScope>(m.scope);
-}
-void EncodeBody(BufWriter& w, const FlushAckMsg& m) {
-  w.Put<Tag>(Tag::kFlushAck);
-  w.Put<OpLabel>(m.label);
-  w.Put<OpScope>(m.scope);
-}
-void EncodeBody(BufWriter& w, const AbdReadMsg& m) {
-  w.Put<Tag>(Tag::kAbdRead);
-  w.Put<std::uint64_t>(m.rid);
-}
-void EncodeBody(BufWriter& w, const AbdReadReplyMsg& m) {
-  w.Put<Tag>(Tag::kAbdReadReply);
-  w.Put<std::uint64_t>(m.rid);
-  m.ts.Encode(w);
-  w.PutBytes(m.value);
-}
-void EncodeBody(BufWriter& w, const AbdWriteMsg& m) {
-  w.Put<Tag>(Tag::kAbdWrite);
-  w.Put<std::uint64_t>(m.rid);
-  m.ts.Encode(w);
-  w.PutBytes(m.value);
-}
-void EncodeBody(BufWriter& w, const AbdWriteAckMsg& m) {
-  w.Put<Tag>(Tag::kAbdWriteAck);
-  w.Put<std::uint64_t>(m.rid);
-}
-void EncodeBody(BufWriter& w, const AbdGetTsMsg& m) {
-  w.Put<Tag>(Tag::kAbdGetTs);
-  w.Put<std::uint64_t>(m.rid);
-}
-void EncodeBody(BufWriter& w, const AbdTsReplyMsg& m) {
-  w.Put<Tag>(Tag::kAbdTsReply);
-  w.Put<std::uint64_t>(m.rid);
-  m.ts.Encode(w);
-}
-void EncodeBody(BufWriter& w, const BuGetTsMsg& m) {
-  w.Put<Tag>(Tag::kBuGetTs);
-  w.Put<std::uint64_t>(m.rid);
-}
-void EncodeBody(BufWriter& w, const BuTsReplyMsg& m) {
-  w.Put<Tag>(Tag::kBuTsReply);
-  w.Put<std::uint64_t>(m.rid);
-  m.ts.Encode(w);
-}
-void EncodeBody(BufWriter& w, const BuWriteMsg& m) {
-  w.Put<Tag>(Tag::kBuWrite);
-  w.Put<std::uint64_t>(m.rid);
-  m.ts.Encode(w);
-  w.PutBytes(m.value);
-}
-void EncodeBody(BufWriter& w, const BuWriteAckMsg& m) {
-  w.Put<Tag>(Tag::kBuWriteAck);
-  w.Put<std::uint64_t>(m.rid);
-}
-void EncodeBody(BufWriter& w, const BuReadMsg& m) {
-  w.Put<Tag>(Tag::kBuRead);
-  w.Put<std::uint64_t>(m.rid);
-}
-void EncodeBody(BufWriter& w, const BuReadReplyMsg& m) {
-  w.Put<Tag>(Tag::kBuReadReply);
-  w.Put<std::uint64_t>(m.rid);
-  m.ts.Encode(w);
-  w.PutBytes(m.value);
-}
-void EncodeBody(BufWriter& w, const NqGetTsMsg& m) {
-  w.Put<Tag>(Tag::kNqGetTs);
-  w.Put<std::uint64_t>(m.rid);
-}
-void EncodeBody(BufWriter& w, const NqTsReplyMsg& m) {
-  w.Put<Tag>(Tag::kNqTsReply);
-  w.Put<std::uint64_t>(m.rid);
-  m.ts.Encode(w);
-}
-void EncodeBody(BufWriter& w, const NqWriteMsg& m) {
-  w.Put<Tag>(Tag::kNqWrite);
-  w.Put<std::uint64_t>(m.rid);
-  m.ts.Encode(w);
-  w.PutBytes(m.value);
-}
-void EncodeBody(BufWriter& w, const NqWriteAckMsg& m) {
-  w.Put<Tag>(Tag::kNqWriteAck);
-  w.Put<std::uint64_t>(m.rid);
-}
-void EncodeBody(BufWriter& w, const NqReadMsg& m) {
-  w.Put<Tag>(Tag::kNqRead);
-  w.Put<std::uint64_t>(m.rid);
-}
-void EncodeBody(BufWriter& w, const NqReadReplyMsg& m) {
-  w.Put<Tag>(Tag::kNqReadReply);
-  w.Put<std::uint64_t>(m.rid);
-  m.ts.Encode(w);
-  w.PutBytes(m.value);
-}
-void EncodeBody(BufWriter& w, const MuxMsg& m) {
-  w.Put<Tag>(Tag::kMux);
-  w.Put<std::uint64_t>(m.register_id);
-  w.PutBytes(m.inner);
+// The registry: each variant alternative maps to its tag here; encode
+// and decode bodies live on the structs (EncodeInto / DecodeFrom).
+template <typename T>
+struct WireTag;
+template <> struct WireTag<GetTsMsg> { static constexpr Tag value = Tag::kGetTs; };
+template <> struct WireTag<TsReplyMsg> { static constexpr Tag value = Tag::kTsReply; };
+template <> struct WireTag<WriteMsg> { static constexpr Tag value = Tag::kWrite; };
+template <> struct WireTag<WriteReplyMsg> { static constexpr Tag value = Tag::kWriteReply; };
+template <> struct WireTag<ReadMsg> { static constexpr Tag value = Tag::kRead; };
+template <> struct WireTag<ReplyMsg> { static constexpr Tag value = Tag::kReply; };
+template <> struct WireTag<CompleteReadMsg> { static constexpr Tag value = Tag::kCompleteRead; };
+template <> struct WireTag<FlushMsg> { static constexpr Tag value = Tag::kFlush; };
+template <> struct WireTag<FlushAckMsg> { static constexpr Tag value = Tag::kFlushAck; };
+template <> struct WireTag<AbdReadMsg> { static constexpr Tag value = Tag::kAbdRead; };
+template <> struct WireTag<AbdReadReplyMsg> { static constexpr Tag value = Tag::kAbdReadReply; };
+template <> struct WireTag<AbdWriteMsg> { static constexpr Tag value = Tag::kAbdWrite; };
+template <> struct WireTag<AbdWriteAckMsg> { static constexpr Tag value = Tag::kAbdWriteAck; };
+template <> struct WireTag<AbdGetTsMsg> { static constexpr Tag value = Tag::kAbdGetTs; };
+template <> struct WireTag<AbdTsReplyMsg> { static constexpr Tag value = Tag::kAbdTsReply; };
+template <> struct WireTag<BuGetTsMsg> { static constexpr Tag value = Tag::kBuGetTs; };
+template <> struct WireTag<BuTsReplyMsg> { static constexpr Tag value = Tag::kBuTsReply; };
+template <> struct WireTag<BuWriteMsg> { static constexpr Tag value = Tag::kBuWrite; };
+template <> struct WireTag<BuWriteAckMsg> { static constexpr Tag value = Tag::kBuWriteAck; };
+template <> struct WireTag<BuReadMsg> { static constexpr Tag value = Tag::kBuRead; };
+template <> struct WireTag<BuReadReplyMsg> { static constexpr Tag value = Tag::kBuReadReply; };
+template <> struct WireTag<NqGetTsMsg> { static constexpr Tag value = Tag::kNqGetTs; };
+template <> struct WireTag<NqTsReplyMsg> { static constexpr Tag value = Tag::kNqTsReply; };
+template <> struct WireTag<NqWriteMsg> { static constexpr Tag value = Tag::kNqWrite; };
+template <> struct WireTag<NqWriteAckMsg> { static constexpr Tag value = Tag::kNqWriteAck; };
+template <> struct WireTag<NqReadMsg> { static constexpr Tag value = Tag::kNqRead; };
+template <> struct WireTag<NqReadReplyMsg> { static constexpr Tag value = Tag::kNqReadReply; };
+template <> struct WireTag<MuxMsg> { static constexpr Tag value = Tag::kMux; };
+
+// Tag-indexed decode table, one entry per possible tag byte. Built at
+// static-init time by folding over the Message variant — a type absent
+// from the variant cannot be decoded, a duplicate tag asserts below.
+using DecodeFn = Message (*)(BufReader&);
+
+std::array<DecodeFn, 256> BuildDecodeTable() {
+  std::array<DecodeFn, 256> table{};
+  auto add = [&table]<typename T>() {
+    auto& slot = table[static_cast<std::size_t>(WireTag<T>::value)];
+    SBFT_ASSERT(slot == nullptr);  // duplicate wire tag
+    slot = [](BufReader& r) -> Message { return Message(T::DecodeFrom(r)); };
+  };
+  [&add]<std::size_t... I>(std::index_sequence<I...>) {
+    (add.template operator()<std::variant_alternative_t<I, Message>>(), ...);
+  }(std::make_index_sequence<std::variant_size_v<Message>>{});
+  return table;
 }
 
-template <typename T>
-Message DecodeRid(BufReader& r) {
-  T m;
-  m.rid = r.Get<std::uint64_t>();
-  return m;
+const std::array<DecodeFn, 256>& DecodeTable() {
+  static const std::array<DecodeFn, 256> table = BuildDecodeTable();
+  return table;
 }
 
 }  // namespace
 
-void VersionedValue::Encode(BufWriter& w) const {
+void WireVersioned::EncodeInto(BufWriter& w) const {
   w.PutBytes(value);
   ts.Encode(w);
 }
-
-VersionedValue VersionedValue::Decode(BufReader& r) {
-  VersionedValue v;
-  v.value = r.GetBytes();
+WireVersioned WireVersioned::DecodeFrom(BufReader& r) {
+  WireVersioned v;
+  v.value = r.GetBytesView();
   v.ts = Timestamp::Decode(r);
   return v;
 }
 
+void GetTsMsg::EncodeInto(BufWriter& w) const { w.Put<OpLabel>(op_label); }
+GetTsMsg GetTsMsg::DecodeFrom(BufReader& r) {
+  GetTsMsg m;
+  m.op_label = r.Get<OpLabel>();
+  return m;
+}
+
+void TsReplyMsg::EncodeInto(BufWriter& w) const {
+  ts.Encode(w);
+  w.Put<OpLabel>(op_label);
+}
+TsReplyMsg TsReplyMsg::DecodeFrom(BufReader& r) {
+  TsReplyMsg m;
+  m.ts = Timestamp::Decode(r);
+  m.op_label = r.Get<OpLabel>();
+  return m;
+}
+
+void WriteMsg::EncodeInto(BufWriter& w) const {
+  w.PutBytes(value);
+  ts.Encode(w);
+  w.Put<OpLabel>(op_label);
+}
+WriteMsg WriteMsg::DecodeFrom(BufReader& r) {
+  WriteMsg m;
+  m.value = r.GetBytesView();
+  m.ts = Timestamp::Decode(r);
+  m.op_label = r.Get<OpLabel>();
+  return m;
+}
+
+void WriteReplyMsg::EncodeInto(BufWriter& w) const {
+  w.Put<std::uint8_t>(ack ? 1 : 0);
+  w.Put<OpLabel>(op_label);
+}
+WriteReplyMsg WriteReplyMsg::DecodeFrom(BufReader& r) {
+  WriteReplyMsg m;
+  m.ack = r.Get<std::uint8_t>() != 0;
+  m.op_label = r.Get<OpLabel>();
+  return m;
+}
+
+void ReadMsg::EncodeInto(BufWriter& w) const { w.Put<OpLabel>(label); }
+ReadMsg ReadMsg::DecodeFrom(BufReader& r) {
+  ReadMsg m;
+  m.label = r.Get<OpLabel>();
+  return m;
+}
+
+void ReplyMsg::EncodeInto(BufWriter& w) const {
+  w.PutBytes(value);
+  ts.Encode(w);
+  w.PutVector(old_vals,
+              [](BufWriter& bw, const WireVersioned& v) { v.EncodeInto(bw); });
+  w.Put<OpLabel>(label);
+}
+ReplyMsg ReplyMsg::DecodeFrom(BufReader& r) {
+  ReplyMsg m;
+  m.value = r.GetBytesView();
+  m.ts = Timestamp::Decode(r);
+  m.old_vals = r.GetVector<WireVersioned>(
+      [](BufReader& br) { return WireVersioned::DecodeFrom(br); });
+  m.label = r.Get<OpLabel>();
+  return m;
+}
+
+void CompleteReadMsg::EncodeInto(BufWriter& w) const { w.Put<OpLabel>(label); }
+CompleteReadMsg CompleteReadMsg::DecodeFrom(BufReader& r) {
+  CompleteReadMsg m;
+  m.label = r.Get<OpLabel>();
+  return m;
+}
+
+void FlushMsg::EncodeInto(BufWriter& w) const {
+  w.Put<OpLabel>(label);
+  w.Put<OpScope>(scope);
+}
+FlushMsg FlushMsg::DecodeFrom(BufReader& r) {
+  FlushMsg m;
+  m.label = r.Get<OpLabel>();
+  m.scope = r.Get<OpScope>();
+  return m;
+}
+
+void FlushAckMsg::EncodeInto(BufWriter& w) const {
+  w.Put<OpLabel>(label);
+  w.Put<OpScope>(scope);
+}
+FlushAckMsg FlushAckMsg::DecodeFrom(BufReader& r) {
+  FlushAckMsg m;
+  m.label = r.Get<OpLabel>();
+  m.scope = r.Get<OpScope>();
+  return m;
+}
+
+void AbdReadMsg::EncodeInto(BufWriter& w) const { w.Put<std::uint64_t>(rid); }
+AbdReadMsg AbdReadMsg::DecodeFrom(BufReader& r) {
+  AbdReadMsg m;
+  m.rid = r.Get<std::uint64_t>();
+  return m;
+}
+
+void AbdReadReplyMsg::EncodeInto(BufWriter& w) const {
+  w.Put<std::uint64_t>(rid);
+  ts.Encode(w);
+  w.PutBytes(value);
+}
+AbdReadReplyMsg AbdReadReplyMsg::DecodeFrom(BufReader& r) {
+  AbdReadReplyMsg m;
+  m.rid = r.Get<std::uint64_t>();
+  m.ts = UnboundedTs::Decode(r);
+  m.value = r.GetBytesView();
+  return m;
+}
+
+void AbdWriteMsg::EncodeInto(BufWriter& w) const {
+  w.Put<std::uint64_t>(rid);
+  ts.Encode(w);
+  w.PutBytes(value);
+}
+AbdWriteMsg AbdWriteMsg::DecodeFrom(BufReader& r) {
+  AbdWriteMsg m;
+  m.rid = r.Get<std::uint64_t>();
+  m.ts = UnboundedTs::Decode(r);
+  m.value = r.GetBytesView();
+  return m;
+}
+
+void AbdWriteAckMsg::EncodeInto(BufWriter& w) const {
+  w.Put<std::uint64_t>(rid);
+}
+AbdWriteAckMsg AbdWriteAckMsg::DecodeFrom(BufReader& r) {
+  AbdWriteAckMsg m;
+  m.rid = r.Get<std::uint64_t>();
+  return m;
+}
+
+void AbdGetTsMsg::EncodeInto(BufWriter& w) const { w.Put<std::uint64_t>(rid); }
+AbdGetTsMsg AbdGetTsMsg::DecodeFrom(BufReader& r) {
+  AbdGetTsMsg m;
+  m.rid = r.Get<std::uint64_t>();
+  return m;
+}
+
+void AbdTsReplyMsg::EncodeInto(BufWriter& w) const {
+  w.Put<std::uint64_t>(rid);
+  ts.Encode(w);
+}
+AbdTsReplyMsg AbdTsReplyMsg::DecodeFrom(BufReader& r) {
+  AbdTsReplyMsg m;
+  m.rid = r.Get<std::uint64_t>();
+  m.ts = UnboundedTs::Decode(r);
+  return m;
+}
+
+void BuGetTsMsg::EncodeInto(BufWriter& w) const { w.Put<std::uint64_t>(rid); }
+BuGetTsMsg BuGetTsMsg::DecodeFrom(BufReader& r) {
+  BuGetTsMsg m;
+  m.rid = r.Get<std::uint64_t>();
+  return m;
+}
+
+void BuTsReplyMsg::EncodeInto(BufWriter& w) const {
+  w.Put<std::uint64_t>(rid);
+  ts.Encode(w);
+}
+BuTsReplyMsg BuTsReplyMsg::DecodeFrom(BufReader& r) {
+  BuTsReplyMsg m;
+  m.rid = r.Get<std::uint64_t>();
+  m.ts = UnboundedTs::Decode(r);
+  return m;
+}
+
+void BuWriteMsg::EncodeInto(BufWriter& w) const {
+  w.Put<std::uint64_t>(rid);
+  ts.Encode(w);
+  w.PutBytes(value);
+}
+BuWriteMsg BuWriteMsg::DecodeFrom(BufReader& r) {
+  BuWriteMsg m;
+  m.rid = r.Get<std::uint64_t>();
+  m.ts = UnboundedTs::Decode(r);
+  m.value = r.GetBytesView();
+  return m;
+}
+
+void BuWriteAckMsg::EncodeInto(BufWriter& w) const {
+  w.Put<std::uint64_t>(rid);
+}
+BuWriteAckMsg BuWriteAckMsg::DecodeFrom(BufReader& r) {
+  BuWriteAckMsg m;
+  m.rid = r.Get<std::uint64_t>();
+  return m;
+}
+
+void BuReadMsg::EncodeInto(BufWriter& w) const { w.Put<std::uint64_t>(rid); }
+BuReadMsg BuReadMsg::DecodeFrom(BufReader& r) {
+  BuReadMsg m;
+  m.rid = r.Get<std::uint64_t>();
+  return m;
+}
+
+void BuReadReplyMsg::EncodeInto(BufWriter& w) const {
+  w.Put<std::uint64_t>(rid);
+  ts.Encode(w);
+  w.PutBytes(value);
+}
+BuReadReplyMsg BuReadReplyMsg::DecodeFrom(BufReader& r) {
+  BuReadReplyMsg m;
+  m.rid = r.Get<std::uint64_t>();
+  m.ts = UnboundedTs::Decode(r);
+  m.value = r.GetBytesView();
+  return m;
+}
+
+void NqGetTsMsg::EncodeInto(BufWriter& w) const { w.Put<std::uint64_t>(rid); }
+NqGetTsMsg NqGetTsMsg::DecodeFrom(BufReader& r) {
+  NqGetTsMsg m;
+  m.rid = r.Get<std::uint64_t>();
+  return m;
+}
+
+void NqTsReplyMsg::EncodeInto(BufWriter& w) const {
+  w.Put<std::uint64_t>(rid);
+  ts.Encode(w);
+}
+NqTsReplyMsg NqTsReplyMsg::DecodeFrom(BufReader& r) {
+  NqTsReplyMsg m;
+  m.rid = r.Get<std::uint64_t>();
+  m.ts = Timestamp::Decode(r);
+  return m;
+}
+
+void NqWriteMsg::EncodeInto(BufWriter& w) const {
+  w.Put<std::uint64_t>(rid);
+  ts.Encode(w);
+  w.PutBytes(value);
+}
+NqWriteMsg NqWriteMsg::DecodeFrom(BufReader& r) {
+  NqWriteMsg m;
+  m.rid = r.Get<std::uint64_t>();
+  m.ts = Timestamp::Decode(r);
+  m.value = r.GetBytesView();
+  return m;
+}
+
+void NqWriteAckMsg::EncodeInto(BufWriter& w) const {
+  w.Put<std::uint64_t>(rid);
+}
+NqWriteAckMsg NqWriteAckMsg::DecodeFrom(BufReader& r) {
+  NqWriteAckMsg m;
+  m.rid = r.Get<std::uint64_t>();
+  return m;
+}
+
+void NqReadMsg::EncodeInto(BufWriter& w) const { w.Put<std::uint64_t>(rid); }
+NqReadMsg NqReadMsg::DecodeFrom(BufReader& r) {
+  NqReadMsg m;
+  m.rid = r.Get<std::uint64_t>();
+  return m;
+}
+
+void NqReadReplyMsg::EncodeInto(BufWriter& w) const {
+  w.Put<std::uint64_t>(rid);
+  ts.Encode(w);
+  w.PutBytes(value);
+}
+NqReadReplyMsg NqReadReplyMsg::DecodeFrom(BufReader& r) {
+  NqReadReplyMsg m;
+  m.rid = r.Get<std::uint64_t>();
+  m.ts = Timestamp::Decode(r);
+  m.value = r.GetBytesView();
+  return m;
+}
+
+void MuxMsg::EncodeInto(BufWriter& w) const {
+  w.Put<std::uint64_t>(register_id);
+  w.PutBytes(inner);
+}
+MuxMsg MuxMsg::DecodeFrom(BufReader& r) {
+  MuxMsg m;
+  m.register_id = r.Get<std::uint64_t>();
+  m.inner = r.GetBytesView();
+  return m;
+}
+
+void EncodeMessageInto(const Message& message, BufWriter& w) {
+  std::visit(
+      [&w](const auto& m) {
+        w.Put<Tag>(WireTag<std::decay_t<decltype(m)>>::value);
+        m.EncodeInto(w);
+      },
+      message);
+}
+
 Bytes EncodeMessage(const Message& message) {
-  BufWriter w;
-  std::visit([&w](const auto& m) { EncodeBody(w, m); }, message);
+  BufWriter w(FramePool().Acquire());
+  EncodeMessageInto(message, w);
+  return w.Take();
+}
+
+Bytes EncodeMuxEnvelope(std::uint64_t register_id, BytesView inner) {
+  BufWriter w(FramePool().Acquire());
+  w.Reserve(sizeof(Tag) + sizeof(std::uint64_t) + sizeof(std::uint32_t) +
+            inner.size());
+  w.Put<Tag>(Tag::kMux);
+  w.Put<std::uint64_t>(register_id);
+  w.PutBytes(inner);
   return w.Take();
 }
 
 Result<Message> DecodeMessage(BytesView frame) {
   BufReader r(frame);
-  const auto tag = r.Get<Tag>();
+  const auto tag = r.Get<std::uint8_t>();
   if (r.failed()) return Result<Message>::Err("empty frame");
 
-  Message out;
-  switch (tag) {
-    case Tag::kGetTs: {
-      GetTsMsg m;
-      m.op_label = r.Get<OpLabel>();
-      out = m;
-      break;
-    }
-    case Tag::kTsReply: {
-      TsReplyMsg m;
-      m.ts = Timestamp::Decode(r);
-      m.op_label = r.Get<OpLabel>();
-      out = m;
-      break;
-    }
-    case Tag::kWrite: {
-      WriteMsg m;
-      m.value = r.GetBytes();
-      m.ts = Timestamp::Decode(r);
-      m.op_label = r.Get<OpLabel>();
-      out = m;
-      break;
-    }
-    case Tag::kWriteReply: {
-      WriteReplyMsg m;
-      m.ack = r.Get<std::uint8_t>() != 0;
-      m.op_label = r.Get<OpLabel>();
-      out = m;
-      break;
-    }
-    case Tag::kRead: {
-      ReadMsg m;
-      m.label = r.Get<OpLabel>();
-      out = m;
-      break;
-    }
-    case Tag::kReply: {
-      ReplyMsg m;
-      m.value = r.GetBytes();
-      m.ts = Timestamp::Decode(r);
-      m.old_vals = r.GetVector<VersionedValue>(
-          [](BufReader& br) { return VersionedValue::Decode(br); });
-      m.label = r.Get<OpLabel>();
-      out = m;
-      break;
-    }
-    case Tag::kCompleteRead: {
-      CompleteReadMsg m;
-      m.label = r.Get<OpLabel>();
-      out = m;
-      break;
-    }
-    case Tag::kFlush: {
-      FlushMsg m;
-      m.label = r.Get<OpLabel>();
-      m.scope = r.Get<OpScope>();
-      out = m;
-      break;
-    }
-    case Tag::kFlushAck: {
-      FlushAckMsg m;
-      m.label = r.Get<OpLabel>();
-      m.scope = r.Get<OpScope>();
-      out = m;
-      break;
-    }
-    case Tag::kAbdRead:
-      out = DecodeRid<AbdReadMsg>(r);
-      break;
-    case Tag::kAbdReadReply: {
-      AbdReadReplyMsg m;
-      m.rid = r.Get<std::uint64_t>();
-      m.ts = UnboundedTs::Decode(r);
-      m.value = r.GetBytes();
-      out = m;
-      break;
-    }
-    case Tag::kAbdWrite: {
-      AbdWriteMsg m;
-      m.rid = r.Get<std::uint64_t>();
-      m.ts = UnboundedTs::Decode(r);
-      m.value = r.GetBytes();
-      out = m;
-      break;
-    }
-    case Tag::kAbdWriteAck:
-      out = DecodeRid<AbdWriteAckMsg>(r);
-      break;
-    case Tag::kAbdGetTs:
-      out = DecodeRid<AbdGetTsMsg>(r);
-      break;
-    case Tag::kAbdTsReply: {
-      AbdTsReplyMsg m;
-      m.rid = r.Get<std::uint64_t>();
-      m.ts = UnboundedTs::Decode(r);
-      out = m;
-      break;
-    }
-    case Tag::kBuGetTs:
-      out = DecodeRid<BuGetTsMsg>(r);
-      break;
-    case Tag::kBuTsReply: {
-      BuTsReplyMsg m;
-      m.rid = r.Get<std::uint64_t>();
-      m.ts = UnboundedTs::Decode(r);
-      out = m;
-      break;
-    }
-    case Tag::kBuWrite: {
-      BuWriteMsg m;
-      m.rid = r.Get<std::uint64_t>();
-      m.ts = UnboundedTs::Decode(r);
-      m.value = r.GetBytes();
-      out = m;
-      break;
-    }
-    case Tag::kBuWriteAck:
-      out = DecodeRid<BuWriteAckMsg>(r);
-      break;
-    case Tag::kBuRead:
-      out = DecodeRid<BuReadMsg>(r);
-      break;
-    case Tag::kBuReadReply: {
-      BuReadReplyMsg m;
-      m.rid = r.Get<std::uint64_t>();
-      m.ts = UnboundedTs::Decode(r);
-      m.value = r.GetBytes();
-      out = m;
-      break;
-    }
-    case Tag::kNqGetTs:
-      out = DecodeRid<NqGetTsMsg>(r);
-      break;
-    case Tag::kNqTsReply: {
-      NqTsReplyMsg m;
-      m.rid = r.Get<std::uint64_t>();
-      m.ts = Timestamp::Decode(r);
-      out = m;
-      break;
-    }
-    case Tag::kNqWrite: {
-      NqWriteMsg m;
-      m.rid = r.Get<std::uint64_t>();
-      m.ts = Timestamp::Decode(r);
-      m.value = r.GetBytes();
-      out = m;
-      break;
-    }
-    case Tag::kNqWriteAck:
-      out = DecodeRid<NqWriteAckMsg>(r);
-      break;
-    case Tag::kNqRead:
-      out = DecodeRid<NqReadMsg>(r);
-      break;
-    case Tag::kNqReadReply: {
-      NqReadReplyMsg m;
-      m.rid = r.Get<std::uint64_t>();
-      m.ts = Timestamp::Decode(r);
-      m.value = r.GetBytes();
-      out = m;
-      break;
-    }
-    case Tag::kMux: {
-      MuxMsg m;
-      m.register_id = r.Get<std::uint64_t>();
-      m.inner = r.GetBytes();
-      out = std::move(m);
-      break;
-    }
-    default:
-      return Result<Message>::Err("unknown message tag");
-  }
+  const DecodeFn decode = DecodeTable()[tag];
+  if (decode == nullptr) return Result<Message>::Err("unknown message tag");
+  Message out = decode(r);
   if (!r.AtEndOk()) {
     return Result<Message>::Err("malformed frame for tag " +
                                 std::to_string(static_cast<int>(tag)));

@@ -5,6 +5,13 @@
 // frames (transient channel corruption, Byzantine noise) degrade to a
 // clean decode error. Even a *successfully* decoded frame may carry
 // semantic garbage — handlers validate every field before use.
+//
+// Opaque payloads (register values, mux inner frames) are BytesView on
+// the wire structs: encoding borrows the caller's bytes, decoding
+// borrows the frame being decoded. A decoded message is therefore valid
+// only while its frame is — handlers copy (ToBytes) exactly when a
+// value is stored into long-lived state. See docs/ARCHITECTURE.md,
+// "Buffer ownership".
 #pragma once
 
 #include <cstdint>
@@ -25,16 +32,35 @@ namespace sbft {
 using Value = Bytes;
 
 /// A (value, timestamp) pair as stored in servers' old_vals history and
-/// shipped inside REPLY messages.
+/// clients' recent-write sets: the owned form.
 struct VersionedValue {
   Value value;
   Timestamp ts;
 
   friend bool operator==(const VersionedValue&, const VersionedValue&) =
       default;
-  void Encode(BufWriter& w) const;
-  static VersionedValue Decode(BufReader& r);
 };
+
+/// The same pair as it crosses the wire inside REPLY: the value borrows
+/// either the sender's state (encode) or the frame (decode).
+struct WireVersioned {
+  BytesView value;
+  Timestamp ts;
+
+  void EncodeInto(BufWriter& w) const;
+  static WireVersioned DecodeFrom(BufReader& r);
+
+  friend bool operator==(const WireVersioned& a, const WireVersioned& b) {
+    return a.ts == b.ts && SameBytes(a.value, b.value);
+  }
+};
+
+[[nodiscard]] inline WireVersioned AsWire(const VersionedValue& v) {
+  return WireVersioned{v.value, v.ts};
+}
+[[nodiscard]] inline VersionedValue ToOwned(const WireVersioned& v) {
+  return VersionedValue{ToBytes(v.value), v.ts};
+}
 
 /// Which bounded-label pool a FLUSH round is draining. The paper flushes
 /// read labels (Figure 3); we apply the identical mechanism to write
@@ -48,137 +74,223 @@ using OpLabel = std::uint32_t;
 /// Writer phase 1: request the server's current timestamp.
 struct GetTsMsg {
   OpLabel op_label = 0;
+
+  void EncodeInto(BufWriter& w) const;
+  static GetTsMsg DecodeFrom(BufReader& r);
 };
 /// Server's answer to GET_TS.
 struct TsReplyMsg {
   Timestamp ts;
   OpLabel op_label = 0;
+
+  void EncodeInto(BufWriter& w) const;
+  static TsReplyMsg DecodeFrom(BufReader& r);
 };
 /// Writer phase 2: the effective write.
 struct WriteMsg {
-  Value value;
+  BytesView value;
   Timestamp ts;
   OpLabel op_label = 0;
+
+  void EncodeInto(BufWriter& w) const;
+  static WriteMsg DecodeFrom(BufReader& r);
 };
 /// ACK (ts accepted as new) or NACK (ts did not follow the local one);
 /// either way the server adopted the write (Figure 1 server side).
 struct WriteReplyMsg {
   bool ack = false;
   OpLabel op_label = 0;
+
+  void EncodeInto(BufWriter& w) const;
+  static WriteReplyMsg DecodeFrom(BufReader& r);
 };
 /// Reader request (Figure 2 line 05).
 struct ReadMsg {
   OpLabel label = 0;
+
+  void EncodeInto(BufWriter& w) const;
+  static ReadMsg DecodeFrom(BufReader& r);
 };
 /// Server reply: current value+ts and the recent-writes history used to
 /// build the union WTsG (Figure 2(b) line 02).
 struct ReplyMsg {
-  Value value;
+  BytesView value;
   Timestamp ts;
-  std::vector<VersionedValue> old_vals;
+  std::vector<WireVersioned> old_vals;
   OpLabel label = 0;
+
+  void EncodeInto(BufWriter& w) const;
+  static ReplyMsg DecodeFrom(BufReader& r);
 };
 /// Reader completion notice (Figure 2 lines 12/19).
 struct CompleteReadMsg {
   OpLabel label = 0;
+
+  void EncodeInto(BufWriter& w) const;
+  static CompleteReadMsg DecodeFrom(BufReader& r);
 };
 /// FIFO flush probe (Figure 3 line 04).
 struct FlushMsg {
   OpLabel label = 0;
   OpScope scope = OpScope::kRead;
+
+  void EncodeInto(BufWriter& w) const;
+  static FlushMsg DecodeFrom(BufReader& r);
 };
 /// Reflected flush probe (Figure 3(b)).
 struct FlushAckMsg {
   OpLabel label = 0;
   OpScope scope = OpScope::kRead;
+
+  void EncodeInto(BufWriter& w) const;
+  static FlushAckMsg DecodeFrom(BufReader& r);
 };
 
 // --- Baseline: ABD-style crash-only register --------------------------
 
 struct AbdReadMsg {
   std::uint64_t rid = 0;
+
+  void EncodeInto(BufWriter& w) const;
+  static AbdReadMsg DecodeFrom(BufReader& r);
 };
 struct AbdReadReplyMsg {
   std::uint64_t rid = 0;
   UnboundedTs ts;
-  Value value;
+  BytesView value;
+
+  void EncodeInto(BufWriter& w) const;
+  static AbdReadReplyMsg DecodeFrom(BufReader& r);
 };
 struct AbdWriteMsg {
   std::uint64_t rid = 0;
   UnboundedTs ts;
-  Value value;
+  BytesView value;
+
+  void EncodeInto(BufWriter& w) const;
+  static AbdWriteMsg DecodeFrom(BufReader& r);
 };
 struct AbdWriteAckMsg {
   std::uint64_t rid = 0;
+
+  void EncodeInto(BufWriter& w) const;
+  static AbdWriteAckMsg DecodeFrom(BufReader& r);
 };
 struct AbdGetTsMsg {
   std::uint64_t rid = 0;
+
+  void EncodeInto(BufWriter& w) const;
+  static AbdGetTsMsg DecodeFrom(BufReader& r);
 };
 struct AbdTsReplyMsg {
   std::uint64_t rid = 0;
   UnboundedTs ts;
+
+  void EncodeInto(BufWriter& w) const;
+  static AbdTsReplyMsg DecodeFrom(BufReader& r);
 };
 
 // --- Baseline: non-stabilizing BFT register, unbounded ts ([14]) ------
 
 struct BuGetTsMsg {
   std::uint64_t rid = 0;
+
+  void EncodeInto(BufWriter& w) const;
+  static BuGetTsMsg DecodeFrom(BufReader& r);
 };
 struct BuTsReplyMsg {
   std::uint64_t rid = 0;
   UnboundedTs ts;
+
+  void EncodeInto(BufWriter& w) const;
+  static BuTsReplyMsg DecodeFrom(BufReader& r);
 };
 struct BuWriteMsg {
   std::uint64_t rid = 0;
   UnboundedTs ts;
-  Value value;
+  BytesView value;
+
+  void EncodeInto(BufWriter& w) const;
+  static BuWriteMsg DecodeFrom(BufReader& r);
 };
 struct BuWriteAckMsg {
   std::uint64_t rid = 0;
+
+  void EncodeInto(BufWriter& w) const;
+  static BuWriteAckMsg DecodeFrom(BufReader& r);
 };
 struct BuReadMsg {
   std::uint64_t rid = 0;
+
+  void EncodeInto(BufWriter& w) const;
+  static BuReadMsg DecodeFrom(BufReader& r);
 };
 struct BuReadReplyMsg {
   std::uint64_t rid = 0;
   UnboundedTs ts;
-  Value value;
+  BytesView value;
+
+  void EncodeInto(BufWriter& w) const;
+  static BuReadReplyMsg DecodeFrom(BufReader& r);
 };
 
 // --- Baseline: naive TM_1R quorum register (Theorem 1 replay) ---------
 
 struct NqGetTsMsg {
   std::uint64_t rid = 0;
+
+  void EncodeInto(BufWriter& w) const;
+  static NqGetTsMsg DecodeFrom(BufReader& r);
 };
 struct NqTsReplyMsg {
   std::uint64_t rid = 0;
   Timestamp ts;
+
+  void EncodeInto(BufWriter& w) const;
+  static NqTsReplyMsg DecodeFrom(BufReader& r);
 };
 struct NqWriteMsg {
   std::uint64_t rid = 0;
   Timestamp ts;
-  Value value;
+  BytesView value;
+
+  void EncodeInto(BufWriter& w) const;
+  static NqWriteMsg DecodeFrom(BufReader& r);
 };
 struct NqWriteAckMsg {
   std::uint64_t rid = 0;
+
+  void EncodeInto(BufWriter& w) const;
+  static NqWriteAckMsg DecodeFrom(BufReader& r);
 };
 struct NqReadMsg {
   std::uint64_t rid = 0;
+
+  void EncodeInto(BufWriter& w) const;
+  static NqReadMsg DecodeFrom(BufReader& r);
 };
 struct NqReadReplyMsg {
   std::uint64_t rid = 0;
   Timestamp ts;
-  Value value;
+  BytesView value;
+
+  void EncodeInto(BufWriter& w) const;
+  static NqReadReplyMsg DecodeFrom(BufReader& r);
 };
 
 // --- Multiplexing envelope (multi-register storage service) -----------
 
 /// Wraps an inner protocol frame with a register identifier, letting one
 /// server process host many independent registers (core/mux.hpp). The
-/// identifier is typically a 64-bit key hash.
+/// identifier is typically a 64-bit key hash. The inner frame is a view;
+/// EncodeMuxEnvelope builds the envelope around an already-encoded inner
+/// frame without re-encoding it.
 struct MuxMsg {
   std::uint64_t register_id = 0;
-  Bytes inner;
+  BytesView inner;
+
+  void EncodeInto(BufWriter& w) const;
+  static MuxMsg DecodeFrom(BufReader& r);
 };
 
 using Message = std::variant<
@@ -192,9 +304,21 @@ using Message = std::variant<
     NqReadReplyMsg, MuxMsg>;
 
 /// Frame codec. Encode never fails; Decode fails on unknown type bytes,
-/// truncation, implausible lengths, or trailing garbage.
+/// truncation, implausible lengths, or trailing garbage. Decode is
+/// dispatched through a tag-indexed table built from the per-type
+/// DecodeFrom entries — adding a message type means adding a struct, its
+/// codec members, a tag, and a line in the variant; there is no switch
+/// to keep in sync.
+void EncodeMessageInto(const Message& message, BufWriter& w);
 [[nodiscard]] Bytes EncodeMessage(const Message& message);
 [[nodiscard]] Result<Message> DecodeMessage(BytesView frame);
+
+/// The MuxMsg fast path: frame an already-encoded inner message in
+/// place. Byte-identical to EncodeMessage(Message(MuxMsg{id, inner}))
+/// with a single exact-size buffer and no second encode of the inner
+/// payload.
+[[nodiscard]] Bytes EncodeMuxEnvelope(std::uint64_t register_id,
+                                      BytesView inner);
 
 /// Human-readable tag, for traces and test diagnostics.
 [[nodiscard]] std::string MessageTypeName(const Message& message);

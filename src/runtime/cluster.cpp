@@ -18,6 +18,10 @@ class ThreadCluster::Endpoint final : public IEndpoint {
     cluster_.Deliver(id_, dst, std::move(frame));
   }
 
+  void Broadcast(std::span<const NodeId> dsts, Bytes frame) override {
+    cluster_.DeliverBroadcast(id_, dsts, std::move(frame));
+  }
+
   void SetTimer(VirtualTime, int) override {
     // The register protocol is purely message-driven; timers are a
     // simulator convenience not offered by the threaded runtime.
@@ -47,7 +51,8 @@ ThreadCluster::ThreadCluster(Options options) : options_(options) {
         [this](NodeId src, NodeId dst, Bytes frame) {
           // TCP reader thread -> destination mailbox.
           if (dst < mailboxes_.size()) {
-            mailboxes_[dst]->Push(MailItem{src, std::move(frame), nullptr});
+            mailboxes_[dst]->Push(
+                MailItem{src, Frame(std::move(frame)), nullptr});
           }
         });
   }
@@ -88,7 +93,10 @@ void ThreadCluster::NodeLoop(NodeId id) {
       item->task();
     } else {
       frames_delivered_.fetch_add(1, std::memory_order_relaxed);
-      nodes_[id]->OnFrame(item->src, item->frame, *endpoints_[id]);
+      nodes_[id]->OnFrame(item->src, item->frame.view(), *endpoints_[id]);
+      // Recycle into this node thread's pool — its own sends draw from
+      // the same pool, so a steady request/reply load reuses storage.
+      item->frame.Recycle(FramePool());
     }
   }
 }
@@ -97,9 +105,29 @@ void ThreadCluster::Deliver(NodeId src, NodeId dst, Bytes frame) {
   if (dst >= nodes_.size()) return;
   if (tcp_) {
     tcp_->Send(src, dst, frame);
+    FramePool().Release(std::move(frame));
     return;
   }
-  mailboxes_[dst]->Push(MailItem{src, std::move(frame), nullptr});
+  mailboxes_[dst]->Push(MailItem{src, Frame(std::move(frame)), nullptr});
+}
+
+void ThreadCluster::DeliverBroadcast(NodeId src, std::span<const NodeId> dsts,
+                                     Bytes frame) {
+  if (tcp_) {
+    // One encode, one socket write per destination, zero frame copies.
+    for (NodeId dst : dsts) {
+      if (dst < nodes_.size()) tcp_->Send(src, dst, frame);
+    }
+    FramePool().Release(std::move(frame));
+    return;
+  }
+  // One payload shared by every destination mailbox.
+  auto payload = std::make_shared<Bytes>(std::move(frame));
+  for (NodeId dst : dsts) {
+    if (dst < nodes_.size()) {
+      mailboxes_[dst]->Push(MailItem{src, Frame(payload), nullptr});
+    }
+  }
 }
 
 void ThreadCluster::RunOnNode(NodeId id, std::function<void()> fn) {

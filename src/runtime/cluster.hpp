@@ -68,6 +68,7 @@ class ThreadCluster {
 
   void NodeLoop(NodeId id);
   void Deliver(NodeId src, NodeId dst, Bytes frame);
+  void DeliverBroadcast(NodeId src, std::span<const NodeId> dsts, Bytes frame);
 
   Options options_;
   std::vector<std::unique_ptr<Automaton>> nodes_;

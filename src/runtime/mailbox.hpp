@@ -11,15 +11,18 @@
 #include <variant>
 
 #include "common/bytes.hpp"
+#include "common/frame.hpp"
 #include "sim/types.hpp"
 
 namespace sbft {
 
 /// A frame from a peer, or a task to run on the node thread (used to
 /// inject client operations with single-threaded automaton semantics).
+/// Frames move through the mailbox — a broadcast pushes one shared
+/// payload to every destination without copying bodies.
 struct MailItem {
   NodeId src = kNoNode;
-  Bytes frame;
+  Frame frame;
   std::function<void()> task;  // non-null => task item
 };
 

@@ -8,6 +8,7 @@
 
 #include <cstring>
 
+#include "common/buffer_pool.hpp"
 #include "common/error.hpp"
 #include "common/logging.hpp"
 
@@ -105,7 +106,10 @@ void TcpBus::ReadLoop(NodeId node, int fd) {
     const std::uint32_t length = LoadU32(header);
     const NodeId src = LoadU32(header + 4);
     if (length > kMaxTcpFrame) break;  // malformed: drop connection
-    Bytes frame(length);
+    // Draw the frame buffer from this reader thread's pool; the
+    // consuming node loop recycles it after OnFrame.
+    Bytes frame = FramePool().Acquire();
+    frame.resize(length);
     if (!ReadAll(fd, frame.data(), length)) break;
     deliver_(src, node, std::move(frame));
   }
@@ -115,7 +119,7 @@ void TcpBus::ReadLoop(NodeId node, int fd) {
 bool TcpBus::Send(NodeId src, NodeId dst, BytesView frame) {
   if (!running_.load()) return false;
   int fd = -1;
-  std::mutex* write_mutex = nullptr;
+  Connection* conn = nullptr;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto& connection = connections_[{src, dst}];
@@ -138,15 +142,20 @@ bool TcpBus::Send(NodeId src, NodeId dst, BytesView frame) {
       connection.fd = new_fd;
     }
     fd = connection.fd;
-    write_mutex = connection.write_mutex.get();
+    conn = &connection;  // std::map nodes are address-stable
   }
 
-  std::uint8_t header[8];
-  StoreU32(header, static_cast<std::uint32_t>(frame.size()));
-  StoreU32(header + 4, src);
-  std::lock_guard<std::mutex> lock(*write_mutex);
-  if (!WriteAll(fd, header, sizeof(header))) return false;
-  return WriteAll(fd, frame.data(), frame.size());
+  // Build [header][payload] in the connection's reusable buffer and
+  // write it with one send — no per-frame allocation once the buffer's
+  // capacity has grown to the workload's frame size.
+  std::lock_guard<std::mutex> lock(*conn->write_mutex);
+  Bytes& buf = conn->write_buf;
+  buf.clear();
+  buf.resize(8);
+  StoreU32(buf.data(), static_cast<std::uint32_t>(frame.size()));
+  StoreU32(buf.data() + 4, src);
+  buf.insert(buf.end(), frame.begin(), frame.end());
+  return WriteAll(fd, buf.data(), buf.size());
 }
 
 void TcpBus::Stop() {

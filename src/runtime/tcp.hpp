@@ -54,10 +54,13 @@ class TcpBus {
   DeliverFn deliver_;
   std::mutex mutex_;
   std::map<NodeId, Listener> listeners_;
-  // Outgoing connections keyed by (src, dst); each has a write mutex.
+  // Outgoing connections keyed by (src, dst); each has a write mutex
+  // and a reusable write buffer (header + payload are coalesced into a
+  // single send per frame, guarded by the same mutex).
   struct Connection {
     int fd = -1;
     std::unique_ptr<std::mutex> write_mutex = std::make_unique<std::mutex>();
+    Bytes write_buf;
   };
   std::map<std::pair<NodeId, NodeId>, Connection> connections_;
   std::vector<std::thread> readers_;

@@ -42,9 +42,9 @@ std::string FormatTraceEvent(const TraceEvent& event,
   PutNode(out, event.src);
   out << "->";
   PutNode(out, event.dst);
-  if (!event.frame.empty()) {
-    out << " [" << event.frame.size() << "B";
-    if (describe) out << " " << describe(event.frame);
+  if (event.frame_size > 0) {
+    out << " [" << event.frame_size << "B";
+    if (describe && event.payload) out << " " << describe(event.frame());
     out << "]";
   }
   return out.str();

@@ -2,16 +2,21 @@
 //
 // Tests use traces to assert message-level facts (e.g. the Figure 4 /
 // Lemma 5 happened-before structure); benches use the aggregate
-// counters. Frame payloads are stored verbatim — traces are only
-// enabled in tests where executions are small.
+// counters. Every payload-bearing event records (size, hash) metadata;
+// the payload itself is *shared* with the in-flight frame rather than
+// copied — the trace holds a reference, never a duplicate body.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/hash.hpp"
 #include "sim/types.hpp"
 
 namespace sbft {
@@ -31,7 +36,32 @@ struct TraceEvent {
   TraceKind kind = TraceKind::kSend;
   NodeId src = kNoNode;
   NodeId dst = kNoNode;
-  Bytes frame;  // payload for kSend / kDeliver / kDrop, else empty
+  // Frame metadata for kSend / kDeliver / kDrop (zero/empty otherwise).
+  // The hash is FNV-1a of the payload — enough to correlate a send with
+  // its delivery without holding bytes at all.
+  std::uint32_t frame_size = 0;
+  std::uint64_t frame_hash = 0;
+  // The payload, shared with the frame that was in flight (never a
+  // copy). A recorded frame's storage is pinned by this reference, so
+  // it is exempt from pool recycling.
+  std::shared_ptr<const Bytes> payload;
+
+  TraceEvent() = default;
+  TraceEvent(VirtualTime t, TraceKind k, NodeId s, NodeId d)
+      : time(t), kind(k), src(s), dst(d) {}
+
+  void SetPayload(std::shared_ptr<const Bytes> bytes) {
+    payload = std::move(bytes);
+    if (payload) {
+      frame_size = static_cast<std::uint32_t>(payload->size());
+      frame_hash = Fnv1a(*payload);
+    }
+  }
+
+  /// The recorded payload (empty view if the event carried none).
+  [[nodiscard]] BytesView frame() const {
+    return payload ? BytesView(*payload) : BytesView();
+  }
 };
 
 class TraceRecorder {

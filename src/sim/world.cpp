@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/buffer_pool.hpp"
+
 namespace sbft {
 
 // Endpoint binds one node id to the world; it exists so automata cannot
@@ -13,7 +15,23 @@ class World::Endpoint final : public IEndpoint {
       : world_(world), id_(id), rng_(rng) {}
 
   void Send(NodeId dst, Bytes frame) override {
-    world_.EnqueueDelivery(id_, dst, std::move(frame));
+    world_.EnqueueDelivery(id_, dst, Frame(std::move(frame)));
+  }
+
+  void Broadcast(std::span<const NodeId> dsts, Bytes frame) override {
+    if (dsts.empty()) {
+      FramePool().Release(std::move(frame));
+      return;
+    }
+    if (dsts.size() == 1) {
+      world_.EnqueueDelivery(id_, dsts.front(), Frame(std::move(frame)));
+      return;
+    }
+    // One payload, shared by every delivery event (and by the trace).
+    auto payload = std::make_shared<Bytes>(std::move(frame));
+    for (NodeId dst : dsts) {
+      world_.EnqueueDelivery(id_, dst, Frame(payload));
+    }
   }
 
   void SetTimer(VirtualTime delay, int timer_id) override {
@@ -57,11 +75,15 @@ Automaton& World::node(NodeId id) {
   return *nodes_[id];
 }
 
-void World::EnqueueDelivery(NodeId src, NodeId dst, Bytes frame) {
+void World::EnqueueDelivery(NodeId src, NodeId dst, Frame frame) {
   if (src < stopped_.size() && stopped_[src]) return;  // crashed sender
   stats_.frames_sent++;
   stats_.bytes_sent += frame.size();
-  trace_.Record({now_, TraceKind::kSend, src, dst, frame});
+  if (trace_.enabled()) {
+    TraceEvent event(now_, TraceKind::kSend, src, dst);
+    event.SetPayload(frame.Share());
+    trace_.Record(std::move(event));
+  }
 
   ChannelState& channel = Channel(src, dst);
   if (channel.held) {
@@ -70,7 +92,11 @@ void World::EnqueueDelivery(NodeId src, NodeId dst, Bytes frame) {
   }
   if (channel.loss > 0.0 && rng_.NextBool(channel.loss)) {
     stats_.frames_dropped++;
-    trace_.Record({now_, TraceKind::kDrop, src, dst, std::move(frame)});
+    if (trace_.enabled()) {
+      TraceEvent event(now_, TraceKind::kDrop, src, dst);
+      event.SetPayload(frame.Share());
+      trace_.Record(std::move(event));
+    }
     return;
   }
   const VirtualTime delay = delay_->Sample(src, dst, now_, rng_);
@@ -105,8 +131,7 @@ void World::StartPendingNodes() {
 bool World::Step() {
   StartPendingNodes();
   if (queue_.empty()) return false;
-  Event event = queue_.top();
-  queue_.pop();
+  Event event = PopEvent();
   SBFT_ASSERT(event.time >= now_);
   now_ = event.time;
 
@@ -114,20 +139,29 @@ bool World::Step() {
     case Event::Kind::kDeliver: {
       if (event.dst >= nodes_.size() || stopped_[event.dst]) {
         stats_.frames_dropped++;
-        trace_.Record({now_, TraceKind::kDrop, event.src, event.dst,
-                       std::move(event.frame)});
+        if (trace_.enabled()) {
+          TraceEvent drop(now_, TraceKind::kDrop, event.src, event.dst);
+          drop.SetPayload(event.frame.Share());
+          trace_.Record(std::move(drop));
+        }
         break;
       }
       stats_.frames_delivered++;
-      trace_.Record(
-          {now_, TraceKind::kDeliver, event.src, event.dst, event.frame});
-      nodes_[event.dst]->OnFrame(event.src, event.frame,
+      if (trace_.enabled()) {
+        TraceEvent deliver(now_, TraceKind::kDeliver, event.src, event.dst);
+        deliver.SetPayload(event.frame.Share());
+        trace_.Record(std::move(deliver));
+      }
+      nodes_[event.dst]->OnFrame(event.src, event.frame.view(),
                                  *endpoints_[event.dst]);
+      // The handler is done with the frame; recycle its storage for the
+      // next encode (no-op when the trace still references the payload).
+      event.frame.Recycle(FramePool());
       break;
     }
     case Event::Kind::kTimer: {
       if (event.dst >= nodes_.size() || stopped_[event.dst]) break;
-      trace_.Record({now_, TraceKind::kTimerFired, kNoNode, event.dst, {}});
+      trace_.Record({now_, TraceKind::kTimerFired, kNoNode, event.dst});
       nodes_[event.dst]->OnTimer(event.timer_id, *endpoints_[event.dst]);
       break;
     }
@@ -167,35 +201,35 @@ void World::ScheduleCall(VirtualTime delay, std::function<void()> fn) {
 
 void World::CorruptNode(NodeId id) {
   SBFT_ASSERT(id < nodes_.size());
-  trace_.Record({now_, TraceKind::kNodeCorrupted, kNoNode, id, {}});
+  trace_.Record({now_, TraceKind::kNodeCorrupted, kNoNode, id});
   nodes_[id]->CorruptState(rng_);
 }
 
 void World::InjectGarbageFrames(NodeId src, NodeId dst, std::size_t count,
                                 std::size_t max_frame_size) {
-  trace_.Record({now_, TraceKind::kChannelCorrupted, src, dst, {}});
+  trace_.Record({now_, TraceKind::kChannelCorrupted, src, dst});
   for (std::size_t i = 0; i < count; ++i) {
     const std::size_t size = 1 + rng_.NextBelow(max_frame_size);
     stats_.garbage_frames_injected++;
     // Goes through the normal path so FIFO and stats hold; attributed to
     // src because on a real link the garbage occupies that channel.
-    EnqueueDelivery(src, dst, RandomBytes(rng_, size));
+    EnqueueDelivery(src, dst, Frame(RandomBytes(rng_, size)));
   }
 }
 
 void World::ScrambleChannel(NodeId src, NodeId dst) {
-  trace_.Record({now_, TraceKind::kChannelCorrupted, src, dst, {}});
+  trace_.Record({now_, TraceKind::kChannelCorrupted, src, dst});
   // The queue is a heap; rebuild it, garbling matching in-flight frames.
+  // A scrambled frame is REPLACED, never mutated in place — a broadcast
+  // payload may be shared with deliveries on other channels (and with
+  // the trace), which must keep the original bytes.
   std::vector<Event> events;
   events.reserve(queue_.size());
-  while (!queue_.empty()) {
-    events.push_back(queue_.top());
-    queue_.pop();
-  }
+  while (!queue_.empty()) events.push_back(PopEvent());
   for (Event& event : events) {
     if (event.kind == Event::Kind::kDeliver && event.src == src &&
         event.dst == dst && !event.frame.empty()) {
-      event.frame = RandomBytes(rng_, event.frame.size());
+      event.frame = Frame(RandomBytes(rng_, event.frame.size()));
     }
     queue_.push(std::move(event));
   }
@@ -204,7 +238,7 @@ void World::ScrambleChannel(NodeId src, NodeId dst) {
 void World::StopNode(NodeId id) {
   SBFT_ASSERT(id < nodes_.size());
   stopped_[id] = true;
-  trace_.Record({now_, TraceKind::kNodeStopped, kNoNode, id, {}});
+  trace_.Record({now_, TraceKind::kNodeStopped, kNoNode, id});
 }
 
 bool World::IsStopped(NodeId id) const {
@@ -228,8 +262,7 @@ void World::HoldChannel(NodeId src, NodeId dst, bool capture_in_flight) {
   std::vector<Event> captured;
   keep.reserve(queue_.size());
   while (!queue_.empty()) {
-    Event event = queue_.top();
-    queue_.pop();
+    Event event = PopEvent();
     if (event.kind == Event::Kind::kDeliver && event.src == src &&
         event.dst == dst) {
       captured.push_back(std::move(event));
@@ -253,9 +286,9 @@ void World::ReleaseChannel(NodeId src, NodeId dst) {
   ChannelState& channel = Channel(src, dst);
   if (!channel.held) return;
   channel.held = false;
-  std::deque<Bytes> frames = std::move(channel.held_frames);
+  std::deque<Frame> frames = std::move(channel.held_frames);
   channel.held_frames.clear();
-  for (Bytes& frame : frames) {
+  for (Frame& frame : frames) {
     // Re-enqueue through the normal path (samples fresh delays but
     // preserves order via last_scheduled).
     stats_.frames_sent--;  // avoid double counting the original send

@@ -21,10 +21,13 @@
 #include <map>
 #include <memory>
 #include <queue>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "common/bytes.hpp"
 #include "common/error.hpp"
+#include "common/frame.hpp"
 #include "common/rng.hpp"
 #include "sim/delay.hpp"
 #include "sim/trace.hpp"
@@ -61,6 +64,19 @@ class IEndpoint {
  public:
   virtual ~IEndpoint() = default;
   virtual void Send(NodeId dst, Bytes frame) = 0;
+
+  /// Send one frame to many destinations. Quorum protocols encode a
+  /// broadcast message once and hand it here; transports that can share
+  /// the payload (sim world, threaded cluster, mux) override this to
+  /// fan out without per-destination copies. The default routes through
+  /// the virtual Send so wrapper endpoints stay correct unmodified.
+  virtual void Broadcast(std::span<const NodeId> dsts, Bytes frame) {
+    for (std::size_t i = 0; i + 1 < dsts.size(); ++i) {
+      Send(dsts[i], Bytes(frame));
+    }
+    if (!dsts.empty()) Send(dsts.back(), std::move(frame));
+  }
+
   virtual void SetTimer(VirtualTime delay, int timer_id) = 0;
   [[nodiscard]] virtual VirtualTime Now() const = 0;
   [[nodiscard]] virtual NodeId self() const = 0;
@@ -157,7 +173,7 @@ class World {
         Kind::kDeliver;
     NodeId src = kNoNode;
     NodeId dst = kNoNode;
-    Bytes frame;
+    Frame frame;  // move-only; broadcasts share one payload across events
     int timer_id = 0;
     std::function<void()> call;
   };
@@ -170,13 +186,20 @@ class World {
   struct ChannelState {
     VirtualTime last_scheduled = 0;  // enforces FIFO delivery order
     bool held = false;
-    std::deque<Bytes> held_frames;
+    std::deque<Frame> held_frames;
     double loss = 0.0;       // DegradeChannel
     bool unordered = false;  // DegradeChannel
   };
   class Endpoint;  // concrete IEndpoint bound to one node
 
-  void EnqueueDelivery(NodeId src, NodeId dst, Bytes frame);
+  void EnqueueDelivery(NodeId src, NodeId dst, Frame frame);
+  /// Pop the queue head (the heap exposes only a const ref; events are
+  /// move-only because frames are).
+  Event PopEvent() {
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    return event;
+  }
   void StartPendingNodes();
   ChannelState& Channel(NodeId src, NodeId dst) {
     return channels_[{src, dst}];

@@ -44,7 +44,7 @@ TraceCheckReport CheckReadMessageOrder(
     if (event.kind != TraceKind::kSend && event.kind != TraceKind::kDeliver) {
       continue;
     }
-    auto decoded = DecodeMessage(event.frame);
+    auto decoded = DecodeMessage(event.frame());
     if (!decoded.ok()) continue;
     const Message& message = decoded.value();
 

@@ -1,0 +1,84 @@
+// BufferPool invariants: reuse preserves capacity, Release never grows
+// the pool past its bounds, and the steady-state encode loop the pool
+// exists for (acquire -> fill -> release) stops allocating.
+#include "common/buffer_pool.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sbft {
+namespace {
+
+TEST(BufferPool, AcquireReusesReleasedCapacity) {
+  BufferPool pool;
+  Bytes buf = pool.Acquire();
+  buf.assign(128, 0xAB);
+  const auto* storage = buf.data();
+  pool.Release(std::move(buf));
+  ASSERT_EQ(pool.size(), 1u);
+
+  Bytes again = pool.Acquire();
+  EXPECT_EQ(again.data(), storage);  // same heap block came back
+  EXPECT_TRUE(again.empty());        // ...but cleared
+  EXPECT_GE(again.capacity(), 128u);
+}
+
+TEST(BufferPool, ReleaseDropsCapacityFreeBuffers) {
+  BufferPool pool;
+  pool.Release(Bytes{});  // nothing worth keeping
+  EXPECT_EQ(pool.size(), 0u);
+}
+
+TEST(BufferPool, ReleaseDropsOversizedBuffers) {
+  BufferPool pool(/*max_buffers=*/4, /*max_retained_capacity=*/64);
+  Bytes big;
+  big.reserve(65);
+  pool.Release(std::move(big));
+  EXPECT_EQ(pool.size(), 0u);
+
+  Bytes ok;
+  ok.reserve(64);
+  pool.Release(std::move(ok));
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(BufferPool, ReleaseBoundedByMaxBuffers) {
+  BufferPool pool(/*max_buffers=*/2);
+  for (int i = 0; i < 5; ++i) {
+    Bytes buf;
+    buf.reserve(16);
+    pool.Release(std::move(buf));
+  }
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(BufferPool, StatsCountReuse) {
+  BufferPool pool;
+  Bytes first = pool.Acquire();  // miss: pool empty
+  first.reserve(32);
+  pool.Release(std::move(first));
+  (void)pool.Acquire();  // hit
+  EXPECT_EQ(pool.stats().acquired, 2u);
+  EXPECT_EQ(pool.stats().reused, 1u);
+  EXPECT_EQ(pool.stats().recycled, 1u);
+}
+
+TEST(BufferPool, SteadyStateLoopHitsEveryAcquire) {
+  BufferPool pool;
+  // Warm-up allocates once; afterwards every cycle is a pool hit.
+  for (int i = 0; i < 100; ++i) {
+    Bytes buf = pool.Acquire();
+    buf.assign(200, static_cast<std::uint8_t>(i));
+    pool.Release(std::move(buf));
+  }
+  EXPECT_EQ(pool.stats().acquired, 100u);
+  EXPECT_EQ(pool.stats().reused, 99u);
+}
+
+TEST(BufferPool, FramePoolIsPerThreadSingleton) {
+  BufferPool& a = FramePool();
+  BufferPool& b = FramePool();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace sbft

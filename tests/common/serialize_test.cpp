@@ -93,6 +93,33 @@ TEST(Serialize, TrailingGarbageNotAtEndOk) {
   EXPECT_FALSE(r.AtEndOk());  // one byte left unread
 }
 
+TEST(Serialize, VectorReserveCappedByRemainingBytes) {
+  // A forged count below kMaxWireElements but far beyond the frame's
+  // actual contents must not pre-allocate past the frame: the decode
+  // fails once elements run out, and the speculative reserve is bounded
+  // by the bytes that were left.
+  BufWriter w;
+  w.Put<std::uint32_t>(500'000);  // claims half a million elements
+  w.Put<std::uint64_t>(1);        // ...but only one is present
+  BufReader r(w.data());
+  auto out = r.GetVector<std::uint64_t>(
+      [](BufReader& br) { return br.Get<std::uint64_t>(); });
+  EXPECT_TRUE(r.failed());
+  EXPECT_LE(out.capacity(), w.data().size());
+}
+
+TEST(Serialize, WriterReusesCallerBuffer) {
+  Bytes recycled;
+  recycled.reserve(256);
+  const auto* storage = recycled.data();
+  BufWriter w(std::move(recycled));
+  w.Put<std::uint32_t>(42);
+  Bytes out = w.Take();
+  EXPECT_EQ(out.data(), storage);  // no fresh allocation
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0], 42u);
+}
+
 // Property: decoding arbitrary garbage never crashes and either fails or
 // consumes within bounds. This is exercised at scale because garbage
 // frames are a first-class input in the transient-fault model.

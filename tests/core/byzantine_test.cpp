@@ -12,19 +12,27 @@
 namespace sbft {
 namespace {
 
-// Scripted prober reused from server tests.
+// Scripted prober reused from server tests. The script is encoded at
+// construction (value-bearing messages carry views of the caller's
+// still-live storage); replies decode from the retained raw frames so
+// their views outlive the world's recycled buffers.
 class Scripted final : public Automaton {
  public:
-  Scripted(NodeId target, std::vector<Message> script)
-      : target_(target), script_(std::move(script)) {}
+  Scripted(NodeId target, const std::vector<Message>& script)
+      : target_(target) {
+    frames_.reserve(script.size());
+    for (const Message& message : script) {
+      frames_.push_back(EncodeMessage(message));
+    }
+  }
   void OnStart(IEndpoint& endpoint) override {
-    for (const Message& message : script_) {
-      endpoint.Send(target_, EncodeMessage(message));
+    for (const Bytes& frame : frames_) {
+      endpoint.Send(target_, frame);
     }
   }
   void OnFrame(NodeId, BytesView frame, IEndpoint&) override {
     raw_frames.push_back(Bytes(frame.begin(), frame.end()));
-    auto decoded = DecodeMessage(frame);
+    auto decoded = DecodeMessage(raw_frames.back());
     if (decoded.ok()) replies.push_back(std::move(decoded).value());
   }
   std::vector<Message> replies;
@@ -32,7 +40,7 @@ class Scripted final : public Automaton {
 
  private:
   NodeId target_;
-  std::vector<Message> script_;
+  std::vector<Bytes> frames_;
 };
 
 struct Rig {
@@ -88,9 +96,9 @@ TEST(ByzantineStrategies, StaleReplayFreezesItsStory) {
   ASSERT_NE(first, nullptr);
   ASSERT_NE(second, nullptr);
   EXPECT_TRUE(acked);  // the lie
-  EXPECT_EQ(first->value, second->value);
+  EXPECT_TRUE(SameBytes(first->value, second->value));
   EXPECT_EQ(first->ts, second->ts);
-  EXPECT_NE(first->value, Value{9});  // never adopted
+  EXPECT_FALSE(SameBytes(first->value, Value{9}));  // never adopted
 }
 
 TEST(ByzantineStrategies, EquivocatorForgesValuesUnderRealTimestamp) {
@@ -107,10 +115,10 @@ TEST(ByzantineStrategies, EquivocatorForgesValuesUnderRealTimestamp) {
   ASSERT_GE(replies.size(), 2u);
   for (const ReplyMsg* reply : replies) {
     EXPECT_EQ(reply->ts, ts);              // the legitimate timestamp...
-    EXPECT_NE(reply->value, Value{9});     // ...with a forged value
+    EXPECT_FALSE(SameBytes(reply->value, Value{9}));  // ...forged value
   }
   // Different readers (here: different reads) get different forgeries.
-  EXPECT_NE(replies[0]->value, replies[1]->value);
+  EXPECT_FALSE(SameBytes(replies[0]->value, replies[1]->value));
 }
 
 TEST(ByzantineStrategies, NackRefusesEverythingButAnswers) {

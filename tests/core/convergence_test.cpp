@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <memory>
 #include <vector>
 
@@ -14,6 +15,19 @@
 
 namespace sbft {
 namespace {
+
+// WriteMsg carries a view of its value, so test values need storage
+// that outlives the message. One static byte per possible value.
+BytesView ByteVal(std::uint8_t b) {
+  static const auto table = [] {
+    std::array<std::uint8_t, 256> t{};
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      t[i] = static_cast<std::uint8_t>(i);
+    }
+    return t;
+  }();
+  return BytesView(&table[b], 1);
+}
 
 // Deliver the same multiset of WRITE frames to fresh servers in every
 // permutation (k small) or in shuffled orders (k larger): identical
@@ -61,8 +75,8 @@ TEST(Convergence, ArrivalOrderIrrelevantForConcurrentPair) {
     const Label b_label = system.Next(std::vector<Label>{
         init, RandomValidLabel(rng, system.params()),
         RandomValidLabel(rng, system.params())});
-    WriteMsg a{Value{1}, Timestamp{a_label, 6}, 1};
-    WriteMsg b{Value{2}, Timestamp{b_label, 7}, 2};
+    WriteMsg a{ByteVal(1), Timestamp{a_label, 6}, 1};
+    WriteMsg b{ByteVal(2), Timestamp{b_label, 7}, 2};
     auto ab = FinalStateAfter({a, b}, 1);
     auto ba = FinalStateAfter({b, a}, 1);
     EXPECT_EQ(ab, ba) << "round " << round << ": " << a.ts.ToString()
@@ -79,7 +93,7 @@ TEST(Convergence, ArrivalOrderIrrelevantForTriples) {
     for (std::uint8_t i = 0; i < 3; ++i) {
       // Realistic concurrent labels: all dominate the initial state.
       writes.push_back(WriteMsg{
-          Value{i},
+          ByteVal(i),
           Timestamp{system.Next(std::vector<Label>{
                         init, RandomValidLabel(rng, system.params())}),
                     static_cast<ClientId>(6 + i)},
@@ -87,14 +101,14 @@ TEST(Convergence, ArrivalOrderIrrelevantForTriples) {
     }
     std::sort(writes.begin(), writes.end(),
               [](const WriteMsg& x, const WriteMsg& y) {
-                return x.value < y.value;
+                return x.value[0] < y.value[0];
               });
     std::optional<VersionedValue> reference;
     std::vector<WriteMsg> permutation = writes;
     // All 6 permutations of three writes.
     std::sort(permutation.begin(), permutation.end(),
               [](const WriteMsg& x, const WriteMsg& y) {
-                return x.value < y.value;
+                return x.value[0] < y.value[0];
               });
     int disagreements = 0;
     do {
@@ -107,7 +121,7 @@ TEST(Convergence, ArrivalOrderIrrelevantForTriples) {
     } while (std::next_permutation(
         permutation.begin(), permutation.end(),
         [](const WriteMsg& x, const WriteMsg& y) {
-          return x.value < y.value;
+          return x.value[0] < y.value[0];
         }));
     // With three mutually incomparable labels the pairwise order can be
     // cyclic, in which case full permutation-independence is impossible
@@ -136,8 +150,8 @@ TEST(Convergence, DominatedWriteNeverDisplacesDominating) {
   LabelingSystem system(6);
   Label l0 = system.Initial();
   Label l1 = system.Next(std::vector<Label>{l0});
-  WriteMsg newer{Value{2}, Timestamp{l1, 6}, 1};
-  WriteMsg older{Value{1}, Timestamp{l0, 9}, 2};  // higher id, older label
+  WriteMsg newer{ByteVal(2), Timestamp{l1, 6}, 1};
+  WriteMsg older{ByteVal(1), Timestamp{l0, 9}, 2};  // higher id, older label
   auto state = FinalStateAfter({newer, older}, 1);
   EXPECT_EQ(state.value, Value{2}) << "label order must beat writer id";
 }
@@ -155,7 +169,7 @@ TEST(Convergence, InvalidLocalLabelAlwaysAdopts) {
   server->CorruptState(rng);  // garbage label, maybe invalid
 
   LabelingSystem system(6);
-  WriteMsg heal{Value{7}, Timestamp{system.Initial(), 6}, 1};
+  WriteMsg heal{ByteVal(7), Timestamp{system.Initial(), 6}, 1};
   world.AddNode(std::make_unique<WriteFeeder>(id, std::vector<WriteMsg>{
                                                       heal}));
   world.Run();
@@ -169,8 +183,8 @@ TEST(Convergence, RejectedWriteStillWitnessedInHistory) {
   LabelingSystem system(6);
   Label l0 = system.Initial();
   Label l1 = system.Next(std::vector<Label>{l0});
-  WriteMsg newer{Value{2}, Timestamp{l1, 6}, 1};
-  WriteMsg older{Value{1}, Timestamp{l0, 9}, 2};
+  WriteMsg newer{ByteVal(2), Timestamp{l1, 6}, 1};
+  WriteMsg older{ByteVal(1), Timestamp{l0, 9}, 2};
   World world(World::Options{4, std::make_unique<FixedDelay>(1)});
   auto server_owner =
       std::make_unique<RegisterServer>(ProtocolConfig::ForServers(6), 0);

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <memory>
 #include <vector>
 
@@ -14,25 +15,57 @@
 namespace sbft {
 namespace {
 
+// WriteMsg carries a view of its value; single-byte test values come
+// from a static table so the bytes outlive every encoded script.
+BytesView ByteVal(std::uint8_t b) {
+  static const auto table = [] {
+    std::array<std::uint8_t, 256> t{};
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      t[i] = static_cast<std::uint8_t>(i);
+    }
+    return t;
+  }();
+  return BytesView(&table[b], 1);
+}
+
 // A client-side automaton that sends a fixed script of messages on start.
+// Messages are encoded at construction time — value-bearing messages
+// carry views, so the script must be serialized while its backing
+// storage is still alive. Replies are decoded from privately retained
+// frame copies so their views stay valid after the world recycles the
+// in-flight buffer.
 class Scripted final : public Automaton {
  public:
-  Scripted(NodeId target, std::vector<Message> script)
-      : target_(target), script_(std::move(script)) {}
+  Scripted(NodeId target, const std::vector<Message>& script)
+      : target_(target) {
+    frames_.reserve(script.size());
+    for (const Message& message : script) {
+      frames_.push_back(EncodeMessage(message));
+    }
+  }
   void OnStart(IEndpoint& endpoint) override {
-    for (const Message& message : script_) {
-      endpoint.Send(target_, EncodeMessage(message));
+    for (const Bytes& frame : frames_) {
+      endpoint.Send(target_, frame);
     }
   }
   void OnFrame(NodeId, BytesView frame, IEndpoint&) override {
-    auto decoded = DecodeMessage(frame);
-    if (decoded.ok()) replies.push_back(std::move(decoded).value());
+    reply_frames_.push_back(ToBytes(frame));
+    auto decoded = DecodeMessage(reply_frames_.back());
+    if (decoded.ok()) {
+      replies.push_back(std::move(decoded).value());
+    } else {
+      reply_frames_.pop_back();
+    }
   }
   std::vector<Message> replies;
 
  private:
   NodeId target_;
-  std::vector<Message> script_;
+  std::vector<Bytes> frames_;
+  // Backing storage for the views inside `replies`. Reallocation only
+  // moves the Bytes objects; their heap buffers (what the views point
+  // at) stay put.
+  std::vector<Bytes> reply_frames_;
 };
 
 struct Rig {
@@ -71,7 +104,7 @@ TEST(RegisterServerTest, WriteWithNewerTsAcksAndAdopts) {
   auto config = ProtocolConfig::ForServers(6);
   LabelingSystem system(config.k);
   const Timestamp newer = NextTs(system, Timestamp{system.Initial(), 0}, 7);
-  Rig rig(config, {Message(WriteMsg{Value{42}, newer, 1})});
+  Rig rig(config, {Message(WriteMsg{ByteVal(42), newer, 1})});
   rig.world.Run();
   ASSERT_EQ(rig.client->replies.size(), 1u);
   const auto* reply = std::get_if<WriteReplyMsg>(&rig.client->replies[0]);
@@ -90,7 +123,7 @@ TEST(RegisterServerTest, WriteWithStaleTsNacksButStillAdopts) {
   LabelingSystem system(config.k);
   Rng rng(5);
   const Timestamp incomparable{RandomValidLabel(rng, system.params()), 0};
-  Rig rig(config, {Message(WriteMsg{Value{7}, incomparable, 1})});
+  Rig rig(config, {Message(WriteMsg{ByteVal(7), incomparable, 1})});
   rig.world.Run();
   ASSERT_EQ(rig.client->replies.size(), 1u);
   const auto* reply = std::get_if<WriteReplyMsg>(&rig.client->replies[0]);
@@ -108,8 +141,8 @@ TEST(RegisterServerTest, HistoryWindowBounded) {
   Timestamp ts{system.Initial(), 0};
   for (int i = 0; i < 20; ++i) {
     ts = NextTs(system, ts, 9);
-    script.push_back(Message(WriteMsg{Value{static_cast<std::uint8_t>(i)},
-                                      ts, 1}));
+    script.push_back(Message(
+        WriteMsg{ByteVal(static_cast<std::uint8_t>(i)), ts, 1}));
   }
   Rig rig(config, script);
   rig.world.Run();
@@ -146,14 +179,14 @@ TEST(RegisterServerTest, ConcurrentWriteForwardedToRunningReader) {
   LabelingSystem system(config.k);
   const Timestamp newer = NextTs(system, Timestamp{system.Initial(), 0}, 7);
   Rig rig(config, {Message(ReadMsg{.label = 1}),
-                   Message(WriteMsg{Value{5}, newer, 2})});
+                   Message(WriteMsg{ByteVal(5), newer, 2})});
   rig.world.Run();
   int reply_count = 0;
   bool saw_forwarded = false;
   for (const Message& message : rig.client->replies) {
     if (const auto* reply = std::get_if<ReplyMsg>(&message)) {
       ++reply_count;
-      if (reply->value == Value{5} && reply->label == 1u) {
+      if (SameBytes(reply->value, Value{5}) && reply->label == 1u) {
         saw_forwarded = true;
       }
     }

@@ -1,0 +1,172 @@
+// Codec round-trip property test: every wire type in the Message
+// variant must survive encode -> decode -> re-encode with the re-encoded
+// frame byte-identical to the first. This pins the table-driven codec to
+// the wire format — a field added to a struct but missed in its
+// EncodeInto/DecodeFrom pair, or an ordering change between them, fails
+// here before it can corrupt a cross-version trace.
+#include "net/message.hpp"
+
+#include <gtest/gtest.h>
+
+#include <variant>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "labels/bounded_label.hpp"
+#include "labels/labeling_system.hpp"
+
+namespace sbft {
+namespace {
+
+// One randomized instance of every variant alternative. Value-bearing
+// messages hold views, so each sample's bytes live in an arena owned by
+// the set; views target the Bytes' heap buffers, which stay put even if
+// the arena vector reallocates.
+class SampleSet {
+ public:
+  explicit SampleSet(std::uint64_t seed) : rng_(seed), system_(6) {
+    arena_.reserve(64);
+
+    // Core protocol (Figures 1-3).
+    Add(GetTsMsg{Op()});
+    Add(TsReplyMsg{Ts(), Op()});
+    Add(WriteMsg{Val(), Ts(), Op()});
+    Add(WriteReplyMsg{rng_.NextBelow(2) == 0, Op()});
+    Add(ReadMsg{Op()});
+    ReplyMsg reply;
+    reply.value = Val();
+    reply.ts = Ts();
+    const std::size_t history = rng_.NextBelow(4);
+    reply.old_vals.reserve(history);
+    for (std::size_t i = 0; i < history; ++i) {
+      reply.old_vals.push_back(WireVersioned{Val(), Ts()});
+    }
+    reply.label = Op();
+    Add(reply);
+    Add(CompleteReadMsg{Op()});
+    Add(FlushMsg{Op(), Scope()});
+    Add(FlushAckMsg{Op(), Scope()});
+
+    // ABD baseline.
+    Add(AbdReadMsg{Rid()});
+    Add(AbdReadReplyMsg{Rid(), Uts(), Val()});
+    Add(AbdWriteMsg{Rid(), Uts(), Val()});
+    Add(AbdWriteAckMsg{Rid()});
+    Add(AbdGetTsMsg{Rid()});
+    Add(AbdTsReplyMsg{Rid(), Uts()});
+
+    // Non-stabilizing BFT baseline.
+    Add(BuGetTsMsg{Rid()});
+    Add(BuTsReplyMsg{Rid(), Uts()});
+    Add(BuWriteMsg{Rid(), Uts(), Val()});
+    Add(BuWriteAckMsg{Rid()});
+    Add(BuReadMsg{Rid()});
+    Add(BuReadReplyMsg{Rid(), Uts(), Val()});
+
+    // Naive quorum baseline.
+    Add(NqGetTsMsg{Rid()});
+    Add(NqTsReplyMsg{Rid(), Ts()});
+    Add(NqWriteMsg{Rid(), Ts(), Val()});
+    Add(NqWriteAckMsg{Rid()});
+    Add(NqReadMsg{Rid()});
+    Add(NqReadReplyMsg{Rid(), Ts(), Val()});
+
+    // Mux envelope around a genuine inner frame.
+    Add(MuxMsg{Rid(), Own(EncodeMessage(Message(ReadMsg{Op()})))});
+  }
+
+  const std::vector<Message>& messages() const { return messages_; }
+
+ private:
+  template <typename T>
+  void Add(T msg) {
+    messages_.push_back(Message(std::move(msg)));
+  }
+
+  BytesView Own(Bytes bytes) {
+    arena_.push_back(std::move(bytes));
+    return arena_.back();
+  }
+  // Sometimes empty: zero-length values are legal on the wire.
+  BytesView Val() { return Own(RandomBytes(rng_, rng_.NextBelow(65))); }
+  OpLabel Op() { return static_cast<OpLabel>(rng_()); }
+  std::uint64_t Rid() { return rng_(); }
+  OpScope Scope() {
+    return rng_.NextBelow(2) == 0 ? OpScope::kRead : OpScope::kWrite;
+  }
+  // The codec carries timestamps verbatim — garbage labels (transient
+  // faults) must round-trip just like valid ones.
+  Timestamp Ts() {
+    Label label = rng_.NextBelow(2) == 0
+                      ? RandomValidLabel(rng_, system_.params())
+                      : RandomGarbageLabel(rng_, system_.params());
+    return Timestamp{std::move(label),
+                     static_cast<ClientId>(rng_.NextBelow(1000))};
+  }
+  UnboundedTs Uts() {
+    return UnboundedTs{rng_(), static_cast<std::uint32_t>(rng_())};
+  }
+
+  Rng rng_;
+  LabelingSystem system_;
+  std::vector<Bytes> arena_;
+  std::vector<Message> messages_;
+};
+
+TEST(CodecRoundTrip, SampleSetCoversEveryVariantAlternative) {
+  SampleSet samples(1);
+  constexpr std::size_t kAlternatives = std::variant_size_v<Message>;
+  ASSERT_EQ(samples.messages().size(), kAlternatives);
+  std::vector<bool> seen(kAlternatives, false);
+  for (const Message& message : samples.messages()) {
+    EXPECT_FALSE(seen[message.index()])
+        << "duplicate sample for " << MessageTypeName(message);
+    seen[message.index()] = true;
+  }
+}
+
+TEST(CodecRoundTrip, EncodeDecodeReencodeByteIdentical) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    SampleSet samples(seed);
+    for (const Message& message : samples.messages()) {
+      const Bytes wire = EncodeMessage(message);
+      auto decoded = DecodeMessage(wire);
+      ASSERT_TRUE(decoded.ok())
+          << MessageTypeName(message) << " seed " << seed << ": "
+          << decoded.error();
+      EXPECT_EQ(decoded.value().index(), message.index())
+          << MessageTypeName(message) << " seed " << seed;
+      EXPECT_EQ(MessageTypeName(decoded.value()), MessageTypeName(message));
+      // The decoded message's views borrow `wire`, still in scope here.
+      const Bytes rewire = EncodeMessage(decoded.value());
+      EXPECT_EQ(rewire, wire)
+          << MessageTypeName(message) << " seed " << seed
+          << ": re-encode diverged";
+    }
+  }
+}
+
+TEST(CodecRoundTrip, RepeatedEncodesThroughPoolAreIdentical) {
+  // Encoding draws buffers from the thread-local frame pool; reuse of a
+  // previously released (larger) buffer must not leak stale bytes.
+  SampleSet samples(7);
+  for (const Message& message : samples.messages()) {
+    const Bytes first = EncodeMessage(message);
+    const Bytes second = EncodeMessage(message);
+    EXPECT_EQ(first, second) << MessageTypeName(message);
+  }
+}
+
+TEST(CodecRoundTrip, MuxEnvelopeMatchesGenericEncode) {
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    const Bytes inner = RandomBytes(rng, rng.NextBelow(200));
+    const std::uint64_t id = rng();
+    const Bytes fast = EncodeMuxEnvelope(id, inner);
+    const Bytes generic = EncodeMessage(Message(MuxMsg{id, inner}));
+    EXPECT_EQ(fast, generic) << "iteration " << i;
+  }
+}
+
+}  // namespace
+}  // namespace sbft

@@ -14,14 +14,25 @@ Timestamp MakeTs(Rng& rng, const LabelingSystem& system) {
                    static_cast<ClientId>(rng.NextBelow(100))};
 }
 
+// Decoded value-bearing messages borrow the frame, so the round-trip
+// helper hands back the wire bytes together with the message; `msg` is
+// only valid while the holder lives.
 template <typename T>
-T RoundTrip(const T& in) {
-  Bytes wire = EncodeMessage(Message(in));
-  auto decoded = DecodeMessage(wire);
+struct Decoded {
+  Bytes wire;
+  T msg;
+};
+
+template <typename T>
+Decoded<T> RoundTrip(const T& in) {
+  Decoded<T> result;
+  result.wire = EncodeMessage(Message(in));
+  auto decoded = DecodeMessage(result.wire);
   EXPECT_TRUE(decoded.ok()) << (decoded.ok() ? "" : decoded.error());
   const T* out = std::get_if<T>(&decoded.value());
   EXPECT_NE(out, nullptr);
-  return out ? *out : T{};
+  if (out) result.msg = *out;
+  return result;
 }
 
 TEST(MessageCodec, CoreMessagesRoundTrip) {
@@ -29,43 +40,47 @@ TEST(MessageCodec, CoreMessagesRoundTrip) {
   LabelingSystem system(6);
 
   GetTsMsg get_ts{.op_label = 3};
-  EXPECT_EQ(RoundTrip(get_ts).op_label, 3u);
+  EXPECT_EQ(RoundTrip(get_ts).msg.op_label, 3u);
 
   TsReplyMsg ts_reply{MakeTs(rng, system), 7};
   auto ts_reply_out = RoundTrip(ts_reply);
-  EXPECT_EQ(ts_reply_out.ts, ts_reply.ts);
-  EXPECT_EQ(ts_reply_out.op_label, 7u);
+  EXPECT_EQ(ts_reply_out.msg.ts, ts_reply.ts);
+  EXPECT_EQ(ts_reply_out.msg.op_label, 7u);
 
-  WriteMsg write{Value{1, 2, 3}, MakeTs(rng, system), 9};
+  const Value write_val{1, 2, 3};
+  WriteMsg write{write_val, MakeTs(rng, system), 9};
   auto write_out = RoundTrip(write);
-  EXPECT_EQ(write_out.value, write.value);
-  EXPECT_EQ(write_out.ts, write.ts);
+  EXPECT_TRUE(SameBytes(write_out.msg.value, write.value));
+  EXPECT_EQ(write_out.msg.ts, write.ts);
 
   WriteReplyMsg wr{.ack = true, .op_label = 2};
-  EXPECT_TRUE(RoundTrip(wr).ack);
+  EXPECT_TRUE(RoundTrip(wr).msg.ack);
 
   ReadMsg read{.label = 1};
-  EXPECT_EQ(RoundTrip(read).label, 1u);
+  EXPECT_EQ(RoundTrip(read).msg.label, 1u);
 
+  const Value reply_val{9, 9};
+  const Value old_val1{1};
+  const Value old_val2{2};
   ReplyMsg reply;
-  reply.value = Value{9, 9};
+  reply.value = reply_val;
   reply.ts = MakeTs(rng, system);
-  reply.old_vals = {{Value{1}, MakeTs(rng, system)},
-                    {Value{2}, MakeTs(rng, system)}};
+  reply.old_vals = {{old_val1, MakeTs(rng, system)},
+                    {old_val2, MakeTs(rng, system)}};
   reply.label = 4;
   auto reply_out = RoundTrip(reply);
-  EXPECT_EQ(reply_out.value, reply.value);
-  EXPECT_EQ(reply_out.old_vals, reply.old_vals);
+  EXPECT_TRUE(SameBytes(reply_out.msg.value, reply.value));
+  EXPECT_EQ(reply_out.msg.old_vals, reply.old_vals);
 
   CompleteReadMsg complete{.label = 2};
-  EXPECT_EQ(RoundTrip(complete).label, 2u);
+  EXPECT_EQ(RoundTrip(complete).msg.label, 2u);
 
   FlushMsg flush{.label = 5, .scope = OpScope::kWrite};
   auto flush_out = RoundTrip(flush);
-  EXPECT_EQ(flush_out.scope, OpScope::kWrite);
+  EXPECT_EQ(flush_out.msg.scope, OpScope::kWrite);
 
   FlushAckMsg flush_ack{.label = 5, .scope = OpScope::kRead};
-  EXPECT_EQ(RoundTrip(flush_ack).label, 5u);
+  EXPECT_EQ(RoundTrip(flush_ack).msg.label, 5u);
 }
 
 TEST(MessageCodec, BaselineMessagesRoundTrip) {
@@ -73,35 +88,43 @@ TEST(MessageCodec, BaselineMessagesRoundTrip) {
   LabelingSystem system(4);
   UnboundedTs uts{123456789, 42};
 
-  EXPECT_EQ(RoundTrip(AbdReadMsg{77}).rid, 77u);
-  auto abd_reply = RoundTrip(AbdReadReplyMsg{1, uts, Value{5}});
-  EXPECT_EQ(abd_reply.ts, uts);
-  EXPECT_EQ(abd_reply.value, Value{5});
-  EXPECT_EQ(RoundTrip(AbdWriteMsg{2, uts, Value{6}}).ts, uts);
-  EXPECT_EQ(RoundTrip(AbdWriteAckMsg{3}).rid, 3u);
-  EXPECT_EQ(RoundTrip(AbdGetTsMsg{4}).rid, 4u);
-  EXPECT_EQ(RoundTrip(AbdTsReplyMsg{5, uts}).ts, uts);
+  const Value v5{5};
+  const Value v6{6};
+  const Value v9{9};
+  const Value v1{1};
+  const Value v2{2};
+  const Value v3{3};
+  EXPECT_EQ(RoundTrip(AbdReadMsg{77}).msg.rid, 77u);
+  auto abd_reply = RoundTrip(AbdReadReplyMsg{1, uts, v5});
+  EXPECT_EQ(abd_reply.msg.ts, uts);
+  EXPECT_TRUE(SameBytes(abd_reply.msg.value, v5));
+  EXPECT_EQ(RoundTrip(AbdWriteMsg{2, uts, v6}).msg.ts, uts);
+  EXPECT_EQ(RoundTrip(AbdWriteAckMsg{3}).msg.rid, 3u);
+  EXPECT_EQ(RoundTrip(AbdGetTsMsg{4}).msg.rid, 4u);
+  EXPECT_EQ(RoundTrip(AbdTsReplyMsg{5, uts}).msg.ts, uts);
 
-  EXPECT_EQ(RoundTrip(BuGetTsMsg{6}).rid, 6u);
-  EXPECT_EQ(RoundTrip(BuTsReplyMsg{7, uts}).ts, uts);
-  EXPECT_EQ(RoundTrip(BuWriteMsg{8, uts, Value{9}}).value, Value{9});
-  EXPECT_EQ(RoundTrip(BuWriteAckMsg{9}).rid, 9u);
-  EXPECT_EQ(RoundTrip(BuReadMsg{10}).rid, 10u);
-  EXPECT_EQ(RoundTrip(BuReadReplyMsg{11, uts, Value{1}}).rid, 11u);
+  EXPECT_EQ(RoundTrip(BuGetTsMsg{6}).msg.rid, 6u);
+  EXPECT_EQ(RoundTrip(BuTsReplyMsg{7, uts}).msg.ts, uts);
+  EXPECT_TRUE(SameBytes(RoundTrip(BuWriteMsg{8, uts, v9}).msg.value, v9));
+  EXPECT_EQ(RoundTrip(BuWriteAckMsg{9}).msg.rid, 9u);
+  EXPECT_EQ(RoundTrip(BuReadMsg{10}).msg.rid, 10u);
+  EXPECT_EQ(RoundTrip(BuReadReplyMsg{11, uts, v1}).msg.rid, 11u);
 
   Timestamp ts = MakeTs(rng, system);
-  EXPECT_EQ(RoundTrip(NqGetTsMsg{12}).rid, 12u);
-  EXPECT_EQ(RoundTrip(NqTsReplyMsg{13, ts}).ts, ts);
-  EXPECT_EQ(RoundTrip(NqWriteMsg{14, ts, Value{2}}).ts, ts);
-  EXPECT_EQ(RoundTrip(NqWriteAckMsg{15}).rid, 15u);
-  EXPECT_EQ(RoundTrip(NqReadMsg{16}).rid, 16u);
-  EXPECT_EQ(RoundTrip(NqReadReplyMsg{17, ts, Value{3}}).value, Value{3});
+  EXPECT_EQ(RoundTrip(NqGetTsMsg{12}).msg.rid, 12u);
+  EXPECT_EQ(RoundTrip(NqTsReplyMsg{13, ts}).msg.ts, ts);
+  EXPECT_EQ(RoundTrip(NqWriteMsg{14, ts, v2}).msg.ts, ts);
+  EXPECT_EQ(RoundTrip(NqWriteAckMsg{15}).msg.rid, 15u);
+  EXPECT_EQ(RoundTrip(NqReadMsg{16}).msg.rid, 16u);
+  EXPECT_TRUE(
+      SameBytes(RoundTrip(NqReadReplyMsg{17, ts, v3}).msg.value, v3));
 }
 
 TEST(MessageCodec, MuxEnvelopeRoundTrip) {
+  const Bytes inner_wire = EncodeMessage(Message(ReadMsg{.label = 3}));
   MuxMsg mux;
   mux.register_id = 0xDEADBEEFCAFEF00Dull;
-  mux.inner = EncodeMessage(Message(ReadMsg{.label = 3}));
+  mux.inner = inner_wire;
   Bytes wire = EncodeMessage(Message(mux));
   auto decoded = DecodeMessage(wire);
   ASSERT_TRUE(decoded.ok());
@@ -116,12 +139,14 @@ TEST(MessageCodec, MuxEnvelopeRoundTrip) {
 TEST(MessageCodec, MuxNestingIsPossibleButBounded) {
   // Nested envelopes decode fine (the shim never nests, but garbage
   // might look nested); depth is naturally bounded by frame size.
+  const Bytes raw{0xFF};
   MuxMsg innermost;
   innermost.register_id = 1;
-  innermost.inner = Bytes{0xFF};
+  innermost.inner = raw;
+  const Bytes innermost_wire = EncodeMessage(Message(innermost));
   MuxMsg outer;
   outer.register_id = 2;
-  outer.inner = EncodeMessage(Message(innermost));
+  outer.inner = innermost_wire;
   auto decoded = DecodeMessage(EncodeMessage(Message(outer)));
   ASSERT_TRUE(decoded.ok());
 }
@@ -152,23 +177,34 @@ TEST(MessageCodec, TrailingBytesRejected) {
 }
 
 // One populated instance of every wire variant, so hardening tests can
-// exercise every decoder rather than a lucky subset.
+// exercise every decoder rather than a lucky subset. Value payloads are
+// views, so the backing bytes live in function-local statics that
+// outlive every returned Message.
 std::vector<Message> AllVariantSamples(Rng& rng,
                                        const LabelingSystem& system) {
+  static const Value kVal123{1, 2, 3};
+  static const Value kVal45{4, 5};
+  static const Value kVal1{1};
+  static const Value kVal2{2};
+  static const Value kVal3{3};
+  static const Value kVal5{5};
+  static const Value kVal6{6};
+  static const Value kVal9{9};
+  static const Bytes kMuxInner = EncodeMessage(Message(ReadMsg{.label = 9}));
   const Timestamp ts = MakeTs(rng, system);
   const UnboundedTs uts{987654321, 17};
   ReplyMsg reply;
-  reply.value = Value{4, 5};
+  reply.value = kVal45;
   reply.ts = MakeTs(rng, system);
-  reply.old_vals = {{Value{6}, MakeTs(rng, system)}};
+  reply.old_vals = {{kVal6, MakeTs(rng, system)}};
   reply.label = 11;
   MuxMsg mux;
   mux.register_id = 0x1122334455667788ull;
-  mux.inner = EncodeMessage(Message(ReadMsg{.label = 9}));
+  mux.inner = kMuxInner;
   return {
       GetTsMsg{3},
       TsReplyMsg{ts, 7},
-      WriteMsg{Value{1, 2, 3}, ts, 9},
+      WriteMsg{kVal123, ts, 9},
       WriteReplyMsg{true, 2},
       ReadMsg{1},
       reply,
@@ -176,23 +212,23 @@ std::vector<Message> AllVariantSamples(Rng& rng,
       FlushMsg{5, OpScope::kWrite},
       FlushAckMsg{5, OpScope::kRead},
       AbdReadMsg{77},
-      AbdReadReplyMsg{1, uts, Value{5}},
-      AbdWriteMsg{2, uts, Value{6}},
+      AbdReadReplyMsg{1, uts, kVal5},
+      AbdWriteMsg{2, uts, kVal6},
       AbdWriteAckMsg{3},
       AbdGetTsMsg{4},
       AbdTsReplyMsg{5, uts},
       BuGetTsMsg{6},
       BuTsReplyMsg{7, uts},
-      BuWriteMsg{8, uts, Value{9}},
+      BuWriteMsg{8, uts, kVal9},
       BuWriteAckMsg{9},
       BuReadMsg{10},
-      BuReadReplyMsg{11, uts, Value{1}},
+      BuReadReplyMsg{11, uts, kVal1},
       NqGetTsMsg{12},
       NqTsReplyMsg{13, ts},
-      NqWriteMsg{14, ts, Value{2}},
+      NqWriteMsg{14, ts, kVal2},
       NqWriteAckMsg{15},
       NqReadMsg{16},
-      NqReadReplyMsg{17, ts, Value{3}},
+      NqReadReplyMsg{17, ts, kVal3},
       mux,
   };
 }

@@ -18,7 +18,8 @@ Value Val(const std::string& text) { return Value(text.begin(), text.end()); }
 TEST(Mailbox, PushPopFifo) {
   Mailbox mailbox;
   for (int i = 0; i < 10; ++i) {
-    mailbox.Push(MailItem{static_cast<NodeId>(i), Bytes{(std::uint8_t)i}, {}});
+    mailbox.Push(
+        MailItem{static_cast<NodeId>(i), Frame(Bytes{(std::uint8_t)i}), {}});
   }
   for (int i = 0; i < 10; ++i) {
     auto item = mailbox.Pop();

@@ -73,7 +73,8 @@ TEST(TraceOrder, DetectsForgedOutOfOrderTrace) {
   read_send.kind = TraceKind::kSend;
   read_send.src = client;
   read_send.dst = server;
-  read_send.frame = EncodeMessage(Message(ReadMsg{.label = 1}));
+  read_send.SetPayload(std::make_shared<const Bytes>(
+      EncodeMessage(Message(ReadMsg{.label = 1}))));
   events.push_back(read_send);
 
   auto report = CheckReadMessageOrder(events, {client}, {server});
@@ -91,15 +92,16 @@ TEST(TraceOrder, DetectsReadBeforeFlushAck) {
   flush_send.kind = TraceKind::kSend;
   flush_send.src = client;
   flush_send.dst = server;
-  flush_send.frame =
-      EncodeMessage(Message(FlushMsg{.label = 1, .scope = OpScope::kRead}));
+  flush_send.SetPayload(std::make_shared<const Bytes>(
+      EncodeMessage(Message(FlushMsg{.label = 1, .scope = OpScope::kRead}))));
   events.push_back(flush_send);
   TraceEvent read_send;
   read_send.time = 2;
   read_send.kind = TraceKind::kSend;
   read_send.src = client;
   read_send.dst = server;
-  read_send.frame = EncodeMessage(Message(ReadMsg{.label = 1}));
+  read_send.SetPayload(std::make_shared<const Bytes>(
+      EncodeMessage(Message(ReadMsg{.label = 1}))));
   events.push_back(read_send);
 
   auto report = CheckReadMessageOrder(events, {client}, {server});

@@ -25,7 +25,7 @@ TEST(WriteOrder, PhasesAppearInOrderPerChannel) {
   std::map<NodeId, std::vector<std::string>> sequence;
   for (const TraceEvent& event : deployment.world().trace().events()) {
     if (event.kind != TraceKind::kSend || event.src != client) continue;
-    auto decoded = DecodeMessage(event.frame);
+    auto decoded = DecodeMessage(event.frame());
     if (!decoded.ok()) continue;
     const std::string name = MessageTypeName(decoded.value());
     if (name == "FLUSH" || name == "GET_TS" || name == "WRITE") {
@@ -56,7 +56,7 @@ TEST(WriteOrder, WriteTimestampDominatesCollectedReplies) {
   int ts_replies = 0;
   for (const TraceEvent& event : deployment.world().trace().events()) {
     if (event.kind != TraceKind::kDeliver || event.dst != client) continue;
-    auto decoded = DecodeMessage(event.frame);
+    auto decoded = DecodeMessage(event.frame());
     if (!decoded.ok()) continue;
     if (const auto* reply = std::get_if<TsReplyMsg>(&decoded.value())) {
       ++ts_replies;
@@ -79,7 +79,7 @@ TEST(WriteOrder, ReadNeverSendsWritePhaseMessages) {
   const NodeId client = deployment.client_node(0);
   for (const TraceEvent& event : deployment.world().trace().events()) {
     if (event.kind != TraceKind::kSend || event.src != client) continue;
-    auto decoded = DecodeMessage(event.frame);
+    auto decoded = DecodeMessage(event.frame());
     if (!decoded.ok()) continue;
     const std::string name = MessageTypeName(decoded.value());
     EXPECT_NE(name, "GET_TS");
