@@ -54,5 +54,36 @@ int main(int argc, char** argv) {
   Row("%s", "\nexpected shape: hundreds of runs/s unsanitized (tens under "
             "ASan); violations only in the sub-resilience row; vacuous "
             "fraction < 10%.");
+
+  // E11 arm: the same default campaign swept over worker counts. The
+  // sims are independent, so runs/s should scale near-linearly until
+  // the core count; campaign output is identical at every jobs value
+  // (pinned by the fuzz parallel determinism test), so this row only
+  // measures wall-clock.
+  Header("E11", "parallel sweep engine: campaign throughput vs --jobs");
+  Row("%-8s | %-10s %-10s", "jobs", "runs/s", "speedup");
+  double jobs1_rate = 0.0;
+  for (const std::size_t jobs : {1u, 2u, 4u, 8u}) {
+    CampaignOptions options;
+    options.seed = 1;
+    options.runs = report.smoke() ? 30 : 150;
+    options.do_shrink = false;
+    options.jobs = jobs;
+    const auto start = std::chrono::steady_clock::now();
+    const CampaignResult result = RunCampaign(options);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    const double rate =
+        static_cast<double>(result.runs_executed) / elapsed.count();
+    if (jobs == 1) jobs1_rate = rate;
+    const double speedup = jobs1_rate > 0 ? rate / jobs1_rate : 0.0;
+    Row("%-8zu | %-10.0f %-10.2f", jobs, rate, speedup);
+    report.Metric("jobs" + std::to_string(jobs) + ".runs_per_sec", rate,
+                  "runs/s");
+    if (jobs == 8) report.Metric("speedup.jobs8_over_jobs1", speedup, "x");
+  }
+  Row("%s", "\nexpected shape: speedup near-linear up to the machine's "
+            "core count, flat beyond it (single-core runners report ~1.0 "
+            "throughout).");
   return report.Flush() ? 0 : 1;
 }

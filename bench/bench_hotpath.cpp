@@ -17,8 +17,10 @@
 
 #include "bench_json.hpp"
 #include "bench_util.hpp"
+#include "common/buffer_pool.hpp"
 #include "core/deployment.hpp"
 #include "net/message.hpp"
+#include "sim/world.hpp"
 
 namespace {
 
@@ -116,6 +118,54 @@ void RunOps(JsonReport& report, std::uint64_t ops) {
   report.Metric("hotpath.frames_per_sec", frames_per_sec, "frames/s");
 }
 
+/// Token-ring echo automaton for the raw scheduler microbench: every
+/// delivered frame is immediately re-sent to the next node, so each
+/// processed event is exactly one calendar-queue push + pop + dispatch
+/// with a live pooled frame.
+class EchoRing final : public Automaton {
+ public:
+  EchoRing(NodeId ring_size, bool seeds_token)
+      : ring_size_(ring_size), seeds_token_(seeds_token) {}
+
+  void OnStart(IEndpoint& endpoint) override {
+    if (seeds_token_) {
+      endpoint.Send((endpoint.self() + 1) % ring_size_, Bytes{0x42});
+    }
+  }
+
+  void OnFrame(NodeId /*from*/, BytesView frame,
+               IEndpoint& endpoint) override {
+    Bytes out = FramePool().Acquire();
+    out.assign(frame.begin(), frame.end());
+    endpoint.Send((endpoint.self() + 1) % ring_size_, std::move(out));
+  }
+
+ private:
+  NodeId ring_size_;
+  bool seeds_token_;
+};
+
+/// Raw event-loop throughput: n=8 ring, 4 tokens in flight, no protocol
+/// logic — sim.events_per_sec isolates the scheduler (queue + channel
+/// table + dispatch) from quorum work, which is what the calendar-queue
+/// overhaul is judged against.
+void RunSimEvents(JsonReport& report, std::uint64_t events) {
+  World world(World::Options{7, nullptr});
+  constexpr NodeId kRing = 8;
+  for (NodeId i = 0; i < kRing; ++i) {
+    world.AddNode(std::make_unique<EchoRing>(kRing, i < 4));
+  }
+  world.Run(512);  // warm up: frame pool, channel table, bucket ring
+
+  const double t0 = Now();
+  const std::uint64_t processed = world.Run(events);
+  const double elapsed = Now() - t0;
+  const double events_per_sec = static_cast<double>(processed) / elapsed;
+
+  Row("%-26s %12.0f", "sim events/sec", events_per_sec);
+  report.Metric("sim.events_per_sec", events_per_sec, "events/s");
+}
+
 /// Pure codec cost: encode + decode of a representative quorum message
 /// (ReplyMsg with a full old_vals window), no sim in the loop.
 void RunCodec(JsonReport& report, std::uint64_t iters) {
@@ -168,11 +218,13 @@ int main(int argc, char** argv) {
   JsonReport report("hotpath", ParseBenchArgs(argc, argv));
   const std::uint64_t ops = report.smoke() ? 100 : 2000;
   const std::uint64_t codec_iters = report.smoke() ? 20'000 : 500'000;
+  const std::uint64_t sim_events = report.smoke() ? 200'000 : 2'000'000;
 
   Header("E10 (hot path)",
          "allocation count + frame throughput on the E2 workload shape "
          "(n=6, f=1, clean run, sequential write+read pairs)");
   RunOps(report, ops);
+  RunSimEvents(report, sim_events);
   RunCodec(report, codec_iters);
   return report.Flush() ? 0 : 1;
 }

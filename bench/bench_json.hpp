@@ -4,13 +4,18 @@
 //   --json <path>   write the metrics recorded via JsonReport::Metric to
 //                   <path> as a small stable JSON document (the BENCH_*.json
 //                   trajectory files are produced this way);
-//   --smoke         reduced iteration counts for CI smoke runs.
+//   --smoke         reduced iteration counts for CI smoke runs;
+//   --jobs N        worker threads for benches whose sweeps run
+//                   independent sims (0 = one per hardware core).
+//                   Metrics are identical for every N.
 //
 // The JSON is deliberately timestamp-free so artifacts diff cleanly;
 // provenance (commit, date) lives in git history / CI metadata.
 #pragma once
 
+#include <cstddef>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -22,6 +27,7 @@ namespace sbft::bench {
 struct BenchArgs {
   std::string json_path;  // empty: no JSON output
   bool smoke = false;
+  std::size_t jobs = 1;   // 0 = one per hardware core
 };
 
 inline BenchArgs ParseBenchArgs(int argc, char** argv) {
@@ -31,6 +37,9 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
       args.json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       args.smoke = true;
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      args.jobs = static_cast<std::size_t>(
+          std::strtoull(argv[++i], nullptr, 10));
     }
   }
   return args;
@@ -71,6 +80,7 @@ class JsonReport {
   }
 
   [[nodiscard]] bool smoke() const { return args_.smoke; }
+  [[nodiscard]] std::size_t jobs() const { return args_.jobs; }
 
  private:
   struct Row {

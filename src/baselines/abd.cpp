@@ -33,7 +33,15 @@ void AbdServer::CorruptState(Rng& rng) {
 }
 
 AbdClient::AbdClient(std::vector<NodeId> servers, std::uint32_t client_id)
-    : servers_(std::move(servers)), client_id_(client_id) {}
+    : servers_(std::move(servers)), client_id_(client_id) {
+  const std::size_t n = servers_.size();
+  collected_ts_.resize(n);
+  collected_bits_.assign(n, 0);
+  write_acks_.assign(n, 0);
+  read_ts_.resize(n);
+  read_vals_.resize(n);
+  read_bits_.assign(n, 0);
+}
 
 void AbdClient::OnStart(IEndpoint& endpoint) { endpoint_ = &endpoint; }
 
@@ -47,7 +55,8 @@ void AbdClient::StartWrite(Value value, std::function<void(bool)> callback) {
   SBFT_ASSERT(endpoint_ != nullptr && idle());
   write_value_ = std::move(value);
   write_callback_ = std::move(callback);
-  collected_ts_.clear();
+  std::fill(collected_bits_.begin(), collected_bits_.end(), std::uint8_t{0});
+  collected_count_ = 0;
   phase_ = Phase::kGetTs;
   ++rid_;
   endpoint_->Broadcast(servers_, EncodeMessage(Message(AbdGetTsMsg{rid_})));
@@ -57,7 +66,8 @@ void AbdClient::StartRead(
     std::function<void(const AbdReadOutcome&)> callback) {
   SBFT_ASSERT(endpoint_ != nullptr && idle());
   read_callback_ = std::move(callback);
-  read_replies_.clear();
+  std::fill(read_bits_.begin(), read_bits_.end(), std::uint8_t{0});
+  read_count_ = 0;
   phase_ = Phase::kRead;
   ++rid_;
   endpoint_->Broadcast(servers_, EncodeMessage(Message(AbdReadMsg{rid_})));
@@ -72,10 +82,16 @@ void AbdClient::OnFrame(NodeId from, BytesView frame, IEndpoint&) {
 
   if (const auto* m = std::get_if<AbdTsReplyMsg>(&message)) {
     if (phase_ != Phase::kGetTs || m->rid != rid_) return;
-    collected_ts_.emplace(*index, m->ts);
-    if (collected_ts_.size() < Majority()) return;
+    if (!collected_bits_[*index]) {  // first reply per server wins
+      collected_bits_[*index] = 1;
+      collected_ts_[*index] = m->ts;
+      ++collected_count_;
+    }
+    if (collected_count_ < Majority()) return;
     UnboundedTs max_ts;
-    for (const auto& [idx, ts] : collected_ts_) max_ts = std::max(max_ts, ts);
+    for (std::size_t i = 0; i < collected_bits_.size(); ++i) {
+      if (collected_bits_[i]) max_ts = std::max(max_ts, collected_ts_[i]);
+    }
     // Saturating increment: documents that even an overflow guard cannot
     // save the protocol once corruption plants a near-maximal seq.
     UnboundedTs new_ts{max_ts.seq == std::numeric_limits<std::uint64_t>::max()
@@ -83,7 +99,8 @@ void AbdClient::OnFrame(NodeId from, BytesView frame, IEndpoint&) {
                            : max_ts.seq + 1,
                        client_id_};
     phase_ = Phase::kWrite;
-    write_acks_.clear();
+    std::fill(write_acks_.begin(), write_acks_.end(), std::uint8_t{0});
+    write_ack_count_ = 0;
     // write_value_ is a stable member, so the view inside AbdWriteMsg is
     // valid for the duration of the encode.
     endpoint_->Broadcast(
@@ -91,8 +108,11 @@ void AbdClient::OnFrame(NodeId from, BytesView frame, IEndpoint&) {
                                                     write_value_})));
   } else if (const auto* m = std::get_if<AbdWriteAckMsg>(&message)) {
     if (phase_ != Phase::kWrite || m->rid != rid_) return;
-    write_acks_.insert(*index);
-    if (write_acks_.size() >= Majority()) {
+    if (!write_acks_[*index]) {
+      write_acks_[*index] = 1;
+      ++write_ack_count_;
+    }
+    if (write_ack_count_ >= Majority()) {
       phase_ = Phase::kIdle;
       if (write_callback_) {
         auto callback = std::move(write_callback_);
@@ -102,14 +122,20 @@ void AbdClient::OnFrame(NodeId from, BytesView frame, IEndpoint&) {
     }
   } else if (const auto* m = std::get_if<AbdReadReplyMsg>(&message)) {
     if (phase_ != Phase::kRead || m->rid != rid_) return;
-    read_replies_.emplace(*index, std::make_pair(m->ts, ToBytes(m->value)));
-    if (read_replies_.size() >= Majority()) {
+    if (!read_bits_[*index]) {
+      read_bits_[*index] = 1;
+      read_ts_[*index] = m->ts;
+      // In-place assign reuses the slot's Bytes capacity across reads.
+      read_vals_[*index].assign(m->value.begin(), m->value.end());
+      ++read_count_;
+    }
+    if (read_count_ >= Majority()) {
       AbdReadOutcome outcome;
       outcome.ok = true;
-      for (const auto& [idx, reply] : read_replies_) {
-        if (reply.first >= outcome.ts) {
-          outcome.ts = reply.first;
-          outcome.value = reply.second;
+      for (std::size_t i = 0; i < read_bits_.size(); ++i) {
+        if (read_bits_[i] && read_ts_[i] >= outcome.ts) {
+          outcome.ts = read_ts_[i];
+          outcome.value = read_vals_[i];
         }
       }
       phase_ = Phase::kIdle;

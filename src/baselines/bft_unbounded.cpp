@@ -52,6 +52,13 @@ BuClient::BuClient(std::vector<NodeId> servers, std::uint32_t f,
                    std::uint32_t client_id)
     : servers_(std::move(servers)), f_(f), client_id_(client_id) {
   SBFT_ASSERT(servers_.size() >= 3 * static_cast<std::size_t>(f) + 1);
+  const std::size_t n = servers_.size();
+  collected_ts_.resize(n);
+  collected_bits_.assign(n, 0);
+  write_acks_.assign(n, 0);
+  read_ts_.resize(n);
+  read_vals_.resize(n);
+  read_bits_.assign(n, 0);
 }
 
 void BuClient::OnStart(IEndpoint& endpoint) { endpoint_ = &endpoint; }
@@ -66,7 +73,8 @@ void BuClient::StartWrite(Value value, std::function<void(bool)> callback) {
   SBFT_ASSERT(endpoint_ != nullptr && idle());
   write_value_ = std::move(value);
   write_callback_ = std::move(callback);
-  collected_ts_.clear();
+  std::fill(collected_bits_.begin(), collected_bits_.end(), std::uint8_t{0});
+  collected_count_ = 0;
   phase_ = Phase::kGetTs;
   ++rid_;
   endpoint_->Broadcast(servers_, EncodeMessage(Message(BuGetTsMsg{rid_})));
@@ -75,7 +83,8 @@ void BuClient::StartWrite(Value value, std::function<void(bool)> callback) {
 void BuClient::StartRead(std::function<void(const BuReadOutcome&)> callback) {
   SBFT_ASSERT(endpoint_ != nullptr && idle());
   read_callback_ = std::move(callback);
-  read_replies_.clear();
+  std::fill(read_bits_.begin(), read_bits_.end(), std::uint8_t{0});
+  read_count_ = 0;
   phase_ = Phase::kRead;
   ++rid_;
   endpoint_->Broadcast(servers_, EncodeMessage(Message(BuReadMsg{rid_})));
@@ -90,8 +99,12 @@ void BuClient::OnFrame(NodeId from, BytesView frame, IEndpoint&) {
 
   if (const auto* m = std::get_if<BuTsReplyMsg>(&message)) {
     if (phase_ != Phase::kGetTs || m->rid != rid_) return;
-    collected_ts_.emplace(*index, m->ts);
-    if (collected_ts_.size() < Quorum()) return;
+    if (!collected_bits_[*index]) {  // first reply per server wins
+      collected_bits_[*index] = 1;
+      collected_ts_[*index] = m->ts;
+      ++collected_count_;
+    }
+    if (collected_count_ < Quorum()) return;
     // Mask Byzantine inflation: up to f of the reported timestamps may
     // be arbitrarily large lies, so advance from the (f+1)-th largest
     // (standard in BFT storage; cf. non-skipping timestamps). This
@@ -100,8 +113,10 @@ void BuClient::OnFrame(NodeId from, BytesView frame, IEndpoint&) {
     // timestamp then saturates and the register never recovers, which
     // is the failure mode experiment E5 contrasts with bounded labels.
     std::vector<UnboundedTs> sorted;
-    sorted.reserve(collected_ts_.size());
-    for (const auto& [idx, ts] : collected_ts_) sorted.push_back(ts);
+    sorted.reserve(collected_count_);
+    for (std::size_t i = 0; i < collected_bits_.size(); ++i) {
+      if (collected_bits_[i]) sorted.push_back(collected_ts_[i]);
+    }
     std::sort(sorted.begin(), sorted.end(),
               [](const UnboundedTs& a, const UnboundedTs& b) { return b < a; });
     const UnboundedTs base = sorted[f_];
@@ -110,14 +125,18 @@ void BuClient::OnFrame(NodeId from, BytesView frame, IEndpoint&) {
                            : base.seq + 1,
                        client_id_};
     phase_ = Phase::kWrite;
-    write_acks_.clear();
+    std::fill(write_acks_.begin(), write_acks_.end(), std::uint8_t{0});
+    write_ack_count_ = 0;
     endpoint_->Broadcast(
         servers_, EncodeMessage(Message(BuWriteMsg{rid_, new_ts,
                                                    write_value_})));
   } else if (const auto* m = std::get_if<BuWriteAckMsg>(&message)) {
     if (phase_ != Phase::kWrite || m->rid != rid_) return;
-    write_acks_.insert(*index);
-    if (write_acks_.size() >= Quorum()) {
+    if (!write_acks_[*index]) {
+      write_acks_[*index] = 1;
+      ++write_ack_count_;
+    }
+    if (write_ack_count_ >= Quorum()) {
       phase_ = Phase::kIdle;
       if (write_callback_) {
         auto callback = std::move(write_callback_);
@@ -127,20 +146,30 @@ void BuClient::OnFrame(NodeId from, BytesView frame, IEndpoint&) {
     }
   } else if (const auto* m = std::get_if<BuReadReplyMsg>(&message)) {
     if (phase_ != Phase::kRead || m->rid != rid_) return;
-    read_replies_.emplace(*index, std::make_pair(m->ts, ToBytes(m->value)));
-    if (read_replies_.size() >= Quorum()) {
+    if (!read_bits_[*index]) {
+      read_bits_[*index] = 1;
+      read_ts_[*index] = m->ts;
+      // In-place assign reuses the slot's Bytes capacity across reads.
+      read_vals_[*index].assign(m->value.begin(), m->value.end());
+      ++read_count_;
+    }
+    if (read_count_ >= Quorum()) {
       // Certify: identical (ts, value) reported by >= f+1 servers; take
       // the maximal certified pair.
       BuReadOutcome outcome;
-      for (const auto& [idx, reply] : read_replies_) {
+      for (std::size_t i = 0; i < read_bits_.size(); ++i) {
+        if (!read_bits_[i]) continue;
         std::size_t witnesses = 0;
-        for (const auto& [idx2, reply2] : read_replies_) {
-          if (reply2 == reply) ++witnesses;
+        for (std::size_t j = 0; j < read_bits_.size(); ++j) {
+          if (read_bits_[j] && read_ts_[j] == read_ts_[i] &&
+              read_vals_[j] == read_vals_[i]) {
+            ++witnesses;
+          }
         }
-        if (witnesses >= f_ + 1 && (!outcome.ok || outcome.ts < reply.first)) {
+        if (witnesses >= f_ + 1 && (!outcome.ok || outcome.ts < read_ts_[i])) {
           outcome.ok = true;
-          outcome.ts = reply.first;
-          outcome.value = reply.second;
+          outcome.ts = read_ts_[i];
+          outcome.value = read_vals_[i];
         }
       }
       phase_ = Phase::kIdle;

@@ -13,10 +13,9 @@
 // labels, which *can* always be dominated by next().
 #pragma once
 
+#include <cstdint>
 #include <functional>
-#include <map>
 #include <optional>
-#include <set>
 #include <vector>
 
 #include "labels/unbounded_timestamp.hpp"
@@ -90,9 +89,18 @@ class BuClient : public Automaton {
   Value write_value_;
   std::function<void(bool)> write_callback_;
   std::function<void(const BuReadOutcome&)> read_callback_;
-  std::map<std::size_t, UnboundedTs> collected_ts_;
-  std::set<std::size_t> write_acks_;
-  std::map<std::size_t, std::pair<UnboundedTs, Value>> read_replies_;
+  // Index-dense per-server state (vectors sized n + presence bits);
+  // ascending-index iteration matches the ordered containers this
+  // replaced, so decisions are unchanged. First reply per server wins.
+  std::vector<UnboundedTs> collected_ts_;
+  std::vector<std::uint8_t> collected_bits_;
+  std::uint32_t collected_count_ = 0;
+  std::vector<std::uint8_t> write_acks_;
+  std::uint32_t write_ack_count_ = 0;
+  std::vector<UnboundedTs> read_ts_;
+  std::vector<Value> read_vals_;
+  std::vector<std::uint8_t> read_bits_;
+  std::uint32_t read_count_ = 0;
 };
 
 }  // namespace sbft

@@ -58,6 +58,13 @@ NqClient::NqClient(std::vector<NodeId> servers, std::uint32_t f,
       labels_(k),
       client_id_(client_id) {
   last_write_ts_ = Timestamp{labels_.Initial(), client_id_};
+  const std::size_t n = servers_.size();
+  collected_ts_.resize(n);
+  collected_bits_.assign(n, 0);
+  write_replies_.assign(n, 0);
+  read_ts_.resize(n);
+  read_vals_.resize(n);
+  read_bits_.assign(n, 0);
 }
 
 void NqClient::OnStart(IEndpoint& endpoint) { endpoint_ = &endpoint; }
@@ -72,7 +79,8 @@ void NqClient::StartWrite(Value value, std::function<void(bool)> callback) {
   SBFT_ASSERT(endpoint_ != nullptr && idle());
   write_value_ = std::move(value);
   write_callback_ = std::move(callback);
-  collected_ts_.clear();
+  std::fill(collected_bits_.begin(), collected_bits_.end(), std::uint8_t{0});
+  collected_count_ = 0;
   phase_ = Phase::kGetTs;
   ++rid_;
   endpoint_->Broadcast(servers_, EncodeMessage(Message(NqGetTsMsg{rid_})));
@@ -81,7 +89,8 @@ void NqClient::StartWrite(Value value, std::function<void(bool)> callback) {
 void NqClient::StartRead(std::function<void(const NqReadOutcome&)> callback) {
   SBFT_ASSERT(endpoint_ != nullptr && idle());
   read_callback_ = std::move(callback);
-  read_replies_.clear();
+  std::fill(read_bits_.begin(), read_bits_.end(), std::uint8_t{0});
+  read_count_ = 0;
   phase_ = Phase::kRead;
   ++rid_;
   endpoint_->Broadcast(servers_, EncodeMessage(Message(NqReadMsg{rid_})));
@@ -96,22 +105,32 @@ void NqClient::OnFrame(NodeId from, BytesView frame, IEndpoint&) {
 
   if (const auto* m = std::get_if<NqTsReplyMsg>(&message)) {
     if (phase_ != Phase::kGetTs || m->rid != rid_) return;
-    collected_ts_.emplace(*index,
-                          Timestamp{labels_.Sanitize(m->ts.label),
-                                    m->ts.writer_id});
-    if (collected_ts_.size() < Quorum()) return;
+    if (!collected_bits_[*index]) {  // first reply per server wins
+      collected_bits_[*index] = 1;
+      collected_ts_[*index] =
+          Timestamp{labels_.Sanitize(m->ts.label), m->ts.writer_id};
+      ++collected_count_;
+    }
+    if (collected_count_ < Quorum()) return;
     std::vector<Label> inputs;
-    for (const auto& [idx, ts] : collected_ts_) inputs.push_back(ts.label);
+    inputs.reserve(collected_count_);
+    for (std::size_t i = 0; i < collected_bits_.size(); ++i) {
+      if (collected_bits_[i]) inputs.push_back(collected_ts_[i].label);
+    }
     last_write_ts_ = Timestamp{labels_.Next(inputs), client_id_};
     phase_ = Phase::kWrite;
-    write_replies_.clear();
+    std::fill(write_replies_.begin(), write_replies_.end(), std::uint8_t{0});
+    write_reply_count_ = 0;
     endpoint_->Broadcast(
         servers_, EncodeMessage(Message(NqWriteMsg{rid_, last_write_ts_,
                                                    write_value_})));
   } else if (const auto* m = std::get_if<NqWriteAckMsg>(&message)) {
     if (phase_ != Phase::kWrite || m->rid != rid_) return;
-    write_replies_.emplace(*index, true);
-    if (write_replies_.size() >= Quorum()) {
+    if (!write_replies_[*index]) {
+      write_replies_[*index] = 1;
+      ++write_reply_count_;
+    }
+    if (write_reply_count_ >= Quorum()) {
       phase_ = Phase::kIdle;
       if (write_callback_) {
         auto callback = std::move(write_callback_);
@@ -121,11 +140,15 @@ void NqClient::OnFrame(NodeId from, BytesView frame, IEndpoint&) {
     }
   } else if (const auto* m = std::get_if<NqReadReplyMsg>(&message)) {
     if (phase_ != Phase::kRead || m->rid != rid_) return;
-    read_replies_.emplace(
-        *index, std::make_pair(Timestamp{labels_.Sanitize(m->ts.label),
-                                         m->ts.writer_id},
-                               ToBytes(m->value)));
-    if (read_replies_.size() >= Quorum()) DecideRead();
+    if (!read_bits_[*index]) {
+      read_bits_[*index] = 1;
+      read_ts_[*index] =
+          Timestamp{labels_.Sanitize(m->ts.label), m->ts.writer_id};
+      // In-place assign reuses the slot's Bytes capacity across reads.
+      read_vals_[*index].assign(m->value.begin(), m->value.end());
+      ++read_count_;
+    }
+    if (read_count_ >= Quorum()) DecideRead();
   }
 }
 
@@ -134,24 +157,24 @@ void NqClient::DecideRead() {
   // multiset — plurality vote, ties broken by canonical representation
   // order. (Theorem 1 shows *no* such function can be correct with
   // n <= 5f; this one is as good as any.)
-  std::map<std::size_t, std::size_t> count_by_index;
   NqReadOutcome outcome;
   std::size_t best_count = 0;
   std::optional<Timestamp> best_ts;
-  for (const auto& [idx, reply] : read_replies_) {
+  for (std::size_t i = 0; i < read_bits_.size(); ++i) {
+    if (!read_bits_[i]) continue;
     std::size_t count = 0;
-    for (const auto& [idx2, reply2] : read_replies_) {
-      if (reply2.first == reply.first) ++count;
+    for (std::size_t j = 0; j < read_bits_.size(); ++j) {
+      if (read_bits_[j] && read_ts_[j] == read_ts_[i]) ++count;
     }
     const bool better =
         count > best_count ||
         (count == best_count &&
-         (!best_ts || best_ts->CompareRepr(reply.first) < 0));
+         (!best_ts || best_ts->CompareRepr(read_ts_[i]) < 0));
     if (better) {
       best_count = count;
-      best_ts = reply.first;
-      outcome.value = reply.second;
-      outcome.ts = reply.first;
+      best_ts = read_ts_[i];
+      outcome.value = read_vals_[i];
+      outcome.ts = read_ts_[i];
     }
   }
   outcome.ok = best_ts.has_value();

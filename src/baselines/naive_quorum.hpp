@@ -9,9 +9,9 @@
 // replaying Byzantine server) and exhibits the regularity violation.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <optional>
 #include <vector>
 
@@ -95,9 +95,18 @@ class NqClient : public Automaton {
   Timestamp last_write_ts_;
   std::function<void(bool)> write_callback_;
   std::function<void(const NqReadOutcome&)> read_callback_;
-  std::map<std::size_t, Timestamp> collected_ts_;
-  std::map<std::size_t, bool> write_replies_;
-  std::map<std::size_t, std::pair<Timestamp, Value>> read_replies_;
+  // Index-dense per-server state (vectors sized n + presence bits);
+  // ascending-index iteration matches the ordered containers this
+  // replaced, so decisions are unchanged. First reply per server wins.
+  std::vector<Timestamp> collected_ts_;
+  std::vector<std::uint8_t> collected_bits_;
+  std::uint32_t collected_count_ = 0;
+  std::vector<std::uint8_t> write_replies_;
+  std::uint32_t write_reply_count_ = 0;
+  std::vector<Timestamp> read_ts_;
+  std::vector<Value> read_vals_;
+  std::vector<std::uint8_t> read_bits_;
+  std::uint32_t read_count_ = 0;
 };
 
 }  // namespace sbft

@@ -5,6 +5,7 @@
 // verifying signatures).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <string_view>
@@ -42,5 +43,15 @@ constexpr std::uint64_t HashCombine(std::uint64_t h, std::uint64_t v) {
   }
   return h;
 }
+
+/// Hash functor keying unordered containers by a byte string (std::hash
+/// has no std::vector<std::uint8_t> specialization). Deterministic
+/// across runs, unlike address-seeded hashing, so checker diagnostics
+/// stay reproducible.
+struct BytesHash {
+  std::size_t operator()(std::span<const std::uint8_t> data) const noexcept {
+    return static_cast<std::size_t>(Fnv1a(data));
+  }
+};
 
 }  // namespace sbft

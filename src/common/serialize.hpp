@@ -58,14 +58,13 @@ class BufWriter {
   void Put(T value) {
     using U = detail::WireCarrierT<T>;
     auto u = static_cast<U>(value);
-    std::uint8_t le[sizeof(U)];
+    // push_back, not resize+memcpy: pooled frame buffers retain their
+    // capacity across encodes, so after warmup every byte lands on the
+    // inline fast path instead of an out-of-line vector-growth call.
     for (std::size_t i = 0; i < sizeof(U); ++i) {
-      le[i] = static_cast<std::uint8_t>(u & 0xFF);
+      buf_.push_back(static_cast<std::uint8_t>(u & 0xFF));
       u = static_cast<U>(u >> 8);
     }
-    const std::size_t at = buf_.size();
-    buf_.resize(at + sizeof(U));
-    std::memcpy(buf_.data() + at, le, sizeof(U));
   }
 
   void PutBytes(BytesView data) {
@@ -78,10 +77,23 @@ class BufWriter {
                        s.size()));
   }
 
-  template <typename T, typename Fn>
-  void PutVector(const std::vector<T>& items, Fn&& encode_one) {
+  /// Works with any sized, iterable container (std::vector,
+  /// SmallVector, ...).
+  template <typename C, typename Fn>
+  void PutVector(const C& items, Fn&& encode_one) {
     Put<std::uint32_t>(static_cast<std::uint32_t>(items.size()));
-    for (const T& item : items) encode_one(*this, item);
+    for (const auto& item : items) encode_one(*this, item);
+  }
+
+  /// Length-prefixed run of little-endian integers — byte-identical to
+  /// PutVector over Put<T>, spelled as a fully inlinable loop (no
+  /// per-element callable indirection). Used for label antisting sets,
+  /// the most-encoded container in the protocol.
+  template <typename T, typename C>
+  void PutIntegralRun(const C& items) {
+    static_assert(std::is_integral_v<T>);
+    Put<std::uint32_t>(static_cast<std::uint32_t>(items.size()));
+    for (const T item : items) Put<T>(item);
   }
 
   const Bytes& data() const { return buf_; }
@@ -148,6 +160,51 @@ class BufReader {
       out.push_back(decode_one(*this));
     }
     return out;
+  }
+
+  /// GetVector into a caller-supplied container (anything with clear/
+  /// reserve/push_back) — lets decoders fill inline-storage containers
+  /// without a std::vector round trip.
+  template <typename C, typename Fn>
+  void GetInto(C& out, Fn&& decode_one) {
+    out.clear();
+    const auto count = Get<std::uint32_t>();
+    if (failed_ || count > kMaxWireElements) {
+      failed_ = true;
+      return;
+    }
+    out.reserve(std::min<std::size_t>(count, remaining()));
+    for (std::uint32_t i = 0; i < count && !failed_; ++i) {
+      out.push_back(decode_one(*this));
+    }
+  }
+
+  /// Counterpart of PutIntegralRun: decodes a length-prefixed run of
+  /// little-endian integers with one bounds check for the whole run
+  /// instead of one per element. Accepts the same frames GetInto over
+  /// Get<T> would, and rejects the same ones (a count that overruns the
+  /// buffer fails before any element is materialized).
+  template <typename T, typename C>
+  void GetIntegralRun(C& out) {
+    static_assert(std::is_integral_v<T>);
+    out.clear();
+    const auto count = Get<std::uint32_t>();
+    if (failed_ || count > kMaxWireElements ||
+        !Need(static_cast<std::size_t>(count) * sizeof(T))) {
+      failed_ = true;
+      return;
+    }
+    out.resize(count);
+    const std::uint8_t* in = data_.data() + pos_;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      using U = std::make_unsigned_t<T>;
+      U u = 0;
+      for (std::size_t b = 0; b < sizeof(T); ++b) {
+        u |= static_cast<U>(static_cast<U>(*in++) << (8 * b));
+      }
+      out[i] = static_cast<T>(u);
+    }
+    pos_ += static_cast<std::size_t>(count) * sizeof(T);
   }
 
   /// True once any read ran past the buffer or a length prefix was

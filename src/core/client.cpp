@@ -17,18 +17,31 @@ RegisterClient::RegisterClient(ProtocolConfig config,
       write_pool_(servers_.size(), config.write_label_count) {
   config_.Validate();
   SBFT_ASSERT(servers_.size() == config_.n);
+  NodeId max_id = 0;
+  for (const NodeId server : servers_) max_id = std::max(max_id, server);
+  server_index_.assign(max_id + 1, kNoServer);
   for (std::size_t i = 0; i < servers_.size(); ++i) {
-    server_index_[servers_[i]] = i;
+    server_index_[servers_[i]] = static_cast<std::uint32_t>(i);
   }
+  const std::size_t n = servers_.size();
+  safe_.assign(n, 0);
+  collected_ts_.assign(n, Timestamp{});
+  collected_bits_.assign(n, 0);
+  write_replied_.assign(n, 0);
+  replies_.assign(n, VersionedValue{});
+  reply_bits_.assign(n, 0);
+  recent_vals_.assign(n, {});
+  recent_len_.assign(n, 0);
   last_write_ts_ = Timestamp{labels_.Initial(), client_id_};
 }
 
 void RegisterClient::OnStart(IEndpoint& endpoint) { endpoint_ = &endpoint; }
 
 std::optional<std::size_t> RegisterClient::ServerIndex(NodeId node) const {
-  auto it = server_index_.find(node);
-  if (it == server_index_.end()) return std::nullopt;
-  return it->second;
+  if (node >= server_index_.size() || server_index_[node] == kNoServer) {
+    return std::nullopt;
+  }
+  return server_index_[node];
 }
 
 void RegisterClient::OnFrame(NodeId from, BytesView frame, IEndpoint&) {
@@ -79,7 +92,8 @@ void RegisterClient::BeginFlush(OpScope scope) {
   ReadLabelPool& pool = PoolFor(scope);
   pool.SanitizeState();  // stabilizing discipline: clamp corrupted state
   op_label_ = MakeOpLabel(scope, pool.PickCandidate());
-  safe_.clear();
+  std::fill(safe_.begin(), safe_.end(), std::uint8_t{0});
+  safe_count_ = 0;
   phase_ = scope == OpScope::kRead ? Phase::kReadFlush : Phase::kWriteFlush;
 
   FlushMsg flush;
@@ -103,8 +117,9 @@ void RegisterClient::OnFlushAck(std::size_t server, const FlushAckMsg& msg) {
       msg.label != op_label_) {
     return;  // stale ack from a previous flush round
   }
-  const bool newly_safe = safe_.insert(server).second;
-  if (!newly_safe) return;
+  if (safe_[server]) return;  // already safe: nothing new
+  safe_[server] = 1;
+  ++safe_count_;
 
   switch (phase_) {
     case Phase::kWriteFlush:
@@ -132,7 +147,7 @@ void RegisterClient::OnFlushAck(std::size_t server, const FlushAckMsg& msg) {
 
 void RegisterClient::MaybeAdvanceAfterFlush() {
   if (phase_ != Phase::kWriteFlush && phase_ != Phase::kReadFlush) return;
-  if (safe_.size() < config_.Quorum()) return;
+  if (safe_count_ < config_.Quorum()) return;
   // Figure 3 line 06: every server still marked pending for this label
   // may yet deliver a stale reply that would be indistinguishable from a
   // fresh one. At most f such servers are tolerable — the WTsG witness
@@ -151,7 +166,9 @@ void RegisterClient::MaybeAdvanceAfterFlush() {
 void RegisterClient::AdvanceAfterFlush() {
   if (phase_ == Phase::kWriteFlush) {
     write_pool_.SetLast(PoolIndexOf(op_label_));
-    collected_ts_.clear();
+    std::fill(collected_bits_.begin(), collected_bits_.end(),
+              std::uint8_t{0});
+    collected_count_ = 0;
     phase_ = Phase::kGetTs;
     GetTsMsg get_ts;
     get_ts.op_label = op_label_;
@@ -161,14 +178,16 @@ void RegisterClient::AdvanceAfterFlush() {
     endpoint_->Broadcast(servers_, EncodeMessage(Message(get_ts)));
   } else {
     read_pool_.SetLast(PoolIndexOf(op_label_));
-    replies_.clear();
-    recent_vals_.clear();
+    std::fill(reply_bits_.begin(), reply_bits_.end(), std::uint8_t{0});
+    reply_count_ = 0;
+    std::fill(recent_len_.begin(), recent_len_.end(), 0u);
     phase_ = Phase::kRead;
     ReadMsg read;
     read.label = op_label_;
     std::vector<NodeId> targets;
-    targets.reserve(safe_.size());
-    for (std::size_t server : safe_) {
+    targets.reserve(safe_count_);
+    for (std::size_t server = 0; server < safe_.size(); ++server) {
+      if (!safe_[server]) continue;
       read_pool_.MarkPending(server, PoolIndexOf(op_label_));
       targets.push_back(servers_[server]);
     }
@@ -182,22 +201,28 @@ void RegisterClient::OnTsReply(std::size_t server, const TsReplyMsg& msg) {
   write_pool_.ClearPending(server, PoolIndexOf(msg.op_label));
   MaybeAdvanceAfterFlush();
   if (phase_ != Phase::kGetTs || msg.op_label != op_label_ ||
-      safe_.count(server) == 0) {
+      !safe_[server]) {
     stats_.stale_replies_ignored++;
     return;
   }
-  if (!collected_ts_.emplace(server, msg.ts).second) return;
-  if (collected_ts_.size() < config_.Quorum()) return;
+  if (collected_bits_[server]) return;
+  collected_bits_[server] = 1;
+  collected_ts_[server] = msg.ts;
+  ++collected_count_;
+  if (collected_count_ < config_.Quorum()) return;
 
   // Enough timestamps: compute the write timestamp with next() over the
   // collected labels (all sanitized inside Next()).
   std::vector<Label> inputs;
-  inputs.reserve(collected_ts_.size());
-  for (const auto& [idx, ts] : collected_ts_) inputs.push_back(ts.label);
+  inputs.reserve(collected_count_);
+  for (std::size_t i = 0; i < collected_bits_.size(); ++i) {
+    if (collected_bits_[i]) inputs.push_back(collected_ts_[i].label);
+  }
   last_write_ts_ = Timestamp{labels_.Next(inputs, config_.f), client_id_};
 
   phase_ = Phase::kWrite;
-  write_replied_.clear();
+  std::fill(write_replied_.begin(), write_replied_.end(), std::uint8_t{0});
+  write_replied_count_ = 0;
   ack_count_ = 0;
   WriteMsg write;
   write.value = write_value_;  // view of the member; encoded below
@@ -214,15 +239,17 @@ void RegisterClient::OnWriteReply(std::size_t server,
   write_pool_.ClearPending(server, PoolIndexOf(msg.op_label));
   MaybeAdvanceAfterFlush();
   if (phase_ != Phase::kWrite || msg.op_label != op_label_ ||
-      safe_.count(server) == 0) {
+      !safe_[server]) {
     stats_.stale_replies_ignored++;
     return;
   }
-  if (!write_replied_.insert(server).second) return;
+  if (write_replied_[server]) return;
+  write_replied_[server] = 1;
+  ++write_replied_count_;
   if (msg.ack) ++ack_count_;
 
   if (ack_count_ >= config_.WitnessThreshold() &&
-      write_replied_.size() >= config_.Quorum()) {
+      write_replied_count_ >= config_.Quorum()) {
     FinishWrite(OpStatus::kOk);
     return;
   }
@@ -234,7 +261,7 @@ void RegisterClient::OnWriteReply(std::size_t server,
   // Byzantine server inside the safe set can withhold its reply forever
   // (the paper's Lemma 1 covers only the single-writer case; see
   // DESIGN.md).
-  if (write_replied_.size() >= config_.Quorum()) {
+  if (write_replied_count_ >= config_.Quorum()) {
     RetryWrite();
   }
 }
@@ -273,28 +300,38 @@ void RegisterClient::OnReply(std::size_t server, const ReplyMsg& msg) {
   read_pool_.ClearPending(server, PoolIndexOf(msg.label));
   MaybeAdvanceAfterFlush();
   if (phase_ != Phase::kRead || msg.label != op_label_ ||
-      safe_.count(server) == 0) {
+      !safe_[server]) {
     stats_.stale_replies_ignored++;
     return;
   }
   // Keep the latest report per server (servers forward concurrent
   // writes, superseding their earlier reply). The reply's values are
-  // views into the frame — copy here, where they enter client state.
-  VersionedValue vv;
-  vv.value = ToBytes(msg.value);
+  // views into the frame — copied in place here, where they enter
+  // client state, reusing the slot's Bytes capacity.
+  VersionedValue& vv = replies_[server];
+  vv.value.assign(msg.value.begin(), msg.value.end());
   vv.ts = Timestamp{labels_.Sanitize(msg.ts.label), msg.ts.writer_id};
-  replies_[server] = std::move(vv);
-
-  auto& history = recent_vals_[server];
-  history.clear();
-  for (const WireVersioned& old : msg.old_vals) {
-    if (history.size() >= config_.history_window) break;  // clamp garbage
-    history.push_back(VersionedValue{
-        ToBytes(old.value),
-        Timestamp{labels_.Sanitize(old.ts.label), old.ts.writer_id}});
+  if (!reply_bits_[server]) {
+    reply_bits_[server] = 1;
+    ++reply_count_;
   }
 
-  if (replies_.size() >= config_.Quorum()) DecideRead();
+  auto& history = recent_vals_[server];
+  std::uint32_t len = 0;
+  for (const WireVersioned& old : msg.old_vals) {
+    if (len >= config_.history_window) break;  // clamp garbage
+    const Timestamp ts{labels_.Sanitize(old.ts.label), old.ts.writer_id};
+    if (len < history.size()) {
+      history[len].value.assign(old.value.begin(), old.value.end());
+      history[len].ts = ts;
+    } else {
+      history.push_back(VersionedValue{ToBytes(old.value), ts});
+    }
+    ++len;
+  }
+  recent_len_[server] = len;
+
+  if (reply_count_ >= config_.Quorum()) DecideRead();
 }
 
 void RegisterClient::DecideRead() {
@@ -305,15 +342,22 @@ void RegisterClient::DecideRead() {
   // have wrapped or what precedence cycles exist among historical
   // labels. At most one vertex can qualify (2*(2f+1) > n-f).
   Wtsg local(labels_.params());
-  for (const auto& [server, vv] : replies_) local.AddWitness(server, vv);
+  for (std::size_t server = 0; server < reply_bits_.size(); ++server) {
+    if (reply_bits_[server]) local.AddWitness(server, replies_[server]);
+  }
   const auto local_winner = local.FindWitnessed(config_.WitnessThreshold());
 
   // Union graph (Figure 2 line 15): fold in the old_vals histories so
   // values displaced by concurrent writes keep their witnesses.
   Wtsg unioned(labels_.params());
-  for (const auto& [server, vv] : replies_) unioned.AddWitness(server, vv);
-  for (const auto& [server, history] : recent_vals_) {
-    for (const VersionedValue& vv : history) unioned.AddWitness(server, vv);
+  for (std::size_t server = 0; server < reply_bits_.size(); ++server) {
+    if (reply_bits_[server]) unioned.AddWitness(server, replies_[server]);
+  }
+  for (std::size_t server = 0; server < reply_bits_.size(); ++server) {
+    if (!reply_bits_[server]) continue;
+    for (std::uint32_t i = 0; i < recent_len_[server]; ++i) {
+      unioned.AddWitness(server, recent_vals_[server][i]);
+    }
   }
 
   ReadOutcome outcome;
@@ -359,8 +403,10 @@ void RegisterClient::FinishRead(const ReadOutcome& outcome) {
   CompleteReadMsg complete;
   complete.label = op_label_;
   std::vector<NodeId> targets;
-  targets.reserve(safe_.size());
-  for (std::size_t server : safe_) targets.push_back(servers_[server]);
+  targets.reserve(safe_count_);
+  for (std::size_t server = 0; server < safe_.size(); ++server) {
+    if (safe_[server]) targets.push_back(servers_[server]);
+  }
   endpoint_->Broadcast(targets, EncodeMessage(Message(complete)));
 
   phase_ = Phase::kIdle;
@@ -391,11 +437,17 @@ void RegisterClient::CorruptState(Rng& rng) {
     // drivers do not wait forever (see DESIGN.md).
     const bool was_write = IsWritePhase();
     phase_ = Phase::kIdle;
-    safe_.clear();
-    collected_ts_.clear();
-    write_replied_.clear();
-    replies_.clear();
-    recent_vals_.clear();
+    std::fill(safe_.begin(), safe_.end(), std::uint8_t{0});
+    safe_count_ = 0;
+    std::fill(collected_bits_.begin(), collected_bits_.end(),
+              std::uint8_t{0});
+    collected_count_ = 0;
+    std::fill(write_replied_.begin(), write_replied_.end(),
+              std::uint8_t{0});
+    write_replied_count_ = 0;
+    std::fill(reply_bits_.begin(), reply_bits_.end(), std::uint8_t{0});
+    reply_count_ = 0;
+    std::fill(recent_len_.begin(), recent_len_.end(), 0u);
     if (was_write && write_callback_) {
       auto callback = std::move(write_callback_);
       write_callback_ = nullptr;

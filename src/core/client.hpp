@@ -24,9 +24,8 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <limits>
 #include <optional>
-#include <set>
 #include <vector>
 
 #include "core/config.hpp"
@@ -139,10 +138,14 @@ class RegisterClient : public Automaton {
   void FinishWrite(OpStatus status);
   void RetryWrite();
 
+  static constexpr std::uint32_t kNoServer =
+      std::numeric_limits<std::uint32_t>::max();
+
   ProtocolConfig config_;
   LabelingSystem labels_;
   std::vector<NodeId> servers_;
-  std::map<NodeId, std::size_t> server_index_;
+  /// NodeId -> server index (kNoServer when the id is not a server).
+  std::vector<std::uint32_t> server_index_;
   ClientId client_id_;
   IEndpoint* endpoint_ = nullptr;
 
@@ -152,21 +155,33 @@ class RegisterClient : public Automaton {
   std::uint32_t write_epoch_ = 0;
   Timestamp last_write_ts_;
 
-  // Current operation.
+  // Current operation. Per-server quorum state is index-dense (vectors
+  // sized n with presence bits), replacing the std::map/std::set
+  // bookkeeping: iteration stays in ascending server order — the order
+  // the ordered containers produced — so decisions are bit-identical,
+  // but the hot path stops allocating tree nodes. Value slots keep
+  // their Bytes capacity across operations.
   Phase phase_ = Phase::kIdle;
   OpLabel op_label_ = 0;
-  std::set<std::size_t> safe_;
+  std::vector<std::uint8_t> safe_;
+  std::uint32_t safe_count_ = 0;
   // write
   Value write_value_;
   WriteCallback write_callback_;
-  std::map<std::size_t, Timestamp> collected_ts_;
-  std::set<std::size_t> write_replied_;
+  std::vector<Timestamp> collected_ts_;
+  std::vector<std::uint8_t> collected_bits_;
+  std::uint32_t collected_count_ = 0;
+  std::vector<std::uint8_t> write_replied_;
+  std::uint32_t write_replied_count_ = 0;
   std::uint32_t ack_count_ = 0;
   std::uint32_t retries_ = 0;
   // read
   ReadCallback read_callback_;
-  std::map<std::size_t, VersionedValue> replies_;
-  std::map<std::size_t, std::vector<VersionedValue>> recent_vals_;
+  std::vector<VersionedValue> replies_;
+  std::vector<std::uint8_t> reply_bits_;
+  std::uint32_t reply_count_ = 0;
+  std::vector<std::vector<VersionedValue>> recent_vals_;
+  std::vector<std::uint32_t> recent_len_;  // logical length per server
 
   Stats stats_;
 };

@@ -1,13 +1,23 @@
 #include "fuzz/campaign.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <ostream>
+
+#include "sim/parallel.hpp"
 
 namespace sbft::fuzz {
 
 CampaignResult RunCampaign(const CampaignOptions& options) {
   CampaignResult result;
   Rng rng(options.seed);
+  const std::size_t jobs =
+      options.jobs == 0 ? HardwareJobs() : options.jobs;
+  // jobs == 1 degenerates to the sequential loop (batch of one, run
+  // inline): the parallel path must reproduce it bit for bit, because
+  // scenarios are generated from the campaign rng sequentially either
+  // way and outcomes are processed in run-index order.
+  const std::size_t batch_size = jobs <= 1 ? 1 : jobs * 4;
   const auto started = std::chrono::steady_clock::now();
   const auto out_of_time = [&] {
     if (options.budget_seconds <= 0.0) return false;
@@ -16,46 +26,64 @@ CampaignResult RunCampaign(const CampaignOptions& options) {
     return elapsed.count() >= options.budget_seconds;
   };
 
-  for (std::size_t i = 0; i < options.runs && !out_of_time(); ++i) {
-    Scenario scenario = GenerateScenario(rng, options.generator);
-    RunOutcome outcome = RunScenario(scenario);
-    result.runs_executed++;
-    if (!outcome.all_completed) result.stalled++;
-    if (outcome.checked_reads == 0) result.vacuous++;
-    if (options.out && options.verbose) {
-      *options.out << "[run " << i << "] " << scenario.Summary()
-                   << (outcome.violation() ? " VIOLATION" : " ok")
-                   << " (checked_reads=" << outcome.checked_reads
-                   << " aborted=" << outcome.reads_aborted << ")\n";
+  std::size_t next_run = 0;
+  while (next_run < options.runs && !out_of_time()) {
+    const std::size_t batch =
+        std::min(batch_size, options.runs - next_run);
+    std::vector<Scenario> scenarios;
+    scenarios.reserve(batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+      scenarios.push_back(GenerateScenario(rng, options.generator));
     }
-    if (!outcome.violation()) continue;
+    // The sims are independent and deterministic; ParallelMap collects
+    // outcomes by index, so everything below is jobs-invariant.
+    std::vector<RunOutcome> outcomes = ParallelMap<RunOutcome>(
+        batch, jobs,
+        [&scenarios](std::size_t b) { return RunScenario(scenarios[b]); });
 
-    ViolationRecord record;
-    record.original = scenario;
-    record.shrunk = scenario;
-    record.first_violation = outcome.report.violations.empty()
-                                 ? std::string("(unreported)")
-                                 : outcome.report.violations.front();
-    record.sub_resilient = scenario.sub_resilient();
-    record.run_index = i;
-    if (options.do_shrink) {
-      ShrinkOptions shrink;
-      shrink.max_runs = options.shrink_budget;
-      ShrinkResult shrunk = Shrink(scenario, shrink);
-      record.shrunk = shrunk.scenario;
-      record.shrink_attempts = shrunk.attempts;
-      record.shrink_accepted = shrunk.accepted;
+    for (std::size_t b = 0; b < batch; ++b) {
+      const std::size_t i = next_run + b;
+      Scenario& scenario = scenarios[b];
+      RunOutcome& outcome = outcomes[b];
+      result.runs_executed++;
+      if (!outcome.all_completed) result.stalled++;
+      if (outcome.checked_reads == 0) result.vacuous++;
+      if (options.out && options.verbose) {
+        *options.out << "[run " << i << "] " << scenario.Summary()
+                     << (outcome.violation() ? " VIOLATION" : " ok")
+                     << " (checked_reads=" << outcome.checked_reads
+                     << " aborted=" << outcome.reads_aborted << ")\n";
+      }
+      if (!outcome.violation()) continue;
+
+      ViolationRecord record;
+      record.original = scenario;
+      record.shrunk = scenario;
+      record.first_violation = outcome.report.violations.empty()
+                                   ? std::string("(unreported)")
+                                   : outcome.report.violations.front();
+      record.sub_resilient = scenario.sub_resilient();
+      record.run_index = i;
+      if (options.do_shrink) {
+        ShrinkOptions shrink;
+        shrink.max_runs = options.shrink_budget;
+        ShrinkResult shrunk = Shrink(scenario, shrink);
+        record.shrunk = shrunk.scenario;
+        record.shrink_attempts = shrunk.attempts;
+        record.shrink_accepted = shrunk.accepted;
+      }
+      record.token = EncodeToken(record.shrunk);
+      if (options.out) {
+        *options.out << "[viol] run " << i << ": " << scenario.Summary()
+                     << "\n  " << record.first_violation << "\n  shrunk ("
+                     << record.shrink_accepted << " edits in "
+                     << record.shrink_attempts
+                     << " runs) -> " << record.shrunk.Summary()
+                     << "\n  repro: " << record.token << "\n";
+      }
+      result.violations.push_back(std::move(record));
     }
-    record.token = EncodeToken(record.shrunk);
-    if (options.out) {
-      *options.out << "[viol] run " << i << ": " << scenario.Summary()
-                   << "\n  " << record.first_violation << "\n  shrunk ("
-                   << record.shrink_accepted << " edits in "
-                   << record.shrink_attempts
-                   << " runs) -> " << record.shrunk.Summary()
-                   << "\n  repro: " << record.token << "\n";
-    }
-    result.violations.push_back(std::move(record));
+    next_run += batch;
   }
   return result;
 }

@@ -27,6 +27,11 @@ struct CampaignOptions {
   /// Shrink violating scenarios before reporting (costs extra runs).
   bool do_shrink = true;
   std::size_t shrink_budget = 300;
+  /// Worker threads for scenario execution. Results are identical for
+  /// every value: scenarios are generated sequentially from the campaign
+  /// rng, executed in parallel batches, and their outcomes processed in
+  /// run-index order. 0 = one per hardware core.
+  std::size_t jobs = 1;
   /// Wall-clock cap in seconds; 0 = none. The --smoke CI mode sets this
   /// and a large run count, taking whatever coverage the budget buys.
   double budget_seconds = 0.0;

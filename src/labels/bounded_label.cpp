@@ -21,20 +21,6 @@ std::string Label::ToString() const {
   return out.str();
 }
 
-void Label::Encode(BufWriter& w) const {
-  w.Put<std::uint32_t>(sting);
-  w.PutVector(antistings,
-              [](BufWriter& bw, std::uint32_t a) { bw.Put<std::uint32_t>(a); });
-}
-
-Label Label::Decode(BufReader& r) {
-  Label label;
-  label.sting = r.Get<std::uint32_t>();
-  label.antistings = r.GetVector<std::uint32_t>(
-      [](BufReader& br) { return br.Get<std::uint32_t>(); });
-  return label;
-}
-
 bool IsValid(const Label& label, const LabelParams& params) {
   const std::uint32_t m = params.Domain();
   if (label.sting >= m) return false;
@@ -57,7 +43,9 @@ Label Sanitize(Label label, const LabelParams& params) {
   label.antistings.erase(
       std::unique(label.antistings.begin(), label.antistings.end()),
       label.antistings.end());
-  std::erase(label.antistings, label.sting);
+  label.antistings.erase(std::remove(label.antistings.begin(),
+                                     label.antistings.end(), label.sting),
+                         label.antistings.end());
   if (label.antistings.size() > params.k) {
     label.antistings.resize(params.k);
   }
@@ -115,7 +103,7 @@ Label RandomValidLabel(Rng& rng, const LabelParams& params) {
   label.sting = picks.back();
   picks.pop_back();
   std::sort(picks.begin(), picks.end());
-  label.antistings = std::move(picks);
+  label.antistings.assign(picks.begin(), picks.end());
   return label;
 }
 

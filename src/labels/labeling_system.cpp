@@ -112,7 +112,7 @@ Label LabelingSystem::Next(std::span<const Label> existing,
 
   Label next;
   next.sting = sting;
-  next.antistings = std::move(antistings);
+  next.antistings.assign(antistings.begin(), antistings.end());
   SBFT_ASSERT(IsValid(next));
   return next;
 }

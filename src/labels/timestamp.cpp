@@ -10,18 +10,6 @@ std::string Timestamp::ToString() const {
   return out.str();
 }
 
-void Timestamp::Encode(BufWriter& w) const {
-  label.Encode(w);
-  w.Put<ClientId>(writer_id);
-}
-
-Timestamp Timestamp::Decode(BufReader& r) {
-  Timestamp ts;
-  ts.label = Label::Decode(r);
-  ts.writer_id = r.Get<ClientId>();
-  return ts;
-}
-
 bool Precedes(const Timestamp& a, const Timestamp& b,
               const LabelParams& params) {
   if (Precedes(a.label, b.label, params)) return true;

@@ -26,8 +26,18 @@ struct Timestamp {
 
   [[nodiscard]] std::string ToString() const;
 
-  void Encode(BufWriter& w) const;
-  static Timestamp Decode(BufReader& r);
+  // Inline for the same reason as Label::Encode/Decode: one timestamp
+  // per wire value, deep inside the hottest codec loops.
+  void Encode(BufWriter& w) const {
+    label.Encode(w);
+    w.Put<ClientId>(writer_id);
+  }
+  static Timestamp Decode(BufReader& r) {
+    Timestamp ts;
+    ts.label = Label::Decode(r);
+    ts.writer_id = r.Get<ClientId>();
+    return ts;
+  }
 };
 
 /// Precedence on timestamps: label order when the labels are comparable;

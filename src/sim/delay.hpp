@@ -6,9 +6,11 @@
 // Theorem 1 replay slows specific servers at specific operations).
 #pragma once
 
-#include <map>
+#include <algorithm>
+#include <cstddef>
 #include <memory>
 #include <utility>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "sim/types.hpp"
@@ -52,30 +54,48 @@ class UniformDelay final : public DelayPolicy {
 };
 
 /// Per-channel overrides on top of a base policy; used by scripted
-/// adversaries ("server s4 is slow in responding").
+/// adversaries ("server s4 is slow in responding"). Node ids are dense
+/// from 0, so overrides live in a flat dim×dim table probed on every
+/// Sample; 0 means "no override" (SetOverride clamps delays to >= 1).
 class ChannelOverrideDelay final : public DelayPolicy {
  public:
   explicit ChannelOverrideDelay(std::unique_ptr<DelayPolicy> base)
       : base_(std::move(base)) {}
 
   void SetOverride(NodeId src, NodeId dst, VirtualTime delay) {
-    overrides_[{src, dst}] = delay < 1 ? 1 : delay;
+    const std::size_t need = static_cast<std::size_t>(std::max(src, dst)) + 1;
+    if (need > dim_) Grow(need);
+    overrides_[src * dim_ + dst] = delay < 1 ? 1 : delay;
   }
   void ClearOverride(NodeId src, NodeId dst) {
-    overrides_.erase({src, dst});
+    if (src < dim_ && dst < dim_) overrides_[src * dim_ + dst] = 0;
   }
 
   VirtualTime Sample(NodeId src, NodeId dst, VirtualTime now,
                      Rng& rng) override {
-    if (auto it = overrides_.find({src, dst}); it != overrides_.end()) {
-      return it->second;
+    if (src < dim_ && dst < dim_) {
+      if (const VirtualTime fixed = overrides_[src * dim_ + dst]; fixed > 0) {
+        return fixed;
+      }
     }
     return base_->Sample(src, dst, now, rng);
   }
 
  private:
+  void Grow(std::size_t dim) {
+    std::vector<VirtualTime> next(dim * dim, 0);
+    for (std::size_t s = 0; s < dim_; ++s) {
+      for (std::size_t d = 0; d < dim_; ++d) {
+        next[s * dim + d] = overrides_[s * dim_ + d];
+      }
+    }
+    overrides_ = std::move(next);
+    dim_ = dim;
+  }
+
   std::unique_ptr<DelayPolicy> base_;
-  std::map<std::pair<NodeId, NodeId>, VirtualTime> overrides_;
+  std::vector<VirtualTime> overrides_;  // dim×dim, row = src; 0 = unset
+  std::size_t dim_ = 0;
 };
 
 }  // namespace sbft

@@ -1,0 +1,189 @@
+// Calendar (bucket) priority queue for discrete-event simulation.
+//
+// The sim's event population is dominated by near-future deliveries
+// (UniformDelay keeps most gaps within a few ticks), so a modular ring
+// of per-tick buckets gives O(1) amortized push/pop; a sorted overflow
+// lane holds the rare far-future stragglers (long timers, think-time
+// calls) until the window slides over them. Bucket vectors retain their
+// capacity when emptied, so the steady state allocates no event storage
+// at all — the ring doubles as the event free-list.
+//
+// Ordering contract (identical to the std::priority_queue it replaced):
+// pop() returns events in strictly increasing (time, seq). Determinism
+// depends on it — trace hashes are pinned by the SBFZ1 corpus.
+//
+// Invariants:
+//   * every bucketed event's time lies in [cursor_, cursor_ + kBuckets),
+//     so each non-empty bucket holds exactly one time value;
+//   * within a bucket, events are sorted by seq (pushes normally arrive
+//     in seq order; the rare out-of-order re-push inserts);
+//   * every overflow event's time is > cursor_ (pop migrates due
+//     overflow events into the ring before advancing past them);
+//   * cursor_ never moves backward except through Rebuild(), the safety
+//     net for drain-and-refill callers that re-push below the cursor.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sim/types.hpp"
+
+namespace sbft {
+
+/// E must expose `VirtualTime time` and `std::uint64_t seq` members and
+/// be movable. Seqs must be unique across live events.
+template <typename E>
+class CalendarQueue {
+ public:
+  /// Ring width in ticks. Delays beyond this fall to the overflow lane;
+  /// 512 comfortably covers the base delays, directed slowdowns and
+  /// think times the generators produce.
+  static constexpr std::size_t kBuckets = 512;
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  void push(E event) {
+    if (event.time < cursor_) {
+      if (size_ == 0) {
+        cursor_ = event.time;  // empty queue: just rebase the window
+      } else {
+        Rebuild(std::move(event));
+        return;
+      }
+    }
+    ++size_;
+    if (event.time - cursor_ < kBuckets) {
+      InsertBucket(std::move(event));
+    } else {
+      InsertOverflow(std::move(event));
+    }
+  }
+
+  /// Remove and return the minimum (time, seq) event. Precondition:
+  /// !empty().
+  E pop() {
+    SBFT_ASSERT(size_ > 0);
+    if (size_ == overflow_.size()) {
+      // Ring empty: jump the window straight to the earliest straggler.
+      cursor_ = overflow_.back().time;
+    }
+    for (VirtualTime t = cursor_;; ++t) {
+      // Migrate overflow events the window has reached. Previous pops
+      // migrated everything before t, so due events are exactly at t.
+      while (!overflow_.empty() && overflow_.back().time <= t) {
+        E event = std::move(overflow_.back());
+        overflow_.pop_back();
+        InsertBucket(std::move(event));
+      }
+      Bucket& bucket = buckets_[t & kMask];
+      if (bucket.head < bucket.events.size()) {
+        SBFT_ASSERT(bucket.events[bucket.head].time == t);
+        E event = std::move(bucket.events[bucket.head]);
+        if (++bucket.head == bucket.events.size()) {
+          bucket.events.clear();  // keeps capacity: the free-list
+          bucket.head = 0;
+        }
+        --size_;
+        cursor_ = t;
+        return event;
+      }
+      SBFT_ASSERT(t - cursor_ <= kBuckets);  // some bucket must be live
+    }
+  }
+
+  /// Drain every event, sorted by (time, seq) — the order a pop loop
+  /// would produce. Used by drain-and-refill surgery (scramble, hold
+  /// with in-flight capture); the cursor stays put, so re-pushing any
+  /// subset is valid.
+  std::vector<E> TakeAll() {
+    std::vector<E> raw;
+    raw.reserve(size_);
+    for (Bucket& bucket : buckets_) {
+      for (std::size_t i = bucket.head; i < bucket.events.size(); ++i) {
+        raw.push_back(std::move(bucket.events[i]));
+      }
+      bucket.events.clear();
+      bucket.head = 0;
+    }
+    for (auto it = overflow_.rbegin(); it != overflow_.rend(); ++it) {
+      raw.push_back(std::move(*it));
+    }
+    overflow_.clear();
+    size_ = 0;
+    // Sort a permutation rather than the events themselves (events can
+    // be heavy; this path is cold surgery, not the hot loop).
+    std::vector<std::size_t> order(raw.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&raw](std::size_t a, std::size_t b) {
+                return raw[a].time != raw[b].time
+                           ? raw[a].time < raw[b].time
+                           : raw[a].seq < raw[b].seq;
+              });
+    std::vector<E> all;
+    all.reserve(raw.size());
+    for (const std::size_t i : order) all.push_back(std::move(raw[i]));
+    return all;
+  }
+
+ private:
+  static constexpr std::size_t kMask = kBuckets - 1;
+  static_assert((kBuckets & kMask) == 0, "ring size must be a power of two");
+
+  struct Bucket {
+    std::vector<E> events;  // sorted by seq; single time value
+    std::size_t head = 0;   // pop cursor into `events`
+  };
+
+  void InsertBucket(E event) {
+    Bucket& bucket = buckets_[event.time & kMask];
+    auto& events = bucket.events;
+    if (events.empty() || events.back().seq < event.seq) {
+      events.push_back(std::move(event));  // the common, in-order path
+      return;
+    }
+    // Out-of-order seq (overflow migration or re-push): keep the bucket
+    // seq-sorted. Migrated events always predate live bucket entries,
+    // so the insert position can never fall before `head`.
+    auto pos = std::upper_bound(
+        events.begin() + static_cast<std::ptrdiff_t>(bucket.head),
+        events.end(), event.seq,
+        [](std::uint64_t seq, const E& e) { return seq < e.seq; });
+    events.insert(pos, std::move(event));
+  }
+
+  /// Overflow lane: kept sorted descending by (time, seq) so the
+  /// minimum sits at the back. Far-future events are rare enough that
+  /// the O(n) insert is cheaper than heap churn on the hot type.
+  void InsertOverflow(E event) {
+    auto pos = std::upper_bound(
+        overflow_.begin(), overflow_.end(), event,
+        [](const E& a, const E& b) {
+          return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+        });
+    overflow_.insert(pos, std::move(event));
+  }
+
+  /// Safety net: a push below the cursor (possible only through external
+  /// drain-and-refill misuse) rebases the window at the new minimum and
+  /// refills. O(n log n), never hit on the sim hot path.
+  void Rebuild(E event) {
+    std::vector<E> all = TakeAll();
+    cursor_ = event.time;  // < previous cursor <= every drained time
+    push(std::move(event));
+    for (E& e : all) push(std::move(e));
+  }
+
+  std::vector<Bucket> buckets_{kBuckets};
+  std::vector<E> overflow_;  // sorted descending; minimum at back()
+  VirtualTime cursor_ = 0;   // window start; last popped time
+  std::size_t size_ = 0;
+};
+
+}  // namespace sbft

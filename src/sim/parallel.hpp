@@ -1,0 +1,48 @@
+// Deterministic parallel sweep engine for independent simulations.
+//
+// Each sim World is single-threaded and deterministic given its seed, so
+// a sweep over seeds or configurations is embarrassingly parallel.
+// ParallelMap fans the tasks over a transient thread pool and collects
+// results BY INDEX, so the output is a pure function of the inputs —
+// independent of the job count and of thread interleaving. `--jobs N`
+// never changes what a campaign or bench reports, only how fast it
+// arrives.
+//
+// jobs <= 1 runs inline on the calling thread (no pool, no atomics):
+// sequential callers pay nothing, and the sequential path remains the
+// reference behavior the parallel path must reproduce.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace sbft {
+
+/// Worker count when the caller asked for "all cores":
+/// std::thread::hardware_concurrency(), at least 1.
+[[nodiscard]] std::size_t HardwareJobs();
+
+/// Invoke body(0) .. body(count-1), each exactly once, across up to
+/// `jobs` threads (inline when jobs <= 1). Indices are claimed from a
+/// shared atomic counter, so uneven task costs load-balance. body must
+/// be thread-safe for distinct indices. The first exception thrown by
+/// any task is rethrown on the caller after all workers have finished;
+/// remaining tasks still run.
+void ParallelFor(std::size_t count, std::size_t jobs,
+                 const std::function<void(std::size_t)>& body);
+
+/// ParallelFor that collects fn(i) into slot i of the result vector —
+/// deterministic output order regardless of jobs. Result must be
+/// default-constructible and movable.
+template <typename Result>
+[[nodiscard]] std::vector<Result> ParallelMap(
+    std::size_t count, std::size_t jobs,
+    const std::function<Result(std::size_t)>& fn) {
+  std::vector<Result> results(count);
+  ParallelFor(count, jobs,
+              [&results, &fn](std::size_t i) { results[i] = fn(i); });
+  return results;
+}
+
+}  // namespace sbft

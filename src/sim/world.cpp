@@ -40,7 +40,7 @@ class World::Endpoint final : public IEndpoint {
     event.seq = world_.next_seq_++;
     event.kind = Event::Kind::kTimer;
     event.dst = id_;
-    event.timer_id = timer_id;
+    event.aux = timer_id;
     world_.queue_.push(std::move(event));
   }
 
@@ -67,7 +67,31 @@ NodeId World::AddNode(std::unique_ptr<Automaton> automaton) {
   endpoints_.push_back(std::make_unique<Endpoint>(*this, id, rng_.Fork()));
   stopped_.push_back(false);
   started_.push_back(false);
+  GrowChannelTable(nodes_.size());
   return id;
+}
+
+void World::GrowChannelTable(std::size_t dim) {
+  if (dim <= channel_dim_) return;
+  std::vector<ChannelState> next(dim * dim);
+  for (std::size_t s = 0; s < channel_dim_; ++s) {
+    for (std::size_t d = 0; d < channel_dim_; ++d) {
+      next[s * dim + d] = std::move(channel_table_[s * channel_dim_ + d]);
+    }
+  }
+  // Channels configured before their endpoints were registered (held or
+  // degraded ahead of AddNode) migrate from the sparse fallback.
+  for (auto it = channel_fallback_.begin(); it != channel_fallback_.end();) {
+    const auto [src, dst] = it->first;
+    if (src < dim && dst < dim) {
+      next[src * dim + dst] = std::move(it->second);
+      it = channel_fallback_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  channel_table_ = std::move(next);
+  channel_dim_ = dim;
 }
 
 Automaton& World::node(NodeId id) {
@@ -131,7 +155,7 @@ void World::StartPendingNodes() {
 bool World::Step() {
   StartPendingNodes();
   if (queue_.empty()) return false;
-  Event event = PopEvent();
+  Event event = queue_.pop();
   SBFT_ASSERT(event.time >= now_);
   now_ = event.time;
 
@@ -162,11 +186,17 @@ bool World::Step() {
     case Event::Kind::kTimer: {
       if (event.dst >= nodes_.size() || stopped_[event.dst]) break;
       trace_.Record({now_, TraceKind::kTimerFired, kNoNode, event.dst});
-      nodes_[event.dst]->OnTimer(event.timer_id, *endpoints_[event.dst]);
+      nodes_[event.dst]->OnTimer(event.aux, *endpoints_[event.dst]);
       break;
     }
     case Event::Kind::kCall: {
-      if (event.call) event.call();
+      // Free the slot before invoking: the callback may schedule more
+      // calls, and the moved-from slot is already safe to reuse.
+      const auto slot = static_cast<std::size_t>(event.aux);
+      std::function<void()> fn = std::move(calls_[slot]);
+      calls_[slot] = nullptr;
+      free_call_slots_.push_back(static_cast<std::uint32_t>(slot));
+      if (fn) fn();
       break;
     }
   }
@@ -191,11 +221,20 @@ bool World::RunUntil(const std::function<bool()>& predicate,
 }
 
 void World::ScheduleCall(VirtualTime delay, std::function<void()> fn) {
+  std::uint32_t slot;
+  if (!free_call_slots_.empty()) {
+    slot = free_call_slots_.back();
+    free_call_slots_.pop_back();
+    calls_[slot] = std::move(fn);
+  } else {
+    slot = static_cast<std::uint32_t>(calls_.size());
+    calls_.push_back(std::move(fn));
+  }
   Event event;
   event.time = now_ + delay;
   event.seq = next_seq_++;
   event.kind = Event::Kind::kCall;
-  event.call = std::move(fn);
+  event.aux = static_cast<std::int32_t>(slot);
   queue_.push(std::move(event));
 }
 
@@ -219,13 +258,11 @@ void World::InjectGarbageFrames(NodeId src, NodeId dst, std::size_t count,
 
 void World::ScrambleChannel(NodeId src, NodeId dst) {
   trace_.Record({now_, TraceKind::kChannelCorrupted, src, dst});
-  // The queue is a heap; rebuild it, garbling matching in-flight frames.
-  // A scrambled frame is REPLACED, never mutated in place — a broadcast
-  // payload may be shared with deliveries on other channels (and with
-  // the trace), which must keep the original bytes.
-  std::vector<Event> events;
-  events.reserve(queue_.size());
-  while (!queue_.empty()) events.push_back(PopEvent());
+  // Drain the queue in scheduled order, garbling matching in-flight
+  // frames. A scrambled frame is REPLACED, never mutated in place — a
+  // broadcast payload may be shared with deliveries on other channels
+  // (and with the trace), which must keep the original bytes.
+  std::vector<Event> events = queue_.TakeAll();
   for (Event& event : events) {
     if (event.kind == Event::Kind::kDeliver && event.src == src &&
         event.dst == dst && !event.frame.empty()) {
@@ -253,32 +290,22 @@ void World::DegradeChannel(NodeId src, NodeId dst, double loss,
 }
 
 void World::HoldChannel(NodeId src, NodeId dst, bool capture_in_flight) {
-  ChannelState& channel = Channel(src, dst);
-  channel.held = true;
+  Channel(src, dst).held = true;
   if (!capture_in_flight) return;
-  // Pull scheduled deliveries on this channel back into the hold buffer,
-  // preserving their (FIFO) scheduled order.
-  std::vector<Event> keep;
-  std::vector<Event> captured;
-  keep.reserve(queue_.size());
-  while (!queue_.empty()) {
-    Event event = PopEvent();
+  // Pull scheduled deliveries on this channel back into the hold buffer.
+  // TakeAll drains in (time, seq) order, so the captured frames enter
+  // the buffer in their scheduled (FIFO) order.
+  std::vector<Event> events = queue_.TakeAll();
+  ChannelState& channel = Channel(src, dst);
+  for (Event& event : events) {
     if (event.kind == Event::Kind::kDeliver && event.src == src &&
         event.dst == dst) {
-      captured.push_back(std::move(event));
+      // The send was already counted; ReleaseChannel's re-enqueue path
+      // compensates before re-counting, so no adjustment here.
+      channel.held_frames.push_back(std::move(event.frame));
     } else {
-      keep.push_back(std::move(event));
+      queue_.push(std::move(event));
     }
-  }
-  for (Event& event : keep) queue_.push(std::move(event));
-  std::sort(captured.begin(), captured.end(),
-            [](const Event& a, const Event& b) {
-              return a.time != b.time ? a.time < b.time : a.seq < b.seq;
-            });
-  for (Event& event : captured) {
-    // The send was already counted; ReleaseChannel's re-enqueue path
-    // compensates before re-counting, so no adjustment here.
-    channel.held_frames.push_back(std::move(event.frame));
   }
 }
 

@@ -20,7 +20,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <queue>
 #include <span>
 #include <utility>
 #include <vector>
@@ -30,6 +29,7 @@
 #include "common/frame.hpp"
 #include "common/rng.hpp"
 #include "sim/delay.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/trace.hpp"
 #include "sim/types.hpp"
 
@@ -166,6 +166,9 @@ class World {
   void ReleaseChannel(NodeId src, NodeId dst);
 
  private:
+  /// One scheduled occurrence. Kept hot-path small (~64 bytes): the cold
+  /// std::function payload of kCall events lives in the `calls_` side
+  /// table, referenced through `aux`.
   struct Event {
     VirtualTime time = 0;
     std::uint64_t seq = 0;  // FIFO tie-break
@@ -173,15 +176,8 @@ class World {
         Kind::kDeliver;
     NodeId src = kNoNode;
     NodeId dst = kNoNode;
+    std::int32_t aux = 0;  // kTimer: timer id; kCall: slot in calls_
     Frame frame;  // move-only; broadcasts share one payload across events
-    int timer_id = 0;
-    std::function<void()> call;
-  };
-  struct EventAfter {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
   };
   struct ChannelState {
     VirtualTime last_scheduled = 0;  // enforces FIFO delivery order
@@ -193,28 +189,32 @@ class World {
   class Endpoint;  // concrete IEndpoint bound to one node
 
   void EnqueueDelivery(NodeId src, NodeId dst, Frame frame);
-  /// Pop the queue head (the heap exposes only a const ref; events are
-  /// move-only because frames are).
-  Event PopEvent() {
-    Event event = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    return event;
-  }
   void StartPendingNodes();
+  /// Node ids are dense from 0, so registered channels live in a flat
+  /// dim×dim table. Corrupted automata can address arbitrary NodeIds;
+  /// those rare out-of-range channels fall back to a sparse map.
   ChannelState& Channel(NodeId src, NodeId dst) {
-    return channels_[{src, dst}];
+    if (src < channel_dim_ && dst < channel_dim_) {
+      return channel_table_[src * channel_dim_ + dst];
+    }
+    return channel_fallback_[{src, dst}];
   }
+  void GrowChannelTable(std::size_t dim);
 
   Rng rng_;
   std::unique_ptr<DelayPolicy> delay_;
   VirtualTime now_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
+  CalendarQueue<Event> queue_;
+  std::vector<std::function<void()>> calls_;  // kCall side table
+  std::vector<std::uint32_t> free_call_slots_;
   std::vector<std::unique_ptr<Automaton>> nodes_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
   std::vector<bool> stopped_;
   std::vector<bool> started_;
-  std::map<std::pair<NodeId, NodeId>, ChannelState> channels_;
+  std::vector<ChannelState> channel_table_;  // dim×dim, row = src
+  std::size_t channel_dim_ = 0;
+  std::map<std::pair<NodeId, NodeId>, ChannelState> channel_fallback_;
   TraceRecorder trace_;
   NetworkStats stats_;
 };

@@ -1,11 +1,12 @@
 #include "spec/regular_checker.hpp"
 
 #include <algorithm>
-#include <map>
 #include <sstream>
+#include <unordered_map>
 
 #include "common/bytes.hpp"
 #include "common/error.hpp"
+#include "common/hash.hpp"
 
 namespace sbft {
 namespace {
@@ -70,7 +71,11 @@ CheckReport CheckRegular(const History& history, const CheckOptions& options) {
   // writes are indexed too: their value may have been installed at some
   // servers before the failure (like a crashed writer's), so a read
   // returning it is legal — but it imposes no ordering constraints.
-  std::map<Bytes, std::size_t> write_by_value;
+  // Hashed, not ordered: the map is only ever probed by exact value
+  // (one lookup per read), never iterated, so lookup cost is what
+  // matters for long fuzz histories.
+  std::unordered_map<Bytes, std::size_t, BytesHash> write_by_value;
+  write_by_value.reserve(writes.size());
   for (std::size_t i = 0; i < writes.size(); ++i) {
     if (!write_by_value.emplace(writes[i]->value, i).second) {
       report.AddViolation("duplicate write value (driver bug): " +
@@ -160,7 +165,8 @@ CheckReport CheckNoNewOldInversion(const History& history,
   CheckReport report;
   const auto writes = history.Writes();
   const auto reads = history.Reads();
-  std::map<Bytes, const OpRecord*> write_by_value;
+  std::unordered_map<Bytes, const OpRecord*, BytesHash> write_by_value;
+  write_by_value.reserve(writes.size());
   for (const OpRecord* write : writes) write_by_value[write->value] = write;
 
   for (const OpRecord* r1 : reads) {

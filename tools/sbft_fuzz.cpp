@@ -37,6 +37,9 @@ Campaign mode (default):
   --no-shrink            report violations without shrinking
   --shrink-budget N      re-runs allowed per shrink (default 300)
   --budget-seconds X     wall-clock cap; stops early when exceeded
+  --jobs N               worker threads for scenario execution
+                         (default 1; 0 = one per hardware core).
+                         Results are identical for every N.
   --smoke                CI smoke preset: --budget-seconds 60 with an
                          effectively unbounded run count
   --verbose              per-run progress lines
@@ -235,6 +238,8 @@ int main(int argc, char** argv) {
       options.shrink_budget = need_number(i, "--shrink-budget");
     } else if (arg == "--budget-seconds") {
       options.budget_seconds = need_double(i, "--budget-seconds");
+    } else if (arg == "--jobs") {
+      options.jobs = need_number(i, "--jobs");
     } else if (arg == "--smoke") {
       options.budget_seconds = 60.0;
       options.runs = 1'000'000;
