@@ -8,6 +8,9 @@
 //   --jobs N        worker threads for benches whose sweeps run
 //                   independent sims (0 = one per hardware core).
 //                   Metrics are identical for every N.
+//   --clients LIST  comma-separated logical-client counts for benches
+//                   with a concurrency sweep (e.g. --clients 1,8,64,256);
+//                   empty means the bench's default sweep.
 //
 // The JSON is deliberately timestamp-free so artifacts diff cleanly;
 // provenance (commit, date) lives in git history / CI metadata.
@@ -28,6 +31,7 @@ struct BenchArgs {
   std::string json_path;  // empty: no JSON output
   bool smoke = false;
   std::size_t jobs = 1;   // 0 = one per hardware core
+  std::vector<std::size_t> clients;  // empty: bench default sweep
 };
 
 inline BenchArgs ParseBenchArgs(int argc, char** argv) {
@@ -40,6 +44,15 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       args.jobs = static_cast<std::size_t>(
           std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
+      const char* p = argv[++i];
+      while (*p != '\0') {
+        char* end = nullptr;
+        const unsigned long long v = std::strtoull(p, &end, 10);
+        if (end == p) break;  // not a number: stop parsing the list
+        if (v > 0) args.clients.push_back(static_cast<std::size_t>(v));
+        p = (*end == ',') ? end + 1 : end;
+      }
     }
   }
   return args;
@@ -81,6 +94,9 @@ class JsonReport {
 
   [[nodiscard]] bool smoke() const { return args_.smoke; }
   [[nodiscard]] std::size_t jobs() const { return args_.jobs; }
+  [[nodiscard]] const std::vector<std::size_t>& clients() const {
+    return args_.clients;
+  }
 
  private:
   struct Row {

@@ -49,26 +49,26 @@ class Frame {
     return std::get<std::shared_ptr<Bytes>>(rep_);
   }
 
-  /// Steal the backing storage if this frame is its sole owner (owned
-  /// representation, or a shared payload with use_count 1). Leaves the
-  /// frame empty on success.
+  /// Steal the backing storage if this frame exclusively owns it
+  /// (owned representation only). Leaves the frame empty on success.
+  ///
+  /// Shared payloads are never stolen, even at use_count 1: use_count()
+  /// is an unsynchronized observation, so "last owner moves the vector
+  /// out" races the previous owner's final read on another thread (the
+  /// broadcast fan-out case). The shared_ptr control block's final
+  /// release IS properly synchronized, so shared payloads are reclaimed
+  /// by letting the pointer die instead.
   bool TryTakeBytes(Bytes& out) {
     if (auto* owned = std::get_if<Bytes>(&rep_)) {
       if (owned->capacity() == 0) return false;
       out = std::move(*owned);
       return true;
     }
-    auto& shared = std::get<std::shared_ptr<Bytes>>(rep_);
-    if (shared && shared.use_count() == 1) {
-      out = std::move(*shared);
-      shared.reset();
-      return true;
-    }
     return false;
   }
 
-  /// Return the backing storage to `pool` when uniquely owned; no-op
-  /// (and no allocation) otherwise.
+  /// Return the backing storage to `pool` when exclusively owned;
+  /// no-op (and no allocation) for shared payloads — see TryTakeBytes.
   void Recycle(BufferPool& pool) {
     Bytes bytes;
     if (TryTakeBytes(bytes)) pool.Release(std::move(bytes));

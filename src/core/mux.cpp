@@ -40,9 +40,15 @@ class WrapEndpoint final : public IEndpoint {
   RegisterId id_;
 };
 
-void TouchLru(std::list<RegisterId>& lru, RegisterId id) {
-  lru.remove(id);
-  lru.push_front(id);
+void TouchLru(std::list<RegisterId>& lru,
+              std::map<RegisterId, std::list<RegisterId>::iterator>& pos,
+              RegisterId id) {
+  if (auto it = pos.find(id); it != pos.end()) {
+    lru.splice(lru.begin(), lru, it->second);  // O(1); iterator stays valid
+  } else {
+    lru.push_front(id);
+    pos.emplace(id, lru.begin());
+  }
 }
 
 }  // namespace
@@ -76,12 +82,14 @@ RegisterServer& MuxServer::GetOrCreate(RegisterId id) {
     if (registers_.size() >= max_registers_ && !lru_.empty()) {
       // Evict the coldest register. It re-enters later in its initial
       // state, which the protocol treats like a transient fault.
-      registers_.erase(lru_.back());
+      const RegisterId cold = lru_.back();
+      registers_.erase(cold);
       lru_.pop_back();
+      lru_pos_.erase(cold);
     }
     it = registers_.emplace(id, factory_(id)).first;
   }
-  TouchLru(lru_, id);
+  TouchLru(lru_, lru_pos_, id);
   return *it->second;
 }
 
@@ -120,10 +128,12 @@ RegisterClient& MuxClient::GetOrCreate(RegisterId id) {
       // must never lose its callback). If everything is busy, exceed
       // the cap rather than wedge.
       for (auto lru_it = lru_.rbegin(); lru_it != lru_.rend(); ++lru_it) {
-        auto candidate = clients_.find(*lru_it);
+        const RegisterId cold = *lru_it;
+        auto candidate = clients_.find(cold);
         if (candidate != clients_.end() && candidate->second.client->idle()) {
           clients_.erase(candidate);
-          lru_.remove(*lru_it);
+          lru_.erase(std::next(lru_it).base());
+          lru_pos_.erase(cold);
           break;
         }
       }
@@ -137,7 +147,7 @@ RegisterClient& MuxClient::GetOrCreate(RegisterId id) {
     entry.client->OnStart(*entry.endpoint);
     it = clients_.emplace(id, std::move(entry)).first;
   }
-  TouchLru(lru_, id);
+  TouchLru(lru_, lru_pos_, id);
   return *it->second.client;
 }
 

@@ -59,6 +59,9 @@ class MuxServer : public Automaton {
   ServerFactory factory_;
   std::map<RegisterId, std::unique_ptr<RegisterServer>> registers_;
   std::list<RegisterId> lru_;  // front = most recent
+  /// Position of each id inside lru_, so a touch is an O(1) splice
+  /// instead of an O(n) list walk (hot with hundreds of live registers).
+  std::map<RegisterId, std::list<RegisterId>::iterator> lru_pos_;
 };
 
 class MuxClient : public Automaton {
@@ -102,6 +105,7 @@ class MuxClient : public Automaton {
   IEndpoint* endpoint_ = nullptr;
   std::map<RegisterId, Entry> clients_;
   std::list<RegisterId> lru_;
+  std::map<RegisterId, std::list<RegisterId>::iterator> lru_pos_;
 };
 
 }  // namespace sbft

@@ -47,14 +47,23 @@ class ThreadCluster::Endpoint final : public IEndpoint {
 
 ThreadCluster::ThreadCluster(Options options) : options_(options) {
   if (options_.use_tcp) {
+    TcpBus::Options tcp_options;
+    tcp_options.reactor_threads = options_.reactor_threads;
     tcp_ = std::make_unique<TcpBus>(
-        [this](NodeId src, NodeId dst, Bytes frame) {
-          // TCP reader thread -> destination mailbox.
-          if (dst < mailboxes_.size()) {
-            mailboxes_[dst]->Push(
-                MailItem{src, Frame(std::move(frame)), nullptr});
+        [this](NodeId dst, std::vector<TcpBus::Delivery>&& batch) {
+          // Reactor thread -> destination mailbox: every frame of the
+          // receive burst lands under one mailbox lock.
+          if (dst >= mailboxes_.size()) return;
+          std::vector<MailItem> items;
+          items.reserve(batch.size());
+          for (auto& delivery : batch) {
+            items.push_back(MailItem{delivery.src,
+                                     Frame(std::move(delivery.frame)),
+                                     nullptr});
           }
-        });
+          mailboxes_[dst]->PushBatch(std::move(items));
+        },
+        tcp_options);
   }
 }
 
@@ -86,18 +95,27 @@ void ThreadCluster::Start() {
 
 void ThreadCluster::NodeLoop(NodeId id) {
   Mailbox& mailbox = *mailboxes_[id];
-  while (true) {
-    auto item = mailbox.Pop();
-    if (!item) return;  // closed and drained
-    if (item->task) {
-      item->task();
-    } else {
-      frames_delivered_.fetch_add(1, std::memory_order_relaxed);
-      nodes_[id]->OnFrame(item->src, item->frame.view(), *endpoints_[id]);
-      // Recycle into this node thread's pool — its own sends draw from
-      // the same pool, so a steady request/reply load reuses storage.
-      item->frame.Recycle(FramePool());
+  std::deque<MailItem> batch;
+  while (mailbox.Drain(batch)) {
+    std::uint64_t frames = 0;
+    for (auto& item : batch) {
+      if (item.task) {
+        item.task();
+      } else {
+        ++frames;
+        nodes_[id]->OnFrame(item.src, item.frame.view(), *endpoints_[id]);
+        // Recycle into this node thread's pool — its own sends draw
+        // from the same pool, so a steady request/reply load reuses
+        // storage.
+        item.frame.Recycle(FramePool());
+      }
     }
+    if (frames != 0) {
+      frames_delivered_.fetch_add(frames, std::memory_order_relaxed);
+    }
+    // Everything this batch queued on the wire goes out in (at most)
+    // one syscall per touched connection.
+    if (tcp_) tcp_->Flush(id);
   }
 }
 
@@ -154,12 +172,15 @@ void ThreadCluster::Stop() {
     return;
   }
   stopped_ = true;
-  if (tcp_) tcp_->Stop();  // stop sockets first so reader threads exit
+  // Node threads are the only callers of tcp_->Send/Flush, so closing
+  // mailboxes and joining them first means the transport is torn down
+  // only once nothing can touch it.
   for (auto& mailbox : mailboxes_) mailbox->Close();
   for (auto& thread : threads_) {
     if (thread.joinable()) thread.join();
   }
   threads_.clear();
+  if (tcp_) tcp_->Stop();
 }
 
 }  // namespace sbft

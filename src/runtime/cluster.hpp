@@ -28,6 +28,8 @@ class ThreadCluster {
     /// Use TCP sockets on 127.0.0.1 instead of in-process mailboxes for
     /// the transport (mailboxes still deliver to the node thread).
     bool use_tcp = false;
+    /// Epoll reactor threads for the TCP transport (ignored otherwise).
+    std::size_t reactor_threads = 1;
     std::uint64_t seed = 1;
   };
 
@@ -45,7 +47,9 @@ class ThreadCluster {
   /// OnStart hooks on each node's own thread.
   void Start();
 
-  /// Close mailboxes, join threads, tear down sockets. Idempotent.
+  /// Close mailboxes, join node threads, then tear down sockets — in
+  /// that order, so the transport outlives every thread that can still
+  /// call Send/Flush on it. Idempotent.
   void Stop();
 
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }

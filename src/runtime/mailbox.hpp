@@ -9,6 +9,7 @@
 #include <mutex>
 #include <optional>
 #include <variant>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "common/frame.hpp"
@@ -39,6 +40,21 @@ class Mailbox {
     return true;
   }
 
+  /// Push a whole burst (e.g. every frame decoded from one recv) under
+  /// a single lock acquisition. Returns false if the mailbox is closed;
+  /// the batch is then dropped, matching Push-after-Close semantics.
+  bool PushBatch(std::vector<MailItem>&& batch) {
+    if (batch.empty()) return true;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return false;
+      for (auto& item : batch) items_.push_back(std::move(item));
+    }
+    batch.clear();
+    ready_.notify_one();
+    return true;
+  }
+
   /// Blocks until an item arrives or the mailbox is closed and drained.
   std::optional<MailItem> Pop() {
     std::unique_lock<std::mutex> lock(mutex_);
@@ -47,6 +63,19 @@ class Mailbox {
     MailItem item = std::move(items_.front());
     items_.pop_front();
     return item;
+  }
+
+  /// Blocks until at least one item is available, then swaps the whole
+  /// queue into `out` — one lock per drain, however many items arrived.
+  /// `out` is cleared first. Returns false only when the mailbox is
+  /// closed AND drained (runtime shutdown).
+  bool Drain(std::deque<MailItem>& out) {
+    out.clear();
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;  // closed and drained
+    out.swap(items_);
+    return true;
   }
 
   void Close() {

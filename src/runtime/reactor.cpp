@@ -1,0 +1,185 @@
+#include "runtime/reactor.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+
+#include "common/error.hpp"
+
+namespace sbft {
+
+Reactor::Reactor(std::size_t n_threads) {
+  if (n_threads == 0) n_threads = 1;
+  for (std::size_t i = 0; i < n_threads; ++i) {
+    auto loop = std::make_unique<Loop>();
+    loop->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    SBFT_ASSERT(loop->epoll_fd >= 0);
+    loop->wake_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    SBFT_ASSERT(loop->wake_fd >= 0);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = loop->wake_fd;
+    SBFT_ASSERT(::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, loop->wake_fd,
+                            &ev) == 0);
+    loops_.push_back(std::move(loop));
+  }
+}
+
+Reactor::~Reactor() {
+  Stop();
+  for (auto& loop : loops_) {
+    if (loop->epoll_fd >= 0) ::close(loop->epoll_fd);
+    if (loop->wake_fd >= 0) ::close(loop->wake_fd);
+  }
+}
+
+void Reactor::Start() {
+  if (started_) return;
+  started_ = true;
+  running_.store(true, std::memory_order_release);
+  for (auto& loop : loops_) {
+    loop->thread = std::thread([this, raw = loop.get()] { RunLoop(*raw); });
+  }
+}
+
+void Reactor::Stop() {
+  if (stopped_ || !started_) {
+    stopped_ = true;
+    return;
+  }
+  stopped_ = true;
+  running_.store(false, std::memory_order_release);
+  for (auto& loop : loops_) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(loop->wake_fd, &one, sizeof(one));
+  }
+  for (auto& loop : loops_) {
+    if (loop->thread.joinable()) loop->thread.join();
+  }
+  // Run commands that were posted but never dispatched (typically
+  // deferred closes); the loops are gone, so inline is race-free.
+  for (auto& loop : loops_) {
+    std::vector<std::function<void()>> commands;
+    {
+      std::lock_guard<std::mutex> lock(loop->mutex);
+      commands.swap(loop->commands);
+    }
+    for (auto& command : commands) command();
+  }
+}
+
+Reactor::Loop* Reactor::OwnerOf(int fd) {
+  std::lock_guard<std::mutex> lock(owner_mutex_);
+  auto it = owner_.find(fd);
+  return it == owner_.end() ? nullptr : loops_[it->second].get();
+}
+
+bool Reactor::Add(int fd, std::uint32_t events, Handler handler) {
+  std::size_t index;
+  {
+    std::lock_guard<std::mutex> lock(owner_mutex_);
+    index = next_loop_++ % loops_.size();
+    owner_[fd] = index;
+  }
+  Loop& loop = *loops_[index];
+  {
+    // Install the handler before the fd can fire on the loop thread.
+    std::lock_guard<std::mutex> lock(loop.mutex);
+    loop.handlers[fd] = std::make_shared<Handler>(std::move(handler));
+  }
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(loop.epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    std::lock_guard<std::mutex> lock(loop.mutex);
+    loop.handlers.erase(fd);
+    std::lock_guard<std::mutex> owner_lock(owner_mutex_);
+    owner_.erase(fd);
+    return false;
+  }
+  return true;
+}
+
+bool Reactor::Modify(int fd, std::uint32_t events) {
+  Loop* loop = OwnerOf(fd);
+  if (loop == nullptr) return false;
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  return ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_MOD, fd, &ev) == 0;
+}
+
+void Reactor::RemoveAndClose(int fd, std::function<void()> on_closed) {
+  Loop* loop = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(owner_mutex_);
+    auto it = owner_.find(fd);
+    if (it == owner_.end()) {
+      if (on_closed) on_closed();
+      return;
+    }
+    loop = loops_[it->second].get();
+    owner_.erase(it);
+  }
+  Post(*loop, [loop, fd, on_closed = std::move(on_closed)] {
+    {
+      std::lock_guard<std::mutex> lock(loop->mutex);
+      loop->handlers.erase(fd);
+    }
+    ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
+    ::close(fd);
+    if (on_closed) on_closed();
+  });
+}
+
+void Reactor::Post(Loop& loop, std::function<void()> fn) {
+  if (!running_.load(std::memory_order_acquire)) {
+    fn();  // loops joined (or never started): inline is race-free
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(loop.mutex);
+    loop.commands.push_back(std::move(fn));
+  }
+  const std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(loop.wake_fd, &one, sizeof(one));
+}
+
+void Reactor::RunLoop(Loop& loop) {
+  std::array<epoll_event, 64> events;
+  while (running_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(loop.epoll_fd, events.data(),
+                               static_cast<int>(events.size()), -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[static_cast<std::size_t>(i)].data.fd;
+      if (fd == loop.wake_fd) {
+        std::uint64_t drained = 0;
+        [[maybe_unused]] ssize_t r =
+            ::read(loop.wake_fd, &drained, sizeof(drained));
+        std::vector<std::function<void()>> commands;
+        {
+          std::lock_guard<std::mutex> lock(loop.mutex);
+          commands.swap(loop.commands);
+        }
+        for (auto& command : commands) command();
+        continue;
+      }
+      std::shared_ptr<Handler> handler;
+      {
+        std::lock_guard<std::mutex> lock(loop.mutex);
+        auto it = loop.handlers.find(fd);
+        if (it != loop.handlers.end()) handler = it->second;
+      }
+      if (handler) (*handler)(events[static_cast<std::size_t>(i)].events);
+    }
+  }
+}
+
+}  // namespace sbft

@@ -1,0 +1,88 @@
+// Epoll I/O reactor for the threaded runtime.
+//
+// A Reactor owns a small pool of event-loop threads. Each loop has its
+// own epoll instance plus an eventfd for cross-thread wakeups; every
+// registered fd is pinned to exactly one loop (round-robin at Add), and
+// its handler only ever runs on that loop's thread. That single-owner
+// rule is what makes per-fd state (read reassembly buffers, accept
+// bookkeeping) lock-free: the reactor never runs two handlers for one
+// fd concurrently, and RemoveAndClose defers the close onto the owning
+// loop so a handler can never race its own fd being closed and reused.
+//
+// Interest-set changes (Modify) go straight to epoll_ctl, which is
+// thread-safe, so a writer thread can arm EPOLLOUT on a connection it
+// does not own without a wakeup round-trip.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace sbft {
+
+class Reactor {
+ public:
+  /// Runs on the owning loop thread with the epoll event mask.
+  using Handler = std::function<void(std::uint32_t events)>;
+
+  explicit Reactor(std::size_t n_threads = 1);
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// Spawn the loop threads. Add may be called before or after Start;
+  /// events are only dispatched once the loops run.
+  void Start();
+
+  /// Wake and join every loop. Idempotent. Registered fds are NOT
+  /// closed — the caller owns them and closes after Stop returns (at
+  /// that point no handler can be running).
+  void Stop();
+
+  /// Register `fd` on one of the loops (round-robin) with the given
+  /// epoll interest set. Returns false if epoll_ctl rejects the fd.
+  bool Add(int fd, std::uint32_t events, Handler handler);
+
+  /// Replace the interest set of a registered fd. Safe from any thread;
+  /// with edge-triggered sets, EPOLL_CTL_MOD re-arms the fd so a level
+  /// that is already up is reported again.
+  bool Modify(int fd, std::uint32_t events);
+
+  /// Unregister `fd` and close it on its owning loop thread, after any
+  /// currently running handler for it has returned. `on_closed` (may be
+  /// empty) runs on the loop thread right after the close. If the
+  /// reactor is already stopped, everything happens inline.
+  void RemoveAndClose(int fd, std::function<void()> on_closed = {});
+
+  [[nodiscard]] std::size_t thread_count() const { return loops_.size(); }
+
+ private:
+  struct Loop {
+    int epoll_fd = -1;
+    int wake_fd = -1;
+    std::thread thread;
+    std::mutex mutex;  // guards handlers + commands
+    std::unordered_map<int, std::shared_ptr<Handler>> handlers;
+    std::vector<std::function<void()>> commands;
+  };
+
+  void RunLoop(Loop& loop);
+  void Post(Loop& loop, std::function<void()> fn);
+  Loop* OwnerOf(int fd);
+
+  std::vector<std::unique_ptr<Loop>> loops_;
+  std::mutex owner_mutex_;
+  std::unordered_map<int, std::size_t> owner_;
+  std::size_t next_loop_ = 0;  // under owner_mutex_
+  std::atomic<bool> running_{false};
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace sbft

@@ -1,18 +1,45 @@
 #include "runtime/register_cluster.hpp"
 
+#include <algorithm>
 #include <future>
 
 namespace sbft {
+namespace {
+
+/// Register hosting logical client `i` in multiplex mode. Offset by one
+/// so no logical client lands on register 0 (kept free for tests that
+/// poke the namespace directly).
+RegisterId RegisterOf(std::size_t client) { return client + 1; }
+
+}  // namespace
 
 RegisterCluster::RegisterCluster(Options options)
     : config_(options.config),
-      cluster_(ThreadCluster::Options{options.use_tcp, options.seed}),
-      op_timeout_(options.op_timeout) {
+      cluster_(ThreadCluster::Options{options.use_tcp,
+                                      options.reactor_threads,
+                                      options.seed}),
+      op_timeout_(options.op_timeout),
+      n_clients_(options.n_clients) {
   config_.Validate();
   std::vector<NodeId> server_ids;
   for (std::size_t i = 0; i < config_.n; ++i) {
-    std::unique_ptr<RegisterServer> server;
-    if (auto it = options.byzantine.find(i); it != options.byzantine.end()) {
+    std::unique_ptr<Automaton> server;
+    if (options.multiplex) {
+      MuxServer::ServerFactory factory;
+      if (auto it = options.byzantine.find(i);
+          it != options.byzantine.end()) {
+        // Every register of a Byzantine replica misbehaves.
+        factory = [strategy = it->second, config = config_, i,
+                   seed = options.seed * 131 + i](RegisterId) {
+          return MakeByzantineServer(strategy, config, i, seed);
+        };
+      }
+      server = std::make_unique<MuxServer>(config_, i, /*max_registers=*/
+                                           std::max<std::size_t>(
+                                               1024, n_clients_ + 1),
+                                           std::move(factory));
+    } else if (auto it = options.byzantine.find(i);
+               it != options.byzantine.end()) {
       server = MakeByzantineServer(it->second, config_, i,
                                    options.seed * 131 + i);
     } else {
@@ -20,24 +47,64 @@ RegisterCluster::RegisterCluster(Options options)
     }
     server_ids.push_back(cluster_.AddNode(std::move(server)));
   }
-  for (std::size_t i = 0; i < options.n_clients; ++i) {
-    auto client = std::make_unique<RegisterClient>(
-        config_, server_ids, static_cast<ClientId>(config_.n + i));
-    clients_.push_back(client.get());
-    client_ids_.push_back(cluster_.AddNode(std::move(client)));
+  if (options.multiplex) {
+    auto client = std::make_unique<MuxClient>(
+        config_, server_ids, static_cast<ClientId>(config_.n),
+        /*max_registers=*/std::max<std::size_t>(1024, n_clients_ + 1));
+    mux_client_ = client.get();
+    mux_client_id_ = cluster_.AddNode(std::move(client));
+  } else {
+    for (std::size_t i = 0; i < options.n_clients; ++i) {
+      auto client = std::make_unique<RegisterClient>(
+          config_, server_ids, static_cast<ClientId>(config_.n + i));
+      clients_.push_back(client.get());
+      client_ids_.push_back(cluster_.AddNode(std::move(client)));
+    }
   }
+}
+
+void RegisterCluster::AsyncWrite(std::size_t client, Value value,
+                                 WriteCallback callback) {
+  if (mux_client_ != nullptr) {
+    cluster_.PostToNode(mux_client_id_,
+                        [this, client, value = std::move(value),
+                         callback = std::move(callback)]() mutable {
+                          mux_client_->StartWrite(RegisterOf(client),
+                                                  std::move(value),
+                                                  std::move(callback));
+                        });
+    return;
+  }
+  cluster_.PostToNode(client_ids_[client],
+                      [this, client, value = std::move(value),
+                       callback = std::move(callback)]() mutable {
+                        clients_[client]->StartWrite(std::move(value),
+                                                     std::move(callback));
+                      });
+}
+
+void RegisterCluster::AsyncRead(std::size_t client, ReadCallback callback) {
+  if (mux_client_ != nullptr) {
+    cluster_.PostToNode(mux_client_id_,
+                        [this, client,
+                         callback = std::move(callback)]() mutable {
+                          mux_client_->StartRead(RegisterOf(client),
+                                                 std::move(callback));
+                        });
+    return;
+  }
+  cluster_.PostToNode(client_ids_[client],
+                      [this, client, callback = std::move(callback)]() mutable {
+                        clients_[client]->StartRead(std::move(callback));
+                      });
 }
 
 WriteOutcome RegisterCluster::Write(std::size_t client, Value value) {
   auto done = std::make_shared<std::promise<WriteOutcome>>();
   auto future = done->get_future();
-  cluster_.PostToNode(client_ids_[client],
-                      [this, client, value = std::move(value), done] {
-                        clients_[client]->StartWrite(
-                            value, [done](const WriteOutcome& outcome) {
-                              done->set_value(outcome);
-                            });
-                      });
+  AsyncWrite(client, std::move(value), [done](const WriteOutcome& outcome) {
+    done->set_value(outcome);
+  });
   if (future.wait_for(op_timeout_) != std::future_status::ready) {
     return WriteOutcome{};  // kFailed
   }
@@ -47,10 +114,8 @@ WriteOutcome RegisterCluster::Write(std::size_t client, Value value) {
 ReadOutcome RegisterCluster::Read(std::size_t client) {
   auto done = std::make_shared<std::promise<ReadOutcome>>();
   auto future = done->get_future();
-  cluster_.PostToNode(client_ids_[client], [this, client, done] {
-    clients_[client]->StartRead([done](const ReadOutcome& outcome) {
-      done->set_value(outcome);
-    });
+  AsyncRead(client, [done](const ReadOutcome& outcome) {
+    done->set_value(outcome);
   });
   if (future.wait_for(op_timeout_) != std::future_status::ready) {
     return ReadOutcome{};  // kFailed

@@ -2,6 +2,15 @@
 // plus clients, each on its own OS thread, over in-process mailboxes or
 // TCP loopback. Mirrors core/deployment.hpp for the real-concurrency
 // setting (experiment E7, tcp_cluster example).
+//
+// Two client topologies:
+//   * default — one RegisterClient node per logical client, mirroring
+//     the sim deployment one-to-one;
+//   * multiplex — ONE MuxClient node hosts all logical clients, each as
+//     its own register (RegisterId = logical index + 1) over MuxServer
+//     replicas. Operations of distinct logical clients are independent
+//     protocol instances, so hundreds of them pipeline over a handful
+//     of connections — the topology the high-concurrency bench sweeps.
 #pragma once
 
 #include <chrono>
@@ -9,6 +18,7 @@
 
 #include "core/byzantine.hpp"
 #include "core/client.hpp"
+#include "core/mux.hpp"
 #include "runtime/cluster.hpp"
 
 namespace sbft {
@@ -18,6 +28,11 @@ class RegisterCluster {
   struct Options {
     ProtocolConfig config;
     bool use_tcp = false;
+    /// Host all logical clients in one MuxClient node (see file
+    /// comment); servers become MuxServers.
+    bool multiplex = false;
+    /// Reactor threads for the TCP transport (ignored without use_tcp).
+    std::size_t reactor_threads = 1;
     std::size_t n_clients = 1;
     std::map<std::size_t, ByzantineStrategy> byzantine;
     std::uint64_t seed = 1;
@@ -32,21 +47,34 @@ class RegisterCluster {
   void Start() { cluster_.Start(); }
   void Stop() { cluster_.Stop(); }
 
-  /// Synchronous operations, safe to call from any external thread
-  /// (each client must be driven by one external thread at a time).
+  /// Asynchronous operations: the callback runs on the client node's
+  /// thread once the protocol completes. Safe to call from any thread,
+  /// but each logical client admits ONE in-flight operation at a time
+  /// (issue the next from the callback for a closed loop).
+  void AsyncWrite(std::size_t client, Value value, WriteCallback callback);
+  void AsyncRead(std::size_t client, ReadCallback callback);
+
+  /// Synchronous wrappers over the async API (block on a future, with
+  /// op_timeout mapping to kFailed).
   WriteOutcome Write(std::size_t client, Value value);
   ReadOutcome Read(std::size_t client);
 
   [[nodiscard]] const ProtocolConfig& config() const { return config_; }
   [[nodiscard]] ThreadCluster& cluster() { return cluster_; }
-  [[nodiscard]] std::size_t n_clients() const { return clients_.size(); }
+  [[nodiscard]] std::size_t n_clients() const { return n_clients_; }
+  [[nodiscard]] bool multiplexed() const { return mux_client_ != nullptr; }
 
  private:
   ProtocolConfig config_;
   ThreadCluster cluster_;
   std::chrono::milliseconds op_timeout_;
+  std::size_t n_clients_ = 0;
+  // Default topology: one node per logical client.
   std::vector<RegisterClient*> clients_;
   std::vector<NodeId> client_ids_;
+  // Multiplex topology: all logical clients live in this node.
+  MuxClient* mux_client_ = nullptr;
+  NodeId mux_client_id_ = kNoNode;
 };
 
 }  // namespace sbft

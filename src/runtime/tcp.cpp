@@ -1,41 +1,26 @@
 #include "runtime/tcp.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstring>
 
 #include "common/buffer_pool.hpp"
 #include "common/error.hpp"
-#include "common/logging.hpp"
 
 namespace sbft {
 namespace {
 
 constexpr std::uint32_t kMaxTcpFrame = 16u << 20;
-
-bool WriteAll(int fd, const std::uint8_t* data, std::size_t size) {
-  std::size_t sent = 0;
-  while (sent < size) {
-    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
-    if (n <= 0) return false;
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-bool ReadAll(int fd, std::uint8_t* data, std::size_t size) {
-  std::size_t got = 0;
-  while (got < size) {
-    const ssize_t n = ::recv(fd, data + got, size - got, 0);
-    if (n <= 0) return false;
-    got += static_cast<std::size_t>(n);
-  }
-  return true;
-}
+constexpr std::size_t kReadChunk = 128u << 10;
+constexpr int kMaxIov = 64;
 
 std::uint32_t LoadU32(const std::uint8_t* p) {
   return static_cast<std::uint32_t>(p[0]) |
@@ -51,10 +36,35 @@ void StoreU32(std::uint8_t* p, std::uint32_t v) {
   p[3] = static_cast<std::uint8_t>(v >> 24);
 }
 
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void SetNoDelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// The fd is closed by whichever of the reactor-side removal and
+/// TcpBus::Stop gets there first; the flag makes that race benign.
+void CloseOnce(std::atomic<bool>& fd_closed, int fd) {
+  if (fd >= 0 && !fd_closed.exchange(true)) ::close(fd);
+}
+
+enum class FlushResult : std::uint8_t { kDrained, kBlocked, kError };
+
 }  // namespace
 
+TcpBus::TcpBus(DeliverFn deliver, Options options)
+    : deliver_(std::move(deliver)),
+      options_(options),
+      reactor_(options.reactor_threads) {}
+
+TcpBus::~TcpBus() { Stop(); }
+
 std::uint16_t TcpBus::AddNode(NodeId node) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   SBFT_ASSERT(fd >= 0);
   const int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -65,128 +75,330 @@ std::uint16_t TcpBus::AddNode(NodeId node) {
   addr.sin_port = 0;  // ephemeral
   SBFT_ASSERT(::bind(fd, reinterpret_cast<sockaddr*>(&addr),
                      sizeof(addr)) == 0);
-  SBFT_ASSERT(::listen(fd, 64) == 0);
+  SBFT_ASSERT(::listen(fd, 256) == 0);
+  SetNonBlocking(fd);
 
   socklen_t len = sizeof(addr);
   SBFT_ASSERT(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr),
                             &len) == 0);
   std::lock_guard<std::mutex> lock(mutex_);
-  listeners_[node] = Listener{fd, ntohs(addr.sin_port), {}};
-  return ntohs(addr.sin_port);
+  auto listener = std::make_unique<Listener>();
+  listener->fd = fd;
+  listener->port = ntohs(addr.sin_port);
+  const std::uint16_t port = listener->port;
+  listeners_[node] = std::move(listener);
+  if (tx_.size() <= node) tx_.resize(node + 1);
+  return port;
 }
 
 void TcpBus::Start() {
   running_.store(true);
+  reactor_.Start();
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [node, listener] : listeners_) {
-    listener.acceptor = std::thread([this, id = node] { AcceptLoop(id); });
+    // Level-triggered accept; the handler drains until EAGAIN anyway.
+    reactor_.Add(listener->fd, EPOLLIN,
+                 [this, id = node, fd = listener->fd](std::uint32_t) {
+                   AcceptEvent(id, fd);
+                 });
   }
 }
 
-void TcpBus::AcceptLoop(NodeId node) {
-  int listen_fd = -1;
+void TcpBus::AcceptEvent(NodeId node, int listen_fd) {
+  while (true) {
+    const int fd =
+        ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN, or the listener is going down
+    SetNoDelay(fd);
+    auto peer = std::make_shared<PeerConn>();
+    peer->fd = fd;
+    peer->dst = node;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      peers_.push_back(peer);
+    }
+    if (!reactor_.Add(fd, EPOLLIN | EPOLLRDHUP | EPOLLET,
+                      [this, peer](std::uint32_t events) {
+                        ReadEvent(peer, events);
+                      })) {
+      CloseOnce(peer->fd_closed, fd);
+    }
+  }
+}
+
+bool TcpBus::ParseFrames(PeerConn& peer, std::vector<Delivery>& batch) {
+  const std::uint8_t* data = peer.inbuf.data();
+  while (peer.len - peer.off >= 8) {
+    const std::uint32_t length = LoadU32(data + peer.off);
+    const NodeId src = LoadU32(data + peer.off + 4);
+    if (length > kMaxTcpFrame) return false;  // malformed: drop connection
+    if (peer.len - peer.off - 8 < length) break;  // torn frame: wait
+    Bytes frame = FramePool().Acquire();
+    frame.assign(data + peer.off + 8, data + peer.off + 8 + length);
+    batch.push_back(Delivery{src, std::move(frame)});
+    peer.off += 8 + static_cast<std::size_t>(length);
+  }
+  if (peer.off == peer.len) {
+    peer.off = 0;
+    peer.len = 0;
+  }
+  return true;
+}
+
+void TcpBus::ReadEvent(const std::shared_ptr<PeerConn>& peer,
+                       std::uint32_t events) {
+  if (peer->closed) return;
+  std::vector<Delivery> batch;
+  bool drop = false;
+  while (true) {
+    // Make room for the next chunk: slide any partial frame to the
+    // front, then grow the capacity buffer if still needed.
+    if (peer->off > 0) {
+      std::memmove(peer->inbuf.data(), peer->inbuf.data() + peer->off,
+                   peer->len - peer->off);
+      peer->len -= peer->off;
+      peer->off = 0;
+    }
+    if (peer->inbuf.size() - peer->len < kReadChunk) {
+      peer->inbuf.resize(peer->len + kReadChunk);
+    }
+    const ssize_t n = ::recv(peer->fd, peer->inbuf.data() + peer->len,
+                             peer->inbuf.size() - peer->len, 0);
+    if (n > 0) {
+      peer->len += static_cast<std::size_t>(n);
+      if (!ParseFrames(*peer, batch)) {
+        drop = true;
+        break;
+      }
+      continue;  // edge-triggered: drain until EAGAIN
+    }
+    if (n == 0) {
+      drop = true;  // peer closed
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno != EAGAIN && errno != EWOULDBLOCK) drop = true;
+    break;
+  }
+  if (!batch.empty()) deliver_(peer->dst, std::move(batch));
+  if (drop || (events & (EPOLLERR | EPOLLHUP))) ClosePeer(peer);
+}
+
+void TcpBus::ClosePeer(const std::shared_ptr<PeerConn>& peer) {
+  if (peer->closed) return;
+  peer->closed = true;
+  reactor_.RemoveAndClose(peer->fd, [peer] {
+    peer->fd_closed.store(true);  // RemoveAndClose performed the close
+  });
+}
+
+std::shared_ptr<TcpBus::Connection> TcpBus::Connect(NodeId src, NodeId dst) {
+  std::uint16_t port = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    listen_fd = listeners_[node].fd;
+    auto it = listeners_.find(dst);
+    if (it == listeners_.end()) return nullptr;
+    port = it->second->port;
   }
-  while (running_.load()) {
-    const int fd = ::accept(listen_fd, nullptr, nullptr);
-    if (fd < 0) break;  // listener closed
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    std::lock_guard<std::mutex> lock(mutex_);
-    readers_.emplace_back([this, node, fd] { ReadLoop(node, fd); });
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return nullptr;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return nullptr;  // degraded: the caller's op fails/retries cleanly
   }
-}
-
-void TcpBus::ReadLoop(NodeId node, int fd) {
-  std::uint8_t header[8];
-  while (running_.load()) {
-    if (!ReadAll(fd, header, sizeof(header))) break;
-    const std::uint32_t length = LoadU32(header);
-    const NodeId src = LoadU32(header + 4);
-    if (length > kMaxTcpFrame) break;  // malformed: drop connection
-    // Draw the frame buffer from this reader thread's pool; the
-    // consuming node loop recycles it after OnFrame.
-    Bytes frame = FramePool().Acquire();
-    frame.resize(length);
-    if (!ReadAll(fd, frame.data(), length)) break;
-    deliver_(src, node, std::move(frame));
+  SetNoDelay(fd);
+  SetNonBlocking(fd);
+  auto conn = std::make_shared<Connection>();
+  conn->fd = fd;
+  conn->src = src;
+  conn->dst = dst;
+  // Outgoing connections carry no inbound protocol traffic; readability
+  // means EOF or reset, which the reactor turns into a dead connection.
+  if (!reactor_.Add(fd, EPOLLIN | EPOLLRDHUP | EPOLLET,
+                    [this, conn](std::uint32_t events) {
+                      OutgoingEvent(conn, events);
+                    })) {
+    ::close(fd);
+    return nullptr;
   }
-  ::close(fd);
+  return conn;
 }
 
 bool TcpBus::Send(NodeId src, NodeId dst, BytesView frame) {
-  if (!running_.load()) return false;
-  int fd = -1;
-  Connection* conn = nullptr;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto& connection = connections_[{src, dst}];
-    if (connection.fd < 0) {
-      auto it = listeners_.find(dst);
-      if (it == listeners_.end()) return false;
-      const int new_fd = ::socket(AF_INET, SOCK_STREAM, 0);
-      if (new_fd < 0) return false;
-      sockaddr_in addr{};
-      addr.sin_family = AF_INET;
-      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-      addr.sin_port = htons(it->second.port);
-      if (::connect(new_fd, reinterpret_cast<sockaddr*>(&addr),
-                    sizeof(addr)) != 0) {
-        ::close(new_fd);
-        return false;
-      }
-      const int one = 1;
-      ::setsockopt(new_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-      connection.fd = new_fd;
+  if (!running_.load(std::memory_order_acquire)) return false;
+  if (src >= tx_.size()) return false;
+  Tx& tx = tx_[src];
+  std::shared_ptr<Connection> conn;
+  if (auto it = tx.conns.find(dst); it != tx.conns.end()) {
+    conn = it->second;
+    bool dead;
+    {
+      std::lock_guard<std::mutex> lock(conn->mutex);
+      dead = conn->dead;
     }
-    fd = connection.fd;
-    conn = &connection;  // std::map nodes are address-stable
+    if (dead) conn = nullptr;  // lazily reconnect below
+  }
+  if (!conn) {
+    conn = Connect(src, dst);
+    if (!conn) {
+      tx.conns.erase(dst);
+      return false;
+    }
+    tx.conns[dst] = conn;
   }
 
-  // Build [header][payload] in the connection's reusable buffer and
-  // write it with one send — no per-frame allocation once the buffer's
-  // capacity has grown to the workload's frame size.
-  std::lock_guard<std::mutex> lock(*conn->write_mutex);
-  Bytes& buf = conn->write_buf;
-  buf.clear();
+  // Frame [len][src][payload] into a pooled buffer and queue it; the
+  // bytes hit the wire on Flush (or via the reactor when backlogged).
+  Bytes buf = FramePool().Acquire();
   buf.resize(8);
   StoreU32(buf.data(), static_cast<std::uint32_t>(frame.size()));
   StoreU32(buf.data() + 4, src);
   buf.insert(buf.end(), frame.begin(), frame.end());
-  return WriteAll(fd, buf.data(), buf.size());
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    if (conn->dead) return false;
+    if (conn->pending_bytes + buf.size() > options_.max_pending_bytes) {
+      MarkDeadLocked(conn);  // peer stopped reading; degrade, don't buffer
+      return false;
+    }
+    conn->pending_bytes += buf.size();
+    conn->pending.push_back(std::move(buf));
+  }
+  if (!conn->in_dirty) {
+    conn->in_dirty = true;
+    tx.dirty.push_back(std::move(conn));
+  }
+  return true;
+}
+
+void TcpBus::Flush(NodeId src) {
+  if (src >= tx_.size()) return;
+  Tx& tx = tx_[src];
+  for (auto& conn : tx.dirty) {
+    conn->in_dirty = false;
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    if (conn->dead || conn->epollout_armed) continue;  // reactor's turn
+    if (FlushLocked(*conn) == static_cast<int>(FlushResult::kError)) {
+      MarkDeadLocked(conn);
+    }
+  }
+  tx.dirty.clear();
+}
+
+/// Returns a FlushResult as int (keeps the enum private to this TU).
+int TcpBus::FlushLocked(Connection& conn) {
+  while (!conn.pending.empty()) {
+    iovec iov[kMaxIov];
+    int iovcnt = 0;
+    for (auto it = conn.pending.begin();
+         it != conn.pending.end() && iovcnt < kMaxIov; ++it, ++iovcnt) {
+      const std::size_t skip = (iovcnt == 0) ? conn.front_offset : 0;
+      iov[iovcnt].iov_base = it->data() + skip;
+      iov[iovcnt].iov_len = it->size() - skip;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
+    const ssize_t n = ::sendmsg(conn.fd, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (!conn.epollout_armed) {
+          conn.epollout_armed = true;
+          reactor_.Modify(conn.fd,
+                          EPOLLIN | EPOLLRDHUP | EPOLLOUT | EPOLLET);
+        }
+        return static_cast<int>(FlushResult::kBlocked);
+      }
+      return static_cast<int>(FlushResult::kError);  // EPIPE/ECONNRESET/...
+    }
+    std::size_t left = static_cast<std::size_t>(n);
+    while (left > 0) {
+      Bytes& front = conn.pending.front();
+      const std::size_t avail = front.size() - conn.front_offset;
+      if (left >= avail) {
+        left -= avail;
+        conn.pending_bytes -= front.size();
+        conn.front_offset = 0;
+        FramePool().Release(std::move(front));
+        conn.pending.pop_front();
+      } else {
+        conn.front_offset += left;  // partial write: resume here
+        left = 0;
+      }
+    }
+  }
+  return static_cast<int>(FlushResult::kDrained);
+}
+
+void TcpBus::OutgoingEvent(const std::shared_ptr<Connection>& conn,
+                           std::uint32_t events) {
+  std::lock_guard<std::mutex> lock(conn->mutex);
+  if (conn->dead) return;
+  if (events & (EPOLLIN | EPOLLRDHUP | EPOLLERR | EPOLLHUP)) {
+    std::uint8_t scratch[256];
+    ssize_t n;
+    while ((n = ::recv(conn->fd, scratch, sizeof(scratch), 0)) > 0) {
+    }
+    const bool reset =
+        n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                   errno != EINTR);
+    if (reset || (events & (EPOLLERR | EPOLLHUP))) {
+      MarkDeadLocked(conn);
+      return;
+    }
+  }
+  if (events & EPOLLOUT) {
+    conn->epollout_armed = false;
+    const int result = FlushLocked(*conn);
+    if (result == static_cast<int>(FlushResult::kError)) {
+      MarkDeadLocked(conn);
+    } else if (result == static_cast<int>(FlushResult::kDrained)) {
+      reactor_.Modify(conn->fd, EPOLLIN | EPOLLRDHUP | EPOLLET);
+    }
+  }
+}
+
+void TcpBus::MarkDeadLocked(const std::shared_ptr<Connection>& conn) {
+  if (conn->dead) return;
+  conn->dead = true;
+  conn->pending.clear();
+  conn->pending_bytes = 0;
+  conn->front_offset = 0;
+  connections_dropped_.fetch_add(1, std::memory_order_relaxed);
+  // Wake anything blocked on the socket, then hand the close to the
+  // owning reactor loop so no handler races its own fd being reused.
+  // The lambda keeps the connection alive until the close has run.
+  ::shutdown(conn->fd, SHUT_RDWR);
+  reactor_.RemoveAndClose(conn->fd, [conn] { conn->fd_closed.store(true); });
+}
+
+void TcpBus::DropConnection(NodeId src, NodeId dst) {
+  if (src >= tx_.size()) return;
+  auto it = tx_[src].conns.find(dst);
+  if (it == tx_[src].conns.end()) return;
+  std::lock_guard<std::mutex> lock(it->second->mutex);
+  MarkDeadLocked(it->second);
 }
 
 void TcpBus::Stop() {
   if (stopped_.exchange(true)) return;
   running_.store(false);
-  std::vector<std::thread> to_join;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (auto& [node, listener] : listeners_) {
-      if (listener.fd >= 0) ::shutdown(listener.fd, SHUT_RDWR);
-      if (listener.fd >= 0) ::close(listener.fd);
-      listener.fd = -1;
-    }
-    for (auto& [key, connection] : connections_) {
-      if (connection.fd >= 0) ::shutdown(connection.fd, SHUT_RDWR);
-      if (connection.fd >= 0) ::close(connection.fd);
-      connection.fd = -1;
-    }
+  reactor_.Stop();
+  // Loops are joined and leftover removal commands ran inline; every
+  // fd not yet closed through the reactor is closed here.
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [node, listener] : listeners_) {
+    CloseOnce(listener->fd_closed, listener->fd);
   }
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (auto& [node, listener] : listeners_) {
-      if (listener.acceptor.joinable()) to_join.push_back(
-          std::move(listener.acceptor));
-    }
-    for (auto& reader : readers_) {
-      if (reader.joinable()) to_join.push_back(std::move(reader));
-    }
-    readers_.clear();
+  for (auto& peer : peers_) CloseOnce(peer->fd_closed, peer->fd);
+  for (auto& tx : tx_) {
+    for (auto& [dst, conn] : tx.conns) CloseOnce(conn->fd_closed, conn->fd);
   }
-  for (auto& thread : to_join) thread.join();
 }
 
 }  // namespace sbft

@@ -1,69 +1,171 @@
-// Minimal TCP transport on 127.0.0.1 for the threaded runtime.
+// TCP transport on 127.0.0.1 for the threaded runtime, built on the
+// epoll Reactor (runtime/reactor.hpp) instead of thread-per-connection.
 //
 // Every node owns a listening socket on an ephemeral port; peers
 // connect lazily on first send and keep the connection. Frames are
-// length-prefixed: [u32 length][u32 sender id][payload]. A reader
-// thread per accepted connection decodes frames and hands them to the
-// cluster's delivery callback. Malformed frames (length out of bounds)
-// close the connection — the peer will reconnect; the protocol layer
-// tolerates loss-free FIFO per connection, which TCP provides.
+// length-prefixed: [u32 length][u32 sender id][payload]. All sockets
+// are non-blocking and TCP_NODELAY; batching happens at the
+// application layer:
+//
+//   * Send() only QUEUES a framed buffer on the (src, dst) connection
+//     and marks it dirty for `src`. Flush(src) walks the dirty list and
+//     writes each connection's whole queue with one sendmsg/iovec —
+//     a quorum broadcast or a batch of pipelined replies coalesces
+//     into one syscall per connection. The node loop calls Flush once
+//     per mailbox drain.
+//   * When the socket buffer fills (EAGAIN / partial write), the
+//     reactor takes over: EPOLLOUT is armed and the owning loop
+//     continues the flush, preserving frame order.
+//   * Reads are edge-triggered: one reactor callback drains the socket,
+//     decodes every complete frame in the receive buffer, and delivers
+//     them as ONE batch (all frames of a burst share a single deliver
+//     call, so the cluster pays one mailbox lock per burst).
+//
+// Error handling degrades instead of aborting: a connect failure or an
+// EPIPE/ECONNRESET on send marks the connection dead, drops its queue,
+// and the next Send reconnects lazily. Malformed inbound frames (length
+// out of bounds) drop the connection — the peer reconnects; the
+// protocol layer tolerates loss-free FIFO per connection, which each
+// individual TCP connection provides.
+//
+// Threading contract: for each `src`, Send/Flush must be called from
+// one thread at a time (the node's own thread in ThreadCluster).
+// Different `src` values are fully concurrent, and the reactor loops
+// run concurrently with everything.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
-#include <thread>
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "runtime/reactor.hpp"
 #include "sim/types.hpp"
 
 namespace sbft {
 
 class TcpBus {
  public:
-  using DeliverFn = std::function<void(NodeId src, NodeId dst, Bytes frame)>;
+  struct Options {
+    /// Reactor loop threads shared by all sockets of this bus.
+    std::size_t reactor_threads = 1;
+    /// A connection whose unsent queue exceeds this is dropped (the
+    /// peer stopped reading); ops on it fail/retry instead of the node
+    /// buffering without bound.
+    std::size_t max_pending_bytes = 64u << 20;
+  };
 
-  explicit TcpBus(DeliverFn deliver) : deliver_(std::move(deliver)) {}
-  ~TcpBus() { Stop(); }
+  /// One decoded inbound frame: the sender id from the wire header plus
+  /// the payload (drawn from the reactor thread's FramePool).
+  struct Delivery {
+    NodeId src = kNoNode;
+    Bytes frame;
+  };
+  /// All frames of one receive burst on one connection, in order, for
+  /// the node that owns the listening socket.
+  using DeliverFn =
+      std::function<void(NodeId dst, std::vector<Delivery>&& batch)>;
+
+  TcpBus(DeliverFn deliver, Options options);
+  explicit TcpBus(DeliverFn deliver) : TcpBus(std::move(deliver), Options{}) {}
+  ~TcpBus();
 
   /// Create the listening socket for `node`; returns the bound port.
   /// Call once per node before Start().
   std::uint16_t AddNode(NodeId node);
 
-  /// Spawn acceptor threads.
+  /// Register listeners with the reactor and start its loops.
   void Start();
   void Stop();
 
-  /// Send a frame from `src` to `dst` (connects lazily, thread-safe).
-  /// Returns false if the bus is stopped or the connection failed.
+  /// Queue a frame from `src` to `dst` (connects lazily). Returns false
+  /// if the bus is stopped, `dst` is unknown, or the connection could
+  /// not be (re)established. The frame is not on the wire until
+  /// Flush(src) — or the reactor, if the connection is backlogged.
   bool Send(NodeId src, NodeId dst, BytesView frame);
+
+  /// Write out everything queued by `src` since its last Flush; one
+  /// sendmsg per touched connection (more only if a queue exceeds the
+  /// iovec limit or the socket buffer fills).
+  void Flush(NodeId src);
+
+  /// Chaos hook: forcibly drop the (src, dst) connection as if the peer
+  /// reset it. Queued frames are lost; the next Send reconnects.
+  void DropConnection(NodeId src, NodeId dst);
+
+  /// Connections dropped on error so far (send-side degradation).
+  [[nodiscard]] std::uint64_t connections_dropped() const {
+    return connections_dropped_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Listener {
     int fd = -1;
     std::uint16_t port = 0;
-    std::thread acceptor;
+    std::atomic<bool> fd_closed{false};
   };
 
-  void AcceptLoop(NodeId node);
-  void ReadLoop(NodeId node, int fd);
-
-  DeliverFn deliver_;
-  std::mutex mutex_;
-  std::map<NodeId, Listener> listeners_;
-  // Outgoing connections keyed by (src, dst); each has a write mutex
-  // and a reusable write buffer (header + payload are coalesced into a
-  // single send per frame, guarded by the same mutex).
+  /// Outgoing connection state. `pending`/`front_offset`/flags are
+  /// guarded by `mutex` (contended only between the sending node thread
+  /// and the reactor loop continuing a backlogged flush).
   struct Connection {
     int fd = -1;
-    std::unique_ptr<std::mutex> write_mutex = std::make_unique<std::mutex>();
-    Bytes write_buf;
+    NodeId src = kNoNode;
+    NodeId dst = kNoNode;
+    std::mutex mutex;
+    std::deque<Bytes> pending;
+    std::size_t front_offset = 0;  // bytes of pending.front() already sent
+    std::size_t pending_bytes = 0;
+    bool epollout_armed = false;
+    bool dead = false;
+    bool in_dirty = false;  // touched only by the src node thread
+    std::atomic<bool> fd_closed{false};
   };
-  std::map<std::pair<NodeId, NodeId>, Connection> connections_;
-  std::vector<std::thread> readers_;
+
+  /// Accepted (inbound) connection. All fields are owned by the reactor
+  /// loop the fd is pinned to — no locking. `inbuf` is managed as a
+  /// capacity buffer: `size()` is capacity, `len`/`off` delimit the
+  /// unparsed bytes, so a short recv never pays a resize/zero-fill.
+  struct PeerConn {
+    int fd = -1;
+    NodeId dst = kNoNode;
+    Bytes inbuf;
+    std::size_t len = 0;
+    std::size_t off = 0;
+    bool closed = false;
+    std::atomic<bool> fd_closed{false};
+  };
+
+  struct Tx {
+    std::map<NodeId, std::shared_ptr<Connection>> conns;
+    std::vector<std::shared_ptr<Connection>> dirty;
+  };
+
+  std::shared_ptr<Connection> Connect(NodeId src, NodeId dst);
+  void AcceptEvent(NodeId node, int listen_fd);
+  void ReadEvent(const std::shared_ptr<PeerConn>& peer, std::uint32_t events);
+  void OutgoingEvent(const std::shared_ptr<Connection>& conn,
+                     std::uint32_t events);
+  /// Flush `conn.pending`; requires `conn.mutex` held and !conn.dead.
+  /// Returns a FlushResult (kDrained/kBlocked/kError) as int.
+  int FlushLocked(Connection& conn);
+  void MarkDeadLocked(const std::shared_ptr<Connection>& conn);
+  bool ParseFrames(PeerConn& peer, std::vector<Delivery>& batch);
+  void ClosePeer(const std::shared_ptr<PeerConn>& peer);
+
+  DeliverFn deliver_;
+  Options options_;
+  Reactor reactor_;
+  std::mutex mutex_;  // guards listeners_ (pre-Start) and peers_
+  std::map<NodeId, std::unique_ptr<Listener>> listeners_;
+  std::vector<Tx> tx_;  // indexed by src; each entry single-threaded
+  std::vector<std::shared_ptr<PeerConn>> peers_;
+  std::atomic<std::uint64_t> connections_dropped_{0};
   std::atomic<bool> running_{false};
   std::atomic<bool> stopped_{false};
 };

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <deque>
+#include <future>
 #include <string>
 #include <thread>
 
@@ -46,6 +48,53 @@ TEST(Mailbox, PushAfterCloseRejected) {
   Mailbox mailbox;
   mailbox.Close();
   EXPECT_FALSE(mailbox.Push(MailItem{}));
+}
+
+TEST(Mailbox, DrainSwapsWholeQueueInOrder) {
+  Mailbox mailbox;
+  for (int i = 0; i < 10; ++i) {
+    mailbox.Push(
+        MailItem{static_cast<NodeId>(i), Frame(Bytes{(std::uint8_t)i}), {}});
+  }
+  std::deque<MailItem> batch;
+  ASSERT_TRUE(mailbox.Drain(batch));
+  ASSERT_EQ(batch.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(batch[static_cast<std::size_t>(i)].src,
+              static_cast<NodeId>(i));
+  }
+  EXPECT_EQ(mailbox.size(), 0u);  // queue fully swapped out
+}
+
+TEST(Mailbox, DrainReturnsFalseWhenClosedAndEmpty) {
+  Mailbox mailbox;
+  mailbox.Push(MailItem{3, Frame(Bytes{1}), {}});
+  mailbox.Close();
+  std::deque<MailItem> batch;
+  EXPECT_TRUE(mailbox.Drain(batch));  // pending item still delivered
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_FALSE(mailbox.Drain(batch));  // closed and drained
+}
+
+TEST(Mailbox, PushBatchIsOneBurst) {
+  Mailbox mailbox;
+  std::vector<MailItem> burst;
+  for (int i = 0; i < 5; ++i) {
+    burst.push_back(
+        MailItem{static_cast<NodeId>(i), Frame(Bytes{(std::uint8_t)i}), {}});
+  }
+  ASSERT_TRUE(mailbox.PushBatch(std::move(burst)));
+  std::deque<MailItem> batch;
+  ASSERT_TRUE(mailbox.Drain(batch));
+  ASSERT_EQ(batch.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(batch[static_cast<std::size_t>(i)].src,
+              static_cast<NodeId>(i));
+  }
+  mailbox.Close();
+  std::vector<MailItem> rejected;
+  rejected.push_back(MailItem{});
+  EXPECT_FALSE(mailbox.PushBatch(std::move(rejected)));
 }
 
 TEST(ThreadClusterTest, InprocWriteRead) {
@@ -145,6 +194,50 @@ TEST(ThreadClusterTest, TcpWriteRead) {
     ASSERT_EQ(read.status, OpStatus::kOk) << i;
     EXPECT_EQ(read.value, value) << i;
   }
+  cluster.Stop();
+}
+
+TEST(ThreadClusterTest, TcpWithMultipleReactorThreads) {
+  RegisterCluster::Options options;
+  options.config = ProtocolConfig::ForServers(6);
+  options.use_tcp = true;
+  options.reactor_threads = 3;
+  options.n_clients = 2;
+  RegisterCluster cluster(std::move(options));
+  cluster.Start();
+
+  for (int i = 0; i < 5; ++i) {
+    const Value value = Val("rt" + std::to_string(i));
+    ASSERT_EQ(cluster.Write(i % 2, value).status, OpStatus::kOk) << i;
+    auto read = cluster.Read(i % 2);
+    ASSERT_EQ(read.status, OpStatus::kOk) << i;
+    EXPECT_EQ(read.value, value) << i;
+  }
+  cluster.Stop();
+}
+
+TEST(ThreadClusterTest, AsyncApiCompletesOnNodeThread) {
+  RegisterCluster::Options options;
+  options.config = ProtocolConfig::ForServers(6);
+  options.n_clients = 1;
+  RegisterCluster cluster(std::move(options));
+  cluster.Start();
+
+  std::promise<ReadOutcome> done;
+  cluster.AsyncWrite(0, Val("async"), [&](const WriteOutcome& write) {
+    EXPECT_EQ(write.status, OpStatus::kOk);
+    // Issue the dependent read from the completion callback — the
+    // closed-loop pattern the bench generator uses.
+    cluster.AsyncRead(0, [&](const ReadOutcome& read) {
+      done.set_value(read);
+    });
+  });
+  auto future = done.get_future();
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(10)),
+            std::future_status::ready);
+  auto read = future.get();
+  EXPECT_EQ(read.status, OpStatus::kOk);
+  EXPECT_EQ(read.value, Val("async"));
   cluster.Stop();
 }
 

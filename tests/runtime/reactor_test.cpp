@@ -1,0 +1,277 @@
+// Reactor + reactor-backed TcpBus tests: event dispatch and deferred
+// close on the owning loop; torn-frame reassembly across recv
+// boundaries (raw-socket byte dribbling); interleaved writers to one
+// connection under backpressure; clean shutdown with writes queued
+// behind a full socket.
+#include "runtime/reactor.hpp"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/tcp.hpp"
+
+namespace sbft {
+namespace {
+
+bool WaitUntil(const std::function<bool()>& done, int ms = 5000) {
+  for (int waited = 0; waited < ms; ++waited) {
+    if (done()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return done();
+}
+
+TEST(Reactor, DispatchesOnRegisteredFd) {
+  Reactor reactor(1);
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  std::atomic<int> fired{0};
+  ASSERT_TRUE(reactor.Add(fds[0], EPOLLIN, [&](std::uint32_t events) {
+    EXPECT_TRUE(events & EPOLLIN);
+    char buffer[8];
+    [[maybe_unused]] ssize_t n = ::read(fds[0], buffer, sizeof(buffer));
+    fired.fetch_add(1);
+  }));
+  reactor.Start();
+  ASSERT_EQ(::write(fds[1], "x", 1), 1);
+  EXPECT_TRUE(WaitUntil([&] { return fired.load() >= 1; }));
+  reactor.Stop();
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(Reactor, RemoveAndCloseRunsOnLoopAndCloses) {
+  Reactor reactor(2);
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ASSERT_TRUE(reactor.Add(fds[0], EPOLLIN, [](std::uint32_t) {}));
+  reactor.Start();
+  std::atomic<bool> closed{false};
+  reactor.RemoveAndClose(fds[0], [&] { closed.store(true); });
+  EXPECT_TRUE(WaitUntil([&] { return closed.load(); }));
+  // The fd is really closed: writing to the pipe now raises EPIPE.
+  ::signal(SIGPIPE, SIG_IGN);
+  EXPECT_EQ(::write(fds[1], "x", 1), -1);
+  reactor.Stop();
+  ::close(fds[1]);
+}
+
+TEST(Reactor, StopRunsPendingRemovalsInline) {
+  Reactor reactor(1);
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ASSERT_TRUE(reactor.Add(fds[0], EPOLLIN, [](std::uint32_t) {}));
+  reactor.Start();
+  reactor.Stop();
+  // Post-stop removal must still run (inline) and not hang.
+  std::atomic<bool> closed{false};
+  reactor.RemoveAndClose(fds[0], [&] { closed.store(true); });
+  EXPECT_TRUE(closed.load());
+  ::close(fds[1]);
+}
+
+// --- Torn-frame reassembly ----------------------------------------------
+
+void StoreLe32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+struct BatchCollector {
+  std::mutex mutex;
+  std::vector<Bytes> frames;
+  std::vector<NodeId> sources;
+
+  TcpBus::DeliverFn Fn() {
+    return [this](NodeId, std::vector<TcpBus::Delivery>&& batch) {
+      std::lock_guard<std::mutex> lock(mutex);
+      for (auto& delivery : batch) {
+        sources.push_back(delivery.src);
+        frames.push_back(std::move(delivery.frame));
+      }
+    };
+  }
+  std::size_t Count() {
+    std::lock_guard<std::mutex> lock(mutex);
+    return frames.size();
+  }
+};
+
+TEST(ReactorTcp, TornFramesReassembleAcrossRecvBoundaries) {
+  BatchCollector collector;
+  TcpBus bus(collector.Fn());
+  const std::uint16_t port = bus.AddNode(0);
+  bus.Start();
+
+  // Hand-framed wire bytes: three frames from "node 7", the middle one
+  // empty, the last one 1000 bytes.
+  std::vector<std::uint8_t> wire;
+  auto append_frame = [&wire](std::uint32_t src, const Bytes& payload) {
+    std::uint8_t header[8];
+    StoreLe32(header, static_cast<std::uint32_t>(payload.size()));
+    StoreLe32(header + 4, src);
+    wire.insert(wire.end(), header, header + 8);
+    wire.insert(wire.end(), payload.begin(), payload.end());
+  };
+  append_frame(7, Bytes{1, 2, 3});
+  append_frame(7, Bytes{});
+  Bytes big(1000);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::uint8_t>(i);
+  }
+  append_frame(7, big);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  // Dribble the stream in 7-byte chunks with small pauses, so headers
+  // and payloads tear across recv calls in every possible alignment.
+  for (std::size_t off = 0; off < wire.size(); off += 7) {
+    const std::size_t len = std::min<std::size_t>(7, wire.size() - off);
+    ASSERT_EQ(::send(fd, wire.data() + off, len, 0),
+              static_cast<ssize_t>(len));
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+
+  ASSERT_TRUE(WaitUntil([&] { return collector.Count() >= 3; }));
+  std::lock_guard<std::mutex> lock(collector.mutex);
+  EXPECT_EQ(collector.sources, (std::vector<NodeId>{7, 7, 7}));
+  EXPECT_EQ(collector.frames[0], (Bytes{1, 2, 3}));
+  EXPECT_TRUE(collector.frames[1].empty());
+  EXPECT_EQ(collector.frames[2], big);
+  ::close(fd);
+  bus.Stop();
+}
+
+TEST(ReactorTcp, OversizedFrameDropsConnectionNotProcess) {
+  BatchCollector collector;
+  TcpBus bus(collector.Fn());
+  const std::uint16_t port = bus.AddNode(0);
+  bus.Start();
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  std::uint8_t header[8];
+  StoreLe32(header, 0xffffffffu);  // length far beyond kMaxTcpFrame
+  StoreLe32(header + 4, 3);
+  ASSERT_EQ(::send(fd, header, sizeof(header), 0), 8);
+
+  // The bus must close the connection: the peer observes EOF/reset.
+  char buffer[16];
+  ssize_t n = -2;
+  EXPECT_TRUE(WaitUntil([&] {
+    n = ::recv(fd, buffer, sizeof(buffer), MSG_DONTWAIT);
+    return n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK);
+  }));
+  EXPECT_EQ(collector.Count(), 0u);
+  ::close(fd);
+  bus.Stop();
+}
+
+// --- Backpressure: interleaved writers to one connection ----------------
+
+// Node thread (Send+Flush) and reactor loop (EPOLLOUT continuation)
+// alternate writing one connection while the receiving side is slowed
+// by a deliberately blocking deliver callback. Total volume (~24MB of
+// 64KB frames) far exceeds socket buffers, so the EAGAIN path and the
+// epollout_armed handoff are exercised continuously. Frames must still
+// arrive complete and in order.
+TEST(ReactorTcp, BackpressurePreservesOrderAcrossInterleavedFlushers) {
+  std::mutex mutex;
+  std::vector<std::uint32_t> seen;
+  std::atomic<bool> slow{true};
+  TcpBus::Options options;
+  options.reactor_threads = 2;  // receiver loop can stall independently
+  TcpBus bus(
+      [&](NodeId, std::vector<TcpBus::Delivery>&& batch) {
+        if (slow.load()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+        std::lock_guard<std::mutex> lock(mutex);
+        for (auto& delivery : batch) {
+          ASSERT_EQ(delivery.frame.size(), std::size_t{64} << 10);
+          std::uint32_t sequence;
+          std::memcpy(&sequence, delivery.frame.data(), sizeof(sequence));
+          seen.push_back(sequence);
+        }
+      },
+      options);
+  bus.AddNode(0);
+  bus.AddNode(1);
+  bus.Start();
+
+  constexpr std::uint32_t kFrames = 384;  // * 64KB = 24MB
+  Bytes payload(std::size_t{64} << 10, 0xab);
+  for (std::uint32_t i = 0; i < kFrames; ++i) {
+    std::memcpy(payload.data(), &i, sizeof(i));
+    ASSERT_TRUE(bus.Send(0, 1, payload));
+    if (i % 4 == 3) bus.Flush(0);
+    if (i == kFrames / 2) slow.store(false);  // let the tail drain fast
+  }
+  bus.Flush(0);
+
+  ASSERT_TRUE(WaitUntil(
+      [&] {
+        std::lock_guard<std::mutex> lock(mutex);
+        return seen.size() >= kFrames;
+      },
+      20000));
+  std::lock_guard<std::mutex> lock(mutex);
+  ASSERT_EQ(seen.size(), kFrames);
+  for (std::uint32_t i = 0; i < kFrames; ++i) {
+    ASSERT_EQ(seen[i], i) << "frame order broke at " << i;
+  }
+  bus.Stop();
+}
+
+TEST(ReactorTcp, StopWhileBackpressured) {
+  std::atomic<std::size_t> delivered{0};
+  TcpBus bus([&](NodeId, std::vector<TcpBus::Delivery>&& batch) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    delivered.fetch_add(batch.size());
+  });
+  bus.AddNode(0);
+  bus.AddNode(1);
+  bus.Start();
+  Bytes payload(std::size_t{256} << 10, 0xcd);
+  for (int i = 0; i < 64; ++i) {
+    if (!bus.Send(0, 1, payload)) break;
+    bus.Flush(0);
+  }
+  // Stop with megabytes still queued behind a stalled reader: must not
+  // hang, crash, or leak (ASan/TSan runs cover the latter).
+  bus.Stop();
+}
+
+}  // namespace
+}  // namespace sbft

@@ -12,9 +12,9 @@ any metric that regressed by more than ``--threshold`` (default 25%).
 
 Metrics come in two classes:
 
-* **count-like** (allocs, bytes, frames per op, failed/stalled ops):
-  deterministic properties of the code, comparable across machines.
-  A regression here gates (exit 1).
+* **count-like** (allocs, bytes, frames per op, failed/stalled ops,
+  completed_frac): deterministic properties of the code, comparable
+  across machines. A regression here gates (exit 1).
 * **rate-like** (ops/s, runs/s, p99 latency, speedups): functions of
   the machine the bench ran on. A CI runner is not the machine the
   committed baseline was recorded on, so by default these are reported
@@ -32,9 +32,12 @@ import sys
 # the higher-is-better marks so e.g. "allocs_per_op" resolves correctly.
 LOWER_IS_BETTER = ("allocs", "bytes", "p99", "latency", "_us", "failed",
                    "stalled", "vacuous", "frames_per_op")
-# Substrings that mark a metric where LARGER is better.
+# Substrings that mark a metric where LARGER is better. completed_frac
+# (fraction of attempted ops that finished, 1.0 = all) is deliberately
+# count-like: it is scale-invariant, so a smoke run gates cleanly
+# against a full-run baseline.
 HIGHER_IS_BETTER = ("per_sec", "speedup", "runs_per", "ops_per",
-                    "roundtrips", "throughput")
+                    "roundtrips", "throughput", "completed")
 # Rate-like marks: machine-dependent, advisory unless --gate-rates.
 RATE_LIKE = ("per_sec", "speedup", "p99", "latency", "_us", "runs_per",
              "roundtrips")
