@@ -11,13 +11,15 @@ void AbdServer::OnFrame(NodeId from, BytesView frame, IEndpoint& endpoint) {
 
   if (const auto* m = std::get_if<AbdGetTsMsg>(&message)) {
     endpoint.Send(from, EncodeMessage(Message(AbdTsReplyMsg{m->rid, ts_})));
-  } else if (const auto* m = std::get_if<AbdWriteMsg>(&message)) {
+  }
+  if (const auto* m = std::get_if<AbdWriteMsg>(&message)) {
     if (ts_ < m->ts) {
       ts_ = m->ts;
       value_ = ToBytes(m->value);  // copy the frame-borrowed view into state
     }
     endpoint.Send(from, EncodeMessage(Message(AbdWriteAckMsg{m->rid})));
-  } else if (const auto* m = std::get_if<AbdReadMsg>(&message)) {
+  }
+  if (const auto* m = std::get_if<AbdReadMsg>(&message)) {
     endpoint.Send(from,
                   EncodeMessage(Message(AbdReadReplyMsg{m->rid, ts_, value_})));
   }
@@ -106,7 +108,8 @@ void AbdClient::OnFrame(NodeId from, BytesView frame, IEndpoint&) {
     endpoint_->Broadcast(
         servers_, EncodeMessage(Message(AbdWriteMsg{rid_, new_ts,
                                                     write_value_})));
-  } else if (const auto* m = std::get_if<AbdWriteAckMsg>(&message)) {
+  }
+  if (const auto* m = std::get_if<AbdWriteAckMsg>(&message)) {
     if (phase_ != Phase::kWrite || m->rid != rid_) return;
     if (!write_acks_[*index]) {
       write_acks_[*index] = 1;
@@ -120,7 +123,8 @@ void AbdClient::OnFrame(NodeId from, BytesView frame, IEndpoint&) {
         callback(true);
       }
     }
-  } else if (const auto* m = std::get_if<AbdReadReplyMsg>(&message)) {
+  }
+  if (const auto* m = std::get_if<AbdReadReplyMsg>(&message)) {
     if (phase_ != Phase::kRead || m->rid != rid_) return;
     if (!read_bits_[*index]) {
       read_bits_[*index] = 1;

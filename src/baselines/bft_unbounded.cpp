@@ -12,13 +12,15 @@ void BuServer::OnFrame(NodeId from, BytesView frame, IEndpoint& endpoint) {
 
   if (const auto* m = std::get_if<BuGetTsMsg>(&message)) {
     endpoint.Send(from, EncodeMessage(Message(BuTsReplyMsg{m->rid, ts_})));
-  } else if (const auto* m = std::get_if<BuWriteMsg>(&message)) {
+  }
+  if (const auto* m = std::get_if<BuWriteMsg>(&message)) {
     if (ts_ < m->ts) {
       ts_ = m->ts;
       value_ = ToBytes(m->value);  // copy the frame-borrowed view into state
     }
     endpoint.Send(from, EncodeMessage(Message(BuWriteAckMsg{m->rid})));
-  } else if (const auto* m = std::get_if<BuReadMsg>(&message)) {
+  }
+  if (const auto* m = std::get_if<BuReadMsg>(&message)) {
     endpoint.Send(from,
                   EncodeMessage(Message(BuReadReplyMsg{m->rid, ts_, value_})));
   }
@@ -40,9 +42,11 @@ void BuByzantineServer::OnFrame(NodeId from, BytesView frame,
                          static_cast<std::uint32_t>(rng_())};
   if (const auto* m = std::get_if<BuGetTsMsg>(&message)) {
     endpoint.Send(from, EncodeMessage(Message(BuTsReplyMsg{m->rid, huge})));
-  } else if (const auto* m = std::get_if<BuWriteMsg>(&message)) {
+  }
+  if (const auto* m = std::get_if<BuWriteMsg>(&message)) {
     endpoint.Send(from, EncodeMessage(Message(BuWriteAckMsg{m->rid})));
-  } else if (const auto* m = std::get_if<BuReadMsg>(&message)) {
+  }
+  if (const auto* m = std::get_if<BuReadMsg>(&message)) {
     endpoint.Send(from, EncodeMessage(Message(BuReadReplyMsg{
                             m->rid, huge, RandomBytes(rng_, 4)})));
   }
@@ -130,7 +134,8 @@ void BuClient::OnFrame(NodeId from, BytesView frame, IEndpoint&) {
     endpoint_->Broadcast(
         servers_, EncodeMessage(Message(BuWriteMsg{rid_, new_ts,
                                                    write_value_})));
-  } else if (const auto* m = std::get_if<BuWriteAckMsg>(&message)) {
+  }
+  if (const auto* m = std::get_if<BuWriteAckMsg>(&message)) {
     if (phase_ != Phase::kWrite || m->rid != rid_) return;
     if (!write_acks_[*index]) {
       write_acks_[*index] = 1;
@@ -144,7 +149,8 @@ void BuClient::OnFrame(NodeId from, BytesView frame, IEndpoint&) {
         callback(true);
       }
     }
-  } else if (const auto* m = std::get_if<BuReadReplyMsg>(&message)) {
+  }
+  if (const auto* m = std::get_if<BuReadReplyMsg>(&message)) {
     if (phase_ != Phase::kRead || m->rid != rid_) return;
     if (!read_bits_[*index]) {
       read_bits_[*index] = 1;

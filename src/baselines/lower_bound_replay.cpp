@@ -14,12 +14,12 @@ namespace {
 Value Val(const std::string& text) { return Value(text.begin(), text.end()); }
 
 struct Replay {
-  explicit Replay(const ReplayOptions& options)
-      : options(options),
-        n(5 * options.f + options.extra_correct),
+  explicit Replay(const ReplayOptions& opts)
+      : options(opts),
+        n(5 * opts.f + opts.extra_correct),
         k(n < 2 ? 2 : n),
         labels(k),
-        world(World::Options{options.seed,
+        world(World::Options{opts.seed,
                              std::make_unique<UniformDelay>(1, 4)}) {}
 
   const ReplayOptions& options;

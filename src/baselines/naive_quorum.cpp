@@ -11,7 +11,8 @@ void NqServer::OnFrame(NodeId from, BytesView frame, IEndpoint& endpoint) {
 
   if (const auto* m = std::get_if<NqGetTsMsg>(&message)) {
     endpoint.Send(from, EncodeMessage(Message(NqTsReplyMsg{m->rid, ts_})));
-  } else if (const auto* m = std::get_if<NqWriteMsg>(&message)) {
+  }
+  if (const auto* m = std::get_if<NqWriteMsg>(&message)) {
     // One-shot adopt-if-newer, as in the Theorem 1 protocol class.
     Timestamp incoming{labels_.Sanitize(m->ts.label), m->ts.writer_id};
     if (Precedes(ts_, incoming, labels_.params())) {
@@ -19,7 +20,8 @@ void NqServer::OnFrame(NodeId from, BytesView frame, IEndpoint& endpoint) {
       value_ = ToBytes(m->value);  // copy the frame-borrowed view into state
     }
     endpoint.Send(from, EncodeMessage(Message(NqWriteAckMsg{m->rid})));
-  } else if (const auto* m = std::get_if<NqReadMsg>(&message)) {
+  }
+  if (const auto* m = std::get_if<NqReadMsg>(&message)) {
     endpoint.Send(from,
                   EncodeMessage(Message(NqReadReplyMsg{m->rid, ts_, value_})));
   }
@@ -40,9 +42,11 @@ void NqScriptedServer::OnFrame(NodeId from, BytesView frame,
   if (const auto* m = std::get_if<NqGetTsMsg>(&message)) {
     endpoint.Send(from,
                   EncodeMessage(Message(NqTsReplyMsg{m->rid, ts_for_get_ts})));
-  } else if (const auto* m = std::get_if<NqWriteMsg>(&message)) {
+  }
+  if (const auto* m = std::get_if<NqWriteMsg>(&message)) {
     endpoint.Send(from, EncodeMessage(Message(NqWriteAckMsg{m->rid})));
-  } else if (const auto* m = std::get_if<NqReadMsg>(&message)) {
+  }
+  if (const auto* m = std::get_if<NqReadMsg>(&message)) {
     if (read_script.empty()) return;  // silent when out of script
     auto [ts, value] = read_script.front();
     if (read_script.size() > 1) read_script.pop_front();
@@ -124,7 +128,8 @@ void NqClient::OnFrame(NodeId from, BytesView frame, IEndpoint&) {
     endpoint_->Broadcast(
         servers_, EncodeMessage(Message(NqWriteMsg{rid_, last_write_ts_,
                                                    write_value_})));
-  } else if (const auto* m = std::get_if<NqWriteAckMsg>(&message)) {
+  }
+  if (const auto* m = std::get_if<NqWriteAckMsg>(&message)) {
     if (phase_ != Phase::kWrite || m->rid != rid_) return;
     if (!write_replies_[*index]) {
       write_replies_[*index] = 1;
@@ -138,7 +143,8 @@ void NqClient::OnFrame(NodeId from, BytesView frame, IEndpoint&) {
         callback(true);
       }
     }
-  } else if (const auto* m = std::get_if<NqReadReplyMsg>(&message)) {
+  }
+  if (const auto* m = std::get_if<NqReadReplyMsg>(&message)) {
     if (phase_ != Phase::kRead || m->rid != rid_) return;
     if (!read_bits_[*index]) {
       read_bits_[*index] = 1;

@@ -3,13 +3,14 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <mutex>
+
+#include "common/thread_annotations.hpp"
 
 namespace sbft {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kNone)};
-std::mutex g_sink_mutex;
+Mutex g_sink_mutex;
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -41,7 +42,7 @@ void LogLine(LogLevel level, const std::string& message) {
   const auto elapsed_us = std::chrono::duration_cast<std::chrono::microseconds>(
                               Clock::now() - start)
                               .count();
-  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  MutexLock lock(g_sink_mutex);
   std::fprintf(stderr, "[%s %9lld.%03lldms] %s\n", LevelTag(level),
                static_cast<long long>(elapsed_us / 1000),
                static_cast<long long>(elapsed_us % 1000), message.c_str());

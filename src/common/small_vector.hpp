@@ -75,7 +75,9 @@ class SmallVector {
 
   void reserve(std::size_t n) {
     if (n <= capacity_) return;
-    T* heap = new T[n];
+    // The one legitimate raw allocation: this IS the spill allocator
+    // everything else is told to use.
+    T* heap = new T[n];  // sbft-lint: allow(raw-alloc)
     std::copy(data_, data_ + size_, heap);
     if (OnHeap()) delete[] data_;
     data_ = heap;

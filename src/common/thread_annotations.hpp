@@ -1,0 +1,116 @@
+// Clang thread-safety annotations plus annotated mutex wrappers.
+//
+// The macros expand to Clang's `thread_safety` attributes when the
+// compiler supports them (clang with -Wthread-safety) and to nothing
+// otherwise (gcc), so the same headers build everywhere while clang
+// turns lock-discipline violations into compile errors:
+//
+//   Mutex mutex_;
+//   std::deque<Item> items_ GUARDED_BY(mutex_);
+//
+//   void Push(Item item) {
+//     MutexLock lock(mutex_);
+//     items_.push_back(std::move(item));  // ok: mutex_ held
+//   }
+//   std::size_t UnsafeSize() { return items_.size(); }  // compile error
+//
+// CI builds the runtime/net targets with
+// `clang++ -Wthread-safety -Werror` (see SBFTREG_THREAD_SAFETY in the
+// top-level CMakeLists.txt and the `lint` workflow job), and
+// tests/lint/negative_compile keeps the analysis honest by compiling a
+// deliberately mis-locked access and expecting failure.
+//
+// The locking model itself (which mutex guards what) is documented in
+// docs/ARCHITECTURE.md and enforced by the annotations in
+// src/runtime/*.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define SBFT_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef SBFT_THREAD_ANNOTATION
+#define SBFT_THREAD_ANNOTATION(x)  // not clang: annotations compile away
+#endif
+
+#define CAPABILITY(x) SBFT_THREAD_ANNOTATION(capability(x))
+#define SCOPED_CAPABILITY SBFT_THREAD_ANNOTATION(scoped_lockable)
+#define GUARDED_BY(x) SBFT_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) SBFT_THREAD_ANNOTATION(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) \
+  SBFT_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) SBFT_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) SBFT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  SBFT_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) SBFT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  SBFT_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) SBFT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  SBFT_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  SBFT_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) SBFT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) SBFT_THREAD_ANNOTATION(assert_capability(x))
+#define RETURN_CAPABILITY(x) SBFT_THREAD_ANNOTATION(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS \
+  SBFT_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace sbft {
+
+/// std::mutex with the `capability` attribute so members can be
+/// GUARDED_BY it. Lowercase lock/unlock keep it BasicLockable for
+/// CondVar (condition_variable_any) and std::scoped_lock.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mutex_.lock(); }
+  void unlock() RELEASE() { mutex_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// Scoped lock over Mutex; the analysis tracks the capability for the
+/// guard's whole scope (the annotated std::lock_guard equivalent).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable over Mutex. Wait takes the mutex the caller
+/// already holds — use a plain `while (!predicate()) cv.Wait(mutex_);`
+/// loop rather than a predicate lambda, so the guarded reads in the
+/// predicate stay inside the annotated function body.
+class CondVar {
+ public:
+  /// Atomically releases `mutex`, blocks, and reacquires before
+  /// returning. Spurious wakeups possible — always wait in a loop.
+  void Wait(Mutex& mutex) REQUIRES(mutex) { cv_.wait(mutex); }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace sbft

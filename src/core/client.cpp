@@ -53,11 +53,14 @@ void RegisterClient::OnFrame(NodeId from, BytesView frame, IEndpoint&) {
 
   if (const auto* m = std::get_if<FlushAckMsg>(&message)) {
     OnFlushAck(*index, *m);
-  } else if (const auto* m = std::get_if<TsReplyMsg>(&message)) {
+  }
+  if (const auto* m = std::get_if<TsReplyMsg>(&message)) {
     OnTsReply(*index, *m);
-  } else if (const auto* m = std::get_if<WriteReplyMsg>(&message)) {
+  }
+  if (const auto* m = std::get_if<WriteReplyMsg>(&message)) {
     OnWriteReply(*index, *m);
-  } else if (const auto* m = std::get_if<ReplyMsg>(&message)) {
+  }
+  if (const auto* m = std::get_if<ReplyMsg>(&message)) {
     OnReply(*index, *m);
   }
 }

@@ -18,13 +18,17 @@ void RegisterServer::OnFrame(NodeId from, BytesView frame,
 
   if (const auto* m = std::get_if<GetTsMsg>(&message)) {
     HandleGetTs(from, *m, endpoint);
-  } else if (const auto* m = std::get_if<WriteMsg>(&message)) {
+  }
+  if (const auto* m = std::get_if<WriteMsg>(&message)) {
     HandleWrite(from, *m, endpoint);
-  } else if (const auto* m = std::get_if<ReadMsg>(&message)) {
+  }
+  if (const auto* m = std::get_if<ReadMsg>(&message)) {
     HandleRead(from, *m, endpoint);
-  } else if (const auto* m = std::get_if<CompleteReadMsg>(&message)) {
+  }
+  if (const auto* m = std::get_if<CompleteReadMsg>(&message)) {
     HandleCompleteRead(from, *m, endpoint);
-  } else if (const auto* m = std::get_if<FlushMsg>(&message)) {
+  }
+  if (const auto* m = std::get_if<FlushMsg>(&message)) {
     HandleFlush(from, *m, endpoint);
   }
   // Messages of other protocols (baselines) are ignored.

@@ -172,28 +172,28 @@ std::string EncodeToken(const Scenario& scenario) {
   w.Put<std::uint64_t>(scenario.delay_lo);
   w.Put<std::uint64_t>(scenario.delay_hi);
   w.PutVector(scenario.slowdowns,
-              [](BufWriter& w, const ChannelSlowdown& s) {
-                w.Put<std::uint32_t>(s.client);
-                w.Put<std::uint32_t>(s.server);
-                w.Put<std::uint8_t>(s.client_to_server ? 1 : 0);
-                w.Put<std::uint64_t>(s.delay);
+              [](BufWriter& bw, const ChannelSlowdown& s) {
+                bw.Put<std::uint32_t>(s.client);
+                bw.Put<std::uint32_t>(s.server);
+                bw.Put<std::uint8_t>(s.client_to_server ? 1 : 0);
+                bw.Put<std::uint64_t>(s.delay);
               });
   w.PutVector(scenario.byz_servers,
-              [](BufWriter& w, const ByzantineServerSpec& s) {
-                w.Put<std::uint32_t>(s.server);
-                w.Put(s.strategy);
+              [](BufWriter& bw, const ByzantineServerSpec& s) {
+                bw.Put<std::uint32_t>(s.server);
+                bw.Put(s.strategy);
               });
   w.PutVector(scenario.byz_clients,
-              [](BufWriter& w, const ByzantineClientSpec& s) {
-                w.Put(s.strategy);
-                w.Put<std::uint32_t>(s.rounds);
+              [](BufWriter& bw, const ByzantineClientSpec& s) {
+                bw.Put(s.strategy);
+                bw.Put<std::uint32_t>(s.rounds);
               });
-  w.PutVector(scenario.faults, [](BufWriter& w, const FaultInjection& f) {
-    w.Put(f.kind);
-    w.Put<std::uint64_t>(f.at);
-    w.Put<std::uint32_t>(f.a);
-    w.Put<std::uint32_t>(f.b);
-    w.Put<std::uint32_t>(f.count);
+  w.PutVector(scenario.faults, [](BufWriter& bw, const FaultInjection& f) {
+    bw.Put(f.kind);
+    bw.Put<std::uint64_t>(f.at);
+    bw.Put<std::uint32_t>(f.a);
+    bw.Put<std::uint32_t>(f.b);
+    bw.Put<std::uint32_t>(f.count);
   });
   w.Put<std::uint32_t>(scenario.ops_per_client);
   w.Put<std::uint32_t>(scenario.write_percent);
@@ -250,33 +250,33 @@ Result<Scenario> DecodeToken(const std::string& token) {
   s.n_clients = r.Get<std::uint32_t>();
   s.delay_lo = r.Get<std::uint64_t>();
   s.delay_hi = r.Get<std::uint64_t>();
-  s.slowdowns = r.GetVector<ChannelSlowdown>([](BufReader& r) {
+  s.slowdowns = r.GetVector<ChannelSlowdown>([](BufReader& br) {
     ChannelSlowdown slow;
-    slow.client = r.Get<std::uint32_t>();
-    slow.server = r.Get<std::uint32_t>();
-    slow.client_to_server = r.Get<std::uint8_t>() != 0;
-    slow.delay = r.Get<std::uint64_t>();
+    slow.client = br.Get<std::uint32_t>();
+    slow.server = br.Get<std::uint32_t>();
+    slow.client_to_server = br.Get<std::uint8_t>() != 0;
+    slow.delay = br.Get<std::uint64_t>();
     return slow;
   });
-  s.byz_servers = r.GetVector<ByzantineServerSpec>([](BufReader& r) {
+  s.byz_servers = r.GetVector<ByzantineServerSpec>([](BufReader& br) {
     ByzantineServerSpec spec;
-    spec.server = r.Get<std::uint32_t>();
-    spec.strategy = r.Get<ByzantineStrategy>();
+    spec.server = br.Get<std::uint32_t>();
+    spec.strategy = br.Get<ByzantineStrategy>();
     return spec;
   });
-  s.byz_clients = r.GetVector<ByzantineClientSpec>([](BufReader& r) {
+  s.byz_clients = r.GetVector<ByzantineClientSpec>([](BufReader& br) {
     ByzantineClientSpec spec;
-    spec.strategy = r.Get<ByzantineClientStrategy>();
-    spec.rounds = r.Get<std::uint32_t>();
+    spec.strategy = br.Get<ByzantineClientStrategy>();
+    spec.rounds = br.Get<std::uint32_t>();
     return spec;
   });
-  s.faults = r.GetVector<FaultInjection>([](BufReader& r) {
+  s.faults = r.GetVector<FaultInjection>([](BufReader& br) {
     FaultInjection fault;
-    fault.kind = r.Get<FaultKind>();
-    fault.at = r.Get<std::uint64_t>();
-    fault.a = r.Get<std::uint32_t>();
-    fault.b = r.Get<std::uint32_t>();
-    fault.count = r.Get<std::uint32_t>();
+    fault.kind = br.Get<FaultKind>();
+    fault.at = br.Get<std::uint64_t>();
+    fault.a = br.Get<std::uint32_t>();
+    fault.b = br.Get<std::uint32_t>();
+    fault.count = br.Get<std::uint32_t>();
     return fault;
   });
   s.ops_per_client = r.Get<std::uint32_t>();

@@ -3,16 +3,14 @@
 // the consumer is the owning node thread.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <optional>
-#include <variant>
 #include <vector>
 
 #include "common/bytes.hpp"
 #include "common/frame.hpp"
+#include "common/thread_annotations.hpp"
 #include "sim/types.hpp"
 
 namespace sbft {
@@ -32,11 +30,11 @@ class Mailbox {
   /// Returns false if the mailbox is closed.
   bool Push(MailItem item) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (closed_) return false;
       items_.push_back(std::move(item));
     }
-    ready_.notify_one();
+    ready_.NotifyOne();
     return true;
   }
 
@@ -46,19 +44,19 @@ class Mailbox {
   bool PushBatch(std::vector<MailItem>&& batch) {
     if (batch.empty()) return true;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (closed_) return false;
       for (auto& item : batch) items_.push_back(std::move(item));
     }
     batch.clear();
-    ready_.notify_one();
+    ready_.NotifyOne();
     return true;
   }
 
   /// Blocks until an item arrives or the mailbox is closed and drained.
   std::optional<MailItem> Pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    MutexLock lock(mutex_);
+    while (!closed_ && items_.empty()) ready_.Wait(mutex_);
     if (items_.empty()) return std::nullopt;  // closed and drained
     MailItem item = std::move(items_.front());
     items_.pop_front();
@@ -71,8 +69,8 @@ class Mailbox {
   /// closed AND drained (runtime shutdown).
   bool Drain(std::deque<MailItem>& out) {
     out.clear();
-    std::unique_lock<std::mutex> lock(mutex_);
-    ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    MutexLock lock(mutex_);
+    while (!closed_ && items_.empty()) ready_.Wait(mutex_);
     if (items_.empty()) return false;  // closed and drained
     out.swap(items_);
     return true;
@@ -80,22 +78,22 @@ class Mailbox {
 
   void Close() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       closed_ = true;
     }
-    ready_.notify_all();
+    ready_.NotifyAll();
   }
 
   [[nodiscard]] std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return items_.size();
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::condition_variable ready_;
-  std::deque<MailItem> items_;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar ready_;
+  std::deque<MailItem> items_ GUARDED_BY(mutex_);
+  bool closed_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace sbft

@@ -64,7 +64,7 @@ void Reactor::Stop() {
   for (auto& loop : loops_) {
     std::vector<std::function<void()>> commands;
     {
-      std::lock_guard<std::mutex> lock(loop->mutex);
+      MutexLock lock(loop->mutex);
       commands.swap(loop->commands);
     }
     for (auto& command : commands) command();
@@ -72,7 +72,7 @@ void Reactor::Stop() {
 }
 
 Reactor::Loop* Reactor::OwnerOf(int fd) {
-  std::lock_guard<std::mutex> lock(owner_mutex_);
+  MutexLock lock(owner_mutex_);
   auto it = owner_.find(fd);
   return it == owner_.end() ? nullptr : loops_[it->second].get();
 }
@@ -80,23 +80,23 @@ Reactor::Loop* Reactor::OwnerOf(int fd) {
 bool Reactor::Add(int fd, std::uint32_t events, Handler handler) {
   std::size_t index;
   {
-    std::lock_guard<std::mutex> lock(owner_mutex_);
+    MutexLock lock(owner_mutex_);
     index = next_loop_++ % loops_.size();
     owner_[fd] = index;
   }
   Loop& loop = *loops_[index];
   {
     // Install the handler before the fd can fire on the loop thread.
-    std::lock_guard<std::mutex> lock(loop.mutex);
+    MutexLock lock(loop.mutex);
     loop.handlers[fd] = std::make_shared<Handler>(std::move(handler));
   }
   epoll_event ev{};
   ev.events = events;
   ev.data.fd = fd;
   if (::epoll_ctl(loop.epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
-    std::lock_guard<std::mutex> lock(loop.mutex);
+    MutexLock lock(loop.mutex);
     loop.handlers.erase(fd);
-    std::lock_guard<std::mutex> owner_lock(owner_mutex_);
+    MutexLock owner_lock(owner_mutex_);
     owner_.erase(fd);
     return false;
   }
@@ -115,7 +115,7 @@ bool Reactor::Modify(int fd, std::uint32_t events) {
 void Reactor::RemoveAndClose(int fd, std::function<void()> on_closed) {
   Loop* loop = nullptr;
   {
-    std::lock_guard<std::mutex> lock(owner_mutex_);
+    MutexLock lock(owner_mutex_);
     auto it = owner_.find(fd);
     if (it == owner_.end()) {
       if (on_closed) on_closed();
@@ -126,7 +126,7 @@ void Reactor::RemoveAndClose(int fd, std::function<void()> on_closed) {
   }
   Post(*loop, [loop, fd, on_closed = std::move(on_closed)] {
     {
-      std::lock_guard<std::mutex> lock(loop->mutex);
+      MutexLock lock(loop->mutex);
       loop->handlers.erase(fd);
     }
     ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
@@ -141,7 +141,7 @@ void Reactor::Post(Loop& loop, std::function<void()> fn) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(loop.mutex);
+    MutexLock lock(loop.mutex);
     loop.commands.push_back(std::move(fn));
   }
   const std::uint64_t one = 1;
@@ -165,7 +165,7 @@ void Reactor::RunLoop(Loop& loop) {
             ::read(loop.wake_fd, &drained, sizeof(drained));
         std::vector<std::function<void()>> commands;
         {
-          std::lock_guard<std::mutex> lock(loop.mutex);
+          MutexLock lock(loop.mutex);
           commands.swap(loop.commands);
         }
         for (auto& command : commands) command();
@@ -173,7 +173,7 @@ void Reactor::RunLoop(Loop& loop) {
       }
       std::shared_ptr<Handler> handler;
       {
-        std::lock_guard<std::mutex> lock(loop.mutex);
+        MutexLock lock(loop.mutex);
         auto it = loop.handlers.find(fd);
         if (it != loop.handlers.end()) handler = it->second;
       }

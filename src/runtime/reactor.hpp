@@ -18,10 +18,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace sbft {
 
@@ -67,9 +68,10 @@ class Reactor {
     int epoll_fd = -1;
     int wake_fd = -1;
     std::thread thread;
-    std::mutex mutex;  // guards handlers + commands
-    std::unordered_map<int, std::shared_ptr<Handler>> handlers;
-    std::vector<std::function<void()>> commands;
+    Mutex mutex;
+    std::unordered_map<int, std::shared_ptr<Handler>> handlers
+        GUARDED_BY(mutex);
+    std::vector<std::function<void()>> commands GUARDED_BY(mutex);
   };
 
   void RunLoop(Loop& loop);
@@ -77,9 +79,9 @@ class Reactor {
   Loop* OwnerOf(int fd);
 
   std::vector<std::unique_ptr<Loop>> loops_;
-  std::mutex owner_mutex_;
-  std::unordered_map<int, std::size_t> owner_;
-  std::size_t next_loop_ = 0;  // under owner_mutex_
+  Mutex owner_mutex_;
+  std::unordered_map<int, std::size_t> owner_ GUARDED_BY(owner_mutex_);
+  std::size_t next_loop_ GUARDED_BY(owner_mutex_) = 0;
   std::atomic<bool> running_{false};
   bool started_ = false;
   bool stopped_ = false;

@@ -13,7 +13,7 @@ RegisterId RegisterOf(std::size_t client) { return client + 1; }
 
 }  // namespace
 
-RegisterCluster::RegisterCluster(Options options)
+RegisterCluster::RegisterCluster(const Options& options)
     : config_(options.config),
       cluster_(ThreadCluster::Options{options.use_tcp,
                                       options.reactor_threads,

@@ -41,7 +41,7 @@ class RegisterCluster {
     std::chrono::milliseconds op_timeout{10'000};
   };
 
-  explicit RegisterCluster(Options options);
+  explicit RegisterCluster(const Options& options);
   ~RegisterCluster() { Stop(); }
 
   void Start() { cluster_.Start(); }

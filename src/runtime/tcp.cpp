@@ -81,7 +81,7 @@ std::uint16_t TcpBus::AddNode(NodeId node) {
   socklen_t len = sizeof(addr);
   SBFT_ASSERT(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr),
                             &len) == 0);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto listener = std::make_unique<Listener>();
   listener->fd = fd;
   listener->port = ntohs(addr.sin_port);
@@ -94,7 +94,7 @@ std::uint16_t TcpBus::AddNode(NodeId node) {
 void TcpBus::Start() {
   running_.store(true);
   reactor_.Start();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& [node, listener] : listeners_) {
     // Level-triggered accept; the handler drains until EAGAIN anyway.
     reactor_.Add(listener->fd, EPOLLIN,
@@ -114,7 +114,7 @@ void TcpBus::AcceptEvent(NodeId node, int listen_fd) {
     peer->fd = fd;
     peer->dst = node;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       peers_.push_back(peer);
     }
     if (!reactor_.Add(fd, EPOLLIN | EPOLLRDHUP | EPOLLET,
@@ -195,7 +195,7 @@ void TcpBus::ClosePeer(const std::shared_ptr<PeerConn>& peer) {
 std::shared_ptr<TcpBus::Connection> TcpBus::Connect(NodeId src, NodeId dst) {
   std::uint16_t port = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = listeners_.find(dst);
     if (it == listeners_.end()) return nullptr;
     port = it->second->port;
@@ -237,7 +237,7 @@ bool TcpBus::Send(NodeId src, NodeId dst, BytesView frame) {
     conn = it->second;
     bool dead;
     {
-      std::lock_guard<std::mutex> lock(conn->mutex);
+      MutexLock lock(conn->mutex);
       dead = conn->dead;
     }
     if (dead) conn = nullptr;  // lazily reconnect below
@@ -259,7 +259,7 @@ bool TcpBus::Send(NodeId src, NodeId dst, BytesView frame) {
   StoreU32(buf.data() + 4, src);
   buf.insert(buf.end(), frame.begin(), frame.end());
   {
-    std::lock_guard<std::mutex> lock(conn->mutex);
+    MutexLock lock(conn->mutex);
     if (conn->dead) return false;
     if (conn->pending_bytes + buf.size() > options_.max_pending_bytes) {
       MarkDeadLocked(conn);  // peer stopped reading; degrade, don't buffer
@@ -280,9 +280,9 @@ void TcpBus::Flush(NodeId src) {
   Tx& tx = tx_[src];
   for (auto& conn : tx.dirty) {
     conn->in_dirty = false;
-    std::lock_guard<std::mutex> lock(conn->mutex);
+    MutexLock lock(conn->mutex);
     if (conn->dead || conn->epollout_armed) continue;  // reactor's turn
-    if (FlushLocked(*conn) == static_cast<int>(FlushResult::kError)) {
+    if (FlushLocked(conn) == static_cast<int>(FlushResult::kError)) {
       MarkDeadLocked(conn);
     }
   }
@@ -290,26 +290,26 @@ void TcpBus::Flush(NodeId src) {
 }
 
 /// Returns a FlushResult as int (keeps the enum private to this TU).
-int TcpBus::FlushLocked(Connection& conn) {
-  while (!conn.pending.empty()) {
+int TcpBus::FlushLocked(const std::shared_ptr<Connection>& conn) {
+  while (!conn->pending.empty()) {
     iovec iov[kMaxIov];
     int iovcnt = 0;
-    for (auto it = conn.pending.begin();
-         it != conn.pending.end() && iovcnt < kMaxIov; ++it, ++iovcnt) {
-      const std::size_t skip = (iovcnt == 0) ? conn.front_offset : 0;
+    for (auto it = conn->pending.begin();
+         it != conn->pending.end() && iovcnt < kMaxIov; ++it, ++iovcnt) {
+      const std::size_t skip = (iovcnt == 0) ? conn->front_offset : 0;
       iov[iovcnt].iov_base = it->data() + skip;
       iov[iovcnt].iov_len = it->size() - skip;
     }
     msghdr msg{};
     msg.msg_iov = iov;
     msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
-    const ssize_t n = ::sendmsg(conn.fd, &msg, MSG_NOSIGNAL);
+    const ssize_t n = ::sendmsg(conn->fd, &msg, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        if (!conn.epollout_armed) {
-          conn.epollout_armed = true;
-          reactor_.Modify(conn.fd,
+        if (!conn->epollout_armed) {
+          conn->epollout_armed = true;
+          reactor_.Modify(conn->fd,
                           EPOLLIN | EPOLLRDHUP | EPOLLOUT | EPOLLET);
         }
         return static_cast<int>(FlushResult::kBlocked);
@@ -318,16 +318,16 @@ int TcpBus::FlushLocked(Connection& conn) {
     }
     std::size_t left = static_cast<std::size_t>(n);
     while (left > 0) {
-      Bytes& front = conn.pending.front();
-      const std::size_t avail = front.size() - conn.front_offset;
+      Bytes& front = conn->pending.front();
+      const std::size_t avail = front.size() - conn->front_offset;
       if (left >= avail) {
         left -= avail;
-        conn.pending_bytes -= front.size();
-        conn.front_offset = 0;
+        conn->pending_bytes -= front.size();
+        conn->front_offset = 0;
         FramePool().Release(std::move(front));
-        conn.pending.pop_front();
+        conn->pending.pop_front();
       } else {
-        conn.front_offset += left;  // partial write: resume here
+        conn->front_offset += left;  // partial write: resume here
         left = 0;
       }
     }
@@ -337,7 +337,7 @@ int TcpBus::FlushLocked(Connection& conn) {
 
 void TcpBus::OutgoingEvent(const std::shared_ptr<Connection>& conn,
                            std::uint32_t events) {
-  std::lock_guard<std::mutex> lock(conn->mutex);
+  MutexLock lock(conn->mutex);
   if (conn->dead) return;
   if (events & (EPOLLIN | EPOLLRDHUP | EPOLLERR | EPOLLHUP)) {
     std::uint8_t scratch[256];
@@ -354,7 +354,7 @@ void TcpBus::OutgoingEvent(const std::shared_ptr<Connection>& conn,
   }
   if (events & EPOLLOUT) {
     conn->epollout_armed = false;
-    const int result = FlushLocked(*conn);
+    const int result = FlushLocked(conn);
     if (result == static_cast<int>(FlushResult::kError)) {
       MarkDeadLocked(conn);
     } else if (result == static_cast<int>(FlushResult::kDrained)) {
@@ -381,8 +381,9 @@ void TcpBus::DropConnection(NodeId src, NodeId dst) {
   if (src >= tx_.size()) return;
   auto it = tx_[src].conns.find(dst);
   if (it == tx_[src].conns.end()) return;
-  std::lock_guard<std::mutex> lock(it->second->mutex);
-  MarkDeadLocked(it->second);
+  const std::shared_ptr<Connection> conn = it->second;
+  MutexLock lock(conn->mutex);
+  MarkDeadLocked(conn);
 }
 
 void TcpBus::Stop() {
@@ -391,7 +392,7 @@ void TcpBus::Stop() {
   reactor_.Stop();
   // Loops are joined and leftover removal commands ran inline; every
   // fd not yet closed through the reactor is closed here.
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& [node, listener] : listeners_) {
     CloseOnce(listener->fd_closed, listener->fd);
   }

@@ -40,10 +40,10 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/thread_annotations.hpp"
 #include "runtime/reactor.hpp"
 #include "sim/types.hpp"
 
@@ -117,12 +117,13 @@ class TcpBus {
     int fd = -1;
     NodeId src = kNoNode;
     NodeId dst = kNoNode;
-    std::mutex mutex;
-    std::deque<Bytes> pending;
-    std::size_t front_offset = 0;  // bytes of pending.front() already sent
-    std::size_t pending_bytes = 0;
-    bool epollout_armed = false;
-    bool dead = false;
+    Mutex mutex;
+    std::deque<Bytes> pending GUARDED_BY(mutex);
+    /// Bytes of pending.front() already sent.
+    std::size_t front_offset GUARDED_BY(mutex) = 0;
+    std::size_t pending_bytes GUARDED_BY(mutex) = 0;
+    bool epollout_armed GUARDED_BY(mutex) = false;
+    bool dead GUARDED_BY(mutex) = false;
     bool in_dirty = false;  // touched only by the src node thread
     std::atomic<bool> fd_closed{false};
   };
@@ -151,20 +152,22 @@ class TcpBus {
   void ReadEvent(const std::shared_ptr<PeerConn>& peer, std::uint32_t events);
   void OutgoingEvent(const std::shared_ptr<Connection>& conn,
                      std::uint32_t events);
-  /// Flush `conn.pending`; requires `conn.mutex` held and !conn.dead.
-  /// Returns a FlushResult (kDrained/kBlocked/kError) as int.
-  int FlushLocked(Connection& conn);
-  void MarkDeadLocked(const std::shared_ptr<Connection>& conn);
+  /// Flush `conn->pending`; requires !conn->dead on entry. Returns a
+  /// FlushResult (kDrained/kBlocked/kError) as int.
+  int FlushLocked(const std::shared_ptr<Connection>& conn)
+      REQUIRES(conn->mutex);
+  void MarkDeadLocked(const std::shared_ptr<Connection>& conn)
+      REQUIRES(conn->mutex);
   bool ParseFrames(PeerConn& peer, std::vector<Delivery>& batch);
   void ClosePeer(const std::shared_ptr<PeerConn>& peer);
 
   DeliverFn deliver_;
   Options options_;
   Reactor reactor_;
-  std::mutex mutex_;  // guards listeners_ (pre-Start) and peers_
-  std::map<NodeId, std::unique_ptr<Listener>> listeners_;
+  Mutex mutex_;
+  std::map<NodeId, std::unique_ptr<Listener>> listeners_ GUARDED_BY(mutex_);
   std::vector<Tx> tx_;  // indexed by src; each entry single-threaded
-  std::vector<std::shared_ptr<PeerConn>> peers_;
+  std::vector<std::shared_ptr<PeerConn>> peers_ GUARDED_BY(mutex_);
   std::atomic<std::uint64_t> connections_dropped_{0};
   std::atomic<bool> running_{false};
   std::atomic<bool> stopped_{false};

@@ -2,8 +2,9 @@
 
 #include <atomic>
 #include <exception>
-#include <mutex>
 #include <thread>
+
+#include "common/thread_annotations.hpp"
 
 namespace sbft {
 
@@ -22,7 +23,7 @@ void ParallelFor(std::size_t count, std::size_t jobs,
   }
 
   std::atomic<std::size_t> next{0};
-  std::mutex error_mutex;
+  Mutex error_mutex;
   std::exception_ptr first_error;
   const auto worker = [&] {
     for (;;) {
@@ -31,7 +32,7 @@ void ParallelFor(std::size_t count, std::size_t jobs,
       try {
         body(i);
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
+        const MutexLock lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }
     }

@@ -29,12 +29,12 @@ OpRecord::Result FromStatus(OpStatus status) {
 // every scheduled closure: if the event cap interrupts the workload,
 // closures left in the world's queue must stay safe to run later.
 struct Driver : std::enable_shared_from_this<Driver> {
-  Driver(Deployment& deployment, const WorkloadOptions& options)
-      : deployment(deployment),
-        options(options),
-        rng(options.seed),
-        remaining(deployment.n_clients(), options.ops_per_client),
-        seq(deployment.n_clients(), 0) {}
+  Driver(Deployment& dep, const WorkloadOptions& opts)
+      : deployment(dep),
+        options(opts),
+        rng(opts.seed),
+        remaining(dep.n_clients(), opts.ops_per_client),
+        seq(dep.n_clients(), 0) {}
 
   Deployment& deployment;
   WorkloadOptions options;

@@ -38,8 +38,8 @@ TEST_P(LowerBound, AttackFailsAtFiveFPlusOne) {
 }
 
 INSTANTIATE_TEST_SUITE_P(FSweep, LowerBound, ::testing::Values(1u, 2u, 3u),
-                         [](const auto& info) {
-                           return "f" + std::to_string(info.param);
+                         [](const auto& param_info) {
+                           return "f" + std::to_string(param_info.param);
                          });
 
 TEST(LowerBound, DeterministicAcrossRuns) {

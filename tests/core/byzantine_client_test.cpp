@@ -80,8 +80,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(ByzantineClientStrategy::kReadFlooder,
                       ByzantineClientStrategy::kGarbageSprayer,
                       ByzantineClientStrategy::kForgedWriter),
-    [](const auto& info) {
-      std::string name(ByzantineClientStrategyName(info.param));
+    [](const auto& param_info) {
+      std::string name(ByzantineClientStrategyName(param_info.param));
       for (char& c : name) {
         if (c == '-') c = '_';
       }

@@ -170,12 +170,12 @@ INSTANTIATE_TEST_SUITE_P(
     Strategies, ByzantineSweep,
     ::testing::Combine(::testing::ValuesIn(kAllByzantineStrategies),
                        ::testing::Values(11, 12)),
-    [](const auto& info) {
-      std::string name(ByzantineStrategyName(std::get<0>(info.param)));
+    [](const auto& param_info) {
+      std::string name(ByzantineStrategyName(std::get<0>(param_info.param)));
       for (char& c : name) {
         if (c == '-') c = '_';
       }
-      return name + "_seed" + std::to_string(std::get<1>(info.param));
+      return name + "_seed" + std::to_string(std::get<1>(param_info.param));
     });
 
 // --- Pseudo-stabilization (Theorem 2) -----------------------------------

@@ -60,8 +60,8 @@ INSTANTIATE_TEST_SUITE_P(
                       SoakCase{6, 1, true, 3}, SoakCase{11, 2, false, 4},
                       SoakCase{11, 2, true, 5}, SoakCase{16, 3, false, 6},
                       SoakCase{16, 3, true, 7}),
-    [](const auto& info) {
-      const SoakCase& param = info.param;
+    [](const auto& param_info) {
+      const SoakCase& param = param_info.param;
       return "n" + std::to_string(param.n) + "_byz" +
              std::to_string(param.byzantine_count) +
              (param.corrupt ? "_corrupt" : "_clean") + "_seed" +

@@ -65,9 +65,9 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, LabelingSystemProperty,
     ::testing::Combine(::testing::Values(2u, 3u, 6u, 11u, 16u, 31u),
                        ::testing::Values(1, 2, 3)),
-    [](const auto& info) {
-      return "k" + std::to_string(std::get<0>(info.param)) + "_seed" +
-             std::to_string(std::get<1>(info.param));
+    [](const auto& param_info) {
+      return "k" + std::to_string(std::get<0>(param_info.param)) + "_seed" +
+             std::to_string(std::get<1>(param_info.param));
     });
 
 TEST(LabelingSystem, LongChainStaysDominant) {

@@ -1,0 +1,15 @@
+// Fixture: uses an object's address as its identity in a trace key.
+// Must trip [address-as-value] — ASLR makes it differ every run.
+#include <cstdint>
+
+namespace sbft {
+
+struct Op {
+  int kind;
+};
+
+std::uintptr_t TraceKey(const Op& op) {
+  return reinterpret_cast<std::uintptr_t>(&op);
+}
+
+}  // namespace sbft

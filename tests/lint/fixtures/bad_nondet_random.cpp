@@ -1,0 +1,13 @@
+// Fixture: draws entropy from the host. Must trip [nondet-random] —
+// replay tokens cannot reproduce a random_device or rand() stream.
+#include <cstdlib>
+#include <random>
+
+namespace sbft {
+
+unsigned PickServer(unsigned n) {
+  std::random_device entropy;
+  return (entropy() + static_cast<unsigned>(rand())) % n;
+}
+
+}  // namespace sbft

@@ -1,0 +1,17 @@
+// Fixture: hot-path code allocating per frame with raw new/malloc.
+// Must trip [raw-alloc] — frame storage comes from the FramePool.
+#include <cstdlib>
+#include <cstring>
+
+namespace sbft {
+
+unsigned char* CopyFrame(const unsigned char* data, unsigned long size) {
+  auto* scratch = static_cast<unsigned char*>(malloc(size));
+  std::memcpy(scratch, data, size);
+  unsigned char* owned = new unsigned char[size];
+  std::memcpy(owned, scratch, size);
+  free(scratch);
+  return owned;
+}
+
+}  // namespace sbft

@@ -1,0 +1,12 @@
+// Fixture: mixes the OS thread id into protocol state. Must trip
+// [thread-id] — thread identity differs run to run.
+#include <functional>
+#include <thread>
+
+namespace sbft {
+
+std::size_t ShardOf(std::size_t shards) {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id()) % shards;
+}
+
+}  // namespace sbft

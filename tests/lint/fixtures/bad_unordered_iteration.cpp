@@ -1,0 +1,20 @@
+// Fixture: serializes by walking an unordered_map. Must trip
+// [unordered-iteration] — bucket order leaks into the output.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace sbft {
+
+std::vector<std::uint32_t> SerializeCounts(
+    const std::unordered_map<std::string, std::uint32_t>& counts_in) {
+  std::unordered_map<std::string, std::uint32_t> counts = counts_in;
+  std::vector<std::uint32_t> out;
+  for (const auto& [key, count] : counts) {
+    out.push_back(count);
+  }
+  return out;
+}
+
+}  // namespace sbft

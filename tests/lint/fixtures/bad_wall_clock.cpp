@@ -1,0 +1,12 @@
+// Fixture: reads host time inside deterministic code. Must trip
+// [wall-clock] — simulated time comes from the World clock.
+#include <chrono>
+
+namespace sbft {
+
+long NowMicros() {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  return std::chrono::duration_cast<std::chrono::microseconds>(now).count();
+}
+
+}  // namespace sbft

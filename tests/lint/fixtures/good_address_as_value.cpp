@@ -1,0 +1,14 @@
+// Twin of bad_address_as_value.cpp: identity is an explicit sequence
+// number assigned deterministically. Must pass clean.
+#include <cstdint>
+
+namespace sbft {
+
+struct Op {
+  int kind;
+  std::uint64_t seq;
+};
+
+std::uint64_t TraceKey(const Op& op) { return op.seq; }
+
+}  // namespace sbft

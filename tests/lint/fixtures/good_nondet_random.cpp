@@ -1,0 +1,12 @@
+// Twin of bad_nondet_random.cpp: all randomness flows from the seeded
+// generator the scenario owns. Must pass clean.
+#include <cstdint>
+
+namespace sbft {
+
+template <typename Rng>
+unsigned PickServer(Rng& rng, unsigned n) {
+  return static_cast<unsigned>(rng()) % n;
+}
+
+}  // namespace sbft

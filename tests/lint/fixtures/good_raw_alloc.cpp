@@ -1,0 +1,16 @@
+// Twin of bad_raw_alloc.cpp: the buffer is acquired from the caller's
+// pool and reuses its capacity. Must pass clean.
+#include <cstdint>
+#include <vector>
+
+namespace sbft {
+
+template <typename Pool>
+std::vector<std::uint8_t> CopyFrame(Pool& pool, const std::uint8_t* data,
+                                    std::size_t size) {
+  std::vector<std::uint8_t> frame = pool.Acquire();
+  frame.assign(data, data + size);
+  return frame;
+}
+
+}  // namespace sbft

@@ -1,0 +1,11 @@
+// Twin of bad_thread_id.cpp: the shard index is data the caller passes
+// in (e.g. the node id), not an OS artifact. Must pass clean.
+#include <cstddef>
+
+namespace sbft {
+
+std::size_t ShardOf(std::size_t node_id, std::size_t shards) {
+  return node_id % shards;
+}
+
+}  // namespace sbft

@@ -1,0 +1,23 @@
+// Twin of bad_unordered_iteration.cpp: point lookups into the
+// unordered map are fine (no traversal order involved), and ordered
+// traversal goes through a std::map mirror. Must pass clean.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace sbft {
+
+std::vector<std::uint32_t> SerializeCounts(
+    const std::map<std::string, std::uint32_t>& ordered,
+    const std::unordered_map<std::string, std::uint32_t>& index) {
+  std::vector<std::uint32_t> out;
+  for (const auto& [key, count] : ordered) {
+    auto it = index.find(key);
+    if (it != index.end()) out.push_back(it->second + count);
+  }
+  return out;
+}
+
+}  // namespace sbft

@@ -1,0 +1,9 @@
+// Twin of bad_wall_clock.cpp: virtual time threaded in by the caller
+// (the World), no host clock anywhere. Must pass clean.
+#include <cstdint>
+
+namespace sbft {
+
+std::uint64_t NowMicros(std::uint64_t virtual_now) { return virtual_now; }
+
+}  // namespace sbft

@@ -1,0 +1,39 @@
+// Negative-compile fixture: the same Mutex + GUARDED_BY discipline the
+// runtime's Mailbox uses, with the queue deliberately read WITHOUT the
+// mutex. Under `clang++ -Wthread-safety -Werror=thread-safety-analysis`
+// this file must FAIL to compile — tests/lint/negative_compile.py
+// asserts exactly that, which keeps the annotation machinery honest
+// (an accidentally no-op'd macro would make this file compile and the
+// test fail).
+//
+// This file is intentionally NOT part of any CMake target.
+#include <deque>
+
+#include "runtime/mailbox.hpp"
+
+namespace sbft {
+
+class MislockedMailbox {
+ public:
+  bool Push(int item) {
+    MutexLock lock(mutex_);
+    if (closed_) return false;
+    items_.push_back(item);
+    return true;
+  }
+
+  // BUG (on purpose): reads the guarded queue with no lock held.
+  [[nodiscard]] std::size_t UnsafeSize() const { return items_.size(); }
+
+ private:
+  mutable Mutex mutex_;
+  std::deque<int> items_ GUARDED_BY(mutex_);
+  bool closed_ GUARDED_BY(mutex_) = false;
+};
+
+// Anchor so -fsyntax-only sees the class used.
+std::size_t Poke(const MislockedMailbox& mailbox) {
+  return mailbox.UnsafeSize();
+}
+
+}  // namespace sbft

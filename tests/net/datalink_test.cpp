@@ -129,9 +129,9 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, DataLinkStabilization,
     ::testing::Combine(::testing::Values<std::size_t>(1, 2, 4, 8),
                        ::testing::Values(1, 2, 3, 4, 5)),
-    [](const auto& info) {
-      return "c" + std::to_string(std::get<0>(info.param)) + "_seed" +
-             std::to_string(std::get<1>(info.param));
+    [](const auto& param_info) {
+      return "c" + std::to_string(std::get<0>(param_info.param)) + "_seed" +
+             std::to_string(std::get<1>(param_info.param));
     });
 
 TEST(DataLink, NoDeliveryWithoutEnoughWitnesses) {

@@ -88,9 +88,9 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, AtomicityGapSweep,
     ::testing::Combine(::testing::Values(6u, 11u),
                        ::testing::Values(1, 2, 3, 4, 5, 6)),
-    [](const auto& info) {
-      return "n" + std::to_string(std::get<0>(info.param)) + "_seed" +
-             std::to_string(std::get<1>(info.param));
+    [](const auto& param_info) {
+      return "n" + std::to_string(std::get<0>(param_info.param)) + "_seed" +
+             std::to_string(std::get<1>(param_info.param));
     });
 
 }  // namespace

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Apply (default) or check (--check) the repo .clang-format over every
+# first-party C++ file. Used by the CI lint job in check mode; run with
+# no arguments before pushing to fix formatting locally.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "${repo_root}"
+
+clang_format="${CLANG_FORMAT:-}"
+if [[ -z "${clang_format}" ]]; then
+  for candidate in clang-format clang-format-20 clang-format-19 \
+                   clang-format-18 clang-format-17 clang-format-16 \
+                   clang-format-15; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      clang_format="${candidate}"
+      break
+    fi
+  done
+fi
+if [[ -z "${clang_format}" ]]; then
+  echo "tools/format.sh: no clang-format on PATH (set CLANG_FORMAT=...)" >&2
+  exit 2
+fi
+
+mapfile -t files < <(git ls-files 'src/**/*.cpp' 'src/**/*.hpp' \
+                                  'tests/**/*.cpp' 'tests/**/*.hpp' \
+                                  'bench/**/*.cpp' 'bench/**/*.hpp' \
+                                  'examples/**/*.cpp' 'examples/**/*.hpp')
+if [[ "${1:-}" == "--check" ]]; then
+  "${clang_format}" --dry-run --Werror "${files[@]}"
+  echo "format: ${#files[@]} files clean"
+else
+  "${clang_format}" -i "${files[@]}"
+  echo "format: ${#files[@]} files formatted"
+fi

@@ -1,0 +1,454 @@
+#!/usr/bin/env python3
+"""Repo-aware linter for determinism and hot-path invariants.
+
+Generic linters cannot know that src/sim must be bit-deterministic or
+that Frame buffers must come from the pool; this tool encodes those
+repo rules and runs in CI next to clang-tidy (which covers the generic
+checks). Rules:
+
+  wall-clock          No wall-clock reads (steady/system/high_resolution
+                      clock, time(), gettimeofday, clock_gettime) in the
+                      deterministic zone: simulated time comes from the
+                      World, never the host.
+  nondet-random       No std::random_device / rand() / srand() /
+                      random() in the deterministic zone: all randomness
+                      flows from the seeded sbft::Rng so a replay token
+                      reproduces bit-identically.
+  thread-id           No std::this_thread::get_id / pthread_self in the
+                      deterministic zone: thread identity varies run to
+                      run.
+  address-as-value    No reinterpret_cast to [u]intptr_t and no
+                      std::hash over pointers in the deterministic zone:
+                      ASLR makes addresses non-reproducible, so they
+                      must never feed traces, hashes, or ordering.
+  unordered-iteration No range-for / begin() iteration over
+                      std::unordered_map / std::unordered_set in code
+                      that feeds traces, checker verdicts, or serialized
+                      output (deterministic zone + src/spec + src/net):
+                      bucket order is libstdc++-internal and changes
+                      with seed/ABI. Iterate a sorted mirror or switch
+                      to std::map.
+  raw-alloc           No raw `new` / malloc / calloc in hot-path files
+                      that are supposed to draw from FramePool /
+                      SmallVector (see HOT_PATH_FILES).
+
+Escape hatches, for the few legitimate sites:
+
+  * inline: a `// sbft-lint: allow(<rule>)` comment on the offending
+    line or the line directly above it;
+  * committed allowlist: tools/sbft_lint_allow.txt with
+    `<path-glob>:<rule>[:<substring>]` entries (see that file).
+
+Usage:
+  tools/sbft_lint.py [--repo-root DIR] [paths...]   # default: src
+  tools/sbft_lint.py --list-rules
+  tools/sbft_lint.py --all-zones file.cpp     # fixture mode: every rule
+  tools/sbft_lint.py --check-fixture tests/lint/fixtures/bad_wall_clock.cpp
+
+Exit codes: 0 clean, 1 findings (or fixture expectation failed),
+2 usage error.
+
+Implementation: token-level by default — comments and string literals
+are blanked (preserving line numbers) before the rules run, so prose
+like "the new value" never trips raw-alloc. When the libclang python
+bindings are importable the unordered-iteration rule upgrades to a real
+AST walk (range-for over a declared unordered container); everything
+else stays token-level, which is exact enough for these patterns and
+keeps the tool dependency-free in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import os
+import re
+import sys
+from dataclasses import dataclass
+
+# --- Repo layout -----------------------------------------------------------
+
+# Directories whose code must be bit-deterministic (the simulator, the
+# protocol automata, labels, baselines, and fuzz replay).
+DETERMINISTIC_ZONE = (
+    "src/sim",
+    "src/core",
+    "src/labels",
+    "src/baselines",
+    "src/fuzz",
+)
+
+# Zone for unordered-iteration: everything deterministic plus the
+# checker (verdicts) and the codec (serialized output).
+TRACE_ZONE = DETERMINISTIC_ZONE + ("src/spec", "src/net")
+
+# Files whose allocations are part of a measured hot path and must use
+# FramePool / SmallVector / reused capacity instead of raw new/malloc.
+HOT_PATH_FILES = (
+    "src/common/buffer_pool.hpp",
+    "src/common/frame.hpp",
+    "src/common/serialize.hpp",
+    "src/common/small_vector.hpp",
+    "src/net/message.cpp",
+    "src/net/message.hpp",
+    "src/sim/event_queue.hpp",
+    "src/runtime/mailbox.hpp",
+    "src/runtime/tcp.cpp",
+)
+
+ALLOWLIST_FILE = os.path.join("tools", "sbft_lint_allow.txt")
+
+# --- Rules -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Rule:
+    name: str
+    pattern: re.Pattern
+    zone: tuple  # path prefixes (or exact files) the rule applies to
+    message: str
+
+
+RULES = [
+    Rule(
+        "wall-clock",
+        re.compile(
+            r"std::chrono::(system_clock|steady_clock|high_resolution_clock)"
+            r"|\bgettimeofday\s*\(|\bclock_gettime\s*\(|\btime\s*\(\s*(NULL|nullptr|0)?\s*\)"
+        ),
+        DETERMINISTIC_ZONE,
+        "wall-clock read in the deterministic zone (use World time)",
+    ),
+    Rule(
+        "nondet-random",
+        re.compile(
+            r"std::random_device|\brandom_device\b"
+            r"|(?<![:\w])s?rand\s*\(|(?<![:\w])random\s*\("
+        ),
+        DETERMINISTIC_ZONE,
+        "non-seeded randomness in the deterministic zone (use sbft::Rng)",
+    ),
+    Rule(
+        "thread-id",
+        re.compile(r"this_thread::get_id|\bpthread_self\s*\("),
+        DETERMINISTIC_ZONE,
+        "thread identity in the deterministic zone (varies run to run)",
+    ),
+    Rule(
+        "address-as-value",
+        re.compile(
+            r"reinterpret_cast<\s*(std::)?u?intptr_t\s*>"
+            r"|std::hash<[^>\n]*\*\s*>"
+        ),
+        DETERMINISTIC_ZONE,
+        "pointer value used as data in the deterministic zone (ASLR breaks replay)",
+    ),
+    Rule(
+        "raw-alloc",
+        re.compile(r"(?<![:\w.])\bnew\b(?!\s*\()|\b(m|c)alloc\s*\("),
+        HOT_PATH_FILES,
+        "raw allocation in a hot-path file (use FramePool/SmallVector/reuse)",
+    ),
+]
+
+UNORDERED_RULE = Rule(
+    "unordered-iteration",
+    re.compile(r""),  # structural; see check_unordered_iteration
+    TRACE_ZONE,
+    "iteration over an unordered container feeding traces/verdicts/output "
+    "(bucket order is not deterministic)",
+)
+
+ALL_RULE_NAMES = [r.name for r in RULES] + [UNORDERED_RULE.name]
+
+ALLOW_RE = re.compile(r"//\s*sbft-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int
+    rule: str
+    message: str
+    snippet: str
+
+
+# --- Source preprocessing --------------------------------------------------
+
+
+def blank_comments_and_strings(text: str) -> str:
+    """Replace comment/string contents with spaces, preserving newlines
+    and column positions so findings report real locations."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote + " " * (j - i - 2) + (quote if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def inline_allows(text: str) -> dict:
+    """Map line number -> set of allowed rules, from the raw (un-blanked)
+    source. An allow covers its own line and the next line."""
+    allows: dict = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        m = ALLOW_RE.search(line)
+        if m:
+            rules = {r.strip() for r in m.group(1).split(",")}
+            allows.setdefault(lineno, set()).update(rules)
+            allows.setdefault(lineno + 1, set()).update(rules)
+    return allows
+
+
+# --- Allowlist -------------------------------------------------------------
+
+
+def load_allowlist(repo_root: str):
+    entries = []
+    path = os.path.join(repo_root, ALLOWLIST_FILE)
+    if not os.path.exists(path):
+        return entries
+    with open(path, encoding="utf-8") as f:
+        for raw in f:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(":", 2)
+            if len(parts) < 2:
+                continue
+            glob, rule = parts[0], parts[1]
+            substring = parts[2] if len(parts) > 2 else None
+            entries.append((glob, rule, substring))
+    return entries
+
+
+def allowlisted(entries, rel_path: str, rule: str, snippet: str) -> bool:
+    for glob, allowed_rule, substring in entries:
+        if allowed_rule != rule:
+            continue
+        if not fnmatch.fnmatch(rel_path, glob):
+            continue
+        if substring is not None and substring not in snippet:
+            continue
+        return True
+    return False
+
+
+# --- unordered-iteration ---------------------------------------------------
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;{}]*>\s+(\w+)\s*[;{=(]"
+)
+
+
+def check_unordered_iteration(blanked: str):
+    """Token-level: collect names declared as unordered containers, then
+    flag range-for or .begin() iteration over them. Lookup/find/erase
+    stay allowed — only ordered traversal leaks bucket order."""
+    names = set(UNORDERED_DECL_RE.findall(blanked))
+    findings = []
+    if not names:
+        return findings
+    alt = "|".join(re.escape(n) for n in sorted(names))
+    # Comparing a find() result against end() is a lookup, not a
+    # traversal, so only begin()-family calls and range-for count.
+    iter_re = re.compile(
+        r"for\s*\([^;)]*:\s*[*&]?(?:this->)?(" + alt + r")\s*\)"
+        r"|\b(" + alt + r")\s*\.\s*(?:c?begin|rbegin)\s*\("
+    )
+    for lineno, line in enumerate(blanked.splitlines(), 1):
+        if iter_re.search(line):
+            findings.append(lineno)
+    return findings
+
+
+def libclang_unordered_iteration(path: str, repo_root: str):
+    """AST-precise variant when the libclang bindings are importable;
+    returns None to signal fallback."""
+    try:
+        from clang import cindex  # type: ignore
+    except ImportError:
+        return None
+    try:
+        index = cindex.Index.create()
+        tu = index.parse(
+            path,
+            args=["-std=c++20", "-I", os.path.join(repo_root, "src")],
+            options=cindex.TranslationUnit.PARSE_SKIP_FUNCTION_BODIES * 0,
+        )
+    except Exception:  # unparsable without full flags: fall back
+        return None
+    hits = []
+
+    def walk(node):
+        if node.kind == cindex.CursorKind.CXX_FOR_RANGE_STMT:
+            for child in node.get_children():
+                t = child.type.spelling
+                if "unordered_map" in t or "unordered_set" in t:
+                    hits.append(node.location.line)
+                break
+        for child in node.get_children():
+            if child.location.file and child.location.file.name == path:
+                walk(child)
+
+    walk(tu.cursor)
+    return hits
+
+
+# --- Driver ----------------------------------------------------------------
+
+
+def in_zone(rel_path: str, zone) -> bool:
+    rel = rel_path.replace(os.sep, "/")
+    for entry in zone:
+        if rel == entry or rel.startswith(entry.rstrip("/") + "/"):
+            return True
+    return False
+
+
+def lint_file(path: str, repo_root: str, entries, all_zones: bool):
+    rel = os.path.relpath(os.path.abspath(path), repo_root).replace(os.sep, "/")
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    except OSError as e:
+        print(f"sbft_lint: cannot read {path}: {e}", file=sys.stderr)
+        return []
+    allows = inline_allows(text)
+    blanked = blank_comments_and_strings(text)
+    lines = blanked.splitlines()
+    findings = []
+
+    def emit(lineno, rule, message):
+        if rule in allows.get(lineno, ()):
+            return
+        snippet = lines[lineno - 1].strip() if lineno - 1 < len(lines) else ""
+        if allowlisted(entries, rel, rule, snippet):
+            return
+        findings.append(Finding(rel, lineno, rule, message, snippet))
+
+    for rule in RULES:
+        if not (all_zones or in_zone(rel, rule.zone)):
+            continue
+        for lineno, line in enumerate(lines, 1):
+            if rule.pattern.search(line):
+                emit(lineno, rule.name, rule.message)
+
+    if all_zones or in_zone(rel, UNORDERED_RULE.zone):
+        hits = libclang_unordered_iteration(path, repo_root)
+        if hits is None:
+            hits = check_unordered_iteration(blanked)
+        for lineno in hits:
+            emit(lineno, UNORDERED_RULE.name, UNORDERED_RULE.message)
+
+    return findings
+
+
+def collect_files(paths):
+    exts = (".cpp", ".hpp", ".cc", ".h")
+    files = []
+    for p in paths:
+        if os.path.isdir(p):
+            for root, _dirs, names in os.walk(p):
+                for name in sorted(names):
+                    if name.endswith(exts):
+                        files.append(os.path.join(root, name))
+        elif p.endswith(exts):
+            files.append(p)
+    return files
+
+
+def check_fixture(path: str, repo_root: str) -> int:
+    """Fixture protocol: bad_<rule>[...].cpp must flag exactly <rule>
+    (with every other rule silent); good_*.cpp must be clean. Both run
+    with --all-zones semantics and no allowlist."""
+    base = os.path.basename(path)
+    findings = lint_file(path, repo_root, entries=[], all_zones=True)
+    rules_hit = {f.rule for f in findings}
+    if base.startswith("good_"):
+        if findings:
+            for f in findings:
+                print(f"{f.path}:{f.line}: [{f.rule}] unexpected: {f.snippet}")
+            return 1
+        print(f"{base}: clean, as expected")
+        return 0
+    if base.startswith("bad_"):
+        stem = base[len("bad_"):].rsplit(".", 1)[0]
+        expected = next(
+            (r for r in sorted(ALL_RULE_NAMES, key=len, reverse=True)
+             if stem.replace("_", "-").startswith(r)),
+            None,
+        )
+        if expected is None:
+            print(f"{base}: cannot derive expected rule from name", file=sys.stderr)
+            return 2
+        if rules_hit == {expected}:
+            print(f"{base}: flagged [{expected}], as expected")
+            return 0
+        print(f"{base}: expected exactly [{expected}], got {sorted(rules_hit)}")
+        return 1
+    print(f"{base}: fixture names must start with bad_ or good_", file=sys.stderr)
+    return 2
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", default=None)
+    parser.add_argument("--repo-root", default=None,
+                        help="repo root (default: this script's parent dir)")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--all-zones", action="store_true",
+                        help="apply every rule to every input file "
+                             "(fixture corpus mode)")
+    parser.add_argument("--check-fixture", metavar="FILE",
+                        help="verify one tests/lint fixture's expected verdict")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES + [UNORDERED_RULE]:
+            print(f"{rule.name}: {rule.message}")
+        return 0
+
+    repo_root = args.repo_root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+
+    if args.check_fixture:
+        return check_fixture(args.check_fixture, repo_root)
+
+    paths = args.paths or [os.path.join(repo_root, "src")]
+    entries = [] if args.all_zones else load_allowlist(repo_root)
+    findings = []
+    for path in collect_files(paths):
+        findings.extend(lint_file(path, repo_root, entries, args.all_zones))
+
+    for f in sorted(findings, key=lambda f: (f.path, f.line)):
+        print(f"{f.path}:{f.line}: [{f.rule}] {f.message}\n    {f.snippet}")
+    if findings:
+        print(f"sbft_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
