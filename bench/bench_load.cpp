@@ -1,0 +1,244 @@
+// Open-loop adversarial load engine (experiment E12): offered-load
+// sweeps and a scenario matrix against the threaded register cluster,
+// on both transports.
+//
+// Unlike bench_throughput's closed loop (which only ever asks for what
+// the cluster just delivered), every arm here FIXES the offered load:
+// operations start at precomputed Poisson arrival times whether or not
+// earlier ones finished, and latency is charged from the intended
+// arrival (coordinated-omission-free; see docs/LOAD_TESTING.md).
+//
+// Three measurement families:
+//   * latency-vs-offered-load sweep with a saturation finder — a point
+//     is SUSTAINED when (almost) every scheduled op returned and the
+//     achieved ok-rate tracks the offered rate; saturation_frac (the
+//     fraction of swept points sustained) is scale-invariant and gated
+//     by tools/bench_compare.py, absolute rates stay advisory;
+//   * adversarial traffic shapes (Zipf hot keys, flash crowd, 90%
+//     reads, slow links), each history validated by CheckRegular;
+//   * mid-load transient corruption: every server's state is garbled
+//     while traffic keeps flowing, and MeasureStabilization reports
+//     how long until reads are provably regular again — the paper's
+//     stabilization guarantee as a latency-style number.
+//
+// Extra flags (on top of bench_json.hpp's): --backend mailbox|tcp
+// restricts the transport; --scenario NAME runs only arms whose name
+// contains NAME (e.g. --scenario corruption).
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "bench_util.hpp"
+#include "load/driver.hpp"
+#include "load/scenario.hpp"
+#include "load/stabilization.hpp"
+#include "spec/regular_checker.hpp"
+
+using namespace sbft;
+using namespace sbft::bench;
+
+namespace {
+
+struct LoadArgs {
+  std::string backend = "all";    // mailbox | tcp | all
+  std::string scenario_filter;    // substring; empty = all arms
+};
+
+LoadArgs ParseLoadArgs(int argc, char** argv) {
+  LoadArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
+      args.backend = argv[++i];
+    } else if (std::strcmp(argv[i], "--scenario") == 0 && i + 1 < argc) {
+      args.scenario_filter = argv[++i];
+    }
+  }
+  return args;
+}
+
+bool Wanted(const LoadArgs& args, const std::string& name) {
+  return args.scenario_filter.empty() ||
+         name.find(args.scenario_filter) != std::string::npos;
+}
+
+/// A sweep point is sustained when (almost) everything scheduled came
+/// back and the ok-rate tracked the offered rate. The 0.99/0.8 slack
+/// absorbs drain-tail ops and scheduler hiccups without letting a
+/// genuinely saturated point pass.
+bool Sustained(const load::LoadResult& result, double offered) {
+  return result.completed_frac >= 0.99 &&
+         result.achieved_ops_per_sec >= 0.8 * offered;
+}
+
+void PointRow(const std::string& label, double offered,
+              const load::LoadResult& result) {
+  load::LatencyHistogram merged = result.write_latency;
+  merged.Merge(result.read_latency);
+  Row("%-22s %-9.0f | %-9.0f %-6.3f %-8llu %-8llu %-8llu %-6zu %-6zu",
+      label.c_str(), offered, result.achieved_ops_per_sec,
+      result.completed_frac,
+      static_cast<unsigned long long>(merged.Percentile(0.5)),
+      static_cast<unsigned long long>(merged.Percentile(0.99)),
+      static_cast<unsigned long long>(merged.max()), result.aborted,
+      result.failed + result.pending + result.unlaunched);
+}
+
+/// Shared metrics for every arm. completed_frac gates; the rest are
+/// machine-dependent and advisory.
+void CommonMetrics(JsonReport& report, const std::string& key,
+                   double offered, const load::LoadResult& result) {
+  report.Metric(key + ".offered_per_sec", offered, "ops/s");
+  report.Metric(key + ".achieved_ops_per_sec", result.achieved_ops_per_sec,
+                "ops/s");
+  report.Metric(key + ".completed_frac", result.completed_frac, "frac");
+  report.Metric(key + ".p99_write_us",
+                static_cast<double>(result.write_latency.Percentile(0.99)),
+                "us");
+  report.Metric(key + ".p99_read_us",
+                static_cast<double>(result.read_latency.Percentile(0.99)),
+                "us");
+}
+
+/// Per-key regularity check over the run's history (each key is an
+/// independent mux register; the stabilization point is the first
+/// completed write, as in the soak tests). Returns the number of
+/// violations found (capped).
+std::size_t CheckHistory(const load::LoadResult& result) {
+  CheckOptions check;
+  check.stabilized_from = result.first_write_done_us;
+  check.grandfathered_values = {Value{}};
+  check.max_violations = 8;  // enough for triage output
+  const CheckReport report = load::CheckRegularPerKey(result.history, check);
+  if (!report.ok) {
+    Row("  checker: %s", report.Summary().c_str());
+  }
+  return report.violations.size();
+}
+
+void RunSweep(JsonReport& report, const LoadArgs& args, bool use_tcp) {
+  const std::string backend = use_tcp ? "tcp" : "mailbox";
+  if (!Wanted(args, backend + ".sweep")) return;
+  // Rates chosen to bracket one-core capacity from below: every point
+  // is sustainable on the baseline machine, so the gated trajectory
+  // asserts "the whole sweep stays sustained" (saturation_frac = 1)
+  // and the latency curve shows the approach to the knee.
+  const std::vector<double> rates = use_tcp
+                                        ? std::vector<double>{250, 500, 1000}
+                                        : std::vector<double>{500, 1000, 2000,
+                                                              4000};
+  const std::uint64_t duration_us = report.smoke() ? 300'000 : 1'500'000;
+
+  std::size_t sustained = 0;
+  double saturation_rate = 0;
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    load::Scenario scenario =
+        load::BaselineScenario(rates[i], duration_us, 11 + i);
+    scenario.use_tcp = use_tcp;
+    const load::LoadResult result = load::RunOpenLoop(scenario);
+    const std::string key = backend + ".sweep.p" + std::to_string(i);
+    PointRow(key, rates[i], result);
+    CommonMetrics(report, key, rates[i], result);
+    if (Sustained(result, rates[i])) {
+      ++sustained;
+      saturation_rate = rates[i];
+    }
+  }
+  // Saturation point: the highest offered rate the cluster sustained
+  // (a lower bound when even the top point held). saturation_frac is
+  // the scale-invariant, gated form.
+  report.Metric(backend + ".sweep.saturation_frac",
+                static_cast<double>(sustained) /
+                    static_cast<double>(rates.size()),
+                "frac");
+  report.Metric(backend + ".sweep.saturation_ops_per_sec", saturation_rate,
+                "ops/s");
+  Row("%-22s sustained %zu/%zu points, saturation >= %.0f ops/s",
+      (backend + ".sweep").c_str(), sustained, rates.size(),
+      saturation_rate);
+}
+
+void RunScenarioArms(JsonReport& report, const LoadArgs& args, bool use_tcp) {
+  const std::string backend = use_tcp ? "tcp" : "mailbox";
+  const std::uint64_t duration_us = report.smoke() ? 400'000 : 2'000'000;
+
+  // Rates per arm sit well under either transport's one-core capacity:
+  // these arms measure traffic SHAPE effects and checker verdicts, not
+  // the saturation knee (the sweep above does that).
+  std::vector<load::Scenario> arms;
+  arms.push_back(load::ZipfHotScenario(400, duration_us, 21));
+  arms.push_back(load::FlashCrowdScenario(200, duration_us, 22));
+  arms.push_back(load::ReadHeavyScenario(400, duration_us, 23));
+  arms.push_back(load::SlowLinkScenario(200, duration_us, /*delay_us=*/2000,
+                                        24));
+  arms.push_back(load::CorruptionScenario(300, duration_us, 25));
+
+  for (load::Scenario& scenario : arms) {
+    scenario.use_tcp = use_tcp;
+    const std::string key = backend + "." + scenario.name;
+    if (!Wanted(args, key)) continue;
+    const load::LoadResult result = load::RunOpenLoop(scenario);
+    const double offered = scenario.phases.empty()
+                               ? scenario.rate_ops_per_sec
+                               : 0;  // profile: offered varies by phase
+    PointRow(key, offered, result);
+    CommonMetrics(report, key,
+                  offered > 0 ? offered : scenario.rate_ops_per_sec, result);
+
+    if (scenario.corruptions.empty()) {
+      const std::size_t violations = CheckHistory(result);
+      report.Metric(key + ".violations", static_cast<double>(violations),
+                    "count");
+      continue;
+    }
+
+    // Corruption arm: measure the stabilization point under traffic.
+    const std::uint64_t corruption_at =
+        result.corruption_times_us.empty() ? scenario.corruptions[0].at_us
+                                           : result.corruption_times_us[0];
+    CheckOptions base;
+    base.grandfathered_values = {Value{}};
+    const load::StabilizationReport stabilization =
+        load::MeasureStabilization(result.history, corruption_at, base);
+    report.Metric(key + ".stabilize_failed",
+                  stabilization.stabilized ? 0.0 : 1.0, "count");
+    report.Metric(key + ".violation_window_us",
+                  static_cast<double>(stabilization.violation_window_us),
+                  "us");
+    report.Metric(key + ".reads_after_corruption",
+                  static_cast<double>(stabilization.reads_after_corruption),
+                  "reads");
+    report.Metric(key + ".excused_reads",
+                  static_cast<double>(stabilization.excused_reads), "reads");
+    Row("  corruption @%llu us: stabilized=%d window=%llu us "
+        "(excused %zu of %zu post-corruption reads)",
+        static_cast<unsigned long long>(corruption_at),
+        stabilization.stabilized ? 1 : 0,
+        static_cast<unsigned long long>(stabilization.violation_window_us),
+        stabilization.excused_reads, stabilization.reads_after_corruption);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  JsonReport report("load", ParseBenchArgs(argc, argv));
+  const LoadArgs load_args = ParseLoadArgs(argc, argv);
+  Header("E12", "open-loop adversarial load (offered vs sustained)");
+  Row("%-22s %-9s | %-9s %-6s %-8s %-8s %-8s %-6s %-6s", "arm", "offered",
+      "ok/s", "compl", "p50 us", "p99 us", "max us", "abort", "lost");
+
+  for (const bool use_tcp : {false, true}) {
+    const std::string backend = use_tcp ? "tcp" : "mailbox";
+    if (load_args.backend != "all" && load_args.backend != backend) continue;
+    RunSweep(report, load_args, use_tcp);
+    RunScenarioArms(report, load_args, use_tcp);
+  }
+
+  Row("%s", "\nexpected shape: p99 grows with offered load and explodes "
+            "past the knee (completed_frac < 1 marks overload); Zipf and "
+            "flash arms trade p99 for the same completed_frac; the "
+            "corruption arm stabilizes within the run, with a bounded "
+            "violation window and zero violations after it.");
+  return report.Flush() ? 0 : 1;
+}

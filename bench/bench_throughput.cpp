@@ -9,9 +9,15 @@
 // all logical clients as independent registers) with an asynchronous
 // closed loop: each logical client keeps exactly one operation in
 // flight and issues the next from the completion callback. Per-op
-// latency is stamped at INJECTION (before the op enters the client
-// node's mailbox), so p50/p99 include queueing and are comparable
-// across the mailbox and tcp transports.
+// latency is charged from the op's INTENDED start — the previous op's
+// completion stamp, taken inside the completion callback — so the
+// callback-to-injection gap is part of the next op's latency rather
+// than silently omitted (the coordinated-omission trap: stamping at
+// send time lets a stalled client under-report exactly when the
+// system is slow). p50/p99 therefore include queueing and are
+// comparable across the mailbox and tcp transports, and come from the
+// shared log-linear histogram (load/histogram.hpp, ~3% worst-case
+// quantization), whose math tests/load/histogram_test.cpp pins down.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -23,6 +29,7 @@
 
 #include "bench_json.hpp"
 #include "bench_util.hpp"
+#include "load/histogram.hpp"
 #include "runtime/register_cluster.hpp"
 
 using namespace sbft;
@@ -43,18 +50,17 @@ struct Numbers {
 /// Closed-loop load generator over RegisterCluster's async API. Each
 /// logical client runs `pairs` write+read pairs; all completion
 /// callbacks run on the (single) mux client node thread, so the
-/// latency slots — disjoint per (client, pair, op) — need no locking.
+/// histogram — only ever touched there — needs no locking.
 class ClosedLoop {
  public:
   ClosedLoop(RegisterCluster& cluster, std::size_t n_clients, int pairs)
-      : cluster_(cluster),
-        n_clients_(n_clients),
-        pairs_(pairs),
-        latencies_us_(n_clients * static_cast<std::size_t>(pairs) * 2, 0.0) {}
+      : cluster_(cluster), n_clients_(n_clients), pairs_(pairs) {}
 
   Numbers Run() {
     const auto t_begin = Clock::now();
-    for (std::size_t c = 0; c < n_clients_; ++c) InjectWrite(c, 0);
+    // Every client's first op is intended to start at the loop start;
+    // injection order skew across clients is queueing, and counts.
+    for (std::size_t c = 0; c < n_clients_; ++c) InjectWrite(c, 0, t_begin);
     {
       std::unique_lock<std::mutex> lock(mutex_);
       done_cv_.wait(lock, [this] { return done_clients_ == n_clients_; });
@@ -63,32 +69,35 @@ class ClosedLoop {
         std::chrono::duration<double>(Clock::now() - t_begin).count();
 
     Numbers numbers;
-    numbers.completed = static_cast<long>(latencies_us_.size());
+    numbers.completed = static_cast<long>(histogram_.count());
     numbers.failed = failed_.load();
     numbers.ops_per_sec = static_cast<double>(numbers.completed) / seconds;
-    numbers.p50_us = Percentile(latencies_us_, 0.5);
-    numbers.p99_us = Percentile(latencies_us_, 0.99);
+    numbers.p50_us = static_cast<double>(histogram_.Percentile(0.5));
+    numbers.p99_us = static_cast<double>(histogram_.Percentile(0.99));
     return numbers;
   }
 
  private:
-  void InjectWrite(std::size_t c, int i) {
+  void InjectWrite(std::size_t c, int i, Clock::time_point intended) {
     const std::string text = "c" + std::to_string(c) + "#" + std::to_string(i);
     Value value(text.begin(), text.end());
-    const auto t0 = Clock::now();  // injection, not drain
     cluster_.AsyncWrite(c, std::move(value),
-                        [this, c, i, t0](const WriteOutcome& outcome) {
-                          Record(c, i, 0, t0, outcome.status);
-                          InjectRead(c, i);
+                        [this, c, i, intended](const WriteOutcome& outcome) {
+                          // One stamp: this op's completion AND the
+                          // next op's intended start.
+                          const auto now = Clock::now();
+                          Record(intended, now, outcome.status);
+                          InjectRead(c, i, now);
                         });
   }
 
-  void InjectRead(std::size_t c, int i) {
-    const auto t0 = Clock::now();
-    cluster_.AsyncRead(c, [this, c, i, t0](const ReadOutcome& outcome) {
-      Record(c, i, 1, t0, outcome.status);
+  void InjectRead(std::size_t c, int i, Clock::time_point intended) {
+    cluster_.AsyncRead(c, [this, c, i,
+                           intended](const ReadOutcome& outcome) {
+      const auto now = Clock::now();
+      Record(intended, now, outcome.status);
       if (i + 1 < pairs_) {
-        InjectWrite(c, i + 1);
+        InjectWrite(c, i + 1, now);
         return;
       }
       std::lock_guard<std::mutex> lock(mutex_);
@@ -97,21 +106,19 @@ class ClosedLoop {
     });
   }
 
-  void Record(std::size_t c, int i, int slot, Clock::time_point t0,
+  void Record(Clock::time_point intended, Clock::time_point now,
               OpStatus status) {
-    const std::size_t index =
-        (c * static_cast<std::size_t>(pairs_) + static_cast<std::size_t>(i)) *
-            2 +
-        static_cast<std::size_t>(slot);
-    latencies_us_[index] =
-        std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+    const auto us =
+        std::chrono::duration_cast<std::chrono::microseconds>(now - intended)
+            .count();
+    histogram_.Record(us > 0 ? static_cast<std::uint64_t>(us) : 0);
     if (status != OpStatus::kOk) failed_.fetch_add(1);
   }
 
   RegisterCluster& cluster_;
   std::size_t n_clients_;
   int pairs_;
-  std::vector<double> latencies_us_;
+  load::LatencyHistogram histogram_;
   std::atomic<long> failed_{0};
   std::mutex mutex_;
   std::condition_variable done_cv_;

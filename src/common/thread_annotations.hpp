@@ -25,6 +25,7 @@
 // src/runtime/*.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -105,6 +106,16 @@ class CondVar {
   /// Atomically releases `mutex`, blocks, and reacquires before
   /// returning. Spurious wakeups possible — always wait in a loop.
   void Wait(Mutex& mutex) REQUIRES(mutex) { cv_.wait(mutex); }
+
+  /// Timed wait (same contract); returns after `timeout` at the
+  /// latest. Used by components that sleep until a deadline but must
+  /// wake early on new work (runtime/link_shaper.hpp).
+  template <class Rep, class Period>
+  void WaitFor(Mutex& mutex,
+               const std::chrono::duration<Rep, Period>& timeout)
+      REQUIRES(mutex) {
+    cv_.wait_for(mutex, timeout);
+  }
 
   void NotifyOne() { cv_.notify_one(); }
   void NotifyAll() { cv_.notify_all(); }

@@ -1,0 +1,58 @@
+#include "load/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace sbft::load {
+
+PoissonProcess::PoissonProcess(double rate_per_sec, Rng rng)
+    : rate_per_sec_(rate_per_sec), rng_(rng) {
+  SBFT_ASSERT(rate_per_sec > 0.0);
+}
+
+std::uint64_t PoissonProcess::NextArrivalUs() {
+  // Inverse-CDF exponential sample. NextDouble() is in [0, 1), so the
+  // argument of log is in (0, 1] and the gap is finite and >= 0.
+  const double u = rng_.NextDouble();
+  const double gap_sec = -std::log1p(-u) / rate_per_sec_;
+  now_us_ += gap_sec * 1e6;
+  return static_cast<std::uint64_t>(now_us_);
+}
+
+void PoissonProcess::SetRate(double rate_per_sec) {
+  SBFT_ASSERT(rate_per_sec > 0.0);
+  rate_per_sec_ = rate_per_sec;
+}
+
+void PoissonProcess::ResetTo(std::uint64_t us) {
+  now_us_ = static_cast<double>(us);
+}
+
+ZipfGenerator::ZipfGenerator(std::size_t n, double skew, Rng rng)
+    : skew_(skew), rng_(rng) {
+  SBFT_ASSERT(n > 0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), skew);
+    cdf_[k] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding in the final bucket
+}
+
+std::size_t ZipfGenerator::Next() {
+  const double u = rng_.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+std::uint64_t ProfileDurationUs(const std::vector<RatePhase>& phases) {
+  std::uint64_t total = 0;
+  for (const RatePhase& phase : phases) total += phase.duration_us;
+  return total;
+}
+
+}  // namespace sbft::load

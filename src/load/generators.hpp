@@ -1,0 +1,78 @@
+// Deterministic workload-shape generators for the open-loop load
+// engine: Poisson arrival processes (offered load), Zipf key popularity
+// (hot-key contention over mux registers), and piecewise-constant rate
+// ramps (flash crowds).
+//
+// Everything here is a pure function of an Rng stream: the same seed
+// produces the same arrival times, keys, and op kinds on every machine.
+// That determinism is what makes an open-loop schedule a replayable
+// artifact (tests/load/generators_test.cpp pins it down) — the only
+// nondeterminism in a load run is how the system under test keeps up.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace sbft::load {
+
+/// Poisson arrival process: exponentially distributed inter-arrival
+/// gaps at `rate_per_sec` events/second, reported as absolute
+/// microsecond offsets from 0. Deterministic per Rng state.
+class PoissonProcess {
+ public:
+  PoissonProcess(double rate_per_sec, Rng rng);
+
+  /// Absolute time of the next arrival, in microseconds. Monotonically
+  /// non-decreasing.
+  std::uint64_t NextArrivalUs();
+
+  /// Change the rate mid-stream (flash-crowd ramps). The next gap is
+  /// drawn at the new rate; past arrivals are unaffected.
+  void SetRate(double rate_per_sec);
+
+  /// Reset the process clock to `us`, discarding any partial gap. At a
+  /// phase boundary this is statistically exact: the exponential is
+  /// memoryless, so the residual wait past the boundary at the new
+  /// rate is a fresh draw.
+  void ResetTo(std::uint64_t us);
+
+  [[nodiscard]] double rate_per_sec() const { return rate_per_sec_; }
+
+ private:
+  double rate_per_sec_;
+  double now_us_ = 0.0;
+  Rng rng_;
+};
+
+/// Zipf(s) popularity over ranks 0..n-1: P(rank k) proportional to
+/// 1/(k+1)^s. s = 0 degenerates to the uniform distribution. Sampling
+/// is a binary search over the precomputed CDF — O(log n) per draw,
+/// deterministic per Rng state.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::size_t n, double skew, Rng rng);
+
+  /// Draw a rank in [0, n).
+  std::size_t Next();
+
+  [[nodiscard]] std::size_t n() const { return cdf_.size(); }
+  [[nodiscard]] double skew() const { return skew_; }
+
+ private:
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k), cdf_.back() == 1
+  double skew_;
+  Rng rng_;
+};
+
+/// One phase of a piecewise-constant offered-load profile.
+struct RatePhase {
+  std::uint64_t duration_us = 0;
+  double rate_per_sec = 0.0;
+};
+
+/// Total duration of a profile.
+std::uint64_t ProfileDurationUs(const std::vector<RatePhase>& phases);
+
+}  // namespace sbft::load

@@ -1,0 +1,111 @@
+// Log-linear latency histogram (HDR-histogram style): fixed memory,
+// O(1) record, bounded relative error on quantiles.
+//
+// Layout: values below 2^kSubBits land in exact unit buckets; every
+// power-of-two range [2^k, 2^(k+1)) above that is split into
+// 2^(kSubBits-1) linear sub-buckets, so the worst-case relative
+// quantization error is 2^-(kSubBits-1) (~3.1% at kSubBits = 6). Mean
+// and max are tracked exactly on the side.
+//
+// The bench drivers record INTENDED-start latencies (schedule time ->
+// completion) into one of these; see docs/LOAD_TESTING.md for why that
+// is the coordinated-omission-free measurement. The math itself is
+// pinned down by tests/load/histogram_test.cpp.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace sbft::load {
+
+class LatencyHistogram {
+ public:
+  /// 2^kSubBits exact unit buckets, 2^(kSubBits-1) sub-buckets per
+  /// higher power-of-two range.
+  static constexpr int kSubBits = 6;
+  static constexpr std::uint64_t kSub = 1ull << kSubBits;
+  static constexpr std::uint64_t kHalfSub = kSub >> 1;
+  /// Ranges [2^6, 2^7) .. [2^47, 2^48): covers ~8.9 years in
+  /// microseconds, far beyond any latency this records.
+  static constexpr int kRanges = 42;
+  static constexpr std::size_t kBuckets =
+      kSub + static_cast<std::size_t>(kRanges) * kHalfSub;
+
+  void Record(std::uint64_t value_us) {
+    counts_[IndexOf(value_us)]++;
+    count_++;
+    sum_ += value_us;
+    max_ = std::max(max_, value_us);
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t max() const { return max_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) /
+                             static_cast<double>(count_);
+  }
+
+  /// Quantile q in [0, 1]: the representative value (bucket midpoint)
+  /// of the bucket holding the ceil(q * count)-th smallest sample.
+  /// Exact for values < 2^kSubBits, within the relative error bound
+  /// above otherwise. Returns 0 on an empty histogram.
+  [[nodiscard]] std::uint64_t Percentile(double q) const {
+    if (count_ == 0) return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    const auto target = static_cast<std::uint64_t>(
+        std::max<double>(1.0, q * static_cast<double>(count_) + 0.5));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += counts_[i];
+      if (seen >= target) return ValueAt(i);
+    }
+    return ValueAt(kBuckets - 1);
+  }
+
+  /// Add every sample of `other` into this histogram.
+  void Merge(const LatencyHistogram& other) {
+    for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    max_ = std::max(max_, other.max_);
+  }
+
+  /// Bucket index for a value (exposed for the math tests).
+  [[nodiscard]] static std::size_t IndexOf(std::uint64_t value_us) {
+    if (value_us < kSub) return static_cast<std::size_t>(value_us);
+    // k = floor(log2(value)) >= kSubBits; sub-bucket width is 2^(k -
+    // kSubBits + 1), giving kHalfSub sub-buckets per range.
+    int k = std::bit_width(value_us) - 1;
+    if (k >= kSubBits + kRanges) k = kSubBits + kRanges - 1;  // clamp
+    const int shift = k - kSubBits + 1;
+    const std::uint64_t base = 1ull << k;
+    std::uint64_t sub = (value_us >= base ? value_us - base : 0) >> shift;
+    if (sub >= kHalfSub) sub = kHalfSub - 1;  // clamped top range only
+    return static_cast<std::size_t>(kSub +
+                                    static_cast<std::uint64_t>(k - kSubBits) *
+                                        kHalfSub +
+                                    sub);
+  }
+
+  /// Representative (midpoint) value of a bucket index.
+  [[nodiscard]] static std::uint64_t ValueAt(std::size_t index) {
+    if (index < kSub) return index;
+    const std::uint64_t rest = index - kSub;
+    const int k = kSubBits + static_cast<int>(rest / kHalfSub);
+    const std::uint64_t sub = rest % kHalfSub;
+    const int shift = k - kSubBits + 1;
+    const std::uint64_t lo = (1ull << k) + (sub << shift);
+    return lo + (1ull << shift) / 2;
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace sbft::load

@@ -1,0 +1,111 @@
+#include "load/stabilization.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sbft::load {
+namespace {
+
+/// Partition a multiplexed history into one History per register
+/// (OpRecord::client == logical key under the load driver).
+std::map<std::uint32_t, History> SplitByKey(const History& history) {
+  std::map<std::uint32_t, History> per_key;
+  for (const OpRecord& op : history.ops()) per_key[op.client].Add(op);
+  return per_key;
+}
+
+}  // namespace
+
+CheckReport CheckRegularPerKey(const History& history,
+                               const CheckOptions& options) {
+  CheckReport merged;
+  for (const auto& [key, sub] : SplitByKey(history)) {
+    CheckOptions per_key = options;
+    if (options.max_violations != 0) {
+      const std::size_t found = merged.violations.size();
+      if (found >= options.max_violations) break;
+      per_key.max_violations = options.max_violations - found;
+    }
+    const CheckReport report = CheckRegular(sub, per_key);
+    for (const std::string& violation : report.violations) {
+      merged.AddViolation("key " + std::to_string(key) + ": " + violation);
+    }
+  }
+  return merged;
+}
+
+StabilizationReport MeasureStabilization(const History& history,
+                                         std::uint64_t corruption_at_us,
+                                         const CheckOptions& base) {
+  StabilizationReport report;
+
+  // Distinct invocation times of judged (ok) reads at/after the
+  // corruption — the only places the earliest clean threshold can sit.
+  std::vector<VirtualTime> times;
+  std::size_t post_reads = 0;
+  for (const OpRecord& op : history.ops()) {
+    if (op.kind != OpRecord::Kind::kRead ||
+        op.result != OpRecord::Result::kOk) {
+      continue;
+    }
+    if (op.invoked_at < corruption_at_us) continue;
+    ++post_reads;
+    times.push_back(op.invoked_at);
+  }
+  report.reads_after_corruption = post_reads;
+  if (post_reads == 0) return report;  // vacuous: nothing to stabilize over
+  std::sort(times.begin(), times.end());
+  const std::vector<VirtualTime> invocations = times;  // with duplicates
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+
+  // Candidate k: k == 0 judges every post-corruption read; k >= 1
+  // additionally excuses reads invoked at times[0..k-1] (checker
+  // excusal is strict-less-than, hence the +1).
+  const auto threshold = [&](std::size_t k) -> VirtualTime {
+    return k == 0 ? corruption_at_us : times[k - 1] + 1;
+  };
+  const auto per_key = SplitByKey(history);
+  const auto clean = [&](std::size_t k) {
+    CheckOptions options = base;
+    options.stabilized_from = threshold(k);
+    options.max_violations = 1;  // only need the verdict
+    for (const auto& [key, sub] : per_key) {
+      if (!CheckRegular(sub, options).ok) return false;
+    }
+    return true;
+  };
+
+  // clean is monotone in k (raising the threshold only excuses more
+  // reads), and k == times.size() always passes (no read is judged and
+  // write real-time edges alone cannot form a cycle): binary search
+  // the smallest clean k.
+  std::size_t lo = 0;
+  std::size_t hi = times.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (clean(mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+
+  if (lo == times.size()) {
+    // Even the last read is still disturbed: the history never
+    // stabilized inside the observation window.
+    return report;
+  }
+  report.stabilized = true;
+  report.stabilized_at_us = threshold(lo);
+  report.violation_window_us = report.stabilized_at_us > corruption_at_us
+                                   ? report.stabilized_at_us - corruption_at_us
+                                   : 0;
+  for (VirtualTime t : invocations) {
+    if (t < report.stabilized_at_us) ++report.excused_reads;
+  }
+  return report;
+}
+
+}  // namespace sbft::load

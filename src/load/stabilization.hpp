@@ -1,0 +1,58 @@
+// Stabilization time under traffic: how long after a transient
+// corruption the register is regular again, measured black-box from an
+// operation history.
+//
+// The paper's guarantee (Theorem 2) is a SUFFIX property: after the
+// first complete post-fault write, reads are regular. CheckRegular
+// exposes exactly that via stabilized_from — reads invoked before it
+// are excused. Raising stabilized_from only excuses MORE reads, so
+// "does the history check out from T onward" is monotone in T, and the
+// earliest clean T is found by binary search over the post-corruption
+// read invocation times. T minus the corruption instant is the
+// measured violation window — the number bench_load's corruption
+// scenarios report and trend.
+#pragma once
+
+#include <cstdint>
+
+#include "spec/history.hpp"
+#include "spec/regular_checker.hpp"
+
+namespace sbft::load {
+
+struct StabilizationReport {
+  /// True when some clean suffix still JUDGES at least one
+  /// post-corruption read (an all-excused suffix would be vacuous).
+  bool stabilized = false;
+  /// Earliest T with a clean check; reads invoked at/after T are fully
+  /// regular. Meaningful only when stabilized.
+  std::uint64_t stabilized_at_us = 0;
+  /// stabilized_at_us - corruption_at_us (0 when the corruption never
+  /// disturbed regularity at all).
+  std::uint64_t violation_window_us = 0;
+  /// Ok-reads invoked at/after the corruption instant, and how many of
+  /// them fall inside the violation window (are excused).
+  std::size_t reads_after_corruption = 0;
+  std::size_t excused_reads = 0;
+};
+
+/// CheckRegular for the MULTIPLEXED topology: each OpRecord::client is
+/// its own independent register (the load driver maps key k to client
+/// k), so the history is partitioned by client and each partition is
+/// checked on its own. Feeding the combined history to CheckRegular
+/// directly would report phantom staleness — a read of key A
+/// "superseded" by a write to key B.
+[[nodiscard]] CheckReport CheckRegularPerKey(const History& history,
+                                             const CheckOptions& options = {});
+
+/// Measure the stabilization point after a corruption injected at
+/// `corruption_at_us`. `base` supplies grandfathered_values (and any
+/// other checker knobs); stabilized_from and max_violations are
+/// overridden internally. Registers are independent (per-key check as
+/// above); the reported threshold is the earliest T from which EVERY
+/// key's suffix is clean.
+[[nodiscard]] StabilizationReport MeasureStabilization(
+    const History& history, std::uint64_t corruption_at_us,
+    const CheckOptions& base = {});
+
+}  // namespace sbft::load

@@ -46,6 +46,12 @@ class ThreadCluster::Endpoint final : public IEndpoint {
 };
 
 ThreadCluster::ThreadCluster(Options options) : options_(options) {
+  if (options_.shaping.enabled()) {
+    shaper_ = std::make_unique<LinkShaper>(
+        options_.shaping, [this](NodeId src, NodeId dst, Frame frame) {
+          PushFrame(src, dst, std::move(frame));
+        });
+  }
   if (options_.use_tcp) {
     TcpBus::Options tcp_options;
     tcp_options.reactor_threads = options_.reactor_threads;
@@ -57,14 +63,25 @@ ThreadCluster::ThreadCluster(Options options) : options_(options) {
           std::vector<MailItem> items;
           items.reserve(batch.size());
           for (auto& delivery : batch) {
-            items.push_back(MailItem{delivery.src,
-                                     Frame(std::move(delivery.frame)),
-                                     nullptr});
+            Frame frame(std::move(delivery.frame));
+            if (Shape(delivery.src, dst, frame)) continue;
+            items.push_back(MailItem{delivery.src, std::move(frame), nullptr});
           }
           mailboxes_[dst]->PushBatch(std::move(items));
         },
         tcp_options);
   }
+}
+
+void ThreadCluster::PushFrame(NodeId src, NodeId dst, Frame frame) {
+  if (dst >= mailboxes_.size()) return;
+  mailboxes_[dst]->Push(MailItem{src, std::move(frame), nullptr});
+}
+
+bool ThreadCluster::Shape(NodeId src, NodeId dst, Frame& frame) {
+  // Offer leaves `frame` intact when it declines (returns false), so
+  // the caller can continue down the direct-delivery path.
+  return shaper_ && shaper_->Offer(src, dst, std::move(frame));
 }
 
 ThreadCluster::~ThreadCluster() { Stop(); }
@@ -83,6 +100,7 @@ NodeId ThreadCluster::AddNode(std::unique_ptr<Automaton> automaton) {
 void ThreadCluster::Start() {
   SBFT_ASSERT(!started_);
   started_ = true;
+  if (shaper_) shaper_->Start();
   if (tcp_) tcp_->Start();
   for (NodeId id = 0; id < nodes_.size(); ++id) {
     threads_.emplace_back([this, id] { NodeLoop(id); });
@@ -126,7 +144,9 @@ void ThreadCluster::Deliver(NodeId src, NodeId dst, Bytes frame) {
     FramePool().Release(std::move(frame));
     return;
   }
-  mailboxes_[dst]->Push(MailItem{src, Frame(std::move(frame)), nullptr});
+  Frame wrapped(std::move(frame));
+  if (Shape(src, dst, wrapped)) return;
+  mailboxes_[dst]->Push(MailItem{src, std::move(wrapped), nullptr});
 }
 
 void ThreadCluster::DeliverBroadcast(NodeId src, std::span<const NodeId> dsts,
@@ -143,7 +163,9 @@ void ThreadCluster::DeliverBroadcast(NodeId src, std::span<const NodeId> dsts,
   auto payload = std::make_shared<Bytes>(std::move(frame));
   for (NodeId dst : dsts) {
     if (dst < nodes_.size()) {
-      mailboxes_[dst]->Push(MailItem{src, Frame(payload), nullptr});
+      Frame wrapped(payload);  // per-destination shaping decisions
+      if (Shape(src, dst, wrapped)) continue;
+      mailboxes_[dst]->Push(MailItem{src, std::move(wrapped), nullptr});
     }
   }
 }
@@ -172,9 +194,12 @@ void ThreadCluster::Stop() {
     return;
   }
   stopped_ = true;
-  // Node threads are the only callers of tcp_->Send/Flush, so closing
-  // mailboxes and joining them first means the transport is torn down
-  // only once nothing can touch it.
+  // The shaper stops first: frames it still holds are dropped, and
+  // later Offers decline so sends fall through to (soon-closed)
+  // mailboxes. Node threads are the only callers of tcp_->Send/Flush,
+  // so closing mailboxes and joining them before the transport means
+  // it is torn down only once nothing can touch it.
+  if (shaper_) shaper_->Stop();
   for (auto& mailbox : mailboxes_) mailbox->Close();
   for (auto& thread : threads_) {
     if (thread.joinable()) thread.join();

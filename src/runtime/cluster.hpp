@@ -16,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/link_shaper.hpp"
 #include "runtime/mailbox.hpp"
 #include "runtime/tcp.hpp"
 #include "sim/world.hpp"
@@ -31,6 +32,9 @@ class ThreadCluster {
     /// Epoll reactor threads for the TCP transport (ignored otherwise).
     std::size_t reactor_threads = 1;
     std::uint64_t seed = 1;
+    /// Slow/lossy link emulation applied to every inter-node frame at
+    /// delivery time (both transports); disabled when all-zero.
+    LinkShaping shaping;
   };
 
   explicit ThreadCluster(Options options);
@@ -74,12 +78,20 @@ class ThreadCluster {
   void Deliver(NodeId src, NodeId dst, Bytes frame);
   void DeliverBroadcast(NodeId src, std::span<const NodeId> dsts, Bytes frame);
 
+  /// Push one delivered frame to `dst`'s mailbox (the tail of every
+  /// delivery path; also the LinkShaper's forward target).
+  void PushFrame(NodeId src, NodeId dst, Frame frame);
+  /// True when the shaper consumed the frame (it will be pushed later,
+  /// or was dropped by a lossy link).
+  bool Shape(NodeId src, NodeId dst, Frame& frame);
+
   Options options_;
   std::vector<std::unique_ptr<Automaton>> nodes_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
   std::vector<std::thread> threads_;
   std::unique_ptr<TcpBus> tcp_;
+  std::unique_ptr<LinkShaper> shaper_;
   std::atomic<std::uint64_t> frames_delivered_{0};
   bool started_ = false;
   bool stopped_ = false;

@@ -1,0 +1,117 @@
+// Slow/lossy link emulation for the threaded runtime.
+//
+// The simulator degrades channels natively (World::DegradeChannel);
+// the threaded cluster's links are real mailbox pushes or TCP frames
+// with whatever latency the machine gives them. LinkShaper puts a
+// configurable wide-area link in front of delivery: each frame is
+// delayed by delay_us +/- uniform jitter and/or dropped with
+// loss_prob, using a seeded Rng so a given run shapes the same way
+// each time (modulo thread scheduling).
+//
+// Placement: ThreadCluster routes frames through the shaper at
+// DELIVERY time — after the transport, before the destination mailbox
+// — which covers both the in-process and the TCP backend with one
+// mechanism and keeps the TcpBus send-side threading contract intact.
+// Jittered delays may reorder frames between a pair of nodes; the
+// protocol tolerates reordering (see tests/integration/
+// full_stack_test.cpp), and the paper's model only assumes eventual
+// delivery on correct links.
+//
+// Threading: Offer is called from node threads and reactor threads;
+// one shaper thread owns the release heap and forwards due frames.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/frame.hpp"
+#include "common/rng.hpp"
+#include "common/thread_annotations.hpp"
+#include "sim/types.hpp"
+
+namespace sbft {
+
+/// Link-shaping parameters; all-zero means "no shaping" and the
+/// cluster bypasses the shaper entirely.
+struct LinkShaping {
+  /// Added one-way delay per frame, microseconds.
+  std::uint64_t delay_us = 0;
+  /// Uniform jitter: the actual delay is delay_us + U[0, jitter_us].
+  std::uint64_t jitter_us = 0;
+  /// Probability a frame is silently dropped. NOTE: the register
+  /// protocol has no retransmission timer in the threaded runtime, so
+  /// sustained loss can wedge individual operations — use for
+  /// degraded-mode experiments, not for gated trajectories.
+  double loss_prob = 0.0;
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] bool enabled() const {
+    return delay_us != 0 || jitter_us != 0 || loss_prob > 0.0;
+  }
+};
+
+class LinkShaper {
+ public:
+  /// Delivers a frame that finished its shaped delay.
+  using ForwardFn = std::function<void(NodeId src, NodeId dst, Frame frame)>;
+
+  LinkShaper(LinkShaping options, ForwardFn forward);
+  ~LinkShaper();
+
+  LinkShaper(const LinkShaper&) = delete;
+  LinkShaper& operator=(const LinkShaper&) = delete;
+
+  void Start();
+  /// Stop the shaper thread; frames still queued are dropped (only
+  /// called while the cluster is tearing down).
+  void Stop();
+
+  /// Hand a frame to the shaper. Returns true when the shaper consumed
+  /// it (delayed or dropped); false when the caller should deliver
+  /// directly (shaper not running, or this frame drew zero delay).
+  bool Offer(NodeId src, NodeId dst, Frame&& frame);
+
+  [[nodiscard]] std::uint64_t dropped() const {
+    MutexLock lock(mutex_);
+    return dropped_;
+  }
+  [[nodiscard]] std::uint64_t delayed() const {
+    MutexLock lock(mutex_);
+    return delayed_;
+  }
+
+ private:
+  struct Pending {
+    std::uint64_t release_us;  // steady_clock, microseconds
+    std::uint64_t order;       // FIFO tiebreak for equal deadlines
+    NodeId src;
+    NodeId dst;
+    Frame frame;
+  };
+  struct Later {
+    bool operator()(const Pending& a, const Pending& b) const {
+      return a.release_us != b.release_us ? a.release_us > b.release_us
+                                          : a.order > b.order;
+    }
+  };
+
+  void Loop();
+
+  LinkShaping options_;
+  ForwardFn forward_;
+  mutable Mutex mutex_;
+  /// Min-heap on release_us via std::push_heap/pop_heap (a
+  /// priority_queue cannot move out its top; Frame is move-only).
+  std::vector<Pending> heap_ GUARDED_BY(mutex_);
+  Rng rng_ GUARDED_BY(mutex_);
+  std::uint64_t next_order_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t dropped_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t delayed_ GUARDED_BY(mutex_) = 0;
+  bool running_ GUARDED_BY(mutex_) = false;
+  CondVar wake_;
+  std::thread thread_;
+};
+
+}  // namespace sbft

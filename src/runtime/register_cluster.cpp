@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <future>
 
+#include "common/error.hpp"
+
 namespace sbft {
 namespace {
 
@@ -13,15 +15,22 @@ RegisterId RegisterOf(std::size_t client) { return client + 1; }
 
 }  // namespace
 
+ThreadCluster::Options RegisterCluster::ClusterOptions(const Options& options) {
+  ThreadCluster::Options cluster_options;
+  cluster_options.use_tcp = options.use_tcp;
+  cluster_options.reactor_threads = options.reactor_threads;
+  cluster_options.seed = options.seed;
+  cluster_options.shaping = options.shaping;
+  return cluster_options;
+}
+
 RegisterCluster::RegisterCluster(const Options& options)
     : config_(options.config),
-      cluster_(ThreadCluster::Options{options.use_tcp,
-                                      options.reactor_threads,
-                                      options.seed}),
+      cluster_(ClusterOptions(options)),
       op_timeout_(options.op_timeout),
       n_clients_(options.n_clients) {
   config_.Validate();
-  std::vector<NodeId> server_ids;
+  std::vector<NodeId>& server_ids = server_ids_;
   for (std::size_t i = 0; i < config_.n; ++i) {
     std::unique_ptr<Automaton> server;
     if (options.multiplex) {
@@ -97,6 +106,16 @@ void RegisterCluster::AsyncRead(std::size_t client, ReadCallback callback) {
                       [this, client, callback = std::move(callback)]() mutable {
                         clients_[client]->StartRead(std::move(callback));
                       });
+}
+
+void RegisterCluster::CorruptServer(std::size_t server_index,
+                                    std::uint64_t seed) {
+  SBFT_ASSERT(server_index < server_ids_.size());
+  const NodeId node = server_ids_[server_index];
+  cluster_.PostToNode(node, [this, node, seed] {
+    Rng rng(seed);
+    cluster_.node(node).CorruptState(rng);
+  });
 }
 
 WriteOutcome RegisterCluster::Write(std::size_t client, Value value) {

@@ -39,6 +39,9 @@ class RegisterCluster {
     /// Per-operation timeout; expired operations report kFailed (the
     /// asynchronous protocol never gives up on its own).
     std::chrono::milliseconds op_timeout{10'000};
+    /// Slow/lossy link emulation for every inter-node link (see
+    /// runtime/link_shaper.hpp); disabled when all-zero.
+    LinkShaping shaping;
   };
 
   explicit RegisterCluster(const Options& options);
@@ -59,16 +62,26 @@ class RegisterCluster {
   WriteOutcome Write(std::size_t client, Value value);
   ReadOutcome Read(std::size_t client);
 
+  /// Transient-fault injection hook: overwrite server `server_index`'s
+  /// protocol state with seeded garbage (Automaton::CorruptState), on
+  /// the server's own thread, while traffic keeps flowing. Safe to
+  /// call from any thread after Start(); returns once the corruption
+  /// task is queued (not applied).
+  void CorruptServer(std::size_t server_index, std::uint64_t seed);
+
   [[nodiscard]] const ProtocolConfig& config() const { return config_; }
   [[nodiscard]] ThreadCluster& cluster() { return cluster_; }
   [[nodiscard]] std::size_t n_clients() const { return n_clients_; }
   [[nodiscard]] bool multiplexed() const { return mux_client_ != nullptr; }
 
  private:
+  static ThreadCluster::Options ClusterOptions(const Options& options);
+
   ProtocolConfig config_;
   ThreadCluster cluster_;
   std::chrono::milliseconds op_timeout_;
   std::size_t n_clients_ = 0;
+  std::vector<NodeId> server_ids_;
   // Default topology: one node per logical client.
   std::vector<RegisterClient*> clients_;
   std::vector<NodeId> client_ids_;

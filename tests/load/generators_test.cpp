@@ -1,0 +1,201 @@
+// Workload-shape generators: determinism per seed (the acceptance
+// criterion for the open-loop engine — a schedule is a replayable
+// artifact), empirical distribution shapes, and the scenario compiler.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "load/generators.hpp"
+#include "load/scenario.hpp"
+
+namespace sbft::load {
+namespace {
+
+TEST(PoissonProcess, DeterministicPerSeed) {
+  PoissonProcess a(1000.0, Rng(42));
+  PoissonProcess b(1000.0, Rng(42));
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.NextArrivalUs(), b.NextArrivalUs()) << "diverged at " << i;
+  }
+  PoissonProcess c(1000.0, Rng(43));
+  bool any_diff = false;
+  PoissonProcess a2(1000.0, Rng(42));
+  for (int i = 0; i < 100; ++i) {
+    any_diff |= (a2.NextArrivalUs() != c.NextArrivalUs());
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(PoissonProcess, ArrivalsMonotone) {
+  PoissonProcess p(500.0, Rng(7));
+  std::uint64_t prev = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t at = p.NextArrivalUs();
+    ASSERT_GE(at, prev);
+    prev = at;
+  }
+}
+
+TEST(PoissonProcess, EmpiricalMeanMatchesRate) {
+  // 20k exponential gaps at 1000/s: mean gap 1000us. Standard error is
+  // 1000/sqrt(20000) ~ 7us; a 5% tolerance is ~7 sigma.
+  const int kDraws = 20000;
+  PoissonProcess p(1000.0, Rng(1));
+  std::uint64_t last = 0;
+  for (int i = 0; i < kDraws; ++i) last = p.NextArrivalUs();
+  const double mean_gap =
+      static_cast<double>(last) / static_cast<double>(kDraws);
+  EXPECT_NEAR(mean_gap, 1000.0, 50.0);
+}
+
+TEST(PoissonProcess, ResetToRestartsClock) {
+  PoissonProcess p(1000.0, Rng(5));
+  for (int i = 0; i < 10; ++i) p.NextArrivalUs();
+  p.ResetTo(500'000);
+  const std::uint64_t next = p.NextArrivalUs();
+  EXPECT_GE(next, 500'000u);
+  // At 1000/s a gap beyond 50ms has probability e^-50.
+  EXPECT_LT(next, 550'000u);
+}
+
+TEST(ZipfGenerator, DeterministicPerSeed) {
+  ZipfGenerator a(64, 1.0, Rng(9));
+  ZipfGenerator b(64, 1.0, Rng(9));
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.Next(), b.Next());
+}
+
+TEST(ZipfGenerator, SkewZeroIsUniform) {
+  const std::size_t kN = 16;
+  const int kDraws = 32000;
+  ZipfGenerator z(kN, 0.0, Rng(3));
+  std::vector<int> counts(kN, 0);
+  for (int i = 0; i < kDraws; ++i) counts[z.Next()]++;
+  // Expected 2000 per rank, sigma ~ 43; +/-15% is > 6 sigma.
+  for (std::size_t k = 0; k < kN; ++k) {
+    EXPECT_NEAR(counts[k], kDraws / static_cast<int>(kN),
+                kDraws * 15 / (static_cast<int>(kN) * 100))
+        << "rank " << k;
+  }
+}
+
+TEST(ZipfGenerator, RankFrequencyShape) {
+  // skew 1: P(rank k) ~ 1/(k+1), so rank 0 draws ~2x rank 1 and ~4x
+  // rank 3. Check the ratios with a generous tolerance.
+  const int kDraws = 200000;
+  ZipfGenerator z(32, 1.0, Rng(11));
+  std::vector<int> counts(32, 0);
+  for (int i = 0; i < kDraws; ++i) counts[z.Next()]++;
+  ASSERT_GT(counts[1], 0);
+  ASSERT_GT(counts[3], 0);
+  const double r01 = static_cast<double>(counts[0]) / counts[1];
+  const double r03 = static_cast<double>(counts[0]) / counts[3];
+  EXPECT_NEAR(r01, 2.0, 0.3);
+  EXPECT_NEAR(r03, 4.0, 0.6);
+  // Monotone non-increasing over the head of the distribution (with
+  // sampling slack on the tail).
+  for (int k = 0; k < 4; ++k) EXPECT_GE(counts[k], counts[k + 1]);
+}
+
+TEST(ProfileDuration, SumsPhases) {
+  EXPECT_EQ(ProfileDurationUs({}), 0u);
+  EXPECT_EQ(ProfileDurationUs({{1000, 1.0}, {2500, 2.0}}), 3500u);
+}
+
+TEST(BuildSchedule, DeterministicPerSeed) {
+  // The engine's acceptance criterion: identical scenario -> identical
+  // offered load, at the schedule level, independent of machine state.
+  Scenario scenario = ZipfHotScenario(2000.0, 500'000, 77);
+  const auto a = BuildSchedule(scenario);
+  const auto b = BuildSchedule(scenario);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_GT(a.size(), 500u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].at_us, b[i].at_us);
+    ASSERT_EQ(a[i].key, b[i].key);
+    ASSERT_EQ(a[i].is_write, b[i].is_write);
+    ASSERT_EQ(a[i].seq, b[i].seq);
+  }
+  scenario.seed = 78;
+  const auto c = BuildSchedule(scenario);
+  bool any_diff = c.size() != a.size();
+  for (std::size_t i = 0; !any_diff && i < std::min(a.size(), c.size()); ++i) {
+    any_diff = a[i].at_us != c[i].at_us || a[i].key != c[i].key;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(BuildSchedule, SortedWithUniqueWriteValues) {
+  const Scenario scenario = BaselineScenario(3000.0, 400'000, 5);
+  const auto schedule = BuildSchedule(scenario);
+  std::uint64_t prev = 0;
+  std::set<std::pair<std::uint32_t, std::uint32_t>> write_ids;
+  for (const ScheduledOp& op : schedule) {
+    ASSERT_GE(op.at_us, prev);
+    ASSERT_LT(op.at_us, scenario.duration_us);
+    ASSERT_LT(op.key, scenario.n_keys);
+    prev = op.at_us;
+    if (op.is_write) {
+      ASSERT_TRUE(write_ids.insert({op.key, op.seq}).second)
+          << "duplicate write value " << op.key << "#" << op.seq;
+    }
+  }
+}
+
+TEST(BuildSchedule, RespectsReadFraction) {
+  Scenario scenario = ReadHeavyScenario(4000.0, 1'000'000, 6);
+  const auto schedule = BuildSchedule(scenario);
+  std::size_t reads = 0;
+  for (const ScheduledOp& op : schedule) reads += op.is_write ? 0 : 1;
+  const double frac =
+      static_cast<double>(reads) / static_cast<double>(schedule.size());
+  EXPECT_NEAR(frac, 0.9, 0.03);
+}
+
+TEST(BuildSchedule, FlashCrowdDensity) {
+  // Middle fifth runs at 4x the base rate: its arrival density must be
+  // roughly 4x the surrounding phases'.
+  const Scenario scenario = FlashCrowdScenario(1000.0, 1'000'000, 8);
+  const auto schedule = BuildSchedule(scenario);
+  std::size_t base_ops = 0, spike_ops = 0;
+  for (const ScheduledOp& op : schedule) {
+    if (op.at_us >= 400'000 && op.at_us < 600'000) {
+      ++spike_ops;
+    } else {
+      ++base_ops;
+    }
+  }
+  // base: 800ms at 1000/s = ~800 ops; spike: 200ms at 4000/s = ~800.
+  const double density_ratio =
+      (static_cast<double>(spike_ops) / 200'000.0) /
+      (static_cast<double>(base_ops) / 800'000.0);
+  EXPECT_NEAR(density_ratio, 4.0, 0.8);
+}
+
+TEST(BuildSchedule, MixChangeKeepsArrivalTimes) {
+  // Child streams are independent: changing the read/write mix must
+  // not reshuffle WHEN operations happen.
+  Scenario a = BaselineScenario(2000.0, 300'000, 12);
+  Scenario b = a;
+  b.read_fraction = 0.9;
+  const auto sa = BuildSchedule(a);
+  const auto sb = BuildSchedule(b);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    ASSERT_EQ(sa[i].at_us, sb[i].at_us);
+    ASSERT_EQ(sa[i].key, sb[i].key);
+  }
+}
+
+TEST(ValueForOp, EncodesKeyAndSeq) {
+  ScheduledOp op;
+  op.key = 7;
+  op.seq = 42;
+  const Value value = ValueFor(op);
+  const std::string text(value.begin(), value.end());
+  EXPECT_EQ(text, "k7#42");
+}
+
+}  // namespace
+}  // namespace sbft::load

@@ -1,0 +1,131 @@
+// Regression tests over the log-linear histogram math that
+// bench_throughput and bench_load percentiles now rest on: bucket
+// index/value round-trips, the advertised error bound against exact
+// nearest-rank percentiles, and merge semantics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "load/histogram.hpp"
+
+namespace sbft::load {
+namespace {
+
+/// Exact nearest-rank percentile matching LatencyHistogram::Percentile's
+/// target rank (ceil-ish via +0.5), for ground truth.
+std::uint64_t ExactPercentile(std::vector<std::uint64_t> values, double q) {
+  std::sort(values.begin(), values.end());
+  const auto target = static_cast<std::size_t>(std::max<double>(
+      1.0, q * static_cast<double>(values.size()) + 0.5));
+  return values[std::min(target, values.size()) - 1];
+}
+
+TEST(LatencyHistogram, SmallValuesAreExact) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 0; v < LatencyHistogram::kSub; ++v) {
+    EXPECT_EQ(LatencyHistogram::ValueAt(LatencyHistogram::IndexOf(v)), v);
+  }
+}
+
+TEST(LatencyHistogram, IndexValueRoundTripWithinBound) {
+  // For any value, the representative of its bucket is within the
+  // advertised worst-case relative error (2^-(kSubBits-1) ~ 3.1%).
+  Rng rng(21);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t v = rng.NextBelow(1ull << 40) + 1;
+    const std::uint64_t rep =
+        LatencyHistogram::ValueAt(LatencyHistogram::IndexOf(v));
+    const double err =
+        std::abs(static_cast<double>(rep) - static_cast<double>(v)) /
+        static_cast<double>(v);
+    ASSERT_LE(err, 0.032) << "value " << v << " -> rep " << rep;
+  }
+}
+
+TEST(LatencyHistogram, IndicesAreMonotoneAndInRange) {
+  std::size_t prev = 0;
+  for (std::uint64_t v = 0; v < 1'000'000; v += 37) {
+    const std::size_t index = LatencyHistogram::IndexOf(v);
+    ASSERT_LT(index, LatencyHistogram::kBuckets);
+    ASSERT_GE(index, prev);
+    prev = index;
+  }
+  // Absurdly large values clamp into the top bucket instead of
+  // indexing out of bounds.
+  EXPECT_LT(LatencyHistogram::IndexOf(~0ull), LatencyHistogram::kBuckets);
+}
+
+TEST(LatencyHistogram, CountMeanMaxExact) {
+  LatencyHistogram h;
+  std::uint64_t sum = 0;
+  for (std::uint64_t v : {3ull, 77ull, 1024ull, 500'000ull, 12ull}) {
+    h.Record(v);
+    sum += v;
+  }
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.max(), 500'000u);
+  EXPECT_DOUBLE_EQ(h.mean(), static_cast<double>(sum) / 5.0);
+}
+
+TEST(LatencyHistogram, EmptyPercentileIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.Percentile(0.5), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+class PercentileAccuracy : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PercentileAccuracy, WithinRelativeErrorOfExact) {
+  // The coordinated-omission fix moved bench percentiles onto this
+  // histogram: pin its accuracy against exact nearest-rank math over a
+  // long-tailed sample resembling queueing latencies.
+  Rng rng(GetParam());
+  LatencyHistogram h;
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 30000; ++i) {
+    // Mixture: 90% "fast path" around 100-2000us, 10% long tail.
+    const bool tail = rng.NextBool(0.1);
+    const std::uint64_t v = tail ? 10'000 + rng.NextBelow(2'000'000)
+                                 : 100 + rng.NextBelow(1900);
+    values.push_back(v);
+    h.Record(v);
+  }
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    const std::uint64_t exact = ExactPercentile(values, q);
+    const auto approx = static_cast<double>(h.Percentile(q));
+    ASSERT_NEAR(approx, static_cast<double>(exact),
+                std::max(1.0, 0.032 * static_cast<double>(exact)))
+        << "q=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileAccuracy,
+                         ::testing::Values(1u, 2u, 3u));
+
+TEST(LatencyHistogram, MergeEqualsCombinedRecording) {
+  Rng rng(5);
+  LatencyHistogram a, b, combined;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = rng.NextBelow(1'000'000);
+    if (i % 2 == 0) {
+      a.Record(v);
+    } else {
+      b.Record(v);
+    }
+    combined.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.max(), combined.max());
+  EXPECT_DOUBLE_EQ(a.mean(), combined.mean());
+  for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_EQ(a.Percentile(q), combined.Percentile(q)) << "q=" << q;
+  }
+}
+
+}  // namespace
+}  // namespace sbft::load

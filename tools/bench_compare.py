@@ -20,6 +20,15 @@ Metrics come in two classes:
   committed baseline was recorded on, so by default these are reported
   as advisory only; pass --gate-rates for same-machine comparisons.
 
+The open-loop load engine (BENCH_load.json) gates through the same
+scheme: ``saturation_frac`` (fraction of the swept offered rates the
+cluster sustained) and ``violations``/``stabilize_failed`` (checker
+verdicts) are scale-invariant counts, while absolute saturation and
+latency numbers stay advisory. Any fresh ``completed_frac`` below 1 is
+additionally flagged as an overload-regime point: its latency metrics
+describe a cluster shedding load and should not be read as a
+steady-state measurement.
+
 Exit status: 0 = no gating regression, 1 = at least one, 2 = usage or
 input error.
 """
@@ -31,13 +40,14 @@ import sys
 # Substrings that mark a metric where SMALLER is better. Checked before
 # the higher-is-better marks so e.g. "allocs_per_op" resolves correctly.
 LOWER_IS_BETTER = ("allocs", "bytes", "p99", "latency", "_us", "failed",
-                   "stalled", "vacuous", "frames_per_op")
+                   "stalled", "vacuous", "frames_per_op", "violation")
 # Substrings that mark a metric where LARGER is better. completed_frac
-# (fraction of attempted ops that finished, 1.0 = all) is deliberately
-# count-like: it is scale-invariant, so a smoke run gates cleanly
-# against a full-run baseline.
+# (fraction of attempted ops that finished, 1.0 = all) and
+# saturation_frac (fraction of swept offered rates sustained) are
+# deliberately count-like: they are scale-invariant, so a smoke run
+# gates cleanly against a full-run baseline.
 HIGHER_IS_BETTER = ("per_sec", "speedup", "runs_per", "ops_per",
-                    "roundtrips", "throughput", "completed")
+                    "roundtrips", "throughput", "completed", "saturation")
 # Rate-like marks: machine-dependent, advisory unless --gate-rates.
 RATE_LIKE = ("per_sec", "speedup", "p99", "latency", "_us", "runs_per",
              "roundtrips")
@@ -134,6 +144,14 @@ def main() -> int:
     for name, base_value, fresh_value, delta, verdict in rows:
         print(f"{name:<{width}}  {base_value:>12.4g}  {fresh_value:>12.4g}  "
               f"{delta:>8}  {verdict}")
+
+    overloaded = [(name, value) for name, (value, _) in sorted(fresh.items())
+                  if name.endswith("completed_frac") and value < 1.0]
+    if overloaded:
+        print("\noverload regime (completed_frac < 1; latency numbers at "
+              "these points describe a cluster shedding load):")
+        for name, value in overloaded:
+            print(f"  - {name}: {value:g}")
 
     if advisories:
         print("\nadvisory (not gated):")
