@@ -126,12 +126,14 @@ class ClosedLoop {
 };
 
 Numbers RunArm(std::uint32_t n, std::size_t n_clients, bool use_tcp,
-               int pairs_per_client) {
+               int pairs_per_client, std::size_t batch_max_ops) {
   RegisterCluster::Options options;
   options.config = ProtocolConfig::ForServers(n);
   options.use_tcp = use_tcp;
   options.multiplex = true;
   options.n_clients = n_clients;
+  options.batch_max_ops = batch_max_ops;  // 0 = unbatched
+  options.batch_max_delay_us = 200;
   RegisterCluster cluster(std::move(options));
   cluster.Start();
   ClosedLoop loop(cluster, n_clients, pairs_per_client);
@@ -155,20 +157,23 @@ int PairsFor(bool use_tcp, std::size_t n_clients, bool smoke) {
 int main(int argc, char** argv) {
   JsonReport report("throughput", ParseBenchArgs(argc, argv));
   Header("E7", "threaded runtime throughput (ops = writes+reads)");
-  Row("%-4s %-8s %-9s | %-12s %-10s %-10s %-7s", "n", "clients", "transport",
+  Row("%-4s %-8s %-15s | %-12s %-10s %-10s %-7s", "n", "clients", "transport",
       "ops/s", "p50 us", "p99 us", "failed");
 
   struct Point {
     bool use_tcp;
     std::uint32_t n;
     std::size_t clients;
+    std::size_t batch = 0;  // batch_max_ops; 0 = unbatched
   };
   std::vector<Point> points;
   std::set<std::string> seen;
-  auto add = [&](bool use_tcp, std::uint32_t n, std::size_t clients) {
+  auto add = [&](bool use_tcp, std::uint32_t n, std::size_t clients,
+                 std::size_t batch = 0) {
     const std::string key = std::string(use_tcp ? "tcp" : "mailbox") + "." +
-                            std::to_string(n) + "." + std::to_string(clients);
-    if (seen.insert(key).second) points.push_back({use_tcp, n, clients});
+                            std::to_string(n) + "." + std::to_string(clients) +
+                            "." + std::to_string(batch);
+    if (seen.insert(key).second) points.push_back({use_tcp, n, clients, batch});
   };
   // Legacy trajectory points: n sweep at low client counts.
   for (std::uint32_t n : {6u, 11u, 16u}) {
@@ -178,7 +183,10 @@ int main(int argc, char** argv) {
   // TCP arm kept small at c=1: sockets * n^2 on one box. n=16 is the
   // worst case the trajectory tracks (256 sockets, the paper's largest
   // sweep point); its failed count guards against accept-backlog drops.
-  for (std::uint32_t n : {6u, 11u, 16u}) add(true, n, 1);
+  for (std::uint32_t n : {6u, 11u, 16u}) {
+    add(true, n, 1);
+  }
+
   // High-concurrency sweep at n=16: pipelined logical clients over the
   // mux envelope, both transports.
   const std::vector<std::size_t> sweep =
@@ -188,18 +196,32 @@ int main(int argc, char** argv) {
     add(false, 16, clients);
     add(true, 16, clients);
   }
+  // Protocol-round batching arms (metric prefix "batched."): the same
+  // n=16 concurrency sweep with frames of concurrent per-register
+  // rounds coalesced into shared MuxBatch frames. The window matches
+  // the client count up to 64 — every closed-loop generation shares
+  // one round; past 64 a capped window keeps several smaller rounds
+  // pipelined instead of one giant serialized round (measured faster
+  // at c256). Skipped below c=8: a batch window over a lone
+  // closed-loop client only adds the max_delay timer wait.
+  for (std::size_t clients : sweep) {
+    if (clients < 8) continue;
+    add(false, 16, clients, std::min<std::size_t>(clients, 64));
+    add(true, 16, clients, std::min<std::size_t>(clients, 64));
+  }
 
   for (const Point& point : points) {
     const int pairs = PairsFor(point.use_tcp, point.clients, report.smoke());
     const Numbers numbers =
-        RunArm(point.n, point.clients, point.use_tcp, pairs);
-    const char* transport = point.use_tcp ? "tcp" : "mailbox";
-    Row("%-4u %-8zu %-9s | %-12.0f %-10.0f %-10.0f %-7ld", point.n,
-        point.clients, transport, numbers.ops_per_sec, numbers.p50_us,
+        RunArm(point.n, point.clients, point.use_tcp, pairs, point.batch);
+    const std::string transport =
+        std::string(point.batch > 0 ? "batched." : "") +
+        (point.use_tcp ? "tcp" : "mailbox");
+    Row("%-4u %-8zu %-15s | %-12.0f %-10.0f %-10.0f %-7ld", point.n,
+        point.clients, transport.c_str(), numbers.ops_per_sec, numbers.p50_us,
         numbers.p99_us, numbers.failed);
-    const std::string key = std::string(transport) + ".n" +
-                            std::to_string(point.n) + ".c" +
-                            std::to_string(point.clients);
+    const std::string key = transport + ".n" + std::to_string(point.n) +
+                            ".c" + std::to_string(point.clients);
     report.Metric(key + ".ops_per_sec", numbers.ops_per_sec, "ops/s");
     report.Metric(key + ".p50_us", numbers.p50_us, "us");
     report.Metric(key + ".p99_us", numbers.p99_us, "us");

@@ -72,6 +72,13 @@ class BufWriter {
     buf_.insert(buf_.end(), data.begin(), data.end());
   }
 
+  /// Append pre-encoded material verbatim — no length prefix. Used to
+  /// splice cached frame prefixes (e.g. a server's read reply, which is
+  /// identical for every reader between state changes).
+  void PutRaw(BytesView data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
   void PutString(const std::string& s) {
     PutBytes(BytesView(reinterpret_cast<const std::uint8_t*>(s.data()),
                        s.size()));
@@ -86,14 +93,40 @@ class BufWriter {
   }
 
   /// Length-prefixed run of little-endian integers — byte-identical to
-  /// PutVector over Put<T>, spelled as a fully inlinable loop (no
-  /// per-element callable indirection). Used for label antisting sets,
-  /// the most-encoded container in the protocol.
+  /// PutVector over Put<T>, but with ONE capacity operation for the
+  /// whole run and direct stores instead of per-byte push_back. Used
+  /// for label antisting sets, the most-encoded container in the
+  /// protocol: a quorum reply carries ~7 labels of k integers each, so
+  /// the per-byte capacity checks of Put<T> dominated encode profiles.
   template <typename T, typename C>
   void PutIntegralRun(const C& items) {
     static_assert(std::is_integral_v<T>);
     Put<std::uint32_t>(static_cast<std::uint32_t>(items.size()));
-    for (const T item : items) Put<T>(item);
+    const std::size_t old_size = buf_.size();
+    buf_.resize(old_size + items.size() * sizeof(T));
+    std::uint8_t* out = buf_.data() + old_size;
+    for (const T item : items) {
+      auto u = static_cast<std::make_unsigned_t<T>>(item);
+      for (std::size_t i = 0; i < sizeof(T); ++i) {
+        *out++ = static_cast<std::uint8_t>(u & 0xFF);
+        u = static_cast<std::make_unsigned_t<T>>(u >> 8);
+      }
+    }
+  }
+
+  /// Overwrite a fixed-width integer previously written at `offset`
+  /// (same little-endian layout as Put). For prefixes whose value is
+  /// only known once the rest of the frame has been encoded — e.g. the
+  /// element count of an incrementally built batch frame. The offset
+  /// must lie within already-written bytes.
+  template <typename T>
+    requires std::is_integral_v<T>
+  void PatchAt(std::size_t offset, T value) {
+    auto u = static_cast<std::make_unsigned_t<T>>(value);
+    for (std::size_t i = 0; i < sizeof(u); ++i) {
+      buf_[offset + i] = static_cast<std::uint8_t>(u & 0xFF);
+      u = static_cast<std::make_unsigned_t<T>>(u >> 8);
+    }
   }
 
   const Bytes& data() const { return buf_; }
@@ -205,6 +238,19 @@ class BufReader {
       out[i] = static_cast<T>(u);
     }
     pos_ += static_cast<std::size_t>(count) * sizeof(T);
+  }
+
+  /// Current read offset. With Skip, lets a lazy decoder validate a
+  /// region's framing and capture its byte range for later
+  /// materialization instead of decoding it eagerly.
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+
+  /// Advance past n bytes without materializing them — same bounds
+  /// checks and sticky-failure semantics as any read.
+  bool Skip(std::size_t n) {
+    if (!Need(n)) return false;
+    pos_ += n;
+    return true;
   }
 
   /// True once any read ran past the buffer or a length prefix was

@@ -30,7 +30,7 @@ RegisterClient::RegisterClient(ProtocolConfig config,
   write_replied_.assign(n, 0);
   replies_.assign(n, VersionedValue{});
   reply_bits_.assign(n, 0);
-  recent_vals_.assign(n, {});
+  recent_raw_.assign(n, {});
   recent_len_.assign(n, 0);
   last_write_ts_ = Timestamp{labels_.Initial(), client_id_};
 }
@@ -47,6 +47,14 @@ std::optional<std::size_t> RegisterClient::ServerIndex(NodeId node) const {
 void RegisterClient::OnFrame(NodeId from, BytesView frame, IEndpoint&) {
   const auto index = ServerIndex(from);
   if (!index) return;  // not a register server: ignore
+  // READ replies — the bulkiest and (under read load) most frequent
+  // frames — take the lazy path: the old_vals history is validated but
+  // not materialized unless DecideRead needs the union graph. A frame
+  // this rejects is rejected by DecodeMessage below too.
+  if (auto lazy = DecodeReplyLazy(frame)) {
+    OnReply(*index, *lazy);
+    return;
+  }
   auto decoded = DecodeMessage(frame);
   if (!decoded.ok()) return;  // garbage frame
   const Message& message = decoded.value();
@@ -59,9 +67,6 @@ void RegisterClient::OnFrame(NodeId from, BytesView frame, IEndpoint&) {
   }
   if (const auto* m = std::get_if<WriteReplyMsg>(&message)) {
     OnWriteReply(*index, *m);
-  }
-  if (const auto* m = std::get_if<ReplyMsg>(&message)) {
-    OnReply(*index, *m);
   }
 }
 
@@ -299,7 +304,7 @@ void RegisterClient::FinishWrite(OpStatus status) {
 
 // --- Read phase (Figure 2) ----------------------------------------------
 
-void RegisterClient::OnReply(std::size_t server, const ReplyMsg& msg) {
+void RegisterClient::OnReply(std::size_t server, const LazyReplyMsg& msg) {
   read_pool_.ClearPending(server, PoolIndexOf(msg.label));
   MaybeAdvanceAfterFlush();
   if (phase_ != Phase::kRead || msg.label != op_label_ ||
@@ -310,7 +315,9 @@ void RegisterClient::OnReply(std::size_t server, const ReplyMsg& msg) {
   // Keep the latest report per server (servers forward concurrent
   // writes, superseding their earlier reply). The reply's values are
   // views into the frame — copied in place here, where they enter
-  // client state, reusing the slot's Bytes capacity.
+  // client state, reusing the slot's Bytes capacity. The history is
+  // kept as raw encoded bytes; DecideRead materializes it only for the
+  // union graph.
   VersionedValue& vv = replies_[server];
   vv.value.assign(msg.value.begin(), msg.value.end());
   vv.ts = Timestamp{labels_.Sanitize(msg.ts.label), msg.ts.writer_id};
@@ -319,20 +326,10 @@ void RegisterClient::OnReply(std::size_t server, const ReplyMsg& msg) {
     ++reply_count_;
   }
 
-  auto& history = recent_vals_[server];
-  std::uint32_t len = 0;
-  for (const WireVersioned& old : msg.old_vals) {
-    if (len >= config_.history_window) break;  // clamp garbage
-    const Timestamp ts{labels_.Sanitize(old.ts.label), old.ts.writer_id};
-    if (len < history.size()) {
-      history[len].value.assign(old.value.begin(), old.value.end());
-      history[len].ts = ts;
-    } else {
-      history.push_back(VersionedValue{ToBytes(old.value), ts});
-    }
-    ++len;
-  }
-  recent_len_[server] = len;
+  recent_raw_[server].assign(msg.old_vals_raw.begin(),
+                             msg.old_vals_raw.end());
+  recent_len_[server] =
+      std::min(msg.old_count, config_.history_window);  // clamp garbage
 
   if (reply_count_ >= config_.Quorum()) DecideRead();
 }
@@ -349,19 +346,6 @@ void RegisterClient::DecideRead() {
     if (reply_bits_[server]) local.AddWitness(server, replies_[server]);
   }
   const auto local_winner = local.FindWitnessed(config_.WitnessThreshold());
-
-  // Union graph (Figure 2 line 15): fold in the old_vals histories so
-  // values displaced by concurrent writes keep their witnesses.
-  Wtsg unioned(labels_.params());
-  for (std::size_t server = 0; server < reply_bits_.size(); ++server) {
-    if (reply_bits_[server]) unioned.AddWitness(server, replies_[server]);
-  }
-  for (std::size_t server = 0; server < reply_bits_.size(); ++server) {
-    if (!reply_bits_[server]) continue;
-    for (std::uint32_t i = 0; i < recent_len_[server]; ++i) {
-      unioned.AddWitness(server, recent_vals_[server][i]);
-    }
-  }
 
   ReadOutcome outcome;
   if (local_winner) {
@@ -380,6 +364,32 @@ void RegisterClient::DecideRead() {
     outcome.used_union_graph = false;
     FinishRead(outcome);
     return;
+  }
+
+  // Union graph (Figure 2 line 15): fold in the old_vals histories so
+  // values displaced by concurrent writes keep their witnesses. Built
+  // only when the local graph does not certify a winner — in the
+  // uncontended steady state it always does, and the union fold is by
+  // far the most expensive part of a read decision (one AddWitness
+  // scan per history entry per server).
+  Wtsg unioned(labels_.params());
+  for (std::size_t server = 0; server < reply_bits_.size(); ++server) {
+    if (reply_bits_[server]) unioned.AddWitness(server, replies_[server]);
+  }
+  for (std::size_t server = 0; server < reply_bits_.size(); ++server) {
+    if (!reply_bits_[server]) continue;
+    // Materialize this server's history from the raw run captured in
+    // OnReply (already bounds-validated by DecodeReplyLazy).
+    BufReader r(BytesView(recent_raw_[server]));
+    (void)r.Get<std::uint32_t>();  // entry count; clamped copy below
+    for (std::uint32_t i = 0; i < recent_len_[server] && !r.failed(); ++i) {
+      const WireVersioned old = WireVersioned::DecodeFrom(r);
+      if (r.failed()) break;
+      const VersionedValue vv{
+          ToBytes(old.value),
+          Timestamp{labels_.Sanitize(old.ts.label), old.ts.writer_id}};
+      unioned.AddWitness(server, vv);
+    }
   }
 
   if (auto witnessed = unioned.FindWitnessed(config_.WitnessThreshold())) {

@@ -132,7 +132,7 @@ class RegisterClient : public Automaton {
   void AdvanceAfterFlush();
   void OnTsReply(std::size_t server, const TsReplyMsg& msg);
   void OnWriteReply(std::size_t server, const WriteReplyMsg& msg);
-  void OnReply(std::size_t server, const ReplyMsg& msg);
+  void OnReply(std::size_t server, const LazyReplyMsg& msg);
   void DecideRead();
   void FinishRead(const ReadOutcome& outcome);
   void FinishWrite(OpStatus status);
@@ -180,8 +180,13 @@ class RegisterClient : public Automaton {
   std::vector<VersionedValue> replies_;
   std::vector<std::uint8_t> reply_bits_;
   std::uint32_t reply_count_ = 0;
-  std::vector<std::vector<VersionedValue>> recent_vals_;
-  std::vector<std::uint32_t> recent_len_;  // logical length per server
+  /// Per server: the reply's encoded old_vals run (count-prefixed),
+  /// copied verbatim out of the frame. Materialized — decoded,
+  /// sanitized, folded into the union WTsG — only when the local graph
+  /// fails to certify; see DecideRead. The Bytes keep their capacity
+  /// across operations, so a steady read load stops allocating.
+  std::vector<Bytes> recent_raw_;
+  std::vector<std::uint32_t> recent_len_;  // entry count per server
 
   Stats stats_;
 };

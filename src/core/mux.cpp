@@ -1,6 +1,7 @@
 #include "core/mux.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/buffer_pool.hpp"
 #include "common/hash.hpp"
@@ -40,9 +41,44 @@ class WrapEndpoint final : public IEndpoint {
   RegisterId id_;
 };
 
+// Endpoint adaptor for batch dispatch: outgoing inner frames accumulate
+// in the collector keyed by (destination, register) instead of leaving
+// immediately, so one physical frame per link carries the replies of
+// every sub-op in the incoming batch.
+class CollectEndpoint final : public IEndpoint {
+ public:
+  CollectEndpoint(IEndpoint& outer, MuxBatchCollector& collector,
+                  RegisterId id)
+      : outer_(&outer), collector_(&collector), id_(id) {}
+
+  void Send(NodeId dst, Bytes frame) override {
+    collector_->Add(dst, id_, frame);
+    FramePool().Release(std::move(frame));
+  }
+  void Broadcast(std::span<const NodeId> dsts, Bytes frame) override {
+    collector_->AddBroadcast(dsts, id_, frame);
+    FramePool().Release(std::move(frame));
+  }
+  void SetTimer(VirtualTime delay, int timer_id) override {
+    outer_->SetTimer(delay, timer_id);
+  }
+  [[nodiscard]] VirtualTime Now() const override { return outer_->Now(); }
+  [[nodiscard]] NodeId self() const override { return outer_->self(); }
+  Rng& rng() override { return outer_->rng(); }
+
+ private:
+  IEndpoint* outer_;
+  MuxBatchCollector* collector_;
+  RegisterId id_;
+};
+
 void TouchLru(std::list<RegisterId>& lru,
               std::map<RegisterId, std::list<RegisterId>::iterator>& pos,
               RegisterId id) {
+  // The per-register phases of one protocol round arrive back-to-back
+  // (batch dispatch interleaves registers, but each register's frames
+  // cluster), so the id is often already at the front.
+  if (!lru.empty() && lru.front() == id) return;
   if (auto it = pos.find(id); it != pos.end()) {
     lru.splice(lru.begin(), lru, it->second);  // O(1); iterator stays valid
   } else {
@@ -51,9 +87,35 @@ void TouchLru(std::list<RegisterId>& lru,
   }
 }
 
+/// The mux client's one timer: the batch window's max-delay bound.
+/// No inner automaton uses timers, so the id only has to be stable.
+constexpr int kMuxBatchTimerId = 7001;
+
 }  // namespace
 
 RegisterId RegisterIdOf(std::string_view key) { return Fnv1a(key); }
+
+// --- MuxBatchCollector ---------------------------------------------------
+
+void MuxBatchCollector::Add(NodeId dst, RegisterId id, BytesView inner) {
+  MuxBatchBuilder& builder = builders_[dst];
+  if (builder.empty()) ++pending_frames_;
+  builder.Add(id, inner);
+}
+
+void MuxBatchCollector::AddBroadcast(std::span<const NodeId> dsts,
+                                     RegisterId id, BytesView inner) {
+  for (const NodeId dst : dsts) Add(dst, id, inner);
+}
+
+void MuxBatchCollector::Flush(IEndpoint& out) {
+  if (pending_frames_ == 0) return;
+  for (auto& [dst, builder] : builders_) {
+    if (builder.empty()) continue;
+    out.Send(dst, builder.Take());
+  }
+  pending_frames_ = 0;
+}
 
 // --- MuxServer -----------------------------------------------------------
 
@@ -96,24 +158,105 @@ RegisterServer& MuxServer::GetOrCreate(RegisterId id) {
 void MuxServer::OnFrame(NodeId from, BytesView frame, IEndpoint& endpoint) {
   auto decoded = DecodeMessage(frame);
   if (!decoded.ok()) return;
-  const auto* mux = std::get_if<MuxMsg>(&decoded.value());
-  if (mux == nullptr) return;  // bare frames are not for a mux server
-  WrapEndpoint wrapped(endpoint, mux->register_id);
-  GetOrCreate(mux->register_id).OnFrame(from, mux->inner, wrapped);
+  if (const auto* mux = std::get_if<MuxMsg>(&decoded.value())) {
+    WrapEndpoint wrapped(endpoint, mux->register_id);
+    GetOrCreate(mux->register_id).OnFrame(from, mux->inner, wrapped);
+    return;
+  }
+  const auto* batch = std::get_if<MuxBatchMsg>(&decoded.value());
+  if (batch == nullptr) return;  // bare frames are not for a mux server
+  // Apply the whole vector of register sub-ops; replies collected while
+  // dispatching leave as one batch frame per destination, so the reply
+  // side of the round is as coalesced as the request side.
+  for (const MuxItem& item : batch->items) {
+    CollectEndpoint collect(endpoint, collector_, item.register_id);
+    GetOrCreate(item.register_id).OnFrame(from, item.inner, collect);
+  }
+  // Inside a runtime batch the flush waits for OnBatchEnd, merging the
+  // replies of every frame drained in this wakeup.
+  if (batch_depth_ == 0) collector_.Flush(endpoint);
+}
+
+void MuxServer::OnBatchStart(IEndpoint&) { ++batch_depth_; }
+
+void MuxServer::OnBatchEnd(IEndpoint& endpoint) {
+  SBFT_ASSERT(batch_depth_ > 0);
+  if (--batch_depth_ == 0) collector_.Flush(endpoint);
 }
 
 void MuxServer::CorruptState(Rng& rng) {
-  for (auto& [id, server] : registers_) server->CorruptState(rng);
+  // One base draw, then a per-register fork keyed by the register id:
+  // two replicas corrupted with the same seed produce the SAME garbage
+  // for the same register no matter which other registers each table
+  // happens to hold. Coordinated-corruption scenarios rely on this —
+  // garbage that agrees across servers is witnessed at >= 2f+1 and so
+  // ANSWERS reads (exercising the violation window) instead of
+  // aborting them.
+  const std::uint64_t base = rng();
+  for (auto& [id, server] : registers_) {
+    Rng fork(base ^ (id * 0x9E3779B97F4A7C15ull));
+    server->CorruptState(fork);
+  }
 }
 
 // --- MuxClient -----------------------------------------------------------
 
+// Persistent per-register endpoint: routes outgoing frames back through
+// the owning MuxClient, which either envelopes them immediately or, when
+// a batch scope is open, coalesces them into the round's batch frames.
+// Inner clients cache this at OnStart, so the indirection is what lets
+// the same RegisterClient flip between paths per round.
+class MuxClient::RouteEndpoint final : public IEndpoint {
+ public:
+  RouteEndpoint(MuxClient& owner, RegisterId id) : owner_(&owner), id_(id) {}
+
+  void Send(NodeId dst, Bytes frame) override {
+    owner_->RouteSend(id_, dst, std::move(frame));
+  }
+  void Broadcast(std::span<const NodeId> dsts, Bytes frame) override {
+    owner_->RouteBroadcast(id_, dsts, std::move(frame));
+  }
+  void SetTimer(VirtualTime delay, int timer_id) override {
+    owner_->endpoint_->SetTimer(delay, timer_id);
+  }
+  [[nodiscard]] VirtualTime Now() const override {
+    return owner_->endpoint_->Now();
+  }
+  [[nodiscard]] NodeId self() const override {
+    return owner_->endpoint_->self();
+  }
+  Rng& rng() override { return owner_->endpoint_->rng(); }
+
+ private:
+  MuxClient* owner_;
+  RegisterId id_;
+};
+
+// RAII batch scope: frames sent while at least one scope is open
+// coalesce in the collector; the outermost close starts queued ops (so
+// their first phase joins the same round) and flushes one batch frame
+// per destination.
+struct MuxClient::BatchScope {
+  explicit BatchScope(MuxClient& owner) : client(owner) {
+    ++client.scope_depth_;
+  }
+  ~BatchScope() {
+    if (--client.scope_depth_ == 0) client.FlushRound();
+  }
+  BatchScope(const BatchScope&) = delete;
+  BatchScope& operator=(const BatchScope&) = delete;
+
+  MuxClient& client;
+};
+
 MuxClient::MuxClient(ProtocolConfig config, std::vector<NodeId> servers,
-                     ClientId client_id, std::size_t max_registers)
+                     ClientId client_id, std::size_t max_registers,
+                     MuxBatchOptions batch)
     : config_(config),
       servers_(std::move(servers)),
       client_id_(client_id),
-      max_registers_(max_registers) {
+      max_registers_(max_registers),
+      batch_(batch) {
   SBFT_ASSERT(max_registers_ >= 1);
 }
 
@@ -139,10 +282,10 @@ RegisterClient& MuxClient::GetOrCreate(RegisterId id) {
       }
     }
     Entry entry;
-    entry.endpoint = std::make_unique<WrapEndpoint>(*endpoint_, id);
+    entry.endpoint = std::make_unique<RouteEndpoint>(*this, id);
     entry.client = std::make_unique<RegisterClient>(config_, servers_,
                                                     client_id_);
-    // RegisterClient caches the endpoint passed to OnStart; the wrapper
+    // RegisterClient caches the endpoint passed to OnStart; the router
     // lives in the same Entry, so lifetimes match exactly.
     entry.client->OnStart(*entry.endpoint);
     it = clients_.emplace(id, std::move(entry)).first;
@@ -154,23 +297,148 @@ RegisterClient& MuxClient::GetOrCreate(RegisterId id) {
 void MuxClient::OnFrame(NodeId from, BytesView frame, IEndpoint&) {
   auto decoded = DecodeMessage(frame);
   if (!decoded.ok()) return;
-  const auto* mux = std::get_if<MuxMsg>(&decoded.value());
-  if (mux == nullptr) return;
-  auto it = clients_.find(mux->register_id);
+  if (const auto* mux = std::get_if<MuxMsg>(&decoded.value())) {
+    std::optional<BatchScope> scope;
+    if (batching()) scope.emplace(*this);
+    DispatchInner(from, mux->register_id, mux->inner);
+    return;
+  }
+  const auto* batch = std::get_if<MuxBatchMsg>(&decoded.value());
+  if (batch == nullptr) return;
+  // One incoming frame carries one protocol phase of many ops. The
+  // scope stays open across the whole dispatch, so every frame our
+  // automata send in response coalesces into the next round's batch
+  // frames — and ops submitted by completion callbacks fired here join
+  // that same round instead of waiting out the batch window.
+  std::optional<BatchScope> scope;
+  if (batching()) scope.emplace(*this);
+  for (const MuxItem& item : batch->items) {
+    DispatchInner(from, item.register_id, item.inner);
+  }
+}
+
+void MuxClient::DispatchInner(NodeId from, RegisterId id, BytesView inner) {
+  auto it = clients_.find(id);
   if (it == clients_.end()) return;  // reply for an evicted register
-  it->second.client->OnFrame(from, mux->inner, *it->second.endpoint);
+  it->second.client->OnFrame(from, inner, *it->second.endpoint);
+}
+
+void MuxClient::OnTimer(int timer_id, IEndpoint&) {
+  if (timer_id != kMuxBatchTimerId) return;
+  timer_armed_ = false;
+  if (!pending_.empty()) FlushRound();
+}
+
+void MuxClient::OnBatchStart(IEndpoint&) {
+  if (batching()) ++scope_depth_;
+}
+
+void MuxClient::OnBatchEnd(IEndpoint&) {
+  if (!batching()) return;
+  SBFT_ASSERT(scope_depth_ > 0);
+  if (--scope_depth_ == 0) FlushRound();
+}
+
+void MuxClient::RouteSend(RegisterId id, NodeId dst, Bytes frame) {
+  if (scope_depth_ > 0) {
+    collector_.Add(dst, id, frame);
+  } else {
+    // Envelope the already-encoded inner frame in place — no MuxMsg
+    // variant construction, no second encode of the inner message.
+    endpoint_->Send(dst, EncodeMuxEnvelope(id, frame));
+  }
+  FramePool().Release(std::move(frame));
+}
+
+void MuxClient::RouteBroadcast(RegisterId id, std::span<const NodeId> dsts,
+                               Bytes frame) {
+  if (scope_depth_ > 0) {
+    collector_.AddBroadcast(dsts, id, frame);
+  } else {
+    // Envelope once; the outer endpoint fans the single wrapped frame
+    // out (shared payload in the sim/threaded backends).
+    endpoint_->Broadcast(dsts, EncodeMuxEnvelope(id, frame));
+  }
+  FramePool().Release(std::move(frame));
 }
 
 void MuxClient::StartWrite(RegisterId id, Value value,
                            WriteCallback callback) {
-  GetOrCreate(id).StartWrite(std::move(value), std::move(callback));
+  if (!batching()) {
+    GetOrCreate(id).StartWrite(std::move(value), std::move(callback));
+    return;
+  }
+  PendingOp op;
+  op.id = id;
+  op.is_write = true;
+  op.value = std::move(value);
+  op.write_cb = std::move(callback);
+  Enqueue(std::move(op));
 }
 
 void MuxClient::StartRead(RegisterId id, ReadCallback callback) {
-  GetOrCreate(id).StartRead(std::move(callback));
+  if (!batching()) {
+    GetOrCreate(id).StartRead(std::move(callback));
+    return;
+  }
+  PendingOp op;
+  op.id = id;
+  op.read_cb = std::move(callback);
+  Enqueue(std::move(op));
+}
+
+void MuxClient::Enqueue(PendingOp op) {
+  pending_.push_back(std::move(op));
+  if (scope_depth_ > 0) return;  // the closing scope drains and flushes
+  if (pending_.size() >= batch_.max_ops) {
+    FlushRound();
+  } else {
+    ArmTimer();
+  }
+}
+
+void MuxClient::FlushRound() {
+  if (endpoint_ == nullptr) return;  // batch boundary before OnStart
+  // Start queued ops inside a reopened scope so their first-phase
+  // broadcasts land in the frames flushed below.
+  ++scope_depth_;
+  DrainPending();
+  --scope_depth_;
+  collector_.Flush(*endpoint_);
+}
+
+void MuxClient::DrainPending() {
+  draining_.clear();
+  draining_.swap(pending_);
+  for (PendingOp& op : draining_) {
+    RegisterClient& client = GetOrCreate(op.id);
+    if (!client.idle()) {
+      // Same-register ops stay sequential: back in the queue for a
+      // later round.
+      pending_.push_back(std::move(op));
+      continue;
+    }
+    if (op.is_write) {
+      client.StartWrite(std::move(op.value), std::move(op.write_cb));
+    } else {
+      client.StartRead(std::move(op.read_cb));
+    }
+  }
+  draining_.clear();
+  if (!pending_.empty()) ArmTimer();
+}
+
+void MuxClient::ArmTimer() {
+  if (timer_armed_) return;
+  SBFT_ASSERT(endpoint_ != nullptr);
+  endpoint_->SetTimer(batch_.max_delay, kMuxBatchTimerId);
+  timer_armed_ = true;
 }
 
 bool MuxClient::idle(RegisterId id) {
+  for (const PendingOp& op : pending_) {
+    if (op.id == id) return false;
+  }
   auto it = clients_.find(id);
   return it == clients_.end() || it->second.client->idle();
 }

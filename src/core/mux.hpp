@@ -20,10 +20,13 @@
 #include <list>
 #include <map>
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "core/byzantine.hpp"
 #include "core/client.hpp"
 #include "core/server.hpp"
+#include "net/message.hpp"
 
 namespace sbft {
 
@@ -32,6 +35,38 @@ using RegisterId = std::uint64_t;
 /// Derive a register id from a string key (FNV-1a). Collisions alias
 /// keys onto the same register — acceptable for a 64-bit space.
 RegisterId RegisterIdOf(std::string_view key);
+
+/// Batch window for protocol-round batching (0 disables it; see
+/// docs/ARCHITECTURE.md, "Protocol-round batching"). While a batch
+/// scope is open on the mux client, outgoing frames of ALL registers
+/// coalesce into one MuxBatch frame per destination, and newly
+/// submitted ops wait in a pending queue so they join the next shared
+/// round.
+struct MuxBatchOptions {
+  /// Flush the pending-op queue as soon as it reaches this depth.
+  std::size_t max_ops = 0;
+  /// Latency bound: a timer fired this long after the first queued op
+  /// flushes the queue even if max_ops was never reached.
+  VirtualTime max_delay = 0;
+};
+
+/// Per-destination accumulation of enveloped inner frames during a
+/// batch scope. Builders live in an ordered map and flush in ascending
+/// NodeId order, so batched runs stay deterministic in the sim. The map
+/// nodes persist across rounds; only the pooled frame buffers turn over.
+class MuxBatchCollector {
+ public:
+  void Add(NodeId dst, RegisterId id, BytesView inner);
+  void AddBroadcast(std::span<const NodeId> dsts, RegisterId id,
+                    BytesView inner);
+  /// Emit one MuxBatch frame per destination that has pending items.
+  void Flush(IEndpoint& out);
+  [[nodiscard]] bool empty() const { return pending_frames_ == 0; }
+
+ private:
+  std::map<NodeId, MuxBatchBuilder> builders_;
+  std::size_t pending_frames_ = 0;
+};
 
 class MuxServer : public Automaton {
  public:
@@ -44,6 +79,10 @@ class MuxServer : public Automaton {
             std::size_t max_registers = 1024, ServerFactory factory = {});
 
   void OnFrame(NodeId from, BytesView frame, IEndpoint& endpoint) override;
+  /// Across one runtime batch, replies to ALL dispatched batch frames
+  /// coalesce and flush once at the boundary (per-frame otherwise).
+  void OnBatchStart(IEndpoint& endpoint) override;
+  void OnBatchEnd(IEndpoint& endpoint) override;
   void CorruptState(Rng& rng) override;
 
   [[nodiscard]] std::size_t register_count() const { return registers_.size(); }
@@ -62,23 +101,43 @@ class MuxServer : public Automaton {
   /// Position of each id inside lru_, so a touch is an O(1) splice
   /// instead of an O(n) list walk (hot with hundreds of live registers).
   std::map<RegisterId, std::list<RegisterId>::iterator> lru_pos_;
+  /// Replies produced while dispatching incoming batch frames; they
+  /// leave as one batch frame per destination, mirroring the request
+  /// side. Reused across frames. Flushed per frame, or — inside a
+  /// runtime batch (OnBatchStart/End) — once per drained batch.
+  MuxBatchCollector collector_;
+  int batch_depth_ = 0;
 };
 
 class MuxClient : public Automaton {
  public:
   MuxClient(ProtocolConfig config, std::vector<NodeId> servers,
-            ClientId client_id, std::size_t max_registers = 1024);
+            ClientId client_id, std::size_t max_registers = 1024,
+            MuxBatchOptions batch = {});
 
   void OnStart(IEndpoint& endpoint) override;
   void OnFrame(NodeId from, BytesView frame, IEndpoint& endpoint) override;
+  void OnTimer(int timer_id, IEndpoint& endpoint) override;
+  /// Runtime batch boundary: with batching on, one scope spans the
+  /// whole drained batch, so frames sent in response to EVERY item of
+  /// one wakeup — and ops submitted by tasks or callbacks inside it —
+  /// share one round (the 5-10x lever on the threaded backends).
+  void OnBatchStart(IEndpoint& endpoint) override;
+  void OnBatchEnd(IEndpoint& endpoint) override;
   void CorruptState(Rng& rng) override;
 
   /// Operations on independent registers may run concurrently; two
   /// operations on the SAME register must be sequential (as for a
-  /// plain RegisterClient).
+  /// plain RegisterClient). With batching enabled, a submitted op may
+  /// wait in the pending queue for up to max_delay before its first
+  /// protocol phase goes out.
   void StartWrite(RegisterId id, Value value, WriteCallback callback);
   void StartRead(RegisterId id, ReadCallback callback);
   [[nodiscard]] bool idle(RegisterId id);
+
+  [[nodiscard]] bool batching() const { return batch_.max_ops > 0; }
+  /// Ops queued but not yet started (diagnostics/tests).
+  [[nodiscard]] std::size_t pending_ops() const { return pending_.size(); }
 
   // String-key convenience (KV store facade).
   void Put(std::string_view key, Value value, WriteCallback callback) {
@@ -89,23 +148,51 @@ class MuxClient : public Automaton {
   }
 
  private:
-  /// An inner client plus the wrapped endpoint it cached at OnStart
-  /// (the wrapper must live exactly as long as the client).
+  /// An inner client plus the routing endpoint it cached at OnStart
+  /// (the router must live exactly as long as the client).
   struct Entry {
     std::unique_ptr<IEndpoint> endpoint;
     std::unique_ptr<RegisterClient> client;
   };
 
+  /// A submitted op waiting for the next shared round.
+  struct PendingOp {
+    RegisterId id = 0;
+    bool is_write = false;
+    Value value;
+    WriteCallback write_cb;
+    ReadCallback read_cb;
+  };
+
+  class RouteEndpoint;
+  struct BatchScope;
+
   RegisterClient& GetOrCreate(RegisterId id);
+  void DispatchInner(NodeId from, RegisterId id, BytesView inner);
+  void RouteSend(RegisterId id, NodeId dst, Bytes frame);
+  void RouteBroadcast(RegisterId id, std::span<const NodeId> dsts,
+                      Bytes frame);
+  void Enqueue(PendingOp op);
+  /// Start queued ops and flush the collected frames as one round.
+  void FlushRound();
+  void DrainPending();
+  void ArmTimer();
 
   ProtocolConfig config_;
   std::vector<NodeId> servers_;
   ClientId client_id_;
   std::size_t max_registers_;
+  MuxBatchOptions batch_;
   IEndpoint* endpoint_ = nullptr;
   std::map<RegisterId, Entry> clients_;
   std::list<RegisterId> lru_;
   std::map<RegisterId, std::list<RegisterId>::iterator> lru_pos_;
+  MuxBatchCollector collector_;
+  /// Depth of nested batch scopes; outgoing frames coalesce while > 0.
+  int scope_depth_ = 0;
+  bool timer_armed_ = false;
+  std::vector<PendingOp> pending_;
+  std::vector<PendingOp> draining_;  // scratch for DrainPending
 };
 
 }  // namespace sbft

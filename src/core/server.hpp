@@ -42,7 +42,10 @@ class RegisterServer : public Automaton {
 
   /// Direct state override (used by scripted experiment setups that need
   /// a specific "corrupted" configuration, e.g. the Theorem 1 replay).
-  void SetState(VersionedValue vv) { current_ = std::move(vv); }
+  void SetState(VersionedValue vv) {
+    current_ = std::move(vv);
+    reply_prefix_valid_ = false;
+  }
 
  protected:
   // Handlers are virtual so Byzantine strategies can subclass and
@@ -61,6 +64,15 @@ class RegisterServer : public Automaton {
   [[nodiscard]] const ProtocolConfig& config() const { return config_; }
   [[nodiscard]] const LabelingSystem& labels() const { return labels_; }
 
+  /// (Re)encode reply_prefix_ from (current_, old_vals_). Every read
+  /// reply between state changes is byte-identical except for the
+  /// trailing reader op label, so the expensive part — the value plus
+  /// one timestamp per history entry — is encoded once per state
+  /// change instead of once per reader.
+  void RebuildReplyPrefix();
+  /// One reader's READ reply: the cached prefix plus their op label.
+  [[nodiscard]] Bytes ReplyFrameFor(OpLabel label);
+
   ProtocolConfig config_;
   LabelingSystem labels_;
   std::size_t index_;
@@ -68,6 +80,10 @@ class RegisterServer : public Automaton {
   VersionedValue current_;
   std::deque<VersionedValue> old_vals_;
   std::deque<std::pair<NodeId, OpLabel>> running_reads_;
+  /// Encoded READ reply minus the trailing OpLabel; see
+  /// RebuildReplyPrefix. Invalidated by every state mutation.
+  Bytes reply_prefix_;
+  bool reply_prefix_valid_ = false;
 };
 
 }  // namespace sbft

@@ -36,6 +36,13 @@ bool IsValid(const Label& label, const LabelParams& params) {
 }
 
 Label Sanitize(Label label, const LabelParams& params) {
+  // Steady state: every label on the wire is already valid, and the
+  // full normalization below (mod, sort, dedup, pad) on a valid label
+  // is the identity. One validation scan replaces it — Sanitize is the
+  // hottest label operation (every timestamp of every quorum reply
+  // passes through it), and the slow path only runs on fault-injected
+  // garbage.
+  if (IsValid(label, params)) return label;
   const std::uint32_t m = params.Domain();
   label.sting %= m;
   for (auto& a : label.antistings) a %= m;

@@ -168,11 +168,16 @@ void Engine::FireCorruption(const CorruptionSpec& spec, std::size_t index) {
     for (std::size_t s = 0; s < scenario_.n_servers; ++s)
       servers.push_back(s);
   }
-  // Distinct seed per server: the injected garbage differs across
-  // replicas, so no fabricated value can assemble a read quorum.
+  // Coordinated corruption: every server in the event shares one seed,
+  // so the injected garbage AGREES across replicas. Agreeing garbage is
+  // witnessed at >= 2f+1 and answers reads (kOk with a fabricated
+  // value) instead of aborting them — the worst case Theorem 2 bounds,
+  // and the one that actually exercises MeasureStabilization's
+  // violation window. (Distinct per-server seeds made every post-fault
+  // read abort, so the window always measured 0 — ROADMAP item 4.)
+  const std::uint64_t seed = scenario_.seed * 7919 + index * 131 + 1;
   for (std::size_t s : servers) {
-    cluster_.CorruptServer(s,
-                           scenario_.seed * 7919 + index * 131 + s + 1);
+    cluster_.CorruptServer(s, seed);
   }
   corruption_times_.push_back(NowUs());
 }

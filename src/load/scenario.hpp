@@ -51,6 +51,10 @@ struct Scenario {
   std::vector<RatePhase> phases;
   /// Link shaping applied to every inter-node link of the cluster.
   LinkShaping shaping;
+  /// Protocol-round batching window for the cluster (see
+  /// RegisterCluster::Options::batch_max_ops); 0 runs unbatched.
+  std::size_t batch_max_ops = 0;
+  std::uint64_t batch_max_delay_us = 200;
   std::vector<CorruptionSpec> corruptions;
   std::uint64_t seed = 1;
   /// After the last scheduled arrival, wait at most this long for

@@ -39,6 +39,7 @@ enum class Tag : std::uint8_t {
   kNqRead = 44,
   kNqReadReply = 45,
   kMux = 60,
+  kMuxBatch = 61,
 };
 
 // The registry: each variant alternative maps to its tag here; encode
@@ -73,6 +74,7 @@ template <> struct WireTag<NqWriteAckMsg> { static constexpr Tag value = Tag::kN
 template <> struct WireTag<NqReadMsg> { static constexpr Tag value = Tag::kNqRead; };
 template <> struct WireTag<NqReadReplyMsg> { static constexpr Tag value = Tag::kNqReadReply; };
 template <> struct WireTag<MuxMsg> { static constexpr Tag value = Tag::kMux; };
+template <> struct WireTag<MuxBatchMsg> { static constexpr Tag value = Tag::kMuxBatch; };
 
 // Tag-indexed decode table, one entry per possible tag byte. Built at
 // static-init time by folding over the Message variant — a type absent
@@ -396,6 +398,28 @@ MuxMsg MuxMsg::DecodeFrom(BufReader& r) {
   return m;
 }
 
+void MuxItem::EncodeInto(BufWriter& w) const {
+  w.Put<std::uint64_t>(register_id);
+  w.PutBytes(inner);
+}
+MuxItem MuxItem::DecodeFrom(BufReader& r) {
+  MuxItem m;
+  m.register_id = r.Get<std::uint64_t>();
+  m.inner = r.GetBytesView();
+  return m;
+}
+
+void MuxBatchMsg::EncodeInto(BufWriter& w) const {
+  w.PutVector(items,
+              [](BufWriter& bw, const MuxItem& item) { item.EncodeInto(bw); });
+}
+MuxBatchMsg MuxBatchMsg::DecodeFrom(BufReader& r) {
+  MuxBatchMsg m;
+  m.items =
+      r.GetVector<MuxItem>([](BufReader& br) { return MuxItem::DecodeFrom(br); });
+  return m;
+}
+
 void EncodeMessageInto(const Message& message, BufWriter& w) {
   std::visit(
       [&w](const auto& m) {
@@ -421,6 +445,26 @@ Bytes EncodeMuxEnvelope(std::uint64_t register_id, BytesView inner) {
   return w.Take();
 }
 
+void MuxBatchBuilder::Add(std::uint64_t register_id, BytesView inner) {
+  if (count_ == 0) {
+    // Lazy frame start: the builder only holds a pooled buffer while a
+    // frame is in flight, and Take() leaves it ready for the next one.
+    writer_ = BufWriter(FramePool().Acquire());
+    writer_.Put<Tag>(Tag::kMuxBatch);
+    writer_.Put<std::uint32_t>(0);  // count, patched in Take()
+  }
+  writer_.Put<std::uint64_t>(register_id);
+  writer_.PutBytes(inner);
+  ++count_;
+}
+
+Bytes MuxBatchBuilder::Take() {
+  SBFT_ASSERT(count_ > 0);
+  writer_.PatchAt<std::uint32_t>(sizeof(Tag), count_);
+  count_ = 0;
+  return writer_.Take();
+}
+
 Result<Message> DecodeMessage(BytesView frame) {
   BufReader r(frame);
   const auto tag = r.Get<std::uint8_t>();
@@ -434,6 +478,40 @@ Result<Message> DecodeMessage(BytesView frame) {
                                 std::to_string(static_cast<int>(tag)));
   }
   return Result<Message>::Ok(std::move(out));
+}
+
+std::optional<LazyReplyMsg> DecodeReplyLazy(BytesView frame) {
+  BufReader r(frame);
+  if (r.Get<std::uint8_t>() != static_cast<std::uint8_t>(Tag::kReply) ||
+      r.failed()) {
+    return std::nullopt;
+  }
+  LazyReplyMsg m;
+  m.value = r.GetBytesView();
+  m.ts = Timestamp::Decode(r);
+  // Bounds-walk the old_vals run entry by entry — the same checks
+  // ReplyMsg::DecodeFrom applies, minus materialization. Each entry is
+  // value bytes, a label (sting + antisting run), and a writer id.
+  const std::size_t region_begin = r.pos();
+  const auto count = r.Get<std::uint32_t>();
+  if (r.failed() || count > kMaxWireElements) return std::nullopt;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    (void)r.GetBytesView();                    // value
+    (void)r.Get<std::uint32_t>();              // label sting
+    const auto antistings = r.Get<std::uint32_t>();
+    if (r.failed() || antistings > kMaxWireElements ||
+        !r.Skip(static_cast<std::size_t>(antistings) *
+                sizeof(std::uint32_t))) {
+      return std::nullopt;
+    }
+    (void)r.Get<ClientId>();                   // writer id
+    if (r.failed()) return std::nullopt;
+  }
+  m.old_vals_raw = frame.subspan(region_begin, r.pos() - region_begin);
+  m.old_count = count;
+  m.label = r.Get<OpLabel>();
+  if (!r.AtEndOk()) return std::nullopt;
+  return m;
 }
 
 std::string MessageTypeName(const Message& message) {
@@ -468,6 +546,7 @@ std::string MessageTypeName(const Message& message) {
     std::string operator()(const NqReadMsg&) { return "NQ_READ"; }
     std::string operator()(const NqReadReplyMsg&) { return "NQ_READ_REPLY"; }
     std::string operator()(const MuxMsg&) { return "MUX"; }
+    std::string operator()(const MuxBatchMsg&) { return "MUX_BATCH"; }
   };
   return std::visit(Namer{}, message);
 }

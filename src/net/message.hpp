@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <utility>
 #include <variant>
@@ -22,6 +23,7 @@
 
 #include "common/bytes.hpp"
 #include "common/error.hpp"
+#include "common/serialize.hpp"
 #include "labels/read_label_pool.hpp"
 #include "labels/timestamp.hpp"
 #include "labels/unbounded_timestamp.hpp"
@@ -122,6 +124,24 @@ struct ReplyMsg {
   void EncodeInto(BufWriter& w) const;
   static ReplyMsg DecodeFrom(BufReader& r);
 };
+/// A ReplyMsg whose old_vals history is validated but NOT materialized:
+/// `old_vals_raw` is the count-prefixed encoded run, borrowed from the
+/// frame. The history feeds only the union WTsG, which a read builds
+/// only when the local graph fails to certify (contention or
+/// pre-stabilization) — so the common path skips decoding
+/// history_window timestamps per reply per server.
+struct LazyReplyMsg {
+  BytesView value;
+  Timestamp ts;
+  BytesView old_vals_raw;
+  std::uint32_t old_count = 0;
+  OpLabel label = 0;
+};
+/// Decode `frame` as a ReplyMsg without materializing old_vals.
+/// Accepts and rejects exactly the frames DecodeMessage would (the
+/// history region is fully bounds-walked); nullopt when the frame is
+/// not a well-formed REPLY.
+[[nodiscard]] std::optional<LazyReplyMsg> DecodeReplyLazy(BytesView frame);
 /// Reader completion notice (Figure 2 lines 12/19).
 struct CompleteReadMsg {
   OpLabel label = 0;
@@ -293,6 +313,33 @@ struct MuxMsg {
   static MuxMsg DecodeFrom(BufReader& r);
 };
 
+/// One register's sub-frame inside a MuxBatchMsg.
+struct MuxItem {
+  std::uint64_t register_id = 0;
+  BytesView inner;
+
+  void EncodeInto(BufWriter& w) const;
+  static MuxItem DecodeFrom(BufReader& r);
+
+  friend bool operator==(const MuxItem& a, const MuxItem& b) {
+    return a.register_id == b.register_id && SameBytes(a.inner, b.inner);
+  }
+};
+
+/// Many registers' sub-frames coalesced into one physical frame: the
+/// protocol-round batching envelope. A server decodes one MuxBatchMsg
+/// and applies the whole vector of register sub-ops; the replies it
+/// produces while dispatching are coalesced the same way, so one frame
+/// per link carries one protocol phase of many logical ops (see
+/// docs/ARCHITECTURE.md, "Protocol-round batching"). Like MuxMsg, the
+/// inner payloads are views into the frame being decoded.
+struct MuxBatchMsg {
+  std::vector<MuxItem> items;
+
+  void EncodeInto(BufWriter& w) const;
+  static MuxBatchMsg DecodeFrom(BufReader& r);
+};
+
 using Message = std::variant<
     GetTsMsg, TsReplyMsg, WriteMsg, WriteReplyMsg, ReadMsg, ReplyMsg,
     CompleteReadMsg, FlushMsg, FlushAckMsg,
@@ -301,7 +348,7 @@ using Message = std::variant<
     BuGetTsMsg, BuTsReplyMsg, BuWriteMsg, BuWriteAckMsg, BuReadMsg,
     BuReadReplyMsg,
     NqGetTsMsg, NqTsReplyMsg, NqWriteMsg, NqWriteAckMsg, NqReadMsg,
-    NqReadReplyMsg, MuxMsg>;
+    NqReadReplyMsg, MuxMsg, MuxBatchMsg>;
 
 /// Frame codec. Encode never fails; Decode fails on unknown type bytes,
 /// truncation, implausible lengths, or trailing garbage. Decode is
@@ -319,6 +366,27 @@ void EncodeMessageInto(const Message& message, BufWriter& w);
 /// payload.
 [[nodiscard]] Bytes EncodeMuxEnvelope(std::uint64_t register_id,
                                       BytesView inner);
+
+/// The MuxBatchMsg fast path — the batching counterpart of
+/// EncodeMuxEnvelope. Already-encoded inner frames stream into one
+/// pooled buffer as they are produced; the count prefix is patched when
+/// the frame is taken, so there is no second encode and no intermediate
+/// item vector. Take() is byte-identical to
+/// EncodeMessage(Message(MuxBatchMsg{items})) for the same item
+/// sequence and resets the builder for the next frame.
+class MuxBatchBuilder {
+ public:
+  void Add(std::uint64_t register_id, BytesView inner);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+
+  [[nodiscard]] Bytes Take();
+
+ private:
+  BufWriter writer_;
+  std::uint32_t count_ = 0;
+};
 
 /// Human-readable tag, for traces and test diagnostics.
 [[nodiscard]] std::string MessageTypeName(const Message& message);

@@ -1,6 +1,9 @@
 #include "runtime/cluster.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <optional>
+#include <utility>
 
 #include "common/error.hpp"
 
@@ -22,10 +25,37 @@ class ThreadCluster::Endpoint final : public IEndpoint {
     cluster_.DeliverBroadcast(id_, dsts, std::move(frame));
   }
 
-  void SetTimer(VirtualTime, int) override {
-    // The register protocol is purely message-driven; timers are a
-    // simulator convenience not offered by the threaded runtime.
-    throw InvariantViolation("timers unsupported in ThreadCluster");
+  void SetTimer(VirtualTime delay, int timer_id) override {
+    // Called only from the node's own thread (handlers, OnStart hooks
+    // and posted tasks all run inside NodeLoop), so the timer list
+    // needs no lock: NodeLoop reads it between batches on that same
+    // thread. Delays are microseconds, matching Now().
+    timers_.emplace_back(
+        std::chrono::steady_clock::now() + std::chrono::microseconds(delay),
+        timer_id);
+  }
+
+  /// Earliest pending timer deadline, if any. Node-thread only.
+  [[nodiscard]] std::optional<std::chrono::steady_clock::time_point>
+  NextTimerDeadline() const {
+    if (timers_.empty()) return std::nullopt;
+    auto best = timers_.front().first;
+    for (const auto& [when, id] : timers_) best = std::min(best, when);
+    return best;
+  }
+
+  /// Fire every due timer in arming order. Node-thread only.
+  void FireDueTimers(Automaton& automaton) {
+    if (timers_.empty()) return;
+    const auto now = std::chrono::steady_clock::now();
+    // Collect ids first: OnTimer may re-arm, appending to timers_.
+    std::vector<int> due;
+    std::erase_if(timers_, [&](const auto& timer) {
+      if (timer.first > now) return false;
+      due.push_back(timer.second);
+      return true;
+    });
+    for (const int timer_id : due) automaton.OnTimer(timer_id, *this);
   }
 
   [[nodiscard]] VirtualTime Now() const override {
@@ -43,6 +73,9 @@ class ThreadCluster::Endpoint final : public IEndpoint {
   ThreadCluster& cluster_;
   NodeId id_;
   Rng rng_;
+  /// Pending timers, unordered (the list stays tiny — the mux batch
+  /// window arms at most one). Touched only by the owning node thread.
+  std::vector<std::pair<std::chrono::steady_clock::time_point, int>> timers_;
 };
 
 ThreadCluster::ThreadCluster(Options options) : options_(options) {
@@ -113,24 +146,42 @@ void ThreadCluster::Start() {
 
 void ThreadCluster::NodeLoop(NodeId id) {
   Mailbox& mailbox = *mailboxes_[id];
+  Endpoint& endpoint = *endpoints_[id];
   std::deque<MailItem> batch;
-  while (mailbox.Drain(batch)) {
+  for (;;) {
+    // With a timer armed, the drain wakes at its deadline even if no
+    // frames arrive (an empty batch then just fires the timer below).
+    bool alive;
+    if (const auto deadline = endpoint.NextTimerDeadline()) {
+      alive = mailbox.DrainUntil(batch, *deadline);
+    } else {
+      alive = mailbox.Drain(batch);
+    }
+    if (!alive) break;
     std::uint64_t frames = 0;
+    // Bracket the batch so the node can coalesce everything it sends
+    // in response to this wakeup (protocol-round batching seam — one
+    // drain, one shared round; shared by the mailbox and TCP paths).
+    if (!batch.empty()) nodes_[id]->OnBatchStart(endpoint);
     for (auto& item : batch) {
       if (item.task) {
         item.task();
       } else {
         ++frames;
-        nodes_[id]->OnFrame(item.src, item.frame.view(), *endpoints_[id]);
+        nodes_[id]->OnFrame(item.src, item.frame.view(), endpoint);
         // Recycle into this node thread's pool — its own sends draw
         // from the same pool, so a steady request/reply load reuses
         // storage.
         item.frame.Recycle(FramePool());
       }
     }
+    if (!batch.empty()) nodes_[id]->OnBatchEnd(endpoint);
     if (frames != 0) {
       frames_delivered_.fetch_add(frames, std::memory_order_relaxed);
     }
+    // Due timers fire after the batch, on the same thread that runs
+    // handlers — automata stay single-threaded here as in the sim.
+    endpoint.FireDueTimers(*nodes_[id]);
     // Everything this batch queued on the wire goes out in (at most)
     // one syscall per touched connection.
     if (tcp_) tcp_->Flush(id);

@@ -3,6 +3,7 @@
 // the consumer is the owning node thread.
 #pragma once
 
+#include <chrono>
 #include <deque>
 #include <functional>
 #include <optional>
@@ -71,6 +72,24 @@ class Mailbox {
     out.clear();
     MutexLock lock(mutex_);
     while (!closed_ && items_.empty()) ready_.Wait(mutex_);
+    if (items_.empty()) return false;  // closed and drained
+    out.swap(items_);
+    return true;
+  }
+
+  /// Drain with a deadline: blocks until an item arrives, the mailbox
+  /// closes, or `deadline` passes — a timeout returns true with `out`
+  /// empty so the node loop can fire due timers and re-enter. Returns
+  /// false only when the mailbox is closed AND drained.
+  bool DrainUntil(std::deque<MailItem>& out,
+                  std::chrono::steady_clock::time_point deadline) {
+    out.clear();
+    MutexLock lock(mutex_);
+    while (!closed_ && items_.empty()) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) return true;
+      ready_.WaitFor(mutex_, deadline - now);
+    }
     if (items_.empty()) return false;  // closed and drained
     out.swap(items_);
     return true;

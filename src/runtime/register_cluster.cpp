@@ -57,9 +57,15 @@ RegisterCluster::RegisterCluster(const Options& options)
     server_ids.push_back(cluster_.AddNode(std::move(server)));
   }
   if (options.multiplex) {
+    MuxBatchOptions batch;
+    if (options.batch_max_ops > 0) {
+      batch.max_ops = options.batch_max_ops;
+      batch.max_delay = static_cast<VirtualTime>(options.batch_max_delay_us);
+      batched_ = true;
+    }
     auto client = std::make_unique<MuxClient>(
         config_, server_ids, static_cast<ClientId>(config_.n),
-        /*max_registers=*/std::max<std::size_t>(1024, n_clients_ + 1));
+        /*max_registers=*/std::max<std::size_t>(1024, n_clients_ + 1), batch);
     mux_client_ = client.get();
     mux_client_id_ = cluster_.AddNode(std::move(client));
   } else {

@@ -42,6 +42,15 @@ class RegisterCluster {
     /// Slow/lossy link emulation for every inter-node link (see
     /// runtime/link_shaper.hpp); disabled when all-zero.
     LinkShaping shaping;
+    /// Protocol-round batching window for the multiplex topology
+    /// (core/mux.hpp MuxBatchOptions): coalesce up to batch_max_ops
+    /// pending ops — and the protocol frames of every in-flight round —
+    /// into shared MuxBatch frames. 0 disables batching; ignored
+    /// without multiplex.
+    std::size_t batch_max_ops = 0;
+    /// Latency bound: a lone pending op waits at most this long before
+    /// its round goes out.
+    std::uint64_t batch_max_delay_us = 200;
   };
 
   explicit RegisterCluster(const Options& options);
@@ -73,6 +82,7 @@ class RegisterCluster {
   [[nodiscard]] ThreadCluster& cluster() { return cluster_; }
   [[nodiscard]] std::size_t n_clients() const { return n_clients_; }
   [[nodiscard]] bool multiplexed() const { return mux_client_ != nullptr; }
+  [[nodiscard]] bool batched() const { return batched_; }
 
  private:
   static ThreadCluster::Options ClusterOptions(const Options& options);
@@ -88,6 +98,7 @@ class RegisterCluster {
   // Multiplex topology: all logical clients live in this node.
   MuxClient* mux_client_ = nullptr;
   NodeId mux_client_id_ = kNoNode;
+  bool batched_ = false;
 };
 
 }  // namespace sbft

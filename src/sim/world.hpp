@@ -53,6 +53,16 @@ class Automaton {
 
   virtual void OnTimer(int /*timer_id*/, IEndpoint& /*endpoint*/) {}
 
+  /// Runtime batch boundary: a threaded backend delivers mailbox items
+  /// in drained batches and brackets each non-empty batch with these
+  /// hooks, so an automaton can coalesce everything it sends in
+  /// response to one wakeup into shared frames (the protocol-round
+  /// batching seam; see core/mux.hpp). The sim world delivers one
+  /// event at a time and never calls them — handlers must therefore
+  /// not depend on the hooks for correctness, only for coalescing.
+  virtual void OnBatchStart(IEndpoint& /*endpoint*/) {}
+  virtual void OnBatchEnd(IEndpoint& /*endpoint*/) {}
+
   /// Transient fault: overwrite all local protocol state with arbitrary
   /// values drawn from `rng`. Implementations must leave the object in a
   /// memory-safe (though semantically arbitrary) state.

@@ -25,6 +25,7 @@ POSITIVE_TUS = [
     "runtime/register_cluster.cpp",
     "net/message.cpp",
     "net/datalink.cpp",
+    "core/mux.cpp",
     "common/logging.cpp",
     "sim/parallel.cpp",
 ]

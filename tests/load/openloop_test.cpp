@@ -82,6 +82,38 @@ TEST(OpenLoop, MidLoadCorruptionStabilizesUnderTraffic) {
   EXPECT_LE(stabilization.violation_window_us, result.run_duration_us);
 }
 
+TEST(OpenLoop, MidLoadCorruptionStabilizesBatched) {
+  // Same corruption-under-traffic measurement, over the batched op
+  // path: pending ops coalesce into shared MuxBatch rounds. The
+  // coordinated corruption seeds (one seed per event across all
+  // servers) make the injected garbage agree, so post-fault reads can
+  // be ANSWERED with fabricated values — the checker and the
+  // stabilization search must still converge on a clean suffix.
+  Scenario scenario = CorruptionScenario(400.0, 300'000, 94);
+  scenario.n_keys = 8;
+  scenario.batch_max_ops = 8;
+  scenario.batch_max_delay_us = 200;
+  scenario.corruptions = {{50'000, {}}};
+  const LoadResult result = RunOpenLoop(scenario);
+
+  ASSERT_EQ(result.corruption_times_us.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.completed_frac, 1.0);
+  EXPECT_EQ(result.failed, 0u);
+  ASSERT_GT(result.ok, 0u);
+
+  const StabilizationReport stabilization = MeasureStabilization(
+      result.history, result.corruption_times_us[0], BaseCheck());
+  ASSERT_GT(stabilization.reads_after_corruption, 0u);
+  EXPECT_TRUE(stabilization.stabilized)
+      << "no clean suffix inside the observation window";
+
+  CheckOptions check = BaseCheck();
+  check.stabilized_from = stabilization.stabilized_at_us;
+  const CheckReport report = CheckRegularPerKey(result.history, check);
+  EXPECT_TRUE(report.ok) << report.Summary();
+  EXPECT_LE(stabilization.violation_window_us, result.run_duration_us);
+}
+
 TEST(Stabilization, DetectsDirtyPrefixOnSyntheticHistory) {
   // Synthetic single-key history: w1 then a stale read AFTER w2
   // completes (a genuine regularity violation), then clean reads. The

@@ -151,6 +151,35 @@ TEST(MessageCodec, MuxNestingIsPossibleButBounded) {
   ASSERT_TRUE(decoded.ok());
 }
 
+TEST(MessageCodec, MuxBatchRoundTrip) {
+  const Bytes inner_a = EncodeMessage(Message(ReadMsg{.label = 3}));
+  const Bytes inner_b = EncodeMessage(Message(CompleteReadMsg{.label = 4}));
+  MuxBatchMsg batch;
+  batch.items = {MuxItem{7, inner_a}, MuxItem{9, inner_b}, MuxItem{7, inner_b}};
+  const Bytes wire = EncodeMessage(Message(batch));
+  auto decoded = DecodeMessage(wire);
+  ASSERT_TRUE(decoded.ok());
+  const auto* out = std::get_if<MuxBatchMsg>(&decoded.value());
+  ASSERT_NE(out, nullptr);
+  ASSERT_EQ(out->items.size(), 3u);
+  EXPECT_EQ(out->items[0].register_id, 7u);
+  EXPECT_EQ(out->items[1].register_id, 9u);
+  auto inner = DecodeMessage(out->items[1].inner);
+  ASSERT_TRUE(inner.ok());
+  EXPECT_NE(std::get_if<CompleteReadMsg>(&inner.value()), nullptr);
+}
+
+TEST(MessageCodec, MuxBatchGarbageCountRejected) {
+  // A batch frame whose count prefix promises more items than the frame
+  // holds must fail cleanly, not over-read.
+  const Bytes inner = EncodeMessage(Message(ReadMsg{.label = 1}));
+  MuxBatchBuilder builder;
+  builder.Add(1, inner);
+  Bytes wire = builder.Take();
+  wire[1] = 0xFF;  // count prefix low byte: claims 255 items
+  EXPECT_FALSE(DecodeMessage(wire).ok());
+}
+
 TEST(MessageCodec, EmptyFrameRejected) {
   EXPECT_FALSE(DecodeMessage(Bytes{}).ok());
 }
@@ -191,6 +220,10 @@ std::vector<Message> AllVariantSamples(Rng& rng,
   static const Value kVal6{6};
   static const Value kVal9{9};
   static const Bytes kMuxInner = EncodeMessage(Message(ReadMsg{.label = 9}));
+  static const Bytes kBatchInnerA =
+      EncodeMessage(Message(FlushMsg{4, OpScope::kWrite}));
+  static const Bytes kBatchInnerB =
+      EncodeMessage(Message(GetTsMsg{6}));
   const Timestamp ts = MakeTs(rng, system);
   const UnboundedTs uts{987654321, 17};
   ReplyMsg reply;
@@ -201,6 +234,8 @@ std::vector<Message> AllVariantSamples(Rng& rng,
   MuxMsg mux;
   mux.register_id = 0x1122334455667788ull;
   mux.inner = kMuxInner;
+  MuxBatchMsg mux_batch;
+  mux_batch.items = {MuxItem{1, kBatchInnerA}, MuxItem{2, kBatchInnerB}};
   return {
       GetTsMsg{3},
       TsReplyMsg{ts, 7},
@@ -230,6 +265,7 @@ std::vector<Message> AllVariantSamples(Rng& rng,
       NqReadMsg{16},
       NqReadReplyMsg{17, ts, kVal3},
       mux,
+      mux_batch,
   };
 }
 

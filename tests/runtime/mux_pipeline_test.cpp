@@ -3,98 +3,154 @@
 // connection per server. Operations of different logical clients
 // interleave freely on the wire; each logical client must still see
 // ITS operations complete in issue order with read-your-writes.
+//
+// The batched variants run the same workloads with protocol-round
+// batching enabled (RegisterCluster::Options::batch_max_ops): frames of
+// many registers coalesce into shared MuxBatch rounds, and the recorded
+// history must still pass the per-key regular-register checker.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <functional>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "load/stabilization.hpp"
 #include "runtime/register_cluster.hpp"
+#include "spec/history.hpp"
 
 namespace sbft {
 namespace {
 
 Value Val(const std::string& text) { return Value(text.begin(), text.end()); }
 
-// Drives `kClients` logical clients, each running `kPairs` write+read
-// pairs as an async closed loop (next op issued from the completion
-// callback). All callbacks run on the mux client node's thread.
-TEST(MuxPipeline, SixtyFourClientsPreservePerClientOrdering) {
-  constexpr std::size_t kClients = 64;
-  constexpr int kPairs = 5;
-
-  RegisterCluster::Options options;
-  options.config = ProtocolConfig::ForServers(6);
-  options.use_tcp = true;
-  options.multiplex = true;
-  options.n_clients = kClients;
-  RegisterCluster cluster(std::move(options));
-  ASSERT_TRUE(cluster.multiplexed());
-  cluster.Start();
-
+struct PipelineRun {
   struct PerClient {
     std::vector<std::string> reads;  // value seen by read i
     int completed_pairs = 0;
   };
-  std::vector<PerClient> state(kClients);
+  std::vector<PerClient> state;
+  int failures = 0;
+  History history;  // every op, stamped with wall-clock microseconds
+};
+
+// Drives `n_clients` logical clients, each running `pairs` write+read
+// pairs as an async closed loop (next op issued from the completion
+// callback). All callbacks run on the mux client node's thread. Also
+// records the run as a History (OpRecord::client = logical client) so
+// callers can run the per-key regularity checker over it.
+PipelineRun RunPipelinedWorkload(RegisterCluster::Options options,
+                                 std::size_t n_clients, int pairs) {
+  options.n_clients = n_clients;
+  RegisterCluster cluster(std::move(options));
+  EXPECT_TRUE(cluster.multiplexed());
+  cluster.Start();
+  const auto start = std::chrono::steady_clock::now();
+  auto now_us = [start] {
+    return static_cast<VirtualTime>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  };
+
+  PipelineRun run;
+  run.state.resize(n_clients);
   std::mutex mutex;
   std::condition_variable done_cv;
   std::size_t done_clients = 0;
   std::atomic<int> failures{0};
 
   // One mutually recursive pair of injectors per logical client.
-  std::function<void(std::size_t, int)> inject_write =
-      [&](std::size_t c, int i) {
-        const std::string text =
-            "c" + std::to_string(c) + "#" + std::to_string(i);
-        cluster.AsyncWrite(c, Val(text), [&, c, i,
-                                          text](const WriteOutcome& write) {
-          if (write.status != OpStatus::kOk) failures.fetch_add(1);
-          cluster.AsyncRead(c, [&, c, i, text](const ReadOutcome& read) {
-            if (read.status != OpStatus::kOk) failures.fetch_add(1);
-            {
-              std::lock_guard<std::mutex> lock(mutex);
-              state[c].reads.emplace_back(read.value.begin(),
+  std::function<void(std::size_t, int)> inject_write = [&](std::size_t c,
+                                                           int i) {
+    const std::string text = "c" + std::to_string(c) + "#" + std::to_string(i);
+    OpRecord write_rec;
+    write_rec.kind = OpRecord::Kind::kWrite;
+    write_rec.client = static_cast<std::uint32_t>(c);
+    write_rec.invoked_at = now_us();
+    write_rec.value = Val(text);
+    cluster.AsyncWrite(c, Val(text), [&, c, i, text,
+                                      write_rec](const WriteOutcome& write) {
+      if (write.status != OpStatus::kOk) failures.fetch_add(1);
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        OpRecord done = write_rec;
+        done.returned_at = now_us();
+        done.result = write.status == OpStatus::kOk ? OpRecord::Result::kOk
+                                                    : OpRecord::Result::kFailed;
+        run.history.Add(std::move(done));
+      }
+      OpRecord read_rec;
+      read_rec.kind = OpRecord::Kind::kRead;
+      read_rec.client = static_cast<std::uint32_t>(c);
+      read_rec.invoked_at = now_us();
+      cluster.AsyncRead(c, [&, c, i, text, read_rec](const ReadOutcome& read) {
+        if (read.status != OpStatus::kOk) failures.fetch_add(1);
+        {
+          std::lock_guard<std::mutex> lock(mutex);
+          OpRecord done = read_rec;
+          done.returned_at = now_us();
+          done.result = read.status == OpStatus::kOk
+                            ? OpRecord::Result::kOk
+                            : OpRecord::Result::kAborted;
+          done.value = read.value;
+          run.history.Add(std::move(done));
+          run.state[c].reads.emplace_back(read.value.begin(),
                                           read.value.end());
-              state[c].completed_pairs = i + 1;
-            }
-            if (i + 1 < kPairs) {
-              inject_write(c, i + 1);
-              return;
-            }
-            std::lock_guard<std::mutex> lock(mutex);
-            ++done_clients;
-            done_cv.notify_one();
-          });
-        });
-      };
-  for (std::size_t c = 0; c < kClients; ++c) inject_write(c, 0);
+          run.state[c].completed_pairs = i + 1;
+        }
+        if (i + 1 < pairs) {
+          inject_write(c, i + 1);
+          return;
+        }
+        std::lock_guard<std::mutex> lock(mutex);
+        ++done_clients;
+        done_cv.notify_one();
+      });
+    });
+  };
+  for (std::size_t c = 0; c < n_clients; ++c) inject_write(c, 0);
 
   {
     std::unique_lock<std::mutex> lock(mutex);
-    ASSERT_TRUE(done_cv.wait_for(lock, std::chrono::seconds(60), [&] {
-      return done_clients == kClients;
+    EXPECT_TRUE(done_cv.wait_for(lock, std::chrono::seconds(60), [&] {
+      return done_clients == n_clients;
     })) << "pipelined clients did not finish";
   }
   cluster.Stop();
+  run.failures = failures.load();
+  return run;
+}
 
-  EXPECT_EQ(failures.load(), 0);
-  for (std::size_t c = 0; c < kClients; ++c) {
-    ASSERT_EQ(state[c].completed_pairs, kPairs) << "client " << c;
-    ASSERT_EQ(state[c].reads.size(), static_cast<std::size_t>(kPairs));
-    for (int i = 0; i < kPairs; ++i) {
-      // Single writer per register + closed loop: read i follows write
-      // i with nothing in between, so it must return exactly value i —
-      // this is the per-client ordering guarantee across the shared
-      // connection.
-      EXPECT_EQ(state[c].reads[static_cast<std::size_t>(i)],
+// Read i follows write i with nothing in between on a single-writer
+// register, so it must return exactly value i — the per-client ordering
+// guarantee across the shared connection (and, batched, across shared
+// rounds).
+void ExpectPerClientOrdering(const PipelineRun& run, std::size_t n_clients,
+                             int pairs) {
+  EXPECT_EQ(run.failures, 0);
+  for (std::size_t c = 0; c < n_clients; ++c) {
+    ASSERT_EQ(run.state[c].completed_pairs, pairs) << "client " << c;
+    ASSERT_EQ(run.state[c].reads.size(), static_cast<std::size_t>(pairs));
+    for (int i = 0; i < pairs; ++i) {
+      EXPECT_EQ(run.state[c].reads[static_cast<std::size_t>(i)],
                 "c" + std::to_string(c) + "#" + std::to_string(i))
           << "client " << c << " op " << i;
     }
   }
+}
+
+TEST(MuxPipeline, SixtyFourClientsPreservePerClientOrdering) {
+  RegisterCluster::Options options;
+  options.config = ProtocolConfig::ForServers(6);
+  options.use_tcp = true;
+  options.multiplex = true;
+  const PipelineRun run = RunPipelinedWorkload(std::move(options), 64, 5);
+  ExpectPerClientOrdering(run, 64, 5);
 }
 
 // The mailbox transport must give the identical guarantee (the mux
@@ -115,6 +171,58 @@ TEST(MuxPipeline, InprocMultiplexedClientsReadTheirWrites) {
     auto read = cluster.Read(c);
     ASSERT_EQ(read.status, OpStatus::kOk);
     EXPECT_EQ(read.value, Val("v" + std::to_string(c))) << c;
+  }
+  cluster.Stop();
+}
+
+// ---- Protocol-round batching -----------------------------------------
+
+TEST(MuxPipeline, BatchedTcpClientsOrderedAndRegular) {
+  RegisterCluster::Options options;
+  options.config = ProtocolConfig::ForServers(6);
+  options.use_tcp = true;
+  options.multiplex = true;
+  options.batch_max_ops = 16;
+  options.batch_max_delay_us = 200;
+  const PipelineRun run = RunPipelinedWorkload(std::move(options), 64, 5);
+  ExpectPerClientOrdering(run, 64, 5);
+  const CheckReport report = load::CheckRegularPerKey(run.history, {});
+  EXPECT_TRUE(report.ok) << report.Summary();
+}
+
+TEST(MuxPipeline, BatchedInprocClientsOrderedAndRegular) {
+  RegisterCluster::Options options;
+  options.config = ProtocolConfig::ForServers(6);
+  options.multiplex = true;
+  options.batch_max_ops = 8;
+  options.batch_max_delay_us = 200;
+  const PipelineRun run = RunPipelinedWorkload(std::move(options), 32, 4);
+  ExpectPerClientOrdering(run, 32, 4);
+  const CheckReport report = load::CheckRegularPerKey(run.history, {});
+  EXPECT_TRUE(report.ok) << report.Summary();
+}
+
+// A lone synchronous op never fills the batch window: the max_delay
+// timer (ThreadCluster's per-node timer queue) must flush it. This
+// pins the timer path of the threaded runtime, not just the sim's.
+TEST(MuxPipeline, BatchedLoneOpsFlushedByRuntimeTimer) {
+  RegisterCluster::Options options;
+  options.config = ProtocolConfig::ForServers(6);
+  options.multiplex = true;
+  options.n_clients = 4;
+  options.batch_max_ops = 64;  // never reached by a lone op
+  options.batch_max_delay_us = 500;
+  RegisterCluster cluster(std::move(options));
+  ASSERT_TRUE(cluster.batched());
+  cluster.Start();
+  for (std::size_t c = 0; c < 4; ++c) {
+    ASSERT_EQ(cluster.Write(c, Val("solo" + std::to_string(c))).status,
+              OpStatus::kOk);
+  }
+  for (std::size_t c = 0; c < 4; ++c) {
+    auto read = cluster.Read(c);
+    ASSERT_EQ(read.status, OpStatus::kOk);
+    EXPECT_EQ(read.value, Val("solo" + std::to_string(c))) << c;
   }
   cluster.Stop();
 }

@@ -101,6 +101,20 @@ class BenchCompareTest(unittest.TestCase):
         self.assertEqual(code, 0, out)
         self.assertIn("advisory", out)
 
+    def test_violation_window_from_zero_is_advisory(self):
+        # A 0 µs window that becomes positive is a semantic change (the
+        # corruption arm started surfacing real stale reads) but its
+        # magnitude is machine-dependent like any latency: advisory,
+        # unlike count metrics (violations, failed) whose from-zero
+        # increases gate. --gate-rates restores the gate.
+        metrics0 = [("mailbox.corruption.violation_window_us", 0.0, "us")]
+        metrics1 = [("mailbox.corruption.violation_window_us", 290e3, "us")]
+        code, out = run_compare(metrics0, metrics1)
+        self.assertEqual(code, 0, out)
+        self.assertIn("advisory", out)
+        code, out = run_compare(metrics0, metrics1, "--gate-rates")
+        self.assertEqual(code, 1, out)
+
     def test_completed_frac_below_one_is_flagged(self):
         # A small dip is within the 25% gate but must be flagged as an
         # overload-regime point.
@@ -113,6 +127,22 @@ class BenchCompareTest(unittest.TestCase):
         code, out = run_compare([("a.sweep.p3.completed_frac", 1.0, "frac")],
                                 [("a.sweep.p3.completed_frac", 0.5, "frac")])
         self.assertEqual(code, 1, out)
+
+    def test_fresh_only_metrics_are_informational(self):
+        # A bench grew a batched.* sweep the committed baseline predates.
+        # The new points must be listed (with values, so they can be
+        # promoted into the next baseline) but never gated — even ones
+        # whose names pattern-match lower-is-better marks like p99.
+        code, out = run_compare(
+            [("tcp.n16.c256.ops_per_sec", 10000.0, "ops/s")],
+            [("tcp.n16.c256.ops_per_sec", 10000.0, "ops/s"),
+             ("batched.tcp.n16.c256.ops_per_sec", 18000.0, "ops/s"),
+             ("batched.tcp.n16.c256.p99_us", 19712.0, "us"),
+             ("batched.tcp.n16.c256.failed", 0.0, "ops")])
+        self.assertEqual(code, 0, out)
+        self.assertIn("new metrics (no baseline yet", out)
+        self.assertIn("batched.tcp.n16.c256.ops_per_sec: 18000", out)
+        self.assertIn("new metric", out)
 
     def test_missing_metric_is_advisory(self):
         code, out = run_compare([("a.failed", 0.0, "ops"),

@@ -29,6 +29,11 @@ additionally flagged as an overload-regime point: its latency metrics
 describe a cluster shedding load and should not be read as a
 steady-state measurement.
 
+Metrics present only in the fresh run (a bench grew new points, e.g. a
+``batched.*`` sweep) are listed in a ``new metrics`` section and never
+gated: their fresh values are exactly what the next committed baseline
+should record.
+
 Exit status: 0 = no gating regression, 1 = at least one, 2 = usage or
 input error.
 """
@@ -109,11 +114,22 @@ def main() -> int:
         if base_value == 0:
             # No relative delta from a zero baseline; any increase in a
             # lower-is-better count (e.g. failed ops) is a regression.
+            # Rate-like metrics keep their advisory status here too: a
+            # violation window of 0 µs that becomes positive is a
+            # semantic change worth seeing, but its magnitude is
+            # machine-dependent like any latency.
             if sense == "lower" and fresh_value > 0:
-                gating.append(f"{name}: 0 -> {fresh_value:g} "
-                              f"(was zero, {sense} is better)")
-                rows.append((name, base_value, fresh_value, "-",
-                             "REGRESSION"))
+                line = f"{name}: 0 -> {fresh_value:g} " \
+                       f"(was zero, {sense} is better)"
+                if is_rate(name, unit) and not args.gate_rates:
+                    advisories.append(line + "; rate-like, "
+                                      "machine-dependent")
+                    rows.append((name, base_value, fresh_value, "-",
+                                 "ADVISORY regression"))
+                else:
+                    gating.append(line)
+                    rows.append((name, base_value, fresh_value, "-",
+                                 "REGRESSION"))
             else:
                 rows.append((name, base_value, fresh_value, "-", "ok"))
             continue
@@ -135,7 +151,8 @@ def main() -> int:
                     f"({delta:+.1%}, {sense} is better)")
         rows.append((name, base_value, fresh_value, f"{delta:+.1%}", verdict))
 
-    for name in sorted(set(fresh) - set(base)):
+    new_metrics = sorted(set(fresh) - set(base))
+    for name in new_metrics:
         rows.append((name, float("nan"), fresh[name][0], "-", "new metric"))
 
     width = max((len(r[0]) for r in rows), default=10)
@@ -152,6 +169,18 @@ def main() -> int:
               "these points describe a cluster shedding load):")
         for name, value in overloaded:
             print(f"  - {name}: {value:g}")
+
+    if new_metrics:
+        # A bench grew new measurement points (e.g. a batched.* sweep).
+        # Nothing to compare them against yet, so they are informational:
+        # their fresh values are the baseline entries the next committed
+        # BENCH_*.json should carry. Never gated — a brand-new metric
+        # cannot have regressed.
+        print(f"\nnew metrics (no baseline yet; fresh values become the "
+              f"baseline on the next refresh): {len(new_metrics)}")
+        for name in new_metrics:
+            value, unit = fresh[name]
+            print(f"  + {name}: {value:g} {unit}".rstrip())
 
     if advisories:
         print("\nadvisory (not gated):")

@@ -91,6 +91,8 @@ HOT_PATH_FILES = (
     "src/common/small_vector.hpp",
     "src/net/message.cpp",
     "src/net/message.hpp",
+    "src/core/mux.cpp",
+    "src/core/mux.hpp",
     "src/sim/event_queue.hpp",
     "src/runtime/mailbox.hpp",
     "src/runtime/tcp.cpp",
