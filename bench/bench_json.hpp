@@ -11,6 +11,10 @@
 //   --clients LIST  comma-separated logical-client counts for benches
 //                   with a concurrency sweep (e.g. --clients 1,8,64,256);
 //                   empty means the bench's default sweep.
+//   --reactor-threads N
+//                   epoll reactor threads for benches with a TCP arm
+//                   (default 1; the CI smoke matrix also runs a 2-thread
+//                   leg to keep the multi-reactor path measured).
 //
 // The JSON is deliberately timestamp-free so artifacts diff cleanly;
 // provenance (commit, date) lives in git history / CI metadata.
@@ -32,6 +36,7 @@ struct BenchArgs {
   bool smoke = false;
   std::size_t jobs = 1;   // 0 = one per hardware core
   std::vector<std::size_t> clients;  // empty: bench default sweep
+  std::size_t reactor_threads = 1;
 };
 
 inline BenchArgs ParseBenchArgs(int argc, char** argv) {
@@ -44,6 +49,11 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       args.jobs = static_cast<std::size_t>(
           std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--reactor-threads") == 0 &&
+               i + 1 < argc) {
+      args.reactor_threads = static_cast<std::size_t>(
+          std::strtoull(argv[++i], nullptr, 10));
+      if (args.reactor_threads == 0) args.reactor_threads = 1;
     } else if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
       const char* p = argv[++i];
       while (*p != '\0') {
@@ -96,6 +106,9 @@ class JsonReport {
   [[nodiscard]] std::size_t jobs() const { return args_.jobs; }
   [[nodiscard]] const std::vector<std::size_t>& clients() const {
     return args_.clients;
+  }
+  [[nodiscard]] std::size_t reactor_threads() const {
+    return args_.reactor_threads;
   }
 
  private:

@@ -45,6 +45,11 @@ struct Numbers {
   double p99_us = 0;
   long completed = 0;
   long failed = 0;
+  /// Thread-CPU microseconds inside automaton dispatch per completed
+  /// op, summed over all node threads (ThreadCluster::protocol_cpu_ns):
+  /// the protocol-floor observable, with mailbox waits and socket
+  /// syscalls excluded. Comparable across transports and batch modes.
+  double protocol_cpu_us_per_op = 0;
 };
 
 /// Closed-loop load generator over RegisterCluster's async API. Each
@@ -126,19 +131,28 @@ class ClosedLoop {
 };
 
 Numbers RunArm(std::uint32_t n, std::size_t n_clients, bool use_tcp,
-               int pairs_per_client, std::size_t batch_max_ops) {
+               int pairs_per_client, std::size_t batch_max_ops,
+               bool shared_flush, std::size_t reactor_threads) {
   RegisterCluster::Options options;
   options.config = ProtocolConfig::ForServers(n);
   options.use_tcp = use_tcp;
+  options.reactor_threads = reactor_threads;
   options.multiplex = true;
   options.n_clients = n_clients;
   options.batch_max_ops = batch_max_ops;  // 0 = unbatched
   options.batch_max_delay_us = 200;
+  options.shared_flush = shared_flush;
   RegisterCluster cluster(std::move(options));
   cluster.Start();
   ClosedLoop loop(cluster, n_clients, pairs_per_client);
   Numbers numbers = loop.Run();
+  const std::uint64_t cpu_ns = cluster.cluster().protocol_cpu_ns();
   cluster.Stop();
+  if (numbers.completed > 0) {
+    numbers.protocol_cpu_us_per_op =
+        static_cast<double>(cpu_ns) / 1000.0 /
+        static_cast<double>(numbers.completed);
+  }
   return numbers;
 }
 
@@ -165,15 +179,19 @@ int main(int argc, char** argv) {
     std::uint32_t n;
     std::size_t clients;
     std::size_t batch = 0;  // batch_max_ops; 0 = unbatched
+    bool shared_flush = false;
   };
   std::vector<Point> points;
   std::set<std::string> seen;
   auto add = [&](bool use_tcp, std::uint32_t n, std::size_t clients,
-                 std::size_t batch = 0) {
+                 std::size_t batch = 0, bool shared_flush = false) {
     const std::string key = std::string(use_tcp ? "tcp" : "mailbox") + "." +
                             std::to_string(n) + "." + std::to_string(clients) +
-                            "." + std::to_string(batch);
-    if (seen.insert(key).second) points.push_back({use_tcp, n, clients, batch});
+                            "." + std::to_string(batch) +
+                            (shared_flush ? ".sf" : "");
+    if (seen.insert(key).second) {
+      points.push_back({use_tcp, n, clients, batch, shared_flush});
+    }
   };
   // Legacy trajectory points: n sweep at low client counts.
   for (std::uint32_t n : {6u, 11u, 16u}) {
@@ -209,13 +227,24 @@ int main(int argc, char** argv) {
     add(false, 16, clients, std::min<std::size_t>(clients, 64));
     add(true, 16, clients, std::min<std::size_t>(clients, 64));
   }
+  // Shared-FLUSH arms (metric prefix "sharedflush."): batching plus one
+  // node-level FLUSH round per window (core/mux_flush.hpp) — the
+  // per-op protocol floor drops from ~2 rounds to ~1 + 1/W.
+  for (std::size_t clients : sweep) {
+    if (clients < 8) continue;
+    add(false, 16, clients, std::min<std::size_t>(clients, 64), true);
+    add(true, 16, clients, std::min<std::size_t>(clients, 64), true);
+  }
 
   for (const Point& point : points) {
     const int pairs = PairsFor(point.use_tcp, point.clients, report.smoke());
     const Numbers numbers =
-        RunArm(point.n, point.clients, point.use_tcp, pairs, point.batch);
+        RunArm(point.n, point.clients, point.use_tcp, pairs, point.batch,
+               point.shared_flush, report.reactor_threads());
     const std::string transport =
-        std::string(point.batch > 0 ? "batched." : "") +
+        std::string(point.shared_flush ? "sharedflush."
+                    : point.batch > 0  ? "batched."
+                                       : "") +
         (point.use_tcp ? "tcp" : "mailbox");
     Row("%-4u %-8zu %-15s | %-12.0f %-10.0f %-10.0f %-7ld", point.n,
         point.clients, transport.c_str(), numbers.ops_per_sec, numbers.p50_us,
@@ -227,6 +256,8 @@ int main(int argc, char** argv) {
     report.Metric(key + ".p99_us", numbers.p99_us, "us");
     report.Metric(key + ".failed", static_cast<double>(numbers.failed),
                   "ops");
+    report.Metric(key + ".protocol_cpu_us_per_op",
+                  numbers.protocol_cpu_us_per_op, "us/op");
     // Scale-invariant completeness: 1.0 means every attempted op
     // finished, so smoke and full runs compare against one baseline.
     const double frac =

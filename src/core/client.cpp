@@ -104,10 +104,25 @@ void RegisterClient::BeginFlush(OpScope scope) {
   safe_count_ = 0;
   phase_ = scope == OpScope::kRead ? Phase::kReadFlush : Phase::kWriteFlush;
 
+  if (flush_provider_ != nullptr) {
+    // Shared-flush seam: the provider runs (or joins) a node-level
+    // FLUSH round and feeds the acks back via DeliverFlushAck. The
+    // FIFO argument is unchanged — multiplexed registers share one
+    // channel per client-server pair, so a node-level ack proves drain
+    // for this register's traffic too.
+    flush_provider_->RequestFlush(op_label_, scope);
+    return;
+  }
   FlushMsg flush;
   flush.label = op_label_;
   flush.scope = scope;
   endpoint_->Broadcast(servers_, EncodeMessage(Message(flush)));
+}
+
+void RegisterClient::DeliverFlushAck(NodeId from, const FlushAckMsg& msg) {
+  const auto index = ServerIndex(from);
+  if (!index) return;
+  OnFlushAck(*index, msg);
 }
 
 // --- FLUSH / FLUSH_ACK (Figure 3) --------------------------------------

@@ -65,6 +65,20 @@ struct WriteOutcome {
 using ReadCallback = std::function<void(const ReadOutcome&)>;
 using WriteCallback = std::function<void(const WriteOutcome&)>;
 
+/// Seam for hoisting the FLUSH round out of the client automaton (see
+/// docs/ARCHITECTURE.md, "Shared FLUSH rounds"). When installed, the
+/// client asks the provider for its flush round instead of broadcasting
+/// FlushMsg itself; the provider must eventually deliver per-server
+/// FlushAckMsg{label, scope} acks back through DeliverFlushAck. The
+/// label discipline — Figure 3 ack threshold, pending-count bound,
+/// late-ack safe-set extension — stays inside the client untouched; the
+/// provider only owns the transport of the probe and its echo.
+class FlushProvider {
+ public:
+  virtual ~FlushProvider() = default;
+  virtual void RequestFlush(OpLabel label, OpScope scope) = 0;
+};
+
 class RegisterClient : public Automaton {
  public:
   /// `servers` lists the node ids of the n register servers, in server-
@@ -84,6 +98,17 @@ class RegisterClient : public Automaton {
 
   [[nodiscard]] bool idle() const { return phase_ == Phase::kIdle; }
   [[nodiscard]] ClientId client_id() const { return client_id_; }
+
+  /// Install (or clear, with nullptr) the shared-flush seam. The
+  /// provider must outlive the client or be cleared first.
+  void SetFlushProvider(FlushProvider* provider) {
+    flush_provider_ = provider;
+  }
+  /// Deliver a flush ack on behalf of server node `from`, exactly as if
+  /// a FlushAckMsg frame had arrived from it — the entry point a
+  /// FlushProvider uses to distribute a node-level ack back to the
+  /// per-register automata. Non-server node ids are ignored.
+  void DeliverFlushAck(NodeId from, const FlushAckMsg& msg);
 
   struct Stats {
     std::uint64_t writes_ok = 0;
@@ -148,6 +173,7 @@ class RegisterClient : public Automaton {
   std::vector<std::uint32_t> server_index_;
   ClientId client_id_;
   IEndpoint* endpoint_ = nullptr;
+  FlushProvider* flush_provider_ = nullptr;
 
   ReadLabelPool read_pool_;
   ReadLabelPool write_pool_;

@@ -72,9 +72,10 @@ class CollectEndpoint final : public IEndpoint {
   RegisterId id_;
 };
 
-void TouchLru(std::list<RegisterId>& lru,
-              std::map<RegisterId, std::list<RegisterId>::iterator>& pos,
-              RegisterId id) {
+void TouchLru(
+    std::list<RegisterId>& lru,
+    std::unordered_map<RegisterId, std::list<RegisterId>::iterator>& pos,
+    RegisterId id) {
   // The per-register phases of one protocol round arrive back-to-back
   // (batch dispatch interleaves registers, but each register's frames
   // cluster), so the id is often already at the front.
@@ -126,6 +127,8 @@ MuxServer::MuxServer(ProtocolConfig config, std::size_t server_index,
       max_registers_(max_registers),
       factory_(std::move(factory)) {
   SBFT_ASSERT(max_registers_ >= 1);
+  registers_.reserve(max_registers_);
+  lru_pos_.reserve(max_registers_);
   if (!factory_) {
     factory_ = [this](RegisterId) {
       return std::make_unique<RegisterServer>(config_, index_);
@@ -158,6 +161,24 @@ RegisterServer& MuxServer::GetOrCreate(RegisterId id) {
 void MuxServer::OnFrame(NodeId from, BytesView frame, IEndpoint& endpoint) {
   auto decoded = DecodeMessage(frame);
   if (!decoded.ok()) return;
+  if (const auto* flush = std::get_if<NodeFlushMsg>(&decoded.value())) {
+    // Node-level FLUSH: echo the whole item vector in one ack frame.
+    // The honest per-register handler (RegisterServer::HandleFlush) is
+    // a pure echo, so one node-level echo is semantically identical
+    // for every register in the window — and skips the per-register
+    // dispatch, LRU touch, and frame encode entirely, which is where
+    // the amortization's CPU win on the server side comes from. By
+    // FIFO, this ack leaving after the probe proves that everything
+    // sent to us earlier on this channel — for ANY register — has been
+    // processed, which is exactly what the inner label discipline
+    // needs from a flush ack.
+    NodeFlushAckMsg ack;
+    ack.items = std::move(std::get<NodeFlushMsg>(decoded.value()).items);
+    if (flush_ack_mutator_) flush_ack_mutator_(ack.items);
+    ++node_flushes_acked_;
+    endpoint.Send(from, EncodeMessage(Message(ack)));
+    return;
+  }
   if (const auto* mux = std::get_if<MuxMsg>(&decoded.value())) {
     WrapEndpoint wrapped(endpoint, mux->register_id);
     GetOrCreate(mux->register_id).OnFrame(from, mux->inner, wrapped);
@@ -232,6 +253,24 @@ class MuxClient::RouteEndpoint final : public IEndpoint {
   RegisterId id_;
 };
 
+// Per-register shared-flush seam: the inner client's FLUSH rounds route
+// back through the owning MuxClient, which batches them into node-level
+// windows. The provider lives in the same Entry as the client, so
+// lifetimes match exactly (like RouteEndpoint).
+class MuxClient::RouteFlushProvider final : public FlushProvider {
+ public:
+  RouteFlushProvider(MuxClient& owner, RegisterId id)
+      : owner_(&owner), id_(id) {}
+
+  void RequestFlush(OpLabel label, OpScope scope) override {
+    owner_->RouteFlush(id_, label, scope);
+  }
+
+ private:
+  MuxClient* owner_;
+  RegisterId id_;
+};
+
 // RAII batch scope: frames sent while at least one scope is open
 // coalesce in the collector; the outermost close starts queued ops (so
 // their first phase joins the same round) and flushes one batch frame
@@ -258,6 +297,10 @@ MuxClient::MuxClient(ProtocolConfig config, std::vector<NodeId> servers,
       max_registers_(max_registers),
       batch_(batch) {
   SBFT_ASSERT(max_registers_ >= 1);
+  // One rehash up front instead of several during warm-up (the table
+  // reaches max_registers_ in steady state under high concurrency).
+  clients_.reserve(max_registers_);
+  lru_pos_.reserve(max_registers_);
 }
 
 void MuxClient::OnStart(IEndpoint& endpoint) { endpoint_ = &endpoint; }
@@ -288,6 +331,10 @@ RegisterClient& MuxClient::GetOrCreate(RegisterId id) {
     // RegisterClient caches the endpoint passed to OnStart; the router
     // lives in the same Entry, so lifetimes match exactly.
     entry.client->OnStart(*entry.endpoint);
+    if (batch_.shared_flush) {
+      entry.flush_provider = std::make_unique<RouteFlushProvider>(*this, id);
+      entry.client->SetFlushProvider(entry.flush_provider.get());
+    }
     it = clients_.emplace(id, std::move(entry)).first;
   }
   TouchLru(lru_, lru_pos_, id);
@@ -297,6 +344,10 @@ RegisterClient& MuxClient::GetOrCreate(RegisterId id) {
 void MuxClient::OnFrame(NodeId from, BytesView frame, IEndpoint&) {
   auto decoded = DecodeMessage(frame);
   if (!decoded.ok()) return;
+  if (const auto* ack = std::get_if<NodeFlushAckMsg>(&decoded.value())) {
+    OnNodeFlushAck(from, *ack);
+    return;
+  }
   if (const auto* mux = std::get_if<MuxMsg>(&decoded.value())) {
     std::optional<BatchScope> scope;
     if (batching()) scope.emplace(*this);
@@ -362,6 +413,37 @@ void MuxClient::RouteBroadcast(RegisterId id, std::span<const NodeId> dsts,
   FramePool().Release(std::move(frame));
 }
 
+void MuxClient::OnNodeFlushAck(NodeId from, const NodeFlushAckMsg& ack) {
+  // Distribute the node-level ack element-wise. Each item becomes the
+  // per-register FlushAckMsg the inner automaton would have received
+  // from `from` directly, so the threshold/stale-filtering/late-ack
+  // semantics run verbatim inside RegisterClient. A Byzantine server
+  // can equivocate labels or scopes per item; the inner stale-ack
+  // filter drops anything that does not match the register's in-flight
+  // label, exactly as it would for a forged per-register FLUSH_ACK.
+  // The scope makes the READs that late acks trigger (Figure 3 lines
+  // 13-15) coalesce into this round's batch frames.
+  std::optional<BatchScope> scope;
+  if (batching()) scope.emplace(*this);
+  for (const FlushItem& item : ack.items) {
+    auto it = clients_.find(item.register_id);
+    if (it == clients_.end()) continue;  // evicted or never ours
+    FlushAckMsg inner;
+    inner.label = item.label;
+    inner.scope = item.scope;
+    it->second.client->DeliverFlushAck(from, inner);
+  }
+}
+
+void MuxClient::RouteFlush(RegisterId id, OpLabel label, OpScope scope) {
+  flush_.Request(id, label, scope);
+  if (scope_depth_ > 0) return;  // the closing scope emits the window
+  // No open window (shared flush without batching, or an op started
+  // outside any scope): the one-item round leaves immediately.
+  SBFT_ASSERT(endpoint_ != nullptr);
+  flush_.CloseWindow(*endpoint_, servers_);
+}
+
 void MuxClient::StartWrite(RegisterId id, Value value,
                            WriteCallback callback) {
   if (!batching()) {
@@ -390,7 +472,12 @@ void MuxClient::StartRead(RegisterId id, ReadCallback callback) {
 void MuxClient::Enqueue(PendingOp op) {
   pending_.push_back(std::move(op));
   if (scope_depth_ > 0) return;  // the closing scope drains and flushes
-  if (pending_.size() >= batch_.max_ops) {
+  if (pending_.size() >= batch_.max_ops || batch_.max_delay == 0) {
+    // Zero delay means "never trade latency for depth": an op arriving
+    // outside any scope starts its round now. Ops arriving in the same
+    // mailbox drain still coalesce — the runtime's OnBatchStart/End
+    // bracket keeps a scope open across the whole drain, so they take
+    // the early return above.
     FlushRound();
   } else {
     ArmTimer();
@@ -404,6 +491,13 @@ void MuxClient::FlushRound() {
   ++scope_depth_;
   DrainPending();
   --scope_depth_;
+  // Close the shared-flush window first: every register that started an
+  // op this round contributed one FlushItem, and the single NodeFlush
+  // probe precedes the batch frames on each channel. Ordering between
+  // the two is immaterial for the FIFO argument — the stale traffic a
+  // flush must drain was sent in strictly earlier rounds — but a fixed
+  // order keeps batched runs deterministic.
+  flush_.CloseWindow(*endpoint_, servers_);
   collector_.Flush(*endpoint_);
 }
 
@@ -425,7 +519,14 @@ void MuxClient::DrainPending() {
     }
   }
   draining_.clear();
-  if (!pending_.empty()) ArmTimer();
+  // Requeued ops (a same-register predecessor is still in flight) wait
+  // for the predecessor's replies, which arrive inside a batch scope
+  // and re-run this drain at scope close. Only a positive max_delay
+  // additionally bounds their wait with a timer: arming a zero-delay
+  // timer here would fire at the current time and re-drain the same
+  // non-idle ops forever (a busy-spin on the threaded backends, a
+  // same-instant livelock in the sim).
+  if (!pending_.empty() && batch_.max_delay > 0) ArmTimer();
 }
 
 void MuxClient::ArmTimer() {
@@ -444,7 +545,18 @@ bool MuxClient::idle(RegisterId id) {
 }
 
 void MuxClient::CorruptState(Rng& rng) {
-  for (auto& [id, entry] : clients_) entry.client->CorruptState(rng);
+  // One base draw, then a per-register fork keyed by the register id
+  // (same scheme as MuxServer::CorruptState): the garbage each inner
+  // client receives is independent of the hash table's iteration order.
+  const std::uint64_t base = rng();
+  for (auto& [id, entry] : clients_) {
+    Rng fork(base ^ (id * 0x9E3779B97F4A7C15ull));
+    entry.client->CorruptState(fork);
+  }
+  // The ops whose flush requests were waiting in the open window were
+  // just destroyed (inner CorruptState fails in-flight ops); drop the
+  // window rather than probe for dead labels.
+  flush_.Clear();
 }
 
 }  // namespace sbft

@@ -21,16 +21,16 @@
 #include <map>
 #include <memory>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "core/byzantine.hpp"
 #include "core/client.hpp"
+#include "core/mux_flush.hpp"
 #include "core/server.hpp"
 #include "net/message.hpp"
 
 namespace sbft {
-
-using RegisterId = std::uint64_t;
 
 /// Derive a register id from a string key (FNV-1a). Collisions alias
 /// keys onto the same register — acceptable for a 64-bit space.
@@ -46,8 +46,17 @@ struct MuxBatchOptions {
   /// Flush the pending-op queue as soon as it reaches this depth.
   std::size_t max_ops = 0;
   /// Latency bound: a timer fired this long after the first queued op
-  /// flushes the queue even if max_ops was never reached.
+  /// flushes the queue even if max_ops was never reached. With
+  /// max_delay = 0 no timer is ever armed: ops arriving in the same
+  /// batch scope (one mailbox drain) still coalesce, but ops arriving
+  /// outside any scope start their round immediately.
   VirtualTime max_delay = 0;
+  /// Hoist the FLUSH round to the node level: registers starting an op
+  /// in the same batch window share ONE NodeFlush probe instead of
+  /// broadcasting one FlushMsg each (see core/mux_flush.hpp and
+  /// docs/ARCHITECTURE.md, "Shared FLUSH rounds"). Per-op protocol
+  /// rounds drop from ~2 to ~1 + 1/W at window size W.
+  bool shared_flush = false;
 };
 
 /// Per-destination accumulation of enveloped inner frames during a
@@ -89,6 +98,16 @@ class MuxServer : public Automaton {
   /// nullptr if the register was never touched (or was evicted).
   [[nodiscard]] RegisterServer* Find(RegisterId id);
 
+  /// Byzantine test seam (see core/mux_flush.hpp): mutate the echoed
+  /// items of every node-level flush ack this server sends.
+  void SetFlushAckMutator(FlushAckMutator mutator) {
+    flush_ack_mutator_ = std::move(mutator);
+  }
+  /// NodeFlush probes answered (diagnostics/tests).
+  [[nodiscard]] std::uint64_t node_flushes_acked() const {
+    return node_flushes_acked_;
+  }
+
  private:
   RegisterServer& GetOrCreate(RegisterId id);
 
@@ -96,17 +115,23 @@ class MuxServer : public Automaton {
   std::size_t index_;
   std::size_t max_registers_;
   ServerFactory factory_;
-  std::map<RegisterId, std::unique_ptr<RegisterServer>> registers_;
+  /// Hash tables, not ordered maps: the per-item dispatch loop does one
+  /// find per batch element (dozens per op at high concurrency), and
+  /// nothing iterates these in a way that observes order (CorruptState
+  /// forks the rng per register id, so corruption is order-independent).
+  std::unordered_map<RegisterId, std::unique_ptr<RegisterServer>> registers_;
   std::list<RegisterId> lru_;  // front = most recent
   /// Position of each id inside lru_, so a touch is an O(1) splice
   /// instead of an O(n) list walk (hot with hundreds of live registers).
-  std::map<RegisterId, std::list<RegisterId>::iterator> lru_pos_;
+  std::unordered_map<RegisterId, std::list<RegisterId>::iterator> lru_pos_;
   /// Replies produced while dispatching incoming batch frames; they
   /// leave as one batch frame per destination, mirroring the request
   /// side. Reused across frames. Flushed per frame, or — inside a
   /// runtime batch (OnBatchStart/End) — once per drained batch.
   MuxBatchCollector collector_;
   int batch_depth_ = 0;
+  FlushAckMutator flush_ack_mutator_;
+  std::uint64_t node_flushes_acked_ = 0;
 };
 
 class MuxClient : public Automaton {
@@ -136,8 +161,15 @@ class MuxClient : public Automaton {
   [[nodiscard]] bool idle(RegisterId id);
 
   [[nodiscard]] bool batching() const { return batch_.max_ops > 0; }
+  [[nodiscard]] bool shared_flush() const { return batch_.shared_flush; }
   /// Ops queued but not yet started (diagnostics/tests).
   [[nodiscard]] std::size_t pending_ops() const { return pending_.size(); }
+  /// NodeFlush rounds emitted so far — the amortization observable:
+  /// with shared flush on, this grows ~W times slower than the op count
+  /// for a full window of W.
+  [[nodiscard]] std::uint64_t node_flush_rounds() const {
+    return flush_.rounds();
+  }
 
   // String-key convenience (KV store facade).
   void Put(std::string_view key, Value value, WriteCallback callback) {
@@ -149,9 +181,12 @@ class MuxClient : public Automaton {
 
  private:
   /// An inner client plus the routing endpoint it cached at OnStart
-  /// (the router must live exactly as long as the client).
+  /// (the router must live exactly as long as the client). With shared
+  /// flush on, the flush provider routes the client's FLUSH rounds
+  /// through the owning mux's coordinator the same way.
   struct Entry {
     std::unique_ptr<IEndpoint> endpoint;
+    std::unique_ptr<FlushProvider> flush_provider;
     std::unique_ptr<RegisterClient> client;
   };
 
@@ -165,6 +200,7 @@ class MuxClient : public Automaton {
   };
 
   class RouteEndpoint;
+  class RouteFlushProvider;
   struct BatchScope;
 
   RegisterClient& GetOrCreate(RegisterId id);
@@ -172,6 +208,13 @@ class MuxClient : public Automaton {
   void RouteSend(RegisterId id, NodeId dst, Bytes frame);
   void RouteBroadcast(RegisterId id, std::span<const NodeId> dsts,
                       Bytes frame);
+  /// A register's FLUSH round joins the open window, or — outside any
+  /// scope — goes out immediately as a one-item NodeFlush round.
+  void RouteFlush(RegisterId id, OpLabel label, OpScope scope);
+  /// Distribute a node-level flush ack element-wise to the inner
+  /// automata (late acks included — the per-register safe-set extension
+  /// of Figure 3 lines 13-15 happens inside the clients).
+  void OnNodeFlushAck(NodeId from, const NodeFlushAckMsg& ack);
   void Enqueue(PendingOp op);
   /// Start queued ops and flush the collected frames as one round.
   void FlushRound();
@@ -184,10 +227,13 @@ class MuxClient : public Automaton {
   std::size_t max_registers_;
   MuxBatchOptions batch_;
   IEndpoint* endpoint_ = nullptr;
-  std::map<RegisterId, Entry> clients_;
+  /// Hash tables for the same reason as MuxServer: reply dispatch and
+  /// node-flush-ack distribution do one find per item.
+  std::unordered_map<RegisterId, Entry> clients_;
   std::list<RegisterId> lru_;
-  std::map<RegisterId, std::list<RegisterId>::iterator> lru_pos_;
+  std::unordered_map<RegisterId, std::list<RegisterId>::iterator> lru_pos_;
   MuxBatchCollector collector_;
+  SharedFlushCoordinator flush_;
   /// Depth of nested batch scopes; outgoing frames coalesce while > 0.
   int scope_depth_ = 0;
   bool timer_armed_ = false;

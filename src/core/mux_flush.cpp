@@ -1,0 +1,48 @@
+#include "core/mux_flush.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace sbft {
+
+void SharedFlushCoordinator::Request(RegisterId id, OpLabel label,
+                                     OpScope scope) {
+  // At most one request per register per window: operations are
+  // sequential per register, and a flush resolves only after the window
+  // closes, so a second request for the same register cannot arrive
+  // before the first left with the previous window.
+  items_.push_back(FlushItem{id, label, scope});
+}
+
+void SharedFlushCoordinator::CloseWindow(IEndpoint& out,
+                                         std::span<const NodeId> servers) {
+  if (items_.empty()) return;
+  NodeFlushMsg msg;
+  // Move the accumulated items through the encode and back, so the
+  // vector's capacity survives across windows (steady state allocates
+  // nothing here).
+  msg.items = std::move(items_);
+  out.Broadcast(servers, EncodeMessage(Message(msg)));
+  items_ = std::move(msg.items);
+  items_.clear();
+  ++rounds_;
+}
+
+FlushAckMutator MakeFlushEquivocator(std::uint64_t seed) {
+  // Shared state so copies of the std::function keep one stream; the
+  // draws depend only on the seed and the call sequence, so a replayed
+  // schedule equivocates identically.
+  auto rng = std::make_shared<Rng>(seed);
+  return [rng](std::vector<FlushItem>& items) {
+    for (FlushItem& item : items) {
+      const std::uint64_t draw = (*rng)();
+      item.label = static_cast<OpLabel>(draw >> 8);
+      if ((draw & 0x3) == 0) {
+        item.scope = item.scope == OpScope::kRead ? OpScope::kWrite
+                                                  : OpScope::kRead;
+      }
+    }
+  };
+}
+
+}  // namespace sbft

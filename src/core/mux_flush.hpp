@@ -1,0 +1,74 @@
+// Node-level shared FLUSH rounds: amortize the FLUSH quorum round of
+// the bounded-label discipline (Figure 3) across every register that
+// joins a mux batch window.
+//
+// Soundness rests on the channel-sharing argument: all registers
+// multiplexed between one client node and one server node share ONE
+// FIFO channel (the paper's per-link FIFO assumption; the server-based
+// variant of Bonomi et al. leans on the same per-link delivery proof).
+// A NodeFlush probe therefore drains the channel for EVERY register at
+// once — when a server echoes the probe, all traffic it was sent
+// earlier on that channel, for any register, has been delivered. The
+// per-register label discipline is untouched: each register still picks
+// its own label from its own pool, still demands >= n-f acks with at
+// most f pending servers, and still extends its safe set on late acks.
+// The coordinator only owns the transport of the probe; the acks are
+// distributed back element-wise through RegisterClient::DeliverFlushAck.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/message.hpp"
+#include "sim/world.hpp"
+
+namespace sbft {
+
+using RegisterId = std::uint64_t;
+
+/// Accumulates the flush requests of one batch window and closes the
+/// window as ONE NodeFlush broadcast. Owned by MuxClient; lives entirely
+/// on the client node's thread (no locking — the runtime serializes all
+/// automaton activity per node).
+class SharedFlushCoordinator {
+ public:
+  /// Join the open window: register `id` is about to start an operation
+  /// under `label`/`scope` and needs its FLUSH round.
+  void Request(RegisterId id, OpLabel label, OpScope scope);
+
+  /// Close the window: broadcast one NodeFlush frame carrying every
+  /// joined request to all servers. No-op while the window is empty.
+  void CloseWindow(IEndpoint& out, std::span<const NodeId> servers);
+
+  /// Drop the open window (client-side transient fault: the ops whose
+  /// flushes were queued have been destroyed).
+  void Clear() { items_.clear(); }
+
+  [[nodiscard]] bool has_pending() const { return !items_.empty(); }
+  [[nodiscard]] std::size_t pending_items() const { return items_.size(); }
+  /// NodeFlush rounds emitted so far — the amortization observable:
+  /// under a full window of W ops this grows W times slower than the
+  /// op count (tests and benches assert on it).
+  [[nodiscard]] std::uint64_t rounds() const { return rounds_; }
+
+ private:
+  std::vector<FlushItem> items_;
+  std::uint64_t rounds_ = 0;
+};
+
+/// Test/fuzz seam on MuxServer: mutate the echoed item vector of a
+/// node-level flush ack before it leaves the server. A Byzantine server
+/// that acks the node-level probe but equivocates the per-register
+/// labels is the sharpest attack on the label-distribution path — the
+/// clients' stale-ack filters must absorb it per register.
+using FlushAckMutator = std::function<void(std::vector<FlushItem>&)>;
+
+/// Deterministic label-equivocating mutator (seeded): rewrites each
+/// item's label — and occasionally its scope — through a forked rng
+/// stream, so replays of the same schedule equivocate identically.
+[[nodiscard]] FlushAckMutator MakeFlushEquivocator(std::uint64_t seed);
+
+}  // namespace sbft

@@ -228,6 +228,39 @@ std::vector<CorpusEntry> CuratedCorpus() {
         "delayed across write generations",
         s);
   }
+  {
+    Scenario s = BaseScenario(113, 1, 1, 4);
+    s.mux_window = 4;
+    add("mux-sharedflush-clean",
+        "all clients behind one MuxClient with batched shared FLUSH "
+        "rounds, no faults: per-key checker must stay quiet",
+        s);
+  }
+  {
+    Scenario s = BaseScenario(114, 1, 1, 4);
+    s.mux_window = 4;
+    s.mux_flush_equivocate = 1;
+    s.byz_servers = {{2, ByzantineStrategy::kStaleReplay}};
+    s.slowdowns = {{0, 1, true, 80}};
+    add("mux-flush-equivocator",
+        "Byzantine server acks the node-level FLUSH but equivocates every "
+        "per-register label/scope inside the ack while stale-replaying the "
+        "inner protocol; per-key regularity must survive",
+        s);
+  }
+  {
+    Scenario s = BaseScenario(115, 1, 1, 3);
+    s.mux_window = 3;
+    s.mux_flush_equivocate = 1;
+    s.byz_servers = {{4, ByzantineStrategy::kEquivocate}};
+    s.faults = {{FaultKind::kCorruptServer, 0, 1, 0, 0},
+                {FaultKind::kCorruptClient, 0, 0, 0, 0},
+                {FaultKind::kGarbageFrames, 0, 0, 3, 3}};
+    add("mux-sharedflush-cocktail",
+        "shared FLUSH rounds under initial corruption (mux client "
+        "included) plus an equivocating node-flush acker",
+        s);
+  }
   return corpus;
 }
 

@@ -135,6 +135,26 @@ Scenario GenerateScenario(Rng& rng, const GeneratorOptions& options) {
   s.max_think_time = 5 + rng.NextBelow(40);
   s.max_events = 4'000'000;
 
+  // --- Mux / shared-FLUSH ingredient: sometimes run the whole scenario
+  // through one MuxClient with batched shared FLUSH rounds (per-key
+  // regularity). When Byzantine servers are present, usually make them
+  // equivocate the node-flush acks too — the attack surface the shared
+  // round adds. Drawn from a stream forked off the scenario seed so the
+  // campaign rng sequence (every other dimension) is unchanged by this
+  // ingredient's existence. Sub-resilient topologies stay on the plain
+  // path: Theorem 1's counterexample needs two clients contending on
+  // one register, which the per-key mux workload cannot express.
+  if (s.extra > 0) {
+    std::uint64_t mux_salt = s.seed ^ 0x5B4FCAB96D3EA1ull;
+    const std::uint64_t draw = SplitMix64(mux_salt);
+    if ((draw & 0xFF) < 64) {  // p = 0.25
+      s.mux_window = 2 + static_cast<std::uint32_t>((draw >> 8) % 15);
+      if (!s.byz_servers.empty() && ((draw >> 16) & 0xFF) < 179) {  // 0.7
+        s.mux_flush_equivocate = 1;
+      }
+    }
+  }
+
   s.Normalize();
   return s;
 }

@@ -4,7 +4,11 @@
 #include <memory>
 #include <utility>
 
+#include <map>
+#include <string>
+
 #include "core/deployment.hpp"
+#include "core/mux.hpp"
 #include "net/message.hpp"
 #include "spec/workload.hpp"
 
@@ -47,11 +51,318 @@ void ApplyFault(World& world, Deployment& deployment,
   }
 }
 
+// ---- Mux / shared-FLUSH scenarios ------------------------------------
+
+/// Register hosting logical client `c` (offset mirrors the runtime's
+/// RegisterCluster: register 0 stays free).
+RegisterId MuxRegisterOf(std::size_t client) { return client + 1; }
+
+/// Per-key regularity: each logical client owns its own register, so
+/// the history splits by OpRecord::client and every slice must satisfy
+/// CheckRegular independently (the fuzz library deliberately re-derives
+/// this partition instead of linking the load library).
+///
+/// The Definition 1 suffix anchors per register, not globally: key k's
+/// guarantee starts at the first complete write ON k invoked after the
+/// last fault. A key never written post-fault has no anchor — its reads
+/// may legally return whatever the transient left behind (including the
+/// initial value), so nothing on it is checked.
+CheckReport CheckMuxRegularPerKey(const History& history,
+                                  const CheckOptions& base,
+                                  VirtualTime last_fault_time) {
+  std::map<std::uint32_t, History> split;
+  for (const OpRecord& op : history.ops()) {
+    split[op.client].Add(OpRecord(op));
+  }
+  CheckReport merged;
+  for (const auto& [key, sub] : split) {
+    CheckOptions per_key = base;
+    per_key.stabilized_from = kTimeForever;
+    for (const OpRecord& op : sub.ops()) {
+      if (op.kind == OpRecord::Kind::kWrite &&
+          op.result == OpRecord::Result::kOk &&
+          op.invoked_at > last_fault_time) {
+        per_key.stabilized_from =
+            std::min(per_key.stabilized_from, op.returned_at);
+      }
+    }
+    if (base.max_violations != 0) {
+      if (merged.violations.size() >= base.max_violations) break;
+      per_key.max_violations = base.max_violations - merged.violations.size();
+    }
+    const CheckReport report = CheckRegular(sub, per_key);
+    for (const std::string& violation : report.violations) {
+      merged.AddViolation("key " + std::to_string(key) + ": " + violation);
+    }
+  }
+  return merged;
+}
+
+/// Closed-loop workload over one MuxClient: logical client c drives
+/// sequential ops on register c+1; distinct clients interleave in
+/// virtual time exactly like the plain Driver in spec/workload.cpp.
+/// Heap-held and shared_ptr-captured for the same reason: closures left
+/// in the world queue after an event-cap stop must stay safe.
+struct MuxDriver : std::enable_shared_from_this<MuxDriver> {
+  MuxDriver(World& w, MuxClient& c, const WorkloadOptions& opts,
+            std::size_t n_clients)
+      : world(w),
+        client(c),
+        options(opts),
+        rng(opts.seed),
+        remaining(n_clients, opts.ops_per_client),
+        seq(n_clients, 0) {}
+
+  World& world;
+  MuxClient& client;
+  WorkloadOptions options;
+  Rng rng;
+  std::vector<std::uint32_t> remaining;
+  std::vector<std::uint32_t> seq;
+  std::size_t outstanding = 0;
+  WorkloadResult result;
+
+  [[nodiscard]] bool AllDone() const {
+    return outstanding == 0 &&
+           std::all_of(remaining.begin(), remaining.end(),
+                       [](std::uint32_t r) { return r == 0; });
+  }
+
+  void ScheduleNext(std::size_t c) {
+    auto self = shared_from_this();
+    world.ScheduleCall(1 + rng.NextBelow(options.max_think_time),
+                       [self, c] { self->LaunchNext(c); });
+  }
+
+  void LaunchNext(std::size_t c) {
+    if (remaining[c] == 0) return;
+    // A corrupted mux client destroys in-flight ops without running
+    // their callbacks; a non-idle register here means exactly that
+    // (this loop never overlaps its own ops), so the lane stops like
+    // the plain driver's.
+    if (!client.idle(MuxRegisterOf(c))) return;
+    remaining[c]--;
+    outstanding++;
+    const VirtualTime invoked_at = world.now();
+    auto self = shared_from_this();
+    if (rng.NextBool(options.write_fraction)) {
+      const std::string text =
+          "c" + std::to_string(c) + "#" + std::to_string(seq[c]++);
+      const Value value(text.begin(), text.end());
+      client.StartWrite(
+          MuxRegisterOf(c), value,
+          [self, c, value, invoked_at](const WriteOutcome& out) {
+            OpRecord record;
+            record.kind = OpRecord::Kind::kWrite;
+            record.result = out.status == OpStatus::kOk
+                                ? OpRecord::Result::kOk
+                                : OpRecord::Result::kFailed;
+            record.client = static_cast<std::uint32_t>(c);
+            record.invoked_at = invoked_at;
+            record.returned_at = self->world.now();
+            record.value = value;
+            self->result.history.Add(std::move(record));
+            if (out.status == OpStatus::kOk) {
+              self->result.first_write_done =
+                  std::min(self->result.first_write_done, self->world.now());
+            }
+            self->outstanding--;
+            self->ScheduleNext(c);
+          });
+    } else {
+      client.StartRead(
+          MuxRegisterOf(c), [self, c, invoked_at](const ReadOutcome& out) {
+            OpRecord record;
+            record.kind = OpRecord::Kind::kRead;
+            record.result = out.status == OpStatus::kOk
+                                ? OpRecord::Result::kOk
+                                : out.status == OpStatus::kAborted
+                                      ? OpRecord::Result::kAborted
+                                      : OpRecord::Result::kFailed;
+            record.client = static_cast<std::uint32_t>(c);
+            record.invoked_at = invoked_at;
+            record.returned_at = self->world.now();
+            record.value = out.value;
+            self->result.history.Add(std::move(record));
+            self->outstanding--;
+            self->ScheduleNext(c);
+          });
+    }
+  }
+};
+
+/// Scenario execution in mux mode (scenario.mux_window > 0): MuxServer
+/// replicas, one MuxClient with batching + shared FLUSH rounds, per-key
+/// regularity. Fault operands map naturally — all logical clients live
+/// in the one mux client node.
+RunOutcome RunMuxScenario(const Scenario& scenario,
+                          const RunOptions& options) {
+  const ProtocolConfig config = scenario.Config();
+
+  auto delay = std::make_unique<ChannelOverrideDelay>(
+      std::make_unique<UniformDelay>(scenario.delay_lo, scenario.delay_hi));
+  ChannelOverrideDelay* overrides = delay.get();
+  World world(World::Options{scenario.seed, std::move(delay)});
+  world.trace().Enable(options.record_trace);
+
+  std::map<std::uint32_t, ByzantineStrategy> byz;
+  for (const auto& spec : scenario.byz_servers) {
+    byz[spec.server] = spec.strategy;
+  }
+
+  std::vector<NodeId> server_ids;
+  for (std::size_t i = 0; i < config.n; ++i) {
+    MuxServer::ServerFactory factory;
+    const auto it = byz.find(static_cast<std::uint32_t>(i));
+    if (it != byz.end()) {
+      factory = [strategy = it->second, config, i,
+                 seed = scenario.seed * 131 + i](RegisterId) {
+        return MakeByzantineServer(strategy, config, i, seed);
+      };
+    }
+    auto server = std::make_unique<MuxServer>(config, i,
+                                              /*max_registers=*/1024,
+                                              std::move(factory));
+    if (it != byz.end() && scenario.mux_flush_equivocate != 0) {
+      // The per-register-Byzantine servers are ALSO the node-flush
+      // equivocators, so the <= f adversary bound holds automatically.
+      std::uint64_t salt = scenario.seed ^ (0x9E3779B97F4A7C15ull + i);
+      server->SetFlushAckMutator(MakeFlushEquivocator(SplitMix64(salt)));
+    }
+    server_ids.push_back(world.AddNode(std::move(server)));
+  }
+
+  MuxBatchOptions batch;
+  batch.max_ops = scenario.mux_window;
+  batch.max_delay = 50;  // sim ticks; same scale as the delay policy
+  batch.shared_flush = true;
+  auto client_owner = std::make_unique<MuxClient>(
+      config, server_ids, static_cast<ClientId>(config.n),
+      /*max_registers=*/1024, batch);
+  MuxClient* mux = client_owner.get();
+  const NodeId client_node = world.AddNode(std::move(client_owner));
+  world.RunUntil([] { return true; }, 0);  // OnStart caches endpoints
+
+  // Directed slowdowns: every logical client shares the mux node, so
+  // client operands collapse onto it (the per-channel direction is
+  // still meaningful — there is one channel pair per server).
+  for (const auto& slow : scenario.slowdowns) {
+    const NodeId server = server_ids[slow.server];
+    if (slow.client_to_server) {
+      overrides->SetOverride(client_node, server, slow.delay);
+    } else {
+      overrides->SetOverride(server, client_node, slow.delay);
+    }
+  }
+
+  std::uint64_t byz_client_salt = scenario.seed ^ 0xB12A97CE5EEDull;
+  for (const auto& spec : scenario.byz_clients) {
+    world.AddNode(std::make_unique<ByzantineClient>(
+        spec.strategy, server_ids, config.k, SplitMix64(byz_client_salt),
+        spec.rounds));
+  }
+
+  const auto apply_fault = [&world, &server_ids,
+                            client_node](const FaultInjection& fault) {
+    switch (fault.kind) {
+      case FaultKind::kCorruptServer:
+        world.CorruptNode(server_ids[fault.a]);
+        break;
+      case FaultKind::kCorruptClient:
+        world.CorruptNode(client_node);
+        break;
+      case FaultKind::kGarbageFrames:
+        world.InjectGarbageFrames(client_node, server_ids[fault.b],
+                                  fault.count);
+        world.InjectGarbageFrames(server_ids[fault.b], client_node,
+                                  fault.count);
+        break;
+      case FaultKind::kScrambleChannel:
+        world.ScrambleChannel(client_node, server_ids[fault.b]);
+        world.ScrambleChannel(server_ids[fault.b], client_node);
+        break;
+    }
+  };
+  VirtualTime last_fault_time = 0;
+  for (const auto& fault : scenario.faults) {
+    last_fault_time = std::max(last_fault_time, fault.at);
+    if (fault.at == 0) {
+      apply_fault(fault);
+    } else {
+      const FaultInjection scheduled = fault;
+      world.ScheduleCall(fault.at,
+                         [apply_fault, scheduled] { apply_fault(scheduled); });
+    }
+  }
+
+  WorkloadOptions workload;
+  workload.ops_per_client = scenario.ops_per_client;
+  workload.write_fraction = scenario.write_percent / 100.0;
+  workload.max_think_time = scenario.max_think_time;
+  std::uint64_t workload_salt = scenario.seed + kWorkloadSeedSalt;
+  workload.seed = SplitMix64(workload_salt);
+  workload.max_events = scenario.max_events;
+
+  auto driver =
+      std::make_shared<MuxDriver>(world, *mux, workload, scenario.n_clients);
+  for (std::size_t c = 0; c < scenario.n_clients; ++c) {
+    driver->ScheduleNext(c);
+  }
+  const bool all_completed =
+      world.RunUntil([&] { return driver->AllDone(); }, workload.max_events);
+
+  RunOutcome outcome;
+  outcome.all_completed = all_completed;
+  outcome.history = std::move(driver->result.history);
+
+  // Global anchor for reporting; the checker and checked_reads count
+  // re-anchor per key (each key is its own register instance).
+  outcome.stabilized_from = kTimeForever;
+  std::map<std::uint32_t, VirtualTime> key_anchor;
+  for (const OpRecord& op : outcome.history.ops()) {
+    if (op.kind == OpRecord::Kind::kWrite &&
+        op.result == OpRecord::Result::kOk &&
+        op.invoked_at > last_fault_time) {
+      auto [it, inserted] = key_anchor.emplace(op.client, op.returned_at);
+      if (!inserted) it->second = std::min(it->second, op.returned_at);
+      outcome.stabilized_from =
+          std::min(outcome.stabilized_from, op.returned_at);
+    }
+  }
+  for (const OpRecord& op : outcome.history.ops()) {
+    if (op.result == OpRecord::Result::kFailed) outcome.ops_failed++;
+    if (op.kind != OpRecord::Kind::kRead) continue;
+    if (op.result == OpRecord::Result::kAborted) outcome.reads_aborted++;
+    const auto anchor = key_anchor.find(op.client);
+    if (op.result == OpRecord::Result::kOk && anchor != key_anchor.end() &&
+        op.invoked_at >= anchor->second) {
+      outcome.checked_reads++;
+    }
+  }
+
+  CheckOptions check;
+  check.max_violations = options.max_violations;
+  const bool servers_corrupted =
+      std::any_of(scenario.faults.begin(), scenario.faults.end(),
+                  [](const FaultInjection& fault) {
+                    return fault.kind == FaultKind::kCorruptServer;
+                  });
+  if (!servers_corrupted) check.grandfathered_values = {Value{}};
+  outcome.report =
+      CheckMuxRegularPerKey(outcome.history, check, last_fault_time);
+
+  if (options.record_trace) {
+    outcome.trace = FormatTrace(world.trace().events(), DescribeFrame);
+  }
+  return outcome;
+}
+
 }  // namespace
 
 RunOutcome RunScenario(const Scenario& input, const RunOptions& options) {
   Scenario scenario = input;
   scenario.Normalize();
+  if (scenario.mux_window > 0) return RunMuxScenario(scenario, options);
 
   Deployment::Options deploy;
   deploy.config = scenario.Config();

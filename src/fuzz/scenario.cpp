@@ -80,6 +80,9 @@ void Scenario::Normalize() {
     slow.delay = std::clamp<VirtualTime>(slow.delay, 1, 10'000);
   }
 
+  mux_window = std::min<std::uint32_t>(mux_window, 32);
+  mux_flush_equivocate = mux_window > 0 && mux_flush_equivocate != 0 ? 1 : 0;
+
   if (faults.size() > kMaxListLength) faults.resize(kMaxListLength);
   for (auto& fault : faults) {
     fault.at = std::min<VirtualTime>(fault.at, 1'000'000);
@@ -115,6 +118,9 @@ std::string Scenario::Summary() const {
       << " byzcli=" << byz_clients.size() << " slow=" << slowdowns.size()
       << " faults=" << faults.size() << " ops=" << ops_per_client
       << " seed=" << seed;
+  if (mux_window > 0) {
+    out << " mux=" << mux_window << (mux_flush_equivocate != 0 ? "+eqv" : "");
+  }
   return out.str();
 }
 
@@ -160,6 +166,14 @@ std::string Scenario::Describe() const {
   out << "  workload: " << ops_per_client << " ops/client, "
       << write_percent << "% writes, think<=" << max_think_time
       << ", max_events=" << max_events << "\n";
+  if (mux_window > 0) {
+    out << "  mux: one MuxClient, batch window " << mux_window
+        << ", shared FLUSH rounds"
+        << (mux_flush_equivocate != 0
+                ? ", Byzantine servers equivocate node-flush acks"
+                : "")
+        << "\n";
+  }
   return out.str();
 }
 
@@ -199,6 +213,8 @@ std::string EncodeToken(const Scenario& scenario) {
   w.Put<std::uint32_t>(scenario.write_percent);
   w.Put<std::uint64_t>(scenario.max_think_time);
   w.Put<std::uint64_t>(scenario.max_events);
+  w.Put<std::uint32_t>(scenario.mux_window);
+  w.Put<std::uint32_t>(scenario.mux_flush_equivocate);
 
   Bytes payload = w.Take();
   const std::uint64_t checksum = Fnv1a(payload);
@@ -283,6 +299,13 @@ Result<Scenario> DecodeToken(const std::string& token) {
   s.write_percent = r.Get<std::uint32_t>();
   s.max_think_time = r.Get<std::uint64_t>();
   s.max_events = r.Get<std::uint64_t>();
+  // Mux extension: pre-extension tokens end here and decode with the
+  // fields at their defaults (mux off), so old replay lines keep
+  // working; new tokens always carry both fields.
+  if (r.remaining() > 0) {
+    s.mux_window = r.Get<std::uint32_t>();
+    s.mux_flush_equivocate = r.Get<std::uint32_t>();
+  }
   if (!r.AtEndOk()) return R::Err("token payload malformed");
 
   // Enum range validation (Get<> happily materializes any byte).

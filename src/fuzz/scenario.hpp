@@ -107,6 +107,19 @@ struct Scenario {
   VirtualTime max_think_time = 20;
   std::uint64_t max_events = 4'000'000;
 
+  // --- Mux / shared-FLUSH mode. mux_window > 0 runs the workload over
+  // ONE MuxClient hosting each logical client as its own register
+  // (RegisterId = index + 1) behind MuxServer replicas, with
+  // protocol-round batching at this window size and node-level shared
+  // FLUSH rounds on (core/mux_flush.hpp); regularity is then checked
+  // per key. mux_flush_equivocate != 0 additionally makes every
+  // Byzantine server equivocate the per-register labels/scopes inside
+  // the node-level flush acks it sends (MakeFlushEquivocator) — the
+  // sharpest shared-flush attack: the window appears to drain while
+  // every per-register element of the ack lies.
+  std::uint32_t mux_window = 0;
+  std::uint32_t mux_flush_equivocate = 0;
+
   [[nodiscard]] std::uint32_t n() const { return 5 * f + extra; }
   [[nodiscard]] bool sub_resilient() const { return extra == 0; }
 

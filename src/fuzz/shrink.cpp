@@ -77,6 +77,26 @@ struct Shrinker {
       progress = true;
     }
 
+    // Mux mode off entirely (a violation that survives without the mux
+    // layer is a core-protocol bug), then the equivocator alone, then a
+    // smaller batch window.
+    if (result.scenario.mux_window > 0 && BudgetLeft()) {
+      Scenario candidate = result.scenario;
+      candidate.mux_window = 0;
+      progress |= Try(std::move(candidate));
+    }
+    if (result.scenario.mux_flush_equivocate != 0 && BudgetLeft()) {
+      Scenario candidate = result.scenario;
+      candidate.mux_flush_equivocate = 0;
+      progress |= Try(std::move(candidate));
+    }
+    while (result.scenario.mux_window > 1 && BudgetLeft()) {
+      Scenario candidate = result.scenario;
+      candidate.mux_window /= 2;
+      if (!Try(std::move(candidate))) break;
+      progress = true;
+    }
+
     // Smaller topology (keeps the 5f relationship: only f shrinks).
     while (result.scenario.f > 1 && BudgetLeft()) {
       Scenario candidate = result.scenario;

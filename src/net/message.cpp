@@ -40,6 +40,8 @@ enum class Tag : std::uint8_t {
   kNqReadReply = 45,
   kMux = 60,
   kMuxBatch = 61,
+  kNodeFlush = 62,
+  kNodeFlushAck = 63,
 };
 
 // The registry: each variant alternative maps to its tag here; encode
@@ -75,6 +77,8 @@ template <> struct WireTag<NqReadMsg> { static constexpr Tag value = Tag::kNqRea
 template <> struct WireTag<NqReadReplyMsg> { static constexpr Tag value = Tag::kNqReadReply; };
 template <> struct WireTag<MuxMsg> { static constexpr Tag value = Tag::kMux; };
 template <> struct WireTag<MuxBatchMsg> { static constexpr Tag value = Tag::kMuxBatch; };
+template <> struct WireTag<NodeFlushMsg> { static constexpr Tag value = Tag::kNodeFlush; };
+template <> struct WireTag<NodeFlushAckMsg> { static constexpr Tag value = Tag::kNodeFlushAck; };
 
 // Tag-indexed decode table, one entry per possible tag byte. Built at
 // static-init time by folding over the Message variant — a type absent
@@ -420,6 +424,41 @@ MuxBatchMsg MuxBatchMsg::DecodeFrom(BufReader& r) {
   return m;
 }
 
+void FlushItem::EncodeInto(BufWriter& w) const {
+  w.Put<std::uint64_t>(register_id);
+  w.Put<OpLabel>(label);
+  w.Put<OpScope>(scope);
+}
+FlushItem FlushItem::DecodeFrom(BufReader& r) {
+  FlushItem m;
+  m.register_id = r.Get<std::uint64_t>();
+  m.label = r.Get<OpLabel>();
+  m.scope = r.Get<OpScope>();
+  return m;
+}
+
+void NodeFlushMsg::EncodeInto(BufWriter& w) const {
+  w.PutVector(items,
+              [](BufWriter& bw, const FlushItem& item) { item.EncodeInto(bw); });
+}
+NodeFlushMsg NodeFlushMsg::DecodeFrom(BufReader& r) {
+  NodeFlushMsg m;
+  m.items = r.GetVector<FlushItem>(
+      [](BufReader& br) { return FlushItem::DecodeFrom(br); });
+  return m;
+}
+
+void NodeFlushAckMsg::EncodeInto(BufWriter& w) const {
+  w.PutVector(items,
+              [](BufWriter& bw, const FlushItem& item) { item.EncodeInto(bw); });
+}
+NodeFlushAckMsg NodeFlushAckMsg::DecodeFrom(BufReader& r) {
+  NodeFlushAckMsg m;
+  m.items = r.GetVector<FlushItem>(
+      [](BufReader& br) { return FlushItem::DecodeFrom(br); });
+  return m;
+}
+
 void EncodeMessageInto(const Message& message, BufWriter& w) {
   std::visit(
       [&w](const auto& m) {
@@ -547,6 +586,8 @@ std::string MessageTypeName(const Message& message) {
     std::string operator()(const NqReadReplyMsg&) { return "NQ_READ_REPLY"; }
     std::string operator()(const MuxMsg&) { return "MUX"; }
     std::string operator()(const MuxBatchMsg&) { return "MUX_BATCH"; }
+    std::string operator()(const NodeFlushMsg&) { return "NODE_FLUSH"; }
+    std::string operator()(const NodeFlushAckMsg&) { return "NODE_FLUSH_ACK"; }
   };
   return std::visit(Namer{}, message);
 }

@@ -340,6 +340,43 @@ struct MuxBatchMsg {
   static MuxBatchMsg DecodeFrom(BufReader& r);
 };
 
+/// One register's flush request inside a node-level shared FLUSH round
+/// (docs/ARCHITECTURE.md, "Shared FLUSH rounds"): the label the register
+/// is about to use and the pool it drains.
+struct FlushItem {
+  std::uint64_t register_id = 0;
+  OpLabel label = 0;
+  OpScope scope = OpScope::kRead;
+
+  void EncodeInto(BufWriter& w) const;
+  static FlushItem DecodeFrom(BufReader& r);
+
+  friend bool operator==(const FlushItem&, const FlushItem&) = default;
+};
+
+/// One FLUSH probe for a whole batch window: every register that joined
+/// the window contributes a FlushItem, and a single ack from a server
+/// proves FIFO drain for all of them at once, because multiplexed
+/// registers share ONE FIFO channel per client-server pair. Like
+/// MuxBatch, a malformed element rejects the whole frame.
+struct NodeFlushMsg {
+  std::vector<FlushItem> items;
+
+  void EncodeInto(BufWriter& w) const;
+  static NodeFlushMsg DecodeFrom(BufReader& r);
+};
+
+/// Reflected node-level flush probe. An honest server echoes the item
+/// vector verbatim (the per-register FLUSH_ACK is a pure echo too); a
+/// Byzantine server may equivocate labels per item, which the client's
+/// per-register stale-ack filtering absorbs.
+struct NodeFlushAckMsg {
+  std::vector<FlushItem> items;
+
+  void EncodeInto(BufWriter& w) const;
+  static NodeFlushAckMsg DecodeFrom(BufReader& r);
+};
+
 using Message = std::variant<
     GetTsMsg, TsReplyMsg, WriteMsg, WriteReplyMsg, ReadMsg, ReplyMsg,
     CompleteReadMsg, FlushMsg, FlushAckMsg,
@@ -348,7 +385,7 @@ using Message = std::variant<
     BuGetTsMsg, BuTsReplyMsg, BuWriteMsg, BuWriteAckMsg, BuReadMsg,
     BuReadReplyMsg,
     NqGetTsMsg, NqTsReplyMsg, NqWriteMsg, NqWriteAckMsg, NqReadMsg,
-    NqReadReplyMsg, MuxMsg, MuxBatchMsg>;
+    NqReadReplyMsg, MuxMsg, MuxBatchMsg, NodeFlushMsg, NodeFlushAckMsg>;
 
 /// Frame codec. Encode never fails; Decode fails on unknown type bytes,
 /// truncation, implausible lengths, or trailing garbage. Decode is

@@ -1,5 +1,7 @@
 #include "runtime/cluster.hpp"
 
+#include <ctime>
+
 #include <algorithm>
 #include <chrono>
 #include <optional>
@@ -8,6 +10,23 @@
 #include "common/error.hpp"
 
 namespace sbft {
+namespace {
+
+/// CPU time consumed by the calling thread. One syscall per call —
+/// sampled once per drained batch, not per frame, so the cost
+/// amortizes over the batch like everything else on this path.
+std::uint64_t ThreadCpuNs() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+/// Node whose NodeLoop owns the current thread (kNoNode elsewhere).
+/// Thread-local, so OnNodeThread needs no synchronization.
+thread_local NodeId tls_node = kNoNode;
+
+}  // namespace
 
 // Endpoint bound to one node of the threaded cluster. Send is called
 // from the node's own thread (handlers run there); it is nevertheless
@@ -144,7 +163,10 @@ void ThreadCluster::Start() {
   }
 }
 
+bool ThreadCluster::OnNodeThread(NodeId id) const { return tls_node == id; }
+
 void ThreadCluster::NodeLoop(NodeId id) {
+  tls_node = id;
   Mailbox& mailbox = *mailboxes_[id];
   Endpoint& endpoint = *endpoints_[id];
   std::deque<MailItem> batch;
@@ -159,6 +181,12 @@ void ThreadCluster::NodeLoop(NodeId id) {
     }
     if (!alive) break;
     std::uint64_t frames = 0;
+    // The dispatch bracket below — batch hooks, handlers, timers — is
+    // the protocol work of this wakeup; everything before (mailbox
+    // wait) and after (socket flush) is transport. Sample thread CPU
+    // at its edges to attribute cost accordingly.
+    const bool measure = !batch.empty();
+    const std::uint64_t cpu_start = measure ? ThreadCpuNs() : 0;
     // Bracket the batch so the node can coalesce everything it sends
     // in response to this wakeup (protocol-round batching seam — one
     // drain, one shared round; shared by the mailbox and TCP paths).
@@ -182,6 +210,10 @@ void ThreadCluster::NodeLoop(NodeId id) {
     // Due timers fire after the batch, on the same thread that runs
     // handlers — automata stay single-threaded here as in the sim.
     endpoint.FireDueTimers(*nodes_[id]);
+    if (measure) {
+      protocol_cpu_ns_.fetch_add(ThreadCpuNs() - cpu_start,
+                                 std::memory_order_relaxed);
+    }
     // Everything this batch queued on the wire goes out in (at most)
     // one syscall per touched connection.
     if (tcp_) tcp_->Flush(id);

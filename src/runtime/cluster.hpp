@@ -66,9 +66,26 @@ class ThreadCluster {
   /// Fire-and-forget variant (no join); used by completion callbacks.
   void PostToNode(NodeId id, std::function<void()> fn);
 
+  /// True when the calling thread IS node `id`'s thread (i.e. we are
+  /// inside its NodeLoop — a handler, task, or completion callback).
+  /// Callers may then touch the node's automaton directly instead of
+  /// posting: it is the same exclusive context a mailbox task would
+  /// run in, minus the allocation and mutex round-trip.
+  [[nodiscard]] bool OnNodeThread(NodeId id) const;
+
   /// Total frames delivered across all nodes (throughput accounting).
   [[nodiscard]] std::uint64_t frames_delivered() const {
     return frames_delivered_.load(std::memory_order_relaxed);
+  }
+
+  /// Thread-CPU nanoseconds spent inside automaton dispatch — from
+  /// frame decode through handlers to reply encode, summed over all
+  /// node threads. Mailbox waits and socket syscalls sit outside the
+  /// measured bracket, so this isolates protocol CPU from transport
+  /// and scheduling cost (the numerator of bench_throughput's
+  /// protocol_cpu_us_per_op metric).
+  [[nodiscard]] std::uint64_t protocol_cpu_ns() const {
+    return protocol_cpu_ns_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -93,6 +110,7 @@ class ThreadCluster {
   std::unique_ptr<TcpBus> tcp_;
   std::unique_ptr<LinkShaper> shaper_;
   std::atomic<std::uint64_t> frames_delivered_{0};
+  std::atomic<std::uint64_t> protocol_cpu_ns_{0};
   bool started_ = false;
   bool stopped_ = false;
 };

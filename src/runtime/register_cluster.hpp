@@ -51,6 +51,10 @@ class RegisterCluster {
     /// Latency bound: a lone pending op waits at most this long before
     /// its round goes out.
     std::uint64_t batch_max_delay_us = 200;
+    /// Share one node-level FLUSH round per batch window instead of one
+    /// FlushMsg broadcast per op (core/mux_flush.hpp). Requires
+    /// batching (batch_max_ops > 0); ignored without multiplex.
+    bool shared_flush = false;
   };
 
   explicit RegisterCluster(const Options& options);
@@ -83,6 +87,12 @@ class RegisterCluster {
   [[nodiscard]] std::size_t n_clients() const { return n_clients_; }
   [[nodiscard]] bool multiplexed() const { return mux_client_ != nullptr; }
   [[nodiscard]] bool batched() const { return batched_; }
+  [[nodiscard]] bool shared_flush() const { return shared_flush_; }
+  /// NodeFlush rounds the mux client emitted (0 on non-mux topologies).
+  /// Thread-safe only once traffic has quiesced.
+  [[nodiscard]] std::uint64_t node_flush_rounds() const {
+    return mux_client_ != nullptr ? mux_client_->node_flush_rounds() : 0;
+  }
 
  private:
   static ThreadCluster::Options ClusterOptions(const Options& options);
@@ -99,6 +109,7 @@ class RegisterCluster {
   MuxClient* mux_client_ = nullptr;
   NodeId mux_client_id_ = kNoNode;
   bool batched_ = false;
+  bool shared_flush_ = false;
 };
 
 }  // namespace sbft

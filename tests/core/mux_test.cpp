@@ -357,6 +357,66 @@ TEST(MuxBatch, BatchedHistoryIsRegularPerKey) {
   EXPECT_TRUE(report.ok) << report.Summary();
 }
 
+// Closed-loop write/read rounds per key, keys concurrent, recorded as a
+// History keyed by register (rec.client = key index). Returns the
+// history; the caller judges it with the per-key checker.
+History RunKeyDriverWorkload(MuxRig& rig, int keys, int rounds_per_key) {
+  History history;
+  int outstanding = 0;
+  struct KeyDriver {
+    int round = 0;
+    bool reading = false;
+  };
+  std::vector<KeyDriver> drivers(keys);
+  std::function<void(int)> step = [&](int key) {
+    KeyDriver& driver = drivers[key];
+    if (driver.round == rounds_per_key) {
+      --outstanding;
+      return;
+    }
+    const std::string name = "key" + std::to_string(key);
+    OpRecord rec;
+    rec.client = static_cast<std::uint32_t>(key);
+    rec.invoked_at = rig.world->now();
+    if (!driver.reading) {
+      driver.reading = true;
+      const Value value =
+          Val("k" + std::to_string(key) + "r" + std::to_string(driver.round));
+      rec.kind = OpRecord::Kind::kWrite;
+      rec.value = value;
+      rig.client->Put(name, value, [&, key, rec](const WriteOutcome& out) {
+        OpRecord done = rec;
+        done.returned_at = rig.world->now();
+        done.result = out.status == OpStatus::kOk ? OpRecord::Result::kOk
+                                                  : OpRecord::Result::kFailed;
+        history.Add(std::move(done));
+        step(key);
+      });
+    } else {
+      driver.reading = false;
+      ++driver.round;
+      rec.kind = OpRecord::Kind::kRead;
+      rig.client->Get(name, [&, key, rec](const ReadOutcome& out) {
+        OpRecord done = rec;
+        done.returned_at = rig.world->now();
+        done.result = out.status == OpStatus::kOk
+                          ? OpRecord::Result::kOk
+                          : OpRecord::Result::kAborted;
+        done.value = out.value;
+        history.Add(std::move(done));
+        step(key);
+      });
+    }
+  };
+  for (int key = 0; key < keys; ++key) {
+    ++outstanding;
+    step(key);
+  }
+  EXPECT_TRUE(
+      rig.world->RunUntil([&] { return outstanding == 0; }, 10'000'000));
+  return history;
+}
+
 TEST(MuxBatch, CoordinatedCorruptionAnswersReadsThenHeals) {
   // All six replicas corrupted from ONE seed: the per-register rng fork
   // in MuxServer::CorruptState makes the garbage AGREE across replicas,
@@ -379,6 +439,247 @@ TEST(MuxBatch, CoordinatedCorruptionAnswersReadsThenHeals) {
     ASSERT_EQ(got.status, OpStatus::kOk);
     EXPECT_EQ(got.value, Val("after"));
   }
+}
+
+// ---- Shared FLUSH rounds ---------------------------------------------
+
+MuxBatchOptions SharedBatch(std::size_t max_ops, VirtualTime max_delay = 50) {
+  MuxBatchOptions batch = Batch(max_ops, max_delay);
+  batch.shared_flush = true;
+  return batch;
+}
+
+TEST(MuxSharedFlush, WindowSharesOneNodeFlushRound) {
+  // Eight ops on distinct registers fill one window: exactly ONE
+  // NodeFlush probe goes out for all of them instead of eight FlushMsg
+  // broadcasts — the amortization the shared round buys.
+  MuxRig rig(31, 1024, false, SharedBatch(/*max_ops=*/8,
+                                          /*max_delay=*/1'000'000));
+  ASSERT_TRUE(rig.client->shared_flush());
+  int done = 0;
+  for (int i = 0; i < 8; ++i) {
+    rig.client->Put("key" + std::to_string(i), Val("v" + std::to_string(i)),
+                    [&](const WriteOutcome& outcome) {
+                      EXPECT_EQ(outcome.status, OpStatus::kOk);
+                      ++done;
+                    });
+  }
+  EXPECT_EQ(rig.client->node_flush_rounds(), 1u);
+  ASSERT_TRUE(rig.world->RunUntil([&] { return done == 8; }, 2'000'000));
+  EXPECT_EQ(rig.client->node_flush_rounds(), 1u);
+  for (MuxServer* server : rig.servers) {
+    EXPECT_EQ(server->node_flushes_acked(), 1u);
+  }
+  // The follow-up reads form a second window: one more round, not eight.
+  int reads = 0;
+  for (int i = 0; i < 8; ++i) {
+    rig.client->Get("key" + std::to_string(i),
+                    [&, i](const ReadOutcome& outcome) {
+                      EXPECT_EQ(outcome.status, OpStatus::kOk);
+                      EXPECT_EQ(outcome.value, Val("v" + std::to_string(i)));
+                      ++reads;
+                    });
+  }
+  ASSERT_TRUE(rig.world->RunUntil([&] { return reads == 8; }, 2'000'000));
+  EXPECT_EQ(rig.client->node_flush_rounds(), 2u);
+}
+
+TEST(MuxSharedFlush, LoneOpFlushedByTimer) {
+  // Latency floor: a lone op's flush request must ride the max_delay
+  // timer out as a one-item NodeFlush round, like a lone batched op.
+  MuxRig rig(32, 1024, false, SharedBatch(/*max_ops=*/8, /*max_delay=*/50));
+  ASSERT_TRUE(rig.Put("alpha", Val("1")));
+  EXPECT_GE(rig.client->node_flush_rounds(), 1u);
+  auto got = rig.Get("alpha");
+  ASSERT_EQ(got.status, OpStatus::kOk);
+  EXPECT_EQ(got.value, Val("1"));
+}
+
+TEST(MuxSharedFlush, ByzantinePerRegisterMasked) {
+  MuxRig rig(33, 1024, /*one_byzantine=*/true, SharedBatch(/*max_ops=*/4));
+  for (int i = 0; i < 5; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    ASSERT_TRUE(rig.Put(key, Val("val" + std::to_string(i))));
+    auto got = rig.Get(key);
+    ASSERT_EQ(got.status, OpStatus::kOk);
+    EXPECT_EQ(got.value, Val("val" + std::to_string(i)));
+  }
+}
+
+// Runs the deterministic batched workload of BatchedRun with shared
+// flush on (writes then reads over 6 keys).
+std::pair<std::vector<Value>, VirtualTime> SharedFlushRun(std::uint64_t seed) {
+  MuxRig rig(seed, 1024, false, SharedBatch(/*max_ops=*/4, /*max_delay=*/50));
+  int writes = 0;
+  for (int i = 0; i < 6; ++i) {
+    rig.client->Put("key" + std::to_string(i), Val("w" + std::to_string(i)),
+                    [&](const WriteOutcome&) { ++writes; });
+  }
+  EXPECT_TRUE(rig.world->RunUntil([&] { return writes == 6; }, 2'000'000));
+  std::vector<Value> values(6);
+  int reads = 0;
+  for (int i = 0; i < 6; ++i) {
+    rig.client->Get("key" + std::to_string(i),
+                    [&, i](const ReadOutcome& outcome) {
+                      values[i] = outcome.value;
+                      ++reads;
+                    });
+  }
+  EXPECT_TRUE(rig.world->RunUntil([&] { return reads == 6; }, 2'000'000));
+  return {values, rig.world->now()};
+}
+
+TEST(MuxSharedFlush, SharedFlushRunsAreDeterministic) {
+  // NodeFlush rounds flush before the batch frames in a fixed order, so
+  // shared flush adds no scheduling ambiguity either.
+  auto [values_a, now_a] = SharedFlushRun(34);
+  auto [values_b, now_b] = SharedFlushRun(34);
+  EXPECT_EQ(values_a, values_b);
+  EXPECT_EQ(now_a, now_b);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(values_a[i], Val("w" + std::to_string(i)));
+  }
+}
+
+TEST(MuxSharedFlush, HistoryIsRegularPerKey) {
+  MuxRig rig(35, 1024, false, SharedBatch(/*max_ops=*/4, /*max_delay=*/50));
+  const History history = RunKeyDriverWorkload(rig, /*keys=*/4,
+                                               /*rounds_per_key=*/3);
+  ASSERT_EQ(history.size(), 24u);
+  for (const OpRecord& rec : history.ops()) {
+    EXPECT_EQ(rec.result, OpRecord::Result::kOk);
+  }
+  const CheckReport report = load::CheckRegularPerKey(history, {});
+  EXPECT_TRUE(report.ok) << report.Summary();
+  // With multiple registers per window, NodeFlush rounds amortize: far
+  // fewer rounds than the 24 FLUSH phases the ops needed.
+  EXPECT_LT(rig.client->node_flush_rounds(), 24u);
+  EXPECT_GE(rig.client->node_flush_rounds(), 1u);
+}
+
+TEST(MuxSharedFlush, EquivocatingFlushAckStillRegularPerKey) {
+  // Schedule exploration for the nastiest shared-flush attack: a
+  // Byzantine server ACKS the node-level FLUSH (so the window appears
+  // to drain) but equivocates the per-register labels/scopes inside the
+  // ack, while its per-register automata also replay stale state. The
+  // inner stale-ack filter must absorb the forged elements exactly like
+  // forged per-register FLUSH_ACKs, and every key must stay regular.
+  for (std::uint64_t seed = 40; seed < 46; ++seed) {
+    MuxRig rig(seed, 1024, /*one_byzantine=*/true,
+               SharedBatch(/*max_ops=*/4, /*max_delay=*/50));
+    rig.servers[2]->SetFlushAckMutator(MakeFlushEquivocator(seed * 7 + 1));
+    const History history = RunKeyDriverWorkload(rig, /*keys=*/4,
+                                                 /*rounds_per_key=*/2);
+    ASSERT_EQ(history.size(), 16u) << "seed " << seed;
+    for (const OpRecord& rec : history.ops()) {
+      EXPECT_NE(rec.result, OpRecord::Result::kFailed) << "seed " << seed;
+    }
+    const CheckReport report = load::CheckRegularPerKey(history, {});
+    EXPECT_TRUE(report.ok) << "seed " << seed << ": " << report.Summary();
+  }
+}
+
+TEST(MuxSharedFlush, TransientCorruptionHeals) {
+  // CorruptState clears the coordinator's window; stabilization must
+  // still go through with shared flush on.
+  MuxRig rig(36, 1024, false, SharedBatch(/*max_ops=*/4, /*max_delay=*/50));
+  ASSERT_TRUE(rig.Put("k", Val("before")));
+  for (std::size_t i = 0; i < 6; ++i) {
+    rig.world->CorruptNode(rig.server_ids[i]);
+  }
+  rig.world->CorruptNode(rig.client_id);
+  ASSERT_TRUE(rig.Put("k", Val("after")));
+  for (int i = 0; i < 3; ++i) {
+    auto got = rig.Get("k");
+    ASSERT_EQ(got.status, OpStatus::kOk);
+    EXPECT_EQ(got.value, Val("after"));
+  }
+}
+
+// ---- Zero-delay batch windows ----------------------------------------
+
+/// Sink endpoint for driving batch hooks directly from a test; the mux
+/// client ignores the hook's endpoint argument (it routes through the
+/// endpoint cached at OnStart).
+struct NullEndpoint final : IEndpoint {
+  void Send(NodeId, Bytes) override {}
+  void SetTimer(VirtualTime, int) override {}
+  [[nodiscard]] VirtualTime Now() const override { return 0; }
+  [[nodiscard]] NodeId self() const override { return 0; }
+  Rng& rng() override { return rng_; }
+  Rng rng_{0};
+};
+
+TEST(MuxBatch, ZeroDelayCoalescesWithinOneScope) {
+  // max_delay = 0 must NOT degenerate to one-op rounds: ops submitted
+  // inside one batch scope (one runtime mailbox drain) still coalesce
+  // into a single shared round, released when the scope closes.
+  MuxRig rig(37, 1024, false, SharedBatch(/*max_ops=*/8, /*max_delay=*/0));
+  NullEndpoint hook;
+  int done = 0;
+  rig.client->OnBatchStart(hook);
+  for (int i = 0; i < 3; ++i) {
+    rig.client->Put("key" + std::to_string(i), Val("v"),
+                    [&](const WriteOutcome& outcome) {
+                      EXPECT_EQ(outcome.status, OpStatus::kOk);
+                      ++done;
+                    });
+  }
+  // Queued, not launched one-by-one: the open scope holds the window.
+  EXPECT_EQ(rig.client->pending_ops(), 3u);
+  EXPECT_EQ(rig.client->node_flush_rounds(), 0u);
+  rig.client->OnBatchEnd(hook);
+  EXPECT_EQ(rig.client->pending_ops(), 0u);
+  EXPECT_EQ(rig.client->node_flush_rounds(), 1u);
+  ASSERT_TRUE(rig.world->RunUntil([&] { return done == 3; }, 2'000'000));
+}
+
+TEST(MuxBatch, ZeroDelayLoneOpStartsImmediately) {
+  // Outside any scope there is nothing to wait for: with max_delay = 0
+  // no timer is armed and the op's round starts on submission.
+  MuxRig rig(38, 1024, false, Batch(/*max_ops=*/8, /*max_delay=*/0));
+  bool done = false;
+  rig.client->Put("alpha", Val("1"), [&](const WriteOutcome& outcome) {
+    EXPECT_EQ(outcome.status, OpStatus::kOk);
+    done = true;
+  });
+  EXPECT_EQ(rig.client->pending_ops(), 0u);
+  ASSERT_TRUE(rig.world->RunUntil([&] { return done; }, 2'000'000));
+  auto got = rig.Get("alpha");
+  ASSERT_EQ(got.status, OpStatus::kOk);
+  EXPECT_EQ(got.value, Val("1"));
+}
+
+TEST(MuxBatch, ZeroDelaySameRegisterBackToBackTerminates) {
+  // Two ops on the SAME register: the second requeues (register busy)
+  // and must restart via a reply-driven scope close — never via a
+  // zero-delay timer, which would livelock the virtual clock.
+  MuxRig rig(39, 1024, false, Batch(/*max_ops=*/8, /*max_delay=*/0));
+  int done = 0;
+  rig.client->Put("k", Val("first"), [&](const WriteOutcome& outcome) {
+    EXPECT_EQ(outcome.status, OpStatus::kOk);
+    ++done;
+  });
+  rig.client->Put("k", Val("second"), [&](const WriteOutcome& outcome) {
+    EXPECT_EQ(outcome.status, OpStatus::kOk);
+    ++done;
+  });
+  ASSERT_TRUE(rig.world->RunUntil([&] { return done == 2; }, 2'000'000));
+  EXPECT_EQ(rig.Get("k").value, Val("second"));
+}
+
+TEST(MuxSharedFlush, ZeroDelaySameRegisterBackToBackTerminates) {
+  MuxRig rig(41, 1024, false, SharedBatch(/*max_ops=*/8, /*max_delay=*/0));
+  int done = 0;
+  for (int i = 0; i < 4; ++i) {
+    rig.client->Put("k", Val("v" + std::to_string(i)),
+                    [&](const WriteOutcome& outcome) {
+                      EXPECT_EQ(outcome.status, OpStatus::kOk);
+                      ++done;
+                    });
+  }
+  ASSERT_TRUE(rig.world->RunUntil([&] { return done == 4; }, 4'000'000));
+  EXPECT_EQ(rig.Get("k").value, Val("v3"));
 }
 
 }  // namespace

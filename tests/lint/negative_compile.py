@@ -26,6 +26,7 @@ POSITIVE_TUS = [
     "net/message.cpp",
     "net/datalink.cpp",
     "core/mux.cpp",
+    "core/mux_flush.cpp",
     "common/logging.cpp",
     "sim/parallel.cpp",
 ]

@@ -88,6 +88,19 @@ class SampleSet {
       batch.items.push_back(MuxItem{Rid(), Own(inner)});
     }
     Add(std::move(batch));
+
+    // Node-level shared FLUSH round and its echo: a random number of
+    // per-register flush items (possibly zero).
+    NodeFlushMsg node_flush;
+    const std::size_t flushes = rng_.NextBelow(5);
+    node_flush.items.reserve(flushes);
+    for (std::size_t i = 0; i < flushes; ++i) {
+      node_flush.items.push_back(FlushItem{Rid(), Op(), Scope()});
+    }
+    NodeFlushAckMsg node_flush_ack;
+    node_flush_ack.items = node_flush.items;
+    Add(std::move(node_flush));
+    Add(std::move(node_flush_ack));
   }
 
   const std::vector<Message>& messages() const { return messages_; }

@@ -180,6 +180,27 @@ TEST(MessageCodec, MuxBatchGarbageCountRejected) {
   EXPECT_FALSE(DecodeMessage(wire).ok());
 }
 
+TEST(MessageCodec, NodeFlushGarbageCountRejected) {
+  // Same whole-frame rejection discipline as MuxBatch: a count prefix
+  // promising more flush items than the frame holds fails cleanly.
+  NodeFlushMsg flush;
+  flush.items = {FlushItem{1, 2, OpScope::kRead}};
+  Bytes wire = EncodeMessage(Message(flush));
+  wire[1] = 0xFF;  // count prefix low byte: claims 255 items
+  EXPECT_FALSE(DecodeMessage(wire).ok());
+}
+
+TEST(MessageCodec, NodeFlushAckTruncatedItemRejected) {
+  // A malformed trailing element rejects the WHOLE frame — no partial
+  // item distribution on the ack path.
+  NodeFlushAckMsg ack;
+  ack.items = {FlushItem{1, 2, OpScope::kRead},
+               FlushItem{3, 4, OpScope::kWrite}};
+  Bytes wire = EncodeMessage(Message(ack));
+  wire.pop_back();  // truncate the last item's scope byte
+  EXPECT_FALSE(DecodeMessage(wire).ok());
+}
+
 TEST(MessageCodec, EmptyFrameRejected) {
   EXPECT_FALSE(DecodeMessage(Bytes{}).ok());
 }
@@ -236,6 +257,11 @@ std::vector<Message> AllVariantSamples(Rng& rng,
   mux.inner = kMuxInner;
   MuxBatchMsg mux_batch;
   mux_batch.items = {MuxItem{1, kBatchInnerA}, MuxItem{2, kBatchInnerB}};
+  NodeFlushMsg node_flush;
+  node_flush.items = {FlushItem{1, 5, OpScope::kRead},
+                      FlushItem{2, 6, OpScope::kWrite}};
+  NodeFlushAckMsg node_flush_ack;
+  node_flush_ack.items = node_flush.items;
   return {
       GetTsMsg{3},
       TsReplyMsg{ts, 7},
@@ -266,6 +292,8 @@ std::vector<Message> AllVariantSamples(Rng& rng,
       NqReadReplyMsg{17, ts, kVal3},
       mux,
       mux_batch,
+      node_flush,
+      node_flush_ack,
   };
 }
 

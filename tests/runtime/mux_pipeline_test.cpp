@@ -227,5 +227,81 @@ TEST(MuxPipeline, BatchedLoneOpsFlushedByRuntimeTimer) {
   cluster.Stop();
 }
 
+// ---- Shared FLUSH rounds ---------------------------------------------
+
+TEST(MuxPipeline, SharedFlushTcpClientsOrderedAndRegular) {
+  RegisterCluster::Options options;
+  options.config = ProtocolConfig::ForServers(6);
+  options.use_tcp = true;
+  options.multiplex = true;
+  options.batch_max_ops = 16;
+  options.batch_max_delay_us = 200;
+  options.shared_flush = true;
+  const PipelineRun run = RunPipelinedWorkload(std::move(options), 64, 5);
+  ExpectPerClientOrdering(run, 64, 5);
+  const CheckReport report = load::CheckRegularPerKey(run.history, {});
+  EXPECT_TRUE(report.ok) << report.Summary();
+}
+
+TEST(MuxPipeline, SharedFlushInprocClientsOrderedAndRegular) {
+  RegisterCluster::Options options;
+  options.config = ProtocolConfig::ForServers(6);
+  options.multiplex = true;
+  options.batch_max_ops = 8;
+  options.batch_max_delay_us = 200;
+  options.shared_flush = true;
+  const PipelineRun run = RunPipelinedWorkload(std::move(options), 32, 4);
+  ExpectPerClientOrdering(run, 32, 4);
+  const CheckReport report = load::CheckRegularPerKey(run.history, {});
+  EXPECT_TRUE(report.ok) << report.Summary();
+}
+
+// Amortization on the threaded runtime: 32 clients x 4 pairs = 256 ops
+// need 256 FLUSH phases, but shared windows must pack them into far
+// fewer NodeFlush rounds. Measured after Stop() so the counter is
+// quiescent.
+TEST(MuxPipeline, SharedFlushAmortizesNodeFlushRounds) {
+  RegisterCluster::Options options;
+  options.config = ProtocolConfig::ForServers(6);
+  options.multiplex = true;
+  options.n_clients = 32;
+  options.batch_max_ops = 16;
+  options.batch_max_delay_us = 200;
+  options.shared_flush = true;
+  RegisterCluster cluster(std::move(options));
+  ASSERT_TRUE(cluster.shared_flush());
+  cluster.Start();
+  std::atomic<int> remaining{32};
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::function<void(std::size_t, int)> next = [&](std::size_t c, int i) {
+    if (i == 8) {
+      if (remaining.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(mutex);
+        done_cv.notify_one();
+      }
+      return;
+    }
+    cluster.AsyncWrite(c, Val("v" + std::to_string(i)),
+                       [&, c, i](const WriteOutcome& outcome) {
+                         EXPECT_EQ(outcome.status, OpStatus::kOk);
+                         next(c, i + 1);
+                       });
+  };
+  for (std::size_t c = 0; c < 32; ++c) next(c, 0);
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    ASSERT_TRUE(done_cv.wait_for(lock, std::chrono::seconds(60),
+                                 [&] { return remaining.load() == 0; }));
+  }
+  cluster.Stop();
+  const std::uint64_t rounds = cluster.node_flush_rounds();
+  EXPECT_GE(rounds, 1u);
+  // 256 ops; windows of up to 16 registers. Allow generous slack for
+  // ragged windows — the point is the order of magnitude.
+  EXPECT_LT(rounds, 200u) << "shared flush did not amortize";
+  EXPECT_GT(cluster.cluster().protocol_cpu_ns(), 0u);
+}
+
 }  // namespace
 }  // namespace sbft

@@ -93,6 +93,8 @@ HOT_PATH_FILES = (
     "src/net/message.hpp",
     "src/core/mux.cpp",
     "src/core/mux.hpp",
+    "src/core/mux_flush.cpp",
+    "src/core/mux_flush.hpp",
     "src/sim/event_queue.hpp",
     "src/runtime/mailbox.hpp",
     "src/runtime/tcp.cpp",
