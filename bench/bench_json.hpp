@@ -15,6 +15,16 @@
 //                   epoll reactor threads for benches with a TCP arm
 //                   (default 1; the CI smoke matrix also runs a 2-thread
 //                   leg to keep the multi-reactor path measured).
+//   --cooldown-ms N idle sleep between sweep arms. An arm inherits the
+//                   previous arm's thermal/scheduler state (warmed
+//                   caches, CPU governor, lingering TIME_WAIT sockets);
+//                   a cool-down pause makes in-sweep points comparable
+//                   to isolated single-arm runs. Recorded into the JSON
+//                   as `sweep.cooldown_ms` so a committed baseline says
+//                   which mode produced it.
+//   --only SUBSTR   run only arms whose metric key contains SUBSTR —
+//                   full process isolation for one arm (the strongest
+//                   form of the above: fresh process, no prior arms).
 //
 // The JSON is deliberately timestamp-free so artifacts diff cleanly;
 // provenance (commit, date) lives in git history / CI metadata.
@@ -37,6 +47,8 @@ struct BenchArgs {
   std::size_t jobs = 1;   // 0 = one per hardware core
   std::vector<std::size_t> clients;  // empty: bench default sweep
   std::size_t reactor_threads = 1;
+  std::size_t cooldown_ms = 0;
+  std::string only;  // empty: run every arm
 };
 
 inline BenchArgs ParseBenchArgs(int argc, char** argv) {
@@ -54,6 +66,11 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
       args.reactor_threads = static_cast<std::size_t>(
           std::strtoull(argv[++i], nullptr, 10));
       if (args.reactor_threads == 0) args.reactor_threads = 1;
+    } else if (std::strcmp(argv[i], "--cooldown-ms") == 0 && i + 1 < argc) {
+      args.cooldown_ms = static_cast<std::size_t>(
+          std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--only") == 0 && i + 1 < argc) {
+      args.only = argv[++i];
     } else if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
       const char* p = argv[++i];
       while (*p != '\0') {
@@ -109,6 +126,12 @@ class JsonReport {
   }
   [[nodiscard]] std::size_t reactor_threads() const {
     return args_.reactor_threads;
+  }
+  [[nodiscard]] std::size_t cooldown_ms() const { return args_.cooldown_ms; }
+  /// Arm filter: true when `key` should run under --only (always true
+  /// without the flag).
+  [[nodiscard]] bool WantArm(const std::string& key) const {
+    return args_.only.empty() || key.find(args_.only) != std::string::npos;
   }
 
  private:

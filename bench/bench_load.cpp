@@ -219,6 +219,70 @@ void RunScenarioArms(JsonReport& report, const LoadArgs& args, bool use_tcp) {
   }
 }
 
+/// Sharded-deployment arms (E15, tcp only — the transport the CI
+/// smoke leg gates): a G=2 offered-load sweep and the live-growth
+/// scenario. Regularity is gated at zero violations on every arm;
+/// throughput stays advisory like everywhere else.
+void RunShardedArms(JsonReport& report, const LoadArgs& args) {
+  const std::uint64_t duration_us = report.smoke() ? 300'000 : 1'500'000;
+
+  if (Wanted(args, "tcp.g2.sweep")) {
+    const std::vector<double> rates = {250, 500};
+    std::size_t sustained = 0;
+    double saturation_rate = 0;
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+      load::Scenario scenario =
+          load::ShardedScenario(2, rates[i], duration_us, 31 + i);
+      scenario.use_tcp = true;
+      const load::LoadResult result = load::RunOpenLoop(scenario);
+      const std::string key = "tcp.g2.sweep.p" + std::to_string(i);
+      PointRow(key, rates[i], result);
+      CommonMetrics(report, key, rates[i], result);
+      report.Metric(key + ".violations",
+                    static_cast<double>(CheckHistory(result)), "count");
+      report.Metric(key + ".failed",
+                    static_cast<double>(result.failed), "ops");
+      if (Sustained(result, rates[i])) {
+        ++sustained;
+        saturation_rate = rates[i];
+      }
+    }
+    report.Metric("tcp.g2.sweep.saturation_frac",
+                  static_cast<double>(sustained) /
+                      static_cast<double>(rates.size()),
+                  "frac");
+    Row("%-22s sustained %zu/%zu points, saturation >= %.0f ops/s",
+        "tcp.g2.sweep", sustained, rates.size(), saturation_rate);
+  }
+
+  // Live growth: one group serves the first third of the run, then
+  // AddGroup installs the next shard-map epoch under traffic. The
+  // per-key checker must pass straight through the bump — the
+  // drain-and-handoff read anchor is what's under test.
+  if (Wanted(args, "tcp.g2_migrate")) {
+    load::Scenario scenario = load::MigrateScenario(250, duration_us, 35);
+    scenario.use_tcp = true;
+    const load::LoadResult result = load::RunOpenLoop(scenario);
+    const std::string key = "tcp.g2_migrate";
+    PointRow(key, scenario.rate_ops_per_sec, result);
+    CommonMetrics(report, key, scenario.rate_ops_per_sec, result);
+    report.Metric(key + ".violations",
+                  static_cast<double>(CheckHistory(result)), "count");
+    report.Metric(key + ".failed", static_cast<double>(result.failed),
+                  "ops");
+    report.Metric(key + ".final_groups",
+                  static_cast<double>(result.final_groups), "groups");
+    report.Metric(key + ".shard_epoch",
+                  static_cast<double>(result.final_epoch), "epoch");
+    Row("  group add @%llu us -> %zu groups (epoch %llu), "
+        "%zu keys still read-anchored to their old group at run end",
+        static_cast<unsigned long long>(result.group_add_time_us),
+        result.final_groups,
+        static_cast<unsigned long long>(result.final_epoch),
+        result.keys_awaiting_handoff);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -233,6 +297,7 @@ int main(int argc, char** argv) {
     if (load_args.backend != "all" && load_args.backend != backend) continue;
     RunSweep(report, load_args, use_tcp);
     RunScenarioArms(report, load_args, use_tcp);
+    if (use_tcp) RunShardedArms(report, load_args);
   }
 
   Row("%s", "\nexpected shape: p99 grows with offered load and explodes "

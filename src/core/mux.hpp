@@ -184,6 +184,15 @@ class MuxClient : public Automaton {
   /// (the router must live exactly as long as the client). With shared
   /// flush on, the flush provider routes the client's FLUSH rounds
   /// through the owning mux's coordinator the same way.
+  ///
+  /// This lifetime rule is per-NODE: each mux node owns the routers of
+  /// its inner clients and nothing outside the node may hold one. The
+  /// sharded deployment (runtime/sharded_cluster.hpp) adds a second
+  /// routing layer ABOVE the mux — the consistent-hash ShardMap picking
+  /// which group's mux an op enters — with the opposite lifetime
+  /// discipline: shard maps are immutable values, grown by copy
+  /// (WithGroupAdded) under the cluster lock, never mutated in place,
+  /// so no mux ever observes a map changing beneath an op in flight.
   struct Entry {
     std::unique_ptr<IEndpoint> endpoint;
     std::unique_ptr<FlushProvider> flush_provider;

@@ -27,8 +27,6 @@
 
 namespace sbft {
 
-using RegisterId = std::uint64_t;
-
 /// Accumulates the flush requests of one batch window and closes the
 /// window as ONE NodeFlush broadcast. Owned by MuxClient; lives entirely
 /// on the client node's thread (no locking — the runtime serializes all

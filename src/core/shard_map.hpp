@@ -1,0 +1,87 @@
+// Versioned consistent-hash shard map: 64-bit register ids -> server
+// groups.
+//
+// One n > 5f server population is a single capacity unit — its quorum
+// round cost is paid per operation no matter how many registers the mux
+// hosts, so the deployment-level throughput ceiling is the group, not
+// the protocol (EXPERIMENTS.md E13/E14). The paper's §I cloud-storage
+// motivation assumes MANY register instances serving a large
+// population; the shard map is the piece that spreads a 64-bit register
+// namespace over G independent groups so capacity comes from adding
+// groups, not from squeezing the round.
+//
+// Design constraints, in order:
+//   * deterministic across platforms and runs — the ring is pure
+//     FNV-1a/HashCombine arithmetic (common/hash.hpp), no std::hash,
+//     no pointers, no iteration over unordered containers, so every
+//     client that builds ShardMap::Initial(G) routes identically (the
+//     lint deterministic zone covers this file);
+//   * stable under growth — WithGroupAdded() inserts only the new
+//     group's virtual nodes, so ~1/(G+1) of the key space moves and
+//     everything else keeps its group (pinned by
+//     tests/core/shard_map_test.cpp);
+//   * versioned — every map carries an epoch; a bump means routing
+//     changed and migrated keys are mid-handoff (the router layer,
+//     runtime/sharded_cluster.hpp, anchors reads to the old group until
+//     the new group's first complete write per key).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace sbft {
+
+/// Index of one independent register group (its own server population,
+/// quorum system, and transport namespace).
+using GroupId = std::uint32_t;
+
+class ShardMap {
+ public:
+  /// Virtual nodes per group. 64 keeps the max/mean key-share ratio of
+  /// a small ring under ~1.4 while the ring stays a few KB (see
+  /// ShardMapTest.VirtualNodesBalanceTheRing).
+  static constexpr std::size_t kDefaultVnodesPerGroup = 64;
+
+  /// Empty map (routes nothing); Initial() builds the real thing.
+  ShardMap() = default;
+
+  /// Epoch-0 map over groups 0..n_groups-1.
+  [[nodiscard]] static ShardMap Initial(
+      std::size_t n_groups,
+      std::size_t vnodes_per_group = kDefaultVnodesPerGroup);
+
+  /// The group serving `id` under this epoch: successor-on-the-ring of
+  /// the key's hash point. O(log(G * vnodes)).
+  [[nodiscard]] GroupId GroupOf(RegisterId id) const;
+
+  /// The next epoch, with group `n_groups()` added to the ring. Only
+  /// keys whose ring successor is now one of the new group's virtual
+  /// nodes move — an expected 1/(G+1) of the key space.
+  [[nodiscard]] ShardMap WithGroupAdded() const;
+
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  [[nodiscard]] std::size_t n_groups() const { return n_groups_; }
+  [[nodiscard]] std::size_t vnodes_per_group() const { return vnodes_; }
+  [[nodiscard]] bool empty() const { return ring_.empty(); }
+
+ private:
+  struct VNode {
+    std::uint64_t point = 0;
+    GroupId group = 0;
+  };
+
+  void InsertGroup(GroupId group);
+
+  /// Sorted by (point, group): the tie order is part of the map's
+  /// determinism contract (64-bit FNV collisions are astronomically
+  /// unlikely, but a tie must still break the same way everywhere).
+  std::vector<VNode> ring_;
+  std::uint64_t epoch_ = 0;
+  std::size_t n_groups_ = 0;
+  std::size_t vnodes_ = kDefaultVnodesPerGroup;
+};
+
+}  // namespace sbft

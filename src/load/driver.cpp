@@ -65,13 +65,14 @@ class Engine {
       : scenario_(scenario),
         schedule_(BuildSchedule(scenario)),
         state_(scenario.n_keys, schedule_.size()),
-        cluster_(ClusterOptionsFor(scenario)) {}
+        cluster_(ShardedOptionsFor(scenario)) {}
 
   LoadResult Run();
 
  private:
   void Pace();
   void FireCorruption(const CorruptionSpec& spec, std::size_t index);
+  void MaybeAddGroup(std::uint64_t next_at_us);
   void StartOp(std::size_t index) REQUIRES(state_.mutex);
   void Finish(std::size_t index, OpStatus status, const Bytes* read_value);
   void SleepUntilUs(std::uint64_t us) {
@@ -89,9 +90,11 @@ class Engine {
   RunState state_;
   Clock::time_point start_;
   std::vector<std::uint64_t> corruption_times_;
+  bool group_added_ = false;
+  std::uint64_t group_add_time_us_ = ~0ull;
   // Last member: destroyed (and its node threads joined) first, so no
   // completion callback can observe a partially-destroyed Engine.
-  RegisterCluster cluster_;
+  ShardedCluster cluster_;
 };
 
 void Engine::StartOp(std::size_t index) {
@@ -182,6 +185,21 @@ void Engine::FireCorruption(const CorruptionSpec& spec, std::size_t index) {
   corruption_times_.push_back(NowUs());
 }
 
+void Engine::MaybeAddGroup(std::uint64_t next_at_us) {
+  if (group_added_ || scenario_.group_add_at_us == 0 ||
+      scenario_.group_add_at_us > next_at_us) {
+    return;
+  }
+  SleepUntilUs(scenario_.group_add_at_us);
+  // AddGroup blocks the pacing thread while the new group's node
+  // threads come up (milliseconds on TCP). Ops arriving meanwhile are
+  // charged from their INTENDED start anyway, so the stall shows up
+  // honestly as queueing latency — the cost of scaling out under load.
+  cluster_.AddGroup();
+  group_added_ = true;
+  group_add_time_us_ = NowUs();
+}
+
 void Engine::Pace() {
   std::vector<CorruptionSpec> corruptions = scenario_.corruptions;
   std::stable_sort(corruptions.begin(), corruptions.end(),
@@ -196,6 +214,7 @@ void Engine::Pace() {
       FireCorruption(corruptions[next_corruption], next_corruption);
       ++next_corruption;
     }
+    MaybeAddGroup(schedule_[i].at_us);
     SleepUntilUs(schedule_[i].at_us);
     MutexLock lock(state_.mutex);
     RunState::KeyState& key = state_.keys[schedule_[i].key];
@@ -212,6 +231,7 @@ void Engine::Pace() {
     FireCorruption(corruptions[next_corruption], next_corruption);
     ++next_corruption;
   }
+  MaybeAddGroup(~0ull);  // schedule ended before the growth point
 }
 
 LoadResult Engine::Run() {
@@ -257,6 +277,10 @@ LoadResult Engine::Run() {
     }
   }
   result.corruption_times_us = corruption_times_;
+  result.group_add_time_us = group_add_time_us_;
+  result.final_groups = cluster_.n_groups();
+  result.final_epoch = cluster_.epoch();
+  result.keys_awaiting_handoff = cluster_.keys_awaiting_handoff();
   cluster_.Stop();
   return result;
 }

@@ -52,6 +52,14 @@ struct LoadResult {
   /// Actual injection stamps of the scenario's corruptions, run-
   /// relative microseconds (same clock as the History).
   std::vector<std::uint64_t> corruption_times_us;
+  /// When the scenario grew the deployment (group_add_at_us): the stamp
+  /// at which the new shard-map epoch was installed (~0 if never), the
+  /// deployment's final group count / epoch, and how many migrated keys
+  /// were still read-anchored to their old group at run end.
+  std::uint64_t group_add_time_us = ~0ull;
+  std::size_t final_groups = 0;
+  std::uint64_t final_epoch = 0;
+  std::size_t keys_awaiting_handoff = 0;
 
   /// Intended-start latencies (schedule time -> completion) of ok ops.
   LatencyHistogram write_latency;
@@ -62,8 +70,9 @@ struct LoadResult {
   History history;
 };
 
-/// Run `scenario` against a freshly built RegisterCluster and return
-/// the measurement. The schedule is deterministic per scenario seed;
+/// Run `scenario` against a freshly built ShardedCluster (n_groups
+/// register groups behind the consistent-hash router; one group is the
+/// classic deployment) and return the measurement. The schedule is deterministic per scenario seed;
 /// the measured side (latencies, verdicts) is whatever the machine
 /// does with it.
 [[nodiscard]] LoadResult RunOpenLoop(const Scenario& scenario);

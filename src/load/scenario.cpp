@@ -66,6 +66,13 @@ RegisterCluster::Options ClusterOptionsFor(const Scenario& scenario) {
   return options;
 }
 
+ShardedCluster::Options ShardedOptionsFor(const Scenario& scenario) {
+  ShardedCluster::Options options;
+  options.group = ClusterOptionsFor(scenario);
+  options.n_groups = scenario.n_groups;
+  return options;
+}
+
 namespace {
 
 Scenario Base(const char* name, double rate, std::uint64_t duration_us,
@@ -123,6 +130,22 @@ Scenario CorruptionScenario(double rate, std::uint64_t duration_us,
                             std::uint64_t seed) {
   Scenario scenario = Base("corruption", rate, duration_us, seed);
   scenario.corruptions.push_back({duration_us / 4, {}});
+  return scenario;
+}
+
+Scenario ShardedScenario(std::size_t n_groups, double rate,
+                         std::uint64_t duration_us, std::uint64_t seed) {
+  Scenario scenario = Base(("g" + std::to_string(n_groups)).c_str(), rate,
+                           duration_us, seed);
+  scenario.n_groups = n_groups;
+  return scenario;
+}
+
+Scenario MigrateScenario(double rate, std::uint64_t duration_us,
+                         std::uint64_t seed) {
+  Scenario scenario = Base("g2_migrate", rate, duration_us, seed);
+  scenario.n_groups = 1;
+  scenario.group_add_at_us = duration_us / 3;
   return scenario;
 }
 

@@ -19,7 +19,7 @@
 #include <vector>
 
 #include "load/generators.hpp"
-#include "runtime/register_cluster.hpp"
+#include "runtime/sharded_cluster.hpp"
 
 namespace sbft::load {
 
@@ -56,6 +56,16 @@ struct Scenario {
   std::size_t batch_max_ops = 0;
   std::uint64_t batch_max_delay_us = 200;
   std::vector<CorruptionSpec> corruptions;
+  /// Independent register groups behind the consistent-hash router
+  /// (runtime/sharded_cluster.hpp). 1 = the classic single-group
+  /// deployment (the router front-end costs one uncontended mutex
+  /// acquisition per op).
+  std::size_t n_groups = 1;
+  /// When non-zero: at this point into the run, grow the deployment by
+  /// one group (ShardedCluster::AddGroup) while traffic flows — the
+  /// shard-map epoch bumps and ~1/(G+1) of the keys migrate via
+  /// drain-and-handoff.
+  std::uint64_t group_add_at_us = 0;
   std::uint64_t seed = 1;
   /// After the last scheduled arrival, wait at most this long for
   /// in-flight and queued operations to finish.
@@ -82,8 +92,15 @@ struct ScheduledOp {
 /// sequence): what the checker uses to identify writes.
 [[nodiscard]] Value ValueFor(const ScheduledOp& op);
 
-/// Cluster options matching a scenario (topology, transport, shaping).
+/// Per-group cluster options matching a scenario (topology, transport,
+/// shaping).
 [[nodiscard]] RegisterCluster::Options ClusterOptionsFor(
+    const Scenario& scenario);
+
+/// Sharded-deployment options: `n_groups` groups, each built from
+/// ClusterOptionsFor (the driver always runs the sharded front-end;
+/// n_groups = 1 degenerates to the classic deployment).
+[[nodiscard]] ShardedCluster::Options ShardedOptionsFor(
     const Scenario& scenario);
 
 // --- Presets: the adversarial traffic matrix ------------------------------
@@ -113,5 +130,16 @@ struct ScheduledOp {
 [[nodiscard]] Scenario CorruptionScenario(double rate,
                                           std::uint64_t duration_us,
                                           std::uint64_t seed);
+/// Sharded deployment: uniform keys over `n_groups` independent
+/// register groups (name "g<N>").
+[[nodiscard]] Scenario ShardedScenario(std::size_t n_groups, double rate,
+                                       std::uint64_t duration_us,
+                                       std::uint64_t seed);
+/// Live scale-out: starts at one group, adds a second at duration/3
+/// while traffic flows (name "g2_migrate"); the per-key regularity
+/// checker must pass straight through the epoch bump.
+[[nodiscard]] Scenario MigrateScenario(double rate,
+                                       std::uint64_t duration_us,
+                                       std::uint64_t seed);
 
 }  // namespace sbft::load

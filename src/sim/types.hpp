@@ -12,6 +12,12 @@ namespace sbft {
 using NodeId = std::uint32_t;
 constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
 
+/// Identifies one logical register of a multi-register deployment
+/// (core/mux.hpp multiplexes many over one server population;
+/// core/shard_map.hpp consistent-hashes them across server groups).
+/// String keys map in via RegisterIdOf (FNV-1a).
+using RegisterId = std::uint64_t;
+
 /// Discrete simulated time in abstract ticks. The asynchronous model of
 /// §II has no real-time semantics; ticks only order events and let delay
 /// policies express relative speeds.

@@ -23,6 +23,8 @@ POSITIVE_TUS = [
     "runtime/tcp.cpp",
     "runtime/cluster.cpp",
     "runtime/register_cluster.cpp",
+    "runtime/sharded_cluster.cpp",
+    "core/shard_map.cpp",
     "net/message.cpp",
     "net/datalink.cpp",
     "core/mux.cpp",

@@ -151,6 +151,55 @@ class BenchCompareTest(unittest.TestCase):
         self.assertEqual(code, 0, out)
         self.assertIn("missing from fresh run", out)
 
+    def test_new_group_family_is_aggregated_not_gated(self):
+        # Sharded arms land as a whole g<G>.* family. They must appear
+        # as one family summary (with per-metric values for baseline
+        # promotion) and never gate — including violation-marked names.
+        code, out = run_compare(
+            [("sharedflush.tcp.n16.c256.ops_per_sec", 30000.0, "ops/s")],
+            [("sharedflush.tcp.n16.c256.ops_per_sec", 30000.0, "ops/s"),
+             ("g4.tcp.n16.c256.ops_per_sec", 29000.0, "ops/s"),
+             ("g4.tcp.n16.c256.failed", 0.0, "ops"),
+             ("g4.tcp.n16.c256.regular_violations", 0.0, "violations"),
+             ("g2.migrate.tcp.n16.c64.regular_violations", 0.0,
+              "violations"),
+             ("tcp.g2.sweep.p0.violations", 0.0, "count"),
+             ("tcp.g2_migrate.violations", 0.0, "count")])
+        self.assertEqual(code, 0, out)
+        self.assertIn("new group family", out)
+        self.assertIn("g4.tcp.* — new group family, 3 metrics", out)
+        self.assertIn("g2.migrate.tcp.* — new group family, 1 metrics", out)
+        self.assertIn("g4.tcp.n16.c256.ops_per_sec: 29000", out)
+        # bench_load's backend-first spelling aggregates the same way.
+        self.assertIn("tcp.g2.* — new group family, 1 metrics", out)
+        self.assertIn("tcp.g2_migrate.* — new group family, 1 metrics", out)
+
+    def test_committed_group_family_gates_like_any_metric(self):
+        # Once the g<G>.* family IS in the baseline, its count metrics
+        # gate normally — the family aggregation only covers the
+        # no-baseline-yet case.
+        code, out = run_compare(
+            [("g2.tcp.n16.c256.regular_violations", 0.0, "violations")],
+            [("g2.tcp.n16.c256.regular_violations", 3.0, "violations")])
+        self.assertEqual(code, 1, out)
+        self.assertIn("regular_violations", out)
+
+    def test_subset_suppresses_missing_advisories(self):
+        # A filtered arm run (--only / --scenario) produces a subset of
+        # the baseline's metrics. With --subset the absences are
+        # expected (summarized, not itemized), while produced metrics
+        # still gate.
+        base = [("tcp.g2.sweep.p0.failed", 0.0, "ops"),
+                ("mailbox.sweep.p0.completed_frac", 1.0, "frac")]
+        code, out = run_compare(
+            base, [("tcp.g2.sweep.p0.failed", 0.0, "ops")], "--subset")
+        self.assertEqual(code, 0, out)
+        self.assertNotIn("missing from fresh run", out)
+        self.assertIn("subset run: 1 baseline metric(s) not produced", out)
+        code, out = run_compare(
+            base, [("tcp.g2.sweep.p0.failed", 4.0, "ops")], "--subset")
+        self.assertEqual(code, 1, out)
+
     def test_malformed_input_is_usage_error(self):
         with tempfile.TemporaryDirectory() as tmp:
             bad = os.path.join(tmp, "bad.json")

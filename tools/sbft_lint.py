@@ -95,8 +95,12 @@ HOT_PATH_FILES = (
     "src/core/mux.hpp",
     "src/core/mux_flush.cpp",
     "src/core/mux_flush.hpp",
+    "src/core/shard_map.cpp",
+    "src/core/shard_map.hpp",
     "src/sim/event_queue.hpp",
     "src/runtime/mailbox.hpp",
+    "src/runtime/sharded_cluster.cpp",
+    "src/runtime/sharded_cluster.hpp",
     "src/runtime/tcp.cpp",
 )
 
