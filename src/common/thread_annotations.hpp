@@ -124,4 +124,34 @@ class CondVar {
   std::condition_variable_any cv_;
 };
 
+/// Lock-order anchors: one annotation-only global Mutex per runtime
+/// mutex family. Clang's ACQUIRED_BEFORE/ACQUIRED_AFTER attributes
+/// cannot name another class's non-static member, so each family gets
+/// a namespace-scope stand-in here and the real mutex declarations
+/// order themselves against the anchors (the abseil idiom). The
+/// anchors are never locked — they exist so the acquisition order is
+/// machine-readable: tools/sbft_analyze.py parses the `anchor-for:`
+/// comments to map each anchor to its family, reads the ACQUIRED_*
+/// annotations as the declared DAG, and checks the acquisition edges
+/// it observes in the code against it. docs/ARCHITECTURE.md renders
+/// the same DAG as a table.
+///
+/// Edges declared today (held-while-acquiring, left before right):
+///   kLoadDriver  -> kShardRouter, kMailbox
+///   kTcpBus      -> kReactorLoop, kReactorOwner
+///   kTcpConn     -> kReactorLoop, kReactorOwner
+///   kReactorLoop -> kReactorOwner
+/// kMailbox, kLinkShaper and the ad-hoc leaves (logging sink, parallel
+/// sweep error mutex) acquire nothing nested.
+namespace lock_order {
+inline Mutex kLoadDriver;    // anchor-for: sbft::load::RunState::mutex
+inline Mutex kShardRouter;   // anchor-for: sbft::ShardedCluster::mutex_
+inline Mutex kMailbox;       // anchor-for: sbft::Mailbox::mutex_
+inline Mutex kTcpBus;        // anchor-for: sbft::TcpBus::mutex_
+inline Mutex kTcpConn;       // anchor-for: sbft::TcpBus::Connection::mutex
+inline Mutex kReactorLoop;   // anchor-for: sbft::Reactor::Loop::mutex
+inline Mutex kReactorOwner;  // anchor-for: sbft::Reactor::owner_mutex_
+inline Mutex kLinkShaper;    // anchor-for: sbft::LinkShaper::mutex_
+}  // namespace lock_order
+
 }  // namespace sbft

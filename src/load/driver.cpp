@@ -39,7 +39,11 @@ struct RunState {
   RunState(std::size_t n_keys, std::size_t n_ops)
       : keys(n_keys), records(n_ops), launched_flag(n_ops, false) {}
 
-  Mutex mutex;
+  /// Outermost lock of the runtime stack: StartOp runs under it and
+  /// reaches the shard router's map mutex and the destination
+  /// mailbox mutex (AsyncWrite -> RouteWrite -> PostToNode).
+  Mutex mutex ACQUIRED_BEFORE(lock_order::kShardRouter,
+                              lock_order::kMailbox);
   CondVar drained;
   std::vector<KeyState> keys GUARDED_BY(mutex);
   std::vector<OpRecord> records GUARDED_BY(mutex);

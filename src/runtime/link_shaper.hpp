@@ -101,6 +101,8 @@ class LinkShaper {
 
   LinkShaping options_;
   ForwardFn forward_;
+  /// Leaf lock (lock_order::kLinkShaper): Loop releases it before
+  /// calling forward_, so no mailbox acquisition ever nests under it.
   mutable Mutex mutex_;
   /// Min-heap on release_us via std::push_heap/pop_heap (a
   /// priority_queue cannot move out its top; Frame is move-only).

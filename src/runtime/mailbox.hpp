@@ -109,7 +109,10 @@ class Mailbox {
   }
 
  private:
-  mutable Mutex mutex_;
+  /// Leaf-ish lock: pushes happen with the load driver's run-state
+  /// mutex held (StartOp under RunState::mutex reaches Push), and
+  /// nothing is acquired while this mutex is held.
+  mutable Mutex mutex_ ACQUIRED_AFTER(lock_order::kLoadDriver);
   CondVar ready_;
   std::deque<MailItem> items_ GUARDED_BY(mutex_);
   bool closed_ GUARDED_BY(mutex_) = false;

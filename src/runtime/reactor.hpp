@@ -68,7 +68,12 @@ class Reactor {
     int epoll_fd = -1;
     int wake_fd = -1;
     std::thread thread;
-    Mutex mutex;
+    /// Acquired with TcpBus locks held (Start registers listeners
+    /// under the bus mutex; MarkDeadLocked posts the deferred close
+    /// under a connection mutex) and held across the owner-map
+    /// acquisition in Add's failure path — hence the ordering below.
+    Mutex mutex ACQUIRED_BEFORE(lock_order::kReactorOwner)
+        ACQUIRED_AFTER(lock_order::kTcpBus, lock_order::kTcpConn);
     std::unordered_map<int, std::shared_ptr<Handler>> handlers
         GUARDED_BY(mutex);
     std::vector<std::function<void()>> commands GUARDED_BY(mutex);
@@ -79,7 +84,12 @@ class Reactor {
   Loop* OwnerOf(int fd);
 
   std::vector<std::unique_ptr<Loop>> loops_;
-  Mutex owner_mutex_;
+  /// Innermost reactor lock: taken while a Loop::mutex (Add failure
+  /// path) or a TcpBus bus/connection mutex (Start, flush Modify,
+  /// MarkDeadLocked) is held; acquires nothing itself.
+  Mutex owner_mutex_ ACQUIRED_AFTER(lock_order::kTcpBus,
+                                    lock_order::kTcpConn,
+                                    lock_order::kReactorLoop);
   std::unordered_map<int, std::size_t> owner_ GUARDED_BY(owner_mutex_);
   std::size_t next_loop_ GUARDED_BY(owner_mutex_) = 0;
   std::atomic<bool> running_{false};

@@ -21,13 +21,21 @@ ShardedCluster::ShardedCluster(const Options& options) : options_(options) {
   // The sharded layer routes by 64-bit key over the mux register
   // namespace; the one-node-per-client topology has no key namespace.
   SBFT_ASSERT(options.group.multiplex);
-  MutexLock lock(mutex_);
-  map_ = ShardMap::Initial(options.n_groups, options.vnodes_per_group);
-  groups_.reserve(options.n_groups);
+  // Build the groups BEFORE taking the router lock: group construction
+  // reaches the transport's bus mutex (RegisterCluster -> AddNode ->
+  // TcpBus::AddNode), and the router lock is declared to order before
+  // nothing transport-side (docs/ARCHITECTURE.md lock-order DAG). A
+  // constructor has no concurrency anyway — the lock below only
+  // publishes the assembled state, as AddGroup already does.
+  std::vector<std::unique_ptr<RegisterCluster>> groups;
+  groups.reserve(options.n_groups);
   for (std::size_t g = 0; g < options.n_groups; ++g) {
-    groups_.push_back(
+    groups.push_back(
         std::make_unique<RegisterCluster>(GroupOptions(options, g)));
   }
+  MutexLock lock(mutex_);
+  map_ = ShardMap::Initial(options.n_groups, options.vnodes_per_group);
+  groups_ = std::move(groups);
 }
 
 void ShardedCluster::Start() {

@@ -112,7 +112,11 @@ class ShardedCluster {
                                                std::size_t group_index);
 
   Options options_;
-  mutable Mutex mutex_;
+  /// Routing lock, taken with the load driver's run-state mutex held
+  /// (StartOp -> AsyncWrite -> RouteWrite). Protocol calls and user
+  /// callbacks always run after it is released, so it acquires
+  /// nothing nested.
+  mutable Mutex mutex_ ACQUIRED_AFTER(lock_order::kLoadDriver);
   /// Groups are append-only (AddGroup) and destroyed only by Stop();
   /// raw RegisterCluster pointers taken under the lock stay valid, so
   /// the actual protocol call runs outside it.

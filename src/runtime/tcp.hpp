@@ -117,7 +117,11 @@ class TcpBus {
     int fd = -1;
     NodeId src = kNoNode;
     NodeId dst = kNoNode;
-    Mutex mutex;
+    /// Held across reactor interest-set changes (FlushLocked arming
+    /// EPOLLOUT) and the deferred close (MarkDeadLocked), both of
+    /// which take reactor locks — so it orders before them.
+    Mutex mutex ACQUIRED_BEFORE(lock_order::kReactorLoop,
+                                lock_order::kReactorOwner);
     std::deque<Bytes> pending GUARDED_BY(mutex);
     /// Bytes of pending.front() already sent.
     std::size_t front_offset GUARDED_BY(mutex) = 0;
@@ -164,7 +168,11 @@ class TcpBus {
   DeliverFn deliver_;
   Options options_;
   Reactor reactor_;
-  Mutex mutex_;
+  /// Held across listener registration in Start (reactor_.Add takes
+  /// both reactor locks under it). Never nests with Connection::mutex
+  /// in either direction.
+  Mutex mutex_ ACQUIRED_BEFORE(lock_order::kReactorLoop,
+                               lock_order::kReactorOwner);
   std::map<NodeId, std::unique_ptr<Listener>> listeners_ GUARDED_BY(mutex_);
   std::vector<Tx> tx_;  // indexed by src; each entry single-threaded
   std::vector<std::shared_ptr<PeerConn>> peers_ GUARDED_BY(mutex_);

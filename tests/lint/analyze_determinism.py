@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Determinism gate for tools/sbft_analyze.py (ctest label: lint).
+
+Runs the whole-program analyzer twice over src/ with different
+PYTHONHASHSEED values and requires byte-identical stdout and exit code
+0 both times. A diff means some check iterates a hash-ordered container
+on its way to output — exactly the bug class the analyzer polices in
+the C++ tree, so the tool holds itself to the same bar.
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+
+
+def run(analyzer: str, repo_root: str, hashseed: str):
+    env = dict(os.environ, PYTHONHASHSEED=hashseed)
+    return subprocess.run(
+        [sys.executable, analyzer, "--repo-root", repo_root,
+         "--frontend", "internal", os.path.join(repo_root, "src")],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=False,
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--analyzer", required=True)
+    parser.add_argument("--repo-root", required=True)
+    args = parser.parse_args()
+
+    first = run(args.analyzer, args.repo_root, "0")
+    second = run(args.analyzer, args.repo_root, "1")
+
+    failures = 0
+    for label, result in (("run 1", first), ("run 2", second)):
+        if result.returncode != 0:
+            print(f"FAIL: {label} exited {result.returncode} "
+                  f"(expected clean tree):")
+            print(result.stdout)
+            print(result.stderr)
+            failures += 1
+    if first.stdout != second.stdout:
+        print("FAIL: analyzer output differs across hash seeds:")
+        print("--- PYTHONHASHSEED=0\n" + first.stdout)
+        print("--- PYTHONHASHSEED=1\n" + second.stdout)
+        failures += 1
+
+    if not failures:
+        print("ok: two runs, identical findings, exit 0")
+        print(first.stdout.strip())
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+// Fixture: borrowed frame payloads escaping their drain scope — the
+// zero-copy spine's biggest footgun. The BytesView handed to OnFrame
+// borrows pooled frame memory that is reused as soon as the drain
+// returns; storing it into a member and capturing it in a deferred
+// lambda both read recycled bytes later. Expected: exactly one check
+// trips — frame-escape (two findings, both of it).
+
+namespace sbft {
+
+struct BytesView {
+  const unsigned char* data = nullptr;
+  unsigned long size = 0;
+};
+
+class Executor {
+ public:
+  template <class Task>
+  void Post(Task task);
+};
+
+class Session {
+ public:
+  void OnFrame(BytesView payload) {
+    last_payload_ = payload;
+    executor_.Post([payload] { Decode(payload); });
+  }
+
+ private:
+  static void Decode(BytesView view);
+
+  Executor executor_;
+  BytesView last_payload_;
+};
+
+}  // namespace sbft

@@ -1,0 +1,47 @@
+// Fixture: seeded lock-order inversion cycle, interprocedural.
+//
+// First() acquires a_ then b_ (edge a_ -> b_). Second() acquires b_
+// and, still holding it, calls Helper(), which acquires a_ (edge
+// b_ -> a_). Two threads running First() and Second() concurrently
+// deadlock; tools/sbft_analyze.py must report the cycle statically.
+// Expected: exactly one check trips — lock-order.
+
+namespace sbft {
+
+class Mutex {
+ public:
+  void lock();
+  void unlock();
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex);
+  ~MutexLock();
+};
+
+class Widget {
+ public:
+  void First() {
+    MutexLock outer(a_);
+    MutexLock inner(b_);
+    ++total_;
+  }
+
+  void Second() {
+    MutexLock outer(b_);
+    Helper();
+  }
+
+ private:
+  void Helper() {
+    MutexLock guard(a_);
+    ++total_;
+  }
+
+  Mutex a_;
+  Mutex b_;
+  long total_ = 0;
+};
+
+}  // namespace sbft

@@ -1,0 +1,54 @@
+// Fixture: blocking primitive reachable from a reactor handler. The
+// lambda registered with Reactor::Add runs on the event loop; its
+// OnReadable() path parks on an unbounded CondVar::Wait, stalling
+// every connection hosted by that loop. Expected: exactly one check
+// trips — reactor-blocking.
+
+namespace sbft {
+
+class Mutex {
+ public:
+  void lock();
+  void unlock();
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex);
+  ~MutexLock();
+};
+
+class CondVar {
+ public:
+  void Wait(Mutex& mutex);
+  void NotifyOne();
+};
+
+class Reactor {
+ public:
+  template <class Handler>
+  void Add(int fd, Handler handler);
+};
+
+class Server {
+ public:
+  void Start(int fd) {
+    reactor_.Add(fd, [this] { OnReadable(); });
+  }
+
+ private:
+  void OnReadable() {
+    MutexLock guard(mutex_);
+    while (!has_data_) {
+      ready_.Wait(mutex_);
+    }
+    has_data_ = false;
+  }
+
+  Reactor reactor_;
+  Mutex mutex_;
+  CondVar ready_;
+  bool has_data_ = false;
+};
+
+}  // namespace sbft

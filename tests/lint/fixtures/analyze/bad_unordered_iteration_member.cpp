@@ -1,0 +1,26 @@
+// Fixture: range-for over an unordered member container. Iteration
+// order varies run to run (and across libstdc++ versions), so anything
+// derived from it — traces, verdicts, serialized output — is
+// nondeterministic. Expected: exactly one check trips —
+// unordered-iteration.
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace sbft {
+
+class Tracer {
+ public:
+  std::uint64_t Checksum() {
+    std::uint64_t sum = 0;
+    for (const auto& entry : events_) {
+      sum = sum * 31 + entry.second;
+    }
+    return sum;
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> events_;
+};
+
+}  // namespace sbft

@@ -1,0 +1,43 @@
+// Fixture: the correct zero-copy boundary discipline. Borrowed views
+// are decoded in place during the drain; anything that outlives the
+// drain (the stored member, the deferred task) gets an owned copy
+// first. Expected: clean.
+
+namespace sbft {
+
+struct BytesView {
+  const unsigned char* data = nullptr;
+  unsigned long size = 0;
+};
+
+struct Bytes {
+  unsigned char* data = nullptr;
+  unsigned long size = 0;
+};
+
+Bytes ToBytes(BytesView view);
+
+class Executor {
+ public:
+  template <class Task>
+  void Post(Task task);
+};
+
+class Session {
+ public:
+  void OnFrame(BytesView payload) {
+    DecodeInPlace(payload);
+    Bytes copy = ToBytes(payload);
+    last_payload_ = ToBytes(payload);
+    executor_.Post([copy] { Consume(copy); });
+  }
+
+ private:
+  static void DecodeInPlace(BytesView view);
+  static void Consume(const Bytes& owned);
+
+  Executor executor_;
+  Bytes last_payload_;
+};
+
+}  // namespace sbft

@@ -1,0 +1,55 @@
+// Fixture: consistent two-level lock order, declared via the
+// lock_order anchor idiom (annotation-only namespace-scope mutexes
+// mapped to families by `anchor-for:` comments, exactly as
+// src/common/thread_annotations.hpp does). Both the direct nesting in
+// First() and the interprocedural nesting in Second() -> Helper()
+// follow the declared outer -> inner direction, so the analyzer must
+// report nothing.
+
+#define ACQUIRED_BEFORE(...)
+#define ACQUIRED_AFTER(...)
+
+namespace sbft {
+
+class Mutex {
+ public:
+  void lock();
+  void unlock();
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex);
+  ~MutexLock();
+};
+
+namespace lock_order {
+inline Mutex kOuter;  // anchor-for: sbft::Widget::a_
+inline Mutex kInner;  // anchor-for: sbft::Widget::b_
+}  // namespace lock_order
+
+class Widget {
+ public:
+  void First() {
+    MutexLock outer(a_);
+    MutexLock inner(b_);
+    ++total_;
+  }
+
+  void Second() {
+    MutexLock outer(a_);
+    Helper();
+  }
+
+ private:
+  void Helper() {
+    MutexLock guard(b_);
+    ++total_;
+  }
+
+  Mutex a_ ACQUIRED_BEFORE(lock_order::kInner);
+  Mutex b_ ACQUIRED_AFTER(lock_order::kOuter);
+  long total_ = 0;
+};
+
+}  // namespace sbft

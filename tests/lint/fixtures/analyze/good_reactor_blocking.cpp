@@ -1,0 +1,60 @@
+// Fixture: reactor handler that never blocks. The registered lambda
+// drains under a plain mutex (bounded critical section) and defers
+// slow work instead of waiting for it; the only wait primitive in the
+// file is the bounded WaitFor, and it lives on a non-reactor thread.
+// Expected: clean.
+
+namespace sbft {
+
+class Mutex {
+ public:
+  void lock();
+  void unlock();
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex);
+  ~MutexLock();
+};
+
+class CondVar {
+ public:
+  template <class Duration>
+  void WaitFor(Mutex& mutex, Duration timeout);
+  void NotifyOne();
+};
+
+class Reactor {
+ public:
+  template <class Handler>
+  void Add(int fd, Handler handler);
+};
+
+class Server {
+ public:
+  void Start(int fd) {
+    reactor_.Add(fd, [this] { OnReadable(); });
+  }
+
+  // Runs on the pacing thread, not a reactor thread: the bounded wait
+  // here is fine and must not be attributed to the handler above.
+  void PacerTick(int budget_ms) {
+    MutexLock guard(mutex_);
+    ready_.WaitFor(mutex_, budget_ms);
+  }
+
+ private:
+  void OnReadable() {
+    MutexLock guard(mutex_);
+    pending_ += 1;
+    ready_.NotifyOne();
+  }
+
+  Reactor reactor_;
+  Mutex mutex_;
+  CondVar ready_;
+  long pending_ = 0;
+};
+
+}  // namespace sbft

@@ -24,6 +24,8 @@ POSITIVE_TUS = [
     "runtime/cluster.cpp",
     "runtime/register_cluster.cpp",
     "runtime/sharded_cluster.cpp",
+    "runtime/link_shaper.cpp",
+    "load/driver.cpp",
     "core/shard_map.cpp",
     "net/message.cpp",
     "net/datalink.cpp",
